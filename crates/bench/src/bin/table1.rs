@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I (firmware cycle breakdown).
+fn main() {
+    print!("{}", titancfi_bench::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II (slowdown vs DExIE / FIXER, depth 1).
+fn main() {
+    print!("{}", titancfi_bench::table2());
+}

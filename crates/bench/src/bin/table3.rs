@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table III (full-suite slowdown, depth 8).
+fn main() {
+    print!("{}", titancfi_bench::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table IV (FPGA resource utilization).
+fn main() {
+    print!("{}", titancfi_bench::table4());
+}

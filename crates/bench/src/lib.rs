@@ -1,0 +1,339 @@
+//! The TitanCFI evaluation harness: regenerates every table of the paper.
+//!
+//! Each `tableN` function reproduces the corresponding artifact of the
+//! paper's evaluation section and returns it as formatted text; the
+//! `table1`..`table4` binaries print them. `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison these functions produce.
+//!
+//! | Function | Paper artifact | Method |
+//! |---|---|---|
+//! | [`table1`] | Table I — firmware cycle breakdown | real RV32 firmware on the Ibex model |
+//! | [`table2`] | Table II — slowdown vs DExIE/FIXER, queue depth 1 | calibrated traces through the queue model |
+//! | [`table3`] | Table III — full-suite slowdown, queue depth 8 | same |
+//! | [`table4`] | Table IV — FPGA resource overhead | structural estimator |
+
+use std::fmt::Write as _;
+use titancfi::firmware::{CheckMeasurement, FirmwareKind, FirmwareRunner};
+use titancfi::{Category, CommitLog, Phase};
+use titancfi_fpga as fpga;
+use titancfi_trace::baselines::{DexieModel, FixerModel};
+use titancfi_trace::simulate;
+use titancfi_workloads::published::{
+    self, LATENCY_IRQ, LATENCY_OPT, LATENCY_POLL, TABLE2, TABLE2_QUEUE_DEPTH, TABLE3,
+    TABLE3_QUEUE_DEPTH,
+};
+use titancfi_workloads::synthetic::trace_for;
+
+/// A representative call commit log (used by Table I).
+#[must_use]
+pub fn sample_call() -> CommitLog {
+    CommitLog { pc: 0x8000_0000, insn: 0x1000_00ef, next: 0x8000_0004, target: 0x8000_0100 }
+}
+
+/// The matching return commit log.
+#[must_use]
+pub fn sample_ret() -> CommitLog {
+    CommitLog { pc: 0x8000_0104, insn: 0x0000_8067, next: 0x8000_0108, target: 0x8000_0004 }
+}
+
+/// Measures one CALL and one RET in each firmware variant.
+#[must_use]
+pub fn measure_all_variants() -> Vec<(FirmwareKind, CheckMeasurement, CheckMeasurement)> {
+    FirmwareKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut fw = FirmwareRunner::new(kind);
+            let call = fw.check(&sample_call());
+            let ret = fw.check(&sample_ret());
+            assert!(!call.violation && !ret.violation, "reference pair must pass");
+            (kind, call, ret)
+        })
+        .collect()
+}
+
+/// The measured per-check latencies (IRQ, Polling, Optimized), averaged
+/// over CALL and RET — this reproduction's equivalents of the paper's
+/// 267 / 112 / 73.
+#[must_use]
+pub fn measured_latencies() -> [u64; 3] {
+    let ms = measure_all_variants();
+    [0, 1, 2].map(|i| (ms[i].1.latency + ms[i].2.latency) / 2)
+}
+
+/// Regenerates Table I: cycles to enforce the return-address-protection
+/// policy in OpenTitan, split {IRQ, CFI} × {Logic, Mem-RoT, Mem-SoC}.
+#[must_use]
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE I — cycles to implement the return address protection policy in OpenTitan"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<5} {:<9} | {:>5} {:>5} {:>5} | {:>6} {:>6} {:>6}",
+        "Variant", "Op.", "", "I.IRQ", "I.CFI", "I.TOT", "C.IRQ", "C.CFI", "C.TOT"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for (kind, call, ret) in measure_all_variants() {
+        for (op, m) in [("CALL", &call), ("RET", &ret)] {
+            for cat in Category::ALL {
+                let irq = m.breakdown.cell(Phase::Irq, cat);
+                let cfi = m.breakdown.cell(Phase::Cfi, cat);
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<5} {:<9} | {:>5} {:>5} {:>5} | {:>6} {:>6} {:>6}",
+                    kind.name(),
+                    op,
+                    cat.to_string(),
+                    irq.instructions,
+                    cfi.instructions,
+                    irq.instructions + cfi.instructions,
+                    irq.cycles,
+                    cfi.cycles,
+                    irq.cycles + cfi.cycles,
+                );
+            }
+            let irq = m.breakdown.phase_total(Phase::Irq);
+            let cfi = m.breakdown.phase_total(Phase::Cfi);
+            let _ = writeln!(
+                out,
+                "{:<10} {:<5} {:<9} | {:>5} {:>5} {:>5} | {:>6} {:>6} {:>6}   latency {}",
+                kind.name(),
+                op,
+                "TOT",
+                irq.instructions,
+                cfi.instructions,
+                irq.instructions + cfi.instructions,
+                irq.cycles,
+                cfi.cycles,
+                irq.cycles + cfi.cycles,
+                m.latency,
+            );
+        }
+    }
+    let lat = measured_latencies();
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Measured average check latency: IRQ {} / Polling {} / Optimized {} cycles",
+        lat[0], lat[1], lat[2]
+    );
+    let _ = writeln!(
+        out,
+        "Paper reference:                IRQ {LATENCY_IRQ} / Polling {LATENCY_POLL} / Optimized {LATENCY_OPT} cycles"
+    );
+    out
+}
+
+/// Simulated slowdowns (Opt, Poll, IRQ) in percent for a published row at
+/// the given queue depth, using the paper's emulation latencies.
+#[must_use]
+pub fn simulated_slowdowns(row: &published::PublishedRow, depth: usize) -> [f64; 3] {
+    let trace = trace_for(row, xtitan_seed(row.name));
+    [LATENCY_OPT, LATENCY_POLL, LATENCY_IRQ]
+        .map(|lat| simulate(&trace, lat, depth).slowdown_percent())
+}
+
+// Deterministic per-benchmark seed (stable across runs; hexspeak helper).
+#[allow(non_snake_case)]
+fn xtitan_seed(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Regenerates Table II: runtime slowdown at queue depth 1 vs the
+/// published DExIE and FIXER numbers.
+#[must_use]
+pub fn table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE II — runtime slowdown comparison with DExIE [8] and FIXER [6]");
+    let _ = writeln!(out, "(CFI queue depth {TABLE2_QUEUE_DEPTH}; slowdown in %)");
+    let _ = writeln!(
+        out,
+        "{:<15} {:>10} {:>7} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "Benchmark", "Published", "Model", "Opt.", "Poll.", "IRQ", "p.Opt", "p.Poll", "p.IRQ"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(92));
+    let dexie = DexieModel::default();
+    let fixer = FixerModel::default();
+    for cmp in &TABLE2 {
+        let row = published::table3_row(cmp.name).expect("trace stats");
+        let trace = trace_for(row, xtitan_seed(row.name));
+        let got = simulated_slowdowns(row, TABLE2_QUEUE_DEPTH);
+        let competitor = cmp
+            .competitor
+            .map_or_else(|| "n.a.".to_string(), |v| format!("{v:.0} ({})", cmp.competitor_name));
+        // Our mechanistic model of the same competitor on the same trace.
+        let model = match cmp.competitor_name {
+            "DExIE" => dexie.slowdown_percent(&trace),
+            _ => fixer.slowdown_percent(&trace),
+        };
+        let _ = writeln!(
+            out,
+            "{:<15} {:>10} {:>7.0} | {:>7.0} {:>7.0} {:>7.0} | {:>7.0} {:>7.0} {:>7.0}",
+            cmp.name,
+            competitor,
+            model,
+            got[0],
+            got[1],
+            got[2],
+            cmp.titancfi[0],
+            cmp.titancfi[1],
+            cmp.titancfi[2],
+        );
+    }
+    let _ = writeln!(out, "
+(`Model` re-derives the competitor's overhead mechanistically: DExIE as a");
+    let _ = writeln!(out, "clock-degrading lock-step monitor, FIXER as inline check instructions.)");
+    let _ = writeln!(out, "\n(p.* columns are the paper's published values; FIXER reports only a");
+    let _ = writeln!(
+        out,
+        "{:.1} % aggregate overhead without a per-benchmark breakdown.)",
+        published::FIXER_AGGREGATE_OVERHEAD
+    );
+    out
+}
+
+/// Regenerates Table III: the full EmBench-IoT + RISC-V-Tests sweep at
+/// queue depth 8.
+#[must_use]
+pub fn table3() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE III — slowdown on the full suites (CFI queue depth {TABLE3_QUEUE_DEPTH})");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "Benchmark", "Cycles", "CF", "Opt.", "Poll.", "IRQ", "p.Opt", "p.Poll", "p.IRQ"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(95));
+    let mut suite = None;
+    for row in &TABLE3 {
+        if suite != Some(row.suite) {
+            suite = Some(row.suite);
+            let _ = writeln!(out, "--- {} ---", row.suite.name());
+        }
+        let got = simulated_slowdowns(row, TABLE3_QUEUE_DEPTH);
+        let fmt_sd = |v: f64| {
+            if v < 0.5 {
+                "-".to_string()
+            } else {
+                format!("{v:.0}")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+            row.name,
+            row.cycles,
+            row.cf,
+            fmt_sd(got[0]),
+            fmt_sd(got[1]),
+            fmt_sd(got[2]),
+            fmt_sd(row.slowdown_opt),
+            fmt_sd(row.slowdown_poll),
+            fmt_sd(row.slowdown_irq),
+        );
+    }
+    let _ = writeln!(out, "\n(p.* columns are the paper's published values. The IRQ column is the");
+    let _ = writeln!(out, "calibration target; Poll./Opt. are predictions of the queue model.)");
+    out
+}
+
+/// Regenerates Table IV: hardware resource utilization vs DExIE.
+#[must_use]
+pub fn table4() -> String {
+    use fpga::published as p;
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE IV — hardware resource utilization (queue depth 8)");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<10} {:>10} {:>10} {:>9} {:>10} | {:>9}",
+        "Scope", "Resource", "w/o CFI", "with CFI", "delta", "overhead", "paper d"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(72));
+
+    let host = fpga::host_delta(8);
+    let soc = fpga::soc_delta(8);
+    let rows = [
+        ("Host", p::HOST_BASE, host, p::HOST_DELTA),
+        ("SoC", p::SOC_BASE, soc, p::SOC_DELTA),
+        ("DExIE", p::DEXIE_BASE, p::DEXIE_DELTA, p::DEXIE_DELTA),
+    ];
+    for (scope, base, delta, paper) in rows {
+        let (lut_pct, ff_pct, bram_pct) = delta.percent_of(&base);
+        for (name, b, d, pct, pd) in [
+            ("LUT", base.lut, delta.lut, lut_pct, paper.lut),
+            ("Registers", base.ff, delta.ff, ff_pct, paper.ff),
+            ("BRAM", base.bram, delta.bram, bram_pct, paper.bram),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<6} {:<10} {:>10} {:>10} {:>9} {:>9.1}% | {:>9}",
+                scope,
+                name,
+                b,
+                b + d,
+                d,
+                pct,
+                pd
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nTitanCFI host delta is {:.0} % of DExIE's LUT delta and needs no BRAM.",
+        host.lut as f64 * 100.0 / p::DEXIE_DELTA.lut as f64
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_nonempty() {
+        for (name, table) in [
+            ("t2", table2()),
+            ("t3", table3()),
+            ("t4", table4()),
+        ] {
+            assert!(table.lines().count() > 8, "{name} too short:\n{table}");
+        }
+    }
+
+    #[test]
+    fn table1_runs_firmware() {
+        let t = table1();
+        assert!(t.contains("IRQ"));
+        assert!(t.contains("Optimized"));
+        assert!(t.contains("Paper reference"));
+    }
+
+    #[test]
+    fn measured_latencies_ordered() {
+        let [irq, poll, opt] = measured_latencies();
+        assert!(irq > poll && poll > opt, "{irq} > {poll} > {opt}");
+        // Within 2x of the paper's values.
+        assert!((irq as f64 / LATENCY_IRQ as f64) < 2.0);
+        assert!((opt as f64 / LATENCY_OPT as f64) < 2.0);
+    }
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        // Spot-check: heavy rows stay heavy, clean rows stay clean, and
+        // the latency ordering holds per row.
+        for row in &TABLE3 {
+            let got = simulated_slowdowns(row, TABLE3_QUEUE_DEPTH);
+            assert!(got[0] <= got[1] + 1.0 && got[1] <= got[2] + 1.0, "{}", row.name);
+            if row.slowdown_irq == 0.0 {
+                assert!(got[2] < 2.0, "{}: clean row got {:.1}%", row.name, got[2]);
+            }
+            if row.slowdown_irq > 100.0 {
+                assert!(got[2] > 50.0, "{}: heavy row got {:.1}%", row.name, got[2]);
+            }
+        }
+    }
+}

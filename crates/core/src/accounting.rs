@@ -1,0 +1,218 @@
+//! Cost accounting for the RoT firmware, in the paper's Table I taxonomy.
+//!
+//! Every retired firmware instruction is classified along two axes:
+//!
+//! * **Phase** — `IRQ` (interrupt entry/exit: register spills, PLIC
+//!   claim/complete, `mret`) vs `CFI` (the policy proper, between the
+//!   firmware's `cfi_begin`/`cfi_end` symbols);
+//! * **Category** — `Logic` (no data access), `Mem-RoT` (private
+//!   scratchpad access) or `Mem-SoC` (mailbox/PLIC/main-memory access
+//!   through the bridge).
+
+use ibex_model::RegionKind;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Firmware phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Interrupt handling overhead.
+    Irq,
+    /// CFI policy enforcement.
+    Cfi,
+}
+
+/// Instruction cost category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// No data-memory access.
+    Logic,
+    /// RoT-private scratchpad access.
+    MemRot,
+    /// SoC-fabric access (mailbox, PLIC, main memory).
+    MemSoc,
+}
+
+impl Category {
+    /// Maps a bus access tag to a category; `None` means [`Category::Logic`].
+    #[must_use]
+    pub fn from_access(kind: Option<RegionKind>) -> Category {
+        match kind {
+            None => Category::Logic,
+            Some(RegionKind::RotPrivate) => Category::MemRot,
+            Some(RegionKind::Soc) => Category::MemSoc,
+        }
+    }
+
+    /// All categories in display order.
+    pub const ALL: [Category; 3] = [Category::Logic, Category::MemRot, Category::MemSoc];
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Logic => f.write_str("Logic"),
+            Category::MemRot => f.write_str("Mem. RoT"),
+            Category::MemSoc => f.write_str("Mem. SoC"),
+        }
+    }
+}
+
+/// An (instructions, cycles) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Retired instruction count.
+    pub instructions: u64,
+    /// Cycle count.
+    pub cycles: u64,
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            instructions: self.instructions + rhs.instructions,
+            cycles: self.cycles + rhs.cycles,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+/// The 2×3 cost matrix of Table I, for one checked operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    cells: [[Cost; 3]; 2],
+}
+
+impl Breakdown {
+    /// An all-zero breakdown.
+    #[must_use]
+    pub fn new() -> Breakdown {
+        Breakdown::default()
+    }
+
+    fn index(phase: Phase, cat: Category) -> (usize, usize) {
+        let p = match phase {
+            Phase::Irq => 0,
+            Phase::Cfi => 1,
+        };
+        let c = match cat {
+            Category::Logic => 0,
+            Category::MemRot => 1,
+            Category::MemSoc => 2,
+        };
+        (p, c)
+    }
+
+    /// Records one instruction costing `cycles`.
+    pub fn record(&mut self, phase: Phase, cat: Category, cycles: u64) {
+        let (p, c) = Breakdown::index(phase, cat);
+        self.cells[p][c].instructions += 1;
+        self.cells[p][c].cycles += cycles;
+    }
+
+    /// Adds cycles without an instruction (e.g. the IRQ wake latency).
+    pub fn add_cycles(&mut self, phase: Phase, cat: Category, cycles: u64) {
+        let (p, c) = Breakdown::index(phase, cat);
+        self.cells[p][c].cycles += cycles;
+    }
+
+    /// Cost of one cell.
+    #[must_use]
+    pub fn cell(&self, phase: Phase, cat: Category) -> Cost {
+        let (p, c) = Breakdown::index(phase, cat);
+        self.cells[p][c]
+    }
+
+    /// Total over one phase.
+    #[must_use]
+    pub fn phase_total(&self, phase: Phase) -> Cost {
+        Category::ALL
+            .iter()
+            .fold(Cost::default(), |acc, &cat| acc + self.cell(phase, cat))
+    }
+
+    /// Grand total.
+    #[must_use]
+    pub fn total(&self) -> Cost {
+        self.phase_total(Phase::Irq) + self.phase_total(Phase::Cfi)
+    }
+
+    /// Element-wise accumulation (for averaging across checks).
+    pub fn accumulate(&mut self, other: &Breakdown) {
+        for p in 0..2 {
+            for c in 0..3 {
+                self.cells[p][c] += other.cells[p][c];
+            }
+        }
+    }
+
+    /// Element-wise division by a count (averaging).
+    #[must_use]
+    pub fn averaged(&self, n: u64) -> Breakdown {
+        let mut out = *self;
+        if n == 0 {
+            return out;
+        }
+        for row in &mut out.cells {
+            for cell in row {
+                cell.instructions /= n;
+                cell.cycles /= n;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut b = Breakdown::new();
+        b.record(Phase::Irq, Category::Logic, 2);
+        b.record(Phase::Irq, Category::MemRot, 5);
+        b.record(Phase::Cfi, Category::MemSoc, 12);
+        b.record(Phase::Cfi, Category::MemSoc, 12);
+        assert_eq!(b.cell(Phase::Cfi, Category::MemSoc).instructions, 2);
+        assert_eq!(b.cell(Phase::Cfi, Category::MemSoc).cycles, 24);
+        assert_eq!(b.phase_total(Phase::Irq).instructions, 2);
+        assert_eq!(b.phase_total(Phase::Irq).cycles, 7);
+        assert_eq!(b.total().instructions, 4);
+        assert_eq!(b.total().cycles, 31);
+    }
+
+    #[test]
+    fn wake_latency_adds_cycles_only() {
+        let mut b = Breakdown::new();
+        b.add_cycles(Phase::Irq, Category::Logic, 45);
+        assert_eq!(b.cell(Phase::Irq, Category::Logic).instructions, 0);
+        assert_eq!(b.cell(Phase::Irq, Category::Logic).cycles, 45);
+    }
+
+    #[test]
+    fn category_mapping() {
+        assert_eq!(Category::from_access(None), Category::Logic);
+        assert_eq!(Category::from_access(Some(RegionKind::RotPrivate)), Category::MemRot);
+        assert_eq!(Category::from_access(Some(RegionKind::Soc)), Category::MemSoc);
+    }
+
+    #[test]
+    fn averaging() {
+        let mut acc = Breakdown::new();
+        for _ in 0..4 {
+            let mut b = Breakdown::new();
+            b.record(Phase::Cfi, Category::Logic, 10);
+            acc.accumulate(&b);
+        }
+        let avg = acc.averaged(4);
+        assert_eq!(avg.cell(Phase::Cfi, Category::Logic).instructions, 1);
+        assert_eq!(avg.cell(Phase::Cfi, Category::Logic).cycles, 10);
+    }
+}

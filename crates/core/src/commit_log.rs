@@ -1,0 +1,190 @@
+//! The commit-log packet streamed from the CVA6 commit stage to the RoT.
+//!
+//! Paper §IV-B1: *"A commit log is a 224 bits packet containing four
+//! information: (i) instruction program counter, (ii) the uncompressed
+//! binary encoding, (iii) the next address, and (iv) the target address."*
+//!
+//! 64 (pc) + 32 (encoding) + 64 (next) + 64 (target) = 224 bits exactly.
+//! The packet serialises into seven 32-bit mailbox words, or four 64-bit
+//! AXI beats for the Log Writer (the last beat carries the upper half of
+//! the target plus zero padding).
+
+use core::fmt;
+use riscv_isa::{classify_raw, CfClass, Retired};
+
+/// Number of 32-bit mailbox words a commit log occupies.
+pub const WORDS: usize = 7;
+/// Number of 64-bit AXI data beats the Log Writer needs.
+pub const BEATS: usize = 4;
+/// Packet width in bits, as stated by the paper.
+pub const BITS: u32 = 224;
+
+/// One control-flow event captured at the commit stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommitLog {
+    /// Program counter of the retired control-flow instruction.
+    pub pc: u64,
+    /// Uncompressed 32-bit binary encoding.
+    pub insn: u32,
+    /// Sequential next address (`pc + length`); for a call this is the
+    /// return address the policy pushes.
+    pub next: u64,
+    /// Actual target address the instruction redirected to.
+    pub target: u64,
+}
+
+impl CommitLog {
+    /// Builds a commit log from a retirement record.
+    ///
+    /// Returns the log regardless of instruction class; use
+    /// [`CommitLog::cf_class`] or the CFI filter to decide relevance.
+    #[must_use]
+    pub fn from_retired(r: &Retired) -> CommitLog {
+        CommitLog {
+            pc: r.pc,
+            insn: r.decoded.uncompressed(),
+            next: r.next,
+            target: r.target,
+        }
+    }
+
+    /// Control-flow class derived from the embedded encoding — this is the
+    /// same parsing the RoT firmware performs on the packet (paper §IV-C).
+    #[must_use]
+    pub fn cf_class(&self) -> CfClass {
+        classify_raw(self.insn)
+    }
+
+    /// Serialises to the mailbox word layout:
+    /// `[insn, pc_lo, pc_hi, next_lo, next_hi, target_lo, target_hi]`.
+    #[must_use]
+    pub fn to_words(&self) -> [u32; WORDS] {
+        [
+            self.insn,
+            self.pc as u32,
+            (self.pc >> 32) as u32,
+            self.next as u32,
+            (self.next >> 32) as u32,
+            self.target as u32,
+            (self.target >> 32) as u32,
+        ]
+    }
+
+    /// Deserialises from the mailbox word layout.
+    #[must_use]
+    pub fn from_words(w: &[u32; WORDS]) -> CommitLog {
+        CommitLog {
+            insn: w[0],
+            pc: u64::from(w[1]) | u64::from(w[2]) << 32,
+            next: u64::from(w[3]) | u64::from(w[4]) << 32,
+            target: u64::from(w[5]) | u64::from(w[6]) << 32,
+        }
+    }
+
+    /// Serialises to the four 64-bit beats the Log Writer transmits over
+    /// the 64-bit AXI data bus (paper §IV-B3). The final beat's upper 32
+    /// bits are zero padding.
+    #[must_use]
+    pub fn to_beats(&self) -> [u64; BEATS] {
+        let w = self.to_words();
+        [
+            u64::from(w[0]) | u64::from(w[1]) << 32,
+            u64::from(w[2]) | u64::from(w[3]) << 32,
+            u64::from(w[4]) | u64::from(w[5]) << 32,
+            u64::from(w[6]),
+        ]
+    }
+
+    /// Deserialises from AXI beats.
+    #[must_use]
+    pub fn from_beats(b: &[u64; BEATS]) -> CommitLog {
+        let w = [
+            b[0] as u32,
+            (b[0] >> 32) as u32,
+            b[1] as u32,
+            (b[1] >> 32) as u32,
+            b[2] as u32,
+            (b[2] >> 32) as u32,
+            b[3] as u32,
+        ];
+        CommitLog::from_words(&w)
+    }
+}
+
+impl fmt::Display for CommitLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {:#x} [{:#010x}] next {:#x} -> target {:#x}",
+            self.cf_class(),
+            self.pc,
+            self.insn,
+            self.next,
+            self.target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::{decode, Xlen};
+
+    fn sample() -> CommitLog {
+        CommitLog {
+            pc: 0x8000_1234_5678_9abc,
+            insn: 0x0000_8067, // ret
+            next: 0x8000_1234_5678_9ac0,
+            target: 0x8000_0000_dead_beee,
+        }
+    }
+
+    #[test]
+    fn packet_is_224_bits() {
+        assert_eq!(WORDS * 32, BITS as usize);
+        assert_eq!(BEATS * 64 - 32, BITS as usize); // last beat half-used
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let log = sample();
+        assert_eq!(CommitLog::from_words(&log.to_words()), log);
+    }
+
+    #[test]
+    fn beats_roundtrip() {
+        let log = sample();
+        assert_eq!(CommitLog::from_beats(&log.to_beats()), log);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("return"), "{s}");
+        assert!(s.contains("8067"), "{s}");
+    }
+
+    #[test]
+    fn class_from_embedded_encoding() {
+        assert_eq!(sample().cf_class(), CfClass::Return);
+        let call = CommitLog { insn: 0x0080_00ef, ..sample() }; // jal ra, 8
+        assert_eq!(call.cf_class(), CfClass::Call);
+    }
+
+    #[test]
+    fn from_retired_uses_uncompressed_encoding() {
+        // Execute a compressed ret through the interpreter and capture it.
+        let mut mem = riscv_isa::FlatMemory::new(0x1000, 0x100);
+        mem.load(0x1000, &0x8082u16.to_le_bytes()); // c.jr ra
+        let mut hart = riscv_isa::Hart::new(Xlen::Rv64, 0x1000);
+        hart.set_reg(riscv_isa::Reg::RA, 0x2000);
+        // 0x2000 is unmapped but we never fetch from it here.
+        let r = hart.step(&mut mem).expect("steps");
+        let log = CommitLog::from_retired(&r);
+        assert_eq!(log.insn, 0x0000_8067, "uncompressed form streamed");
+        assert_eq!(log.target, 0x2000);
+        assert_eq!(log.next, 0x1002, "next reflects the 2-byte encoding");
+        let d = decode(log.insn, Xlen::Rv64).expect("valid");
+        assert_eq!(d.len, 4);
+    }
+}

@@ -1,0 +1,264 @@
+//! The CFI Log Writer: the FSM draining the queue into the CFI mailbox.
+//!
+//! Paper §IV-B3: when idle, the FSM waits for the CFI Queue to hold a log
+//! and the mailbox to be ready; it then pops a log, splits it into 64-bit
+//! chunks matching the AXI data bus, and issues the write transactions. The
+//! final transaction sets the doorbell; the FSM parks until the RoT asserts
+//! completion, reads the check verdict, raises an exception on violation,
+//! and returns to idle.
+
+use crate::commit_log::{CommitLog, BEATS};
+use crate::queue::CfiQueue;
+use opentitan_model::CfiMailbox;
+
+/// AXI timing for the Log Writer's master port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxiTiming {
+    /// Cycles per 64-bit write beat (address + data + response, pipelined).
+    pub write_beat: u64,
+    /// Cycles for the verdict read after completion.
+    pub read: u64,
+}
+
+impl Default for AxiTiming {
+    fn default() -> AxiTiming {
+        AxiTiming { write_beat: 4, read: 8 }
+    }
+}
+
+/// FSM state (exposed for tests and waveform-style debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriterState {
+    /// Waiting for a log in the queue and a ready mailbox.
+    Idle,
+    /// Transmitting beat `beat` of the current log; `done_at` is the cycle
+    /// the beat's AXI transaction finishes.
+    Writing {
+        /// Index of the beat in flight.
+        beat: usize,
+        /// Completion cycle of the beat in flight.
+        done_at: u64,
+    },
+    /// Doorbell rung; waiting for the RoT's completion signal.
+    WaitCompletion,
+    /// Completion seen at `done_at - read latency`; verdict read in flight.
+    ReadResult {
+        /// Completion cycle of the verdict read.
+        done_at: u64,
+    },
+}
+
+/// A detected control-flow violation (the exception the FSM raises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending commit log.
+    pub log: CommitLog,
+    /// Cycle at which the verdict was read.
+    pub cycle: u64,
+}
+
+/// The Log Writer FSM.
+#[derive(Debug, Clone)]
+pub struct LogWriter {
+    state: WriterState,
+    timing: AxiTiming,
+    current: Option<CommitLog>,
+    /// Logs fully processed (checked by the RoT).
+    pub logs_written: u64,
+    /// Violations raised.
+    pub violations: u64,
+}
+
+impl LogWriter {
+    /// A writer in the idle state.
+    #[must_use]
+    pub fn new(timing: AxiTiming) -> LogWriter {
+        LogWriter {
+            state: WriterState::Idle,
+            timing,
+            current: None,
+            logs_written: 0,
+            violations: 0,
+        }
+    }
+
+    /// Current FSM state.
+    #[must_use]
+    pub fn state(&self) -> WriterState {
+        self.state
+    }
+
+    /// Whether the FSM is mid-transaction (a log is in flight to the RoT).
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.state != WriterState::Idle
+    }
+
+    /// Advances the FSM to cycle `now`.
+    ///
+    /// Pops from `queue` when idle, drives the host side of `mailbox`, and
+    /// returns a [`Violation`] when the RoT reported one.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        queue: &mut CfiQueue,
+        mailbox: &CfiMailbox,
+    ) -> Option<Violation> {
+        match self.state {
+            WriterState::Idle => {
+                if let Some(log) = queue.pop() {
+                    self.current = Some(log);
+                    self.state = WriterState::Writing {
+                        beat: 0,
+                        done_at: now + self.timing.write_beat,
+                    };
+                }
+                None
+            }
+            WriterState::Writing { beat, done_at } => {
+                if now < done_at {
+                    return None;
+                }
+                let log = self.current.expect("writing state implies a current log");
+                let beats = log.to_beats();
+                // The beat's data lands in the mailbox data words now.
+                let words = [(beats[beat] as u32), (beats[beat] >> 32) as u32];
+                mailbox.host_write_data(2 * beat, words[0]);
+                if 2 * beat + 1 < crate::commit_log::WORDS {
+                    mailbox.host_write_data(2 * beat + 1, words[1]);
+                }
+                if beat + 1 == BEATS {
+                    // Final transaction: ring the doorbell.
+                    mailbox.host_ring_doorbell();
+                    self.state = WriterState::WaitCompletion;
+                } else {
+                    self.state = WriterState::Writing {
+                        beat: beat + 1,
+                        done_at: now + self.timing.write_beat,
+                    };
+                }
+                None
+            }
+            WriterState::WaitCompletion => {
+                if mailbox.host_completion() {
+                    self.state = WriterState::ReadResult { done_at: now + self.timing.read };
+                }
+                None
+            }
+            WriterState::ReadResult { done_at } => {
+                if now < done_at {
+                    return None;
+                }
+                let verdict = mailbox.host_read_data(0);
+                mailbox.host_clear_completion();
+                let log = self.current.take().expect("read state implies a current log");
+                self.logs_written += 1;
+                self.state = WriterState::Idle;
+                if verdict != 0 {
+                    self.violations += 1;
+                    return Some(Violation { log, cycle: now });
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(pc: u64) -> CommitLog {
+        CommitLog { pc, insn: 0x0000_8067, next: pc + 4, target: 0x9000 }
+    }
+
+    /// Drives the FSM while a mock "RoT" answers with `verdict` as soon as
+    /// the doorbell rings.
+    fn run_one(verdict: u32) -> (LogWriter, Option<Violation>, u64) {
+        let mut queue = CfiQueue::new(4);
+        let mailbox = CfiMailbox::new();
+        let mut writer = LogWriter::new(AxiTiming::default());
+        queue.push(log(0x8000_0000));
+        let mut violation = None;
+        let mut cycle = 0;
+        for now in 0..10_000u64 {
+            cycle = now;
+            if mailbox.doorbell_pending() {
+                // Mock RoT: instantly check and complete.
+                let mut dev = mailbox.device();
+                dev.write(opentitan_model::mailbox::regs::DATA0, riscv_isa::MemWidth::W, u64::from(verdict));
+                dev.write(opentitan_model::mailbox::regs::DOORBELL, riscv_isa::MemWidth::W, 0);
+                dev.write(opentitan_model::mailbox::regs::COMPLETION, riscv_isa::MemWidth::W, 1);
+            }
+            if let Some(v) = writer.tick(now, &mut queue, &mailbox) {
+                violation = Some(v);
+            }
+            if writer.logs_written == 1 {
+                break;
+            }
+        }
+        (writer, violation, cycle)
+    }
+
+    #[test]
+    fn clean_log_processed_without_violation() {
+        let (writer, violation, _) = run_one(0);
+        assert_eq!(writer.logs_written, 1);
+        assert_eq!(writer.violations, 0);
+        assert!(violation.is_none());
+        assert_eq!(writer.state(), WriterState::Idle);
+    }
+
+    #[test]
+    fn violation_raises_exception() {
+        let (writer, violation, _) = run_one(1);
+        assert_eq!(writer.violations, 1);
+        let v = violation.expect("violation raised");
+        assert_eq!(v.log.pc, 0x8000_0000);
+    }
+
+    #[test]
+    fn transfer_takes_beats_times_latency() {
+        let (_, _, cycles) = run_one(0);
+        let t = AxiTiming::default();
+        assert!(
+            cycles >= BEATS as u64 * t.write_beat + t.read,
+            "transfer must cost at least the AXI beats: {cycles}"
+        );
+    }
+
+    #[test]
+    fn mailbox_receives_full_log() {
+        let mut queue = CfiQueue::new(1);
+        let mailbox = CfiMailbox::new();
+        let mut writer = LogWriter::new(AxiTiming::default());
+        let sent = CommitLog {
+            pc: 0x1111_2222_3333_4444,
+            insn: 0x0080_00ef,
+            next: 0x1111_2222_3333_4448,
+            target: 0x5555_6666_7777_8888,
+        };
+        queue.push(sent);
+        for now in 0..1000 {
+            writer.tick(now, &mut queue, &mailbox);
+            if mailbox.doorbell_pending() {
+                break;
+            }
+        }
+        let words: Vec<u32> = (0..crate::commit_log::WORDS).map(|i| mailbox.host_read_data(i)).collect();
+        let got = CommitLog::from_words(&words.try_into().expect("7 words"));
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn idle_with_empty_queue_stays_idle() {
+        let mut queue = CfiQueue::new(1);
+        let mailbox = CfiMailbox::new();
+        let mut writer = LogWriter::new(AxiTiming::default());
+        for now in 0..10 {
+            assert!(writer.tick(now, &mut queue, &mailbox).is_none());
+        }
+        assert_eq!(writer.state(), WriterState::Idle);
+        assert!(!writer.busy());
+    }
+}

@@ -1,0 +1,200 @@
+//! The CFI Queue and its Queue Controller.
+//!
+//! Paper §IV-B2: the queue is a FIFO buffering commit logs between the
+//! filters and the Log Writer. Its push port accepts **one log per cycle**;
+//! the Queue Controller inhibits the CVA6 commit stage when (a) the queue
+//! is full, or (b) *both* commit ports retire a control-flow instruction in
+//! the same cycle (two pushes would be needed). The queue depth is the key
+//! run-time/area knob: Table II uses depth 1, Table III depth 8.
+
+use crate::commit_log::CommitLog;
+use std::collections::VecDeque;
+
+/// The commit-log FIFO.
+#[derive(Debug, Clone)]
+pub struct CfiQueue {
+    entries: VecDeque<CommitLog>,
+    depth: usize,
+    /// High-water mark (for area/behaviour analysis).
+    pub max_occupancy: usize,
+    /// Total pushes accepted.
+    pub pushes: u64,
+}
+
+impl CfiQueue {
+    /// A queue of the given `depth` (entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    #[must_use]
+    pub fn new(depth: usize) -> CfiQueue {
+        assert!(depth > 0, "queue depth must be at least 1");
+        CfiQueue { entries: VecDeque::with_capacity(depth), depth, max_occupancy: 0, pushes: 0 }
+    }
+
+    /// Configured depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds no logs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a push would be refused.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.depth
+    }
+
+    /// Pushes a log; returns `false` (and drops nothing) when full.
+    pub fn push(&mut self, log: CommitLog) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push_back(log);
+        self.pushes += 1;
+        self.max_occupancy = self.max_occupancy.max(self.entries.len());
+        true
+    }
+
+    /// Pops the oldest log.
+    pub fn pop(&mut self) -> Option<CommitLog> {
+        self.entries.pop_front()
+    }
+
+    /// Peeks at the oldest log without removing it.
+    #[must_use]
+    pub fn front(&self) -> Option<&CommitLog> {
+        self.entries.front()
+    }
+}
+
+/// Commit-stage back-pressure decision for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// No stall: commits proceed.
+    None,
+    /// The CFI queue is full.
+    QueueFull,
+    /// Both commit ports retired a control-flow instruction this cycle and
+    /// the queue accepts only one push per cycle.
+    DualControlFlow,
+}
+
+/// The Queue Controller: owns the stall policy and its counters.
+#[derive(Debug, Clone, Default)]
+pub struct QueueController {
+    /// Cycles stalled because the queue was full.
+    pub stalls_queue_full: u64,
+    /// Stalls because two CF instructions tried to commit together.
+    pub stalls_dual_cf: u64,
+}
+
+impl QueueController {
+    /// A fresh controller.
+    #[must_use]
+    pub fn new() -> QueueController {
+        QueueController::default()
+    }
+
+    /// Evaluates the stall condition for a cycle in which `cf_this_cycle`
+    /// control-flow logs want to enter the queue.
+    pub fn evaluate(&mut self, queue: &CfiQueue, cf_this_cycle: usize) -> StallReason {
+        if cf_this_cycle > 1 {
+            self.stalls_dual_cf += 1;
+            return StallReason::DualControlFlow;
+        }
+        if cf_this_cycle == 1 && queue.is_full() {
+            self.stalls_queue_full += 1;
+            return StallReason::QueueFull;
+        }
+        StallReason::None
+    }
+
+    /// Total stall events recorded.
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls_queue_full + self.stalls_dual_cf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(pc: u64) -> CommitLog {
+        CommitLog { pc, insn: 0x0000_8067, next: pc + 4, target: 0x100 }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = CfiQueue::new(4);
+        for pc in [10, 20, 30] {
+            assert!(q.push(log(pc)));
+        }
+        assert_eq!(q.pop().map(|l| l.pc), Some(10));
+        assert_eq!(q.pop().map(|l| l.pc), Some(20));
+        assert_eq!(q.front().map(|l| l.pc), Some(&30).copied());
+        assert_eq!(q.pop().map(|l| l.pc), Some(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_refused_when_full() {
+        let mut q = CfiQueue::new(1);
+        assert!(q.push(log(1)));
+        assert!(q.is_full());
+        assert!(!q.push(log(2)), "second push must be refused at depth 1");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pushes, 1);
+    }
+
+    #[test]
+    fn occupancy_high_water_mark() {
+        let mut q = CfiQueue::new(8);
+        for pc in 0..5 {
+            q.push(log(pc));
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.max_occupancy, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_rejected() {
+        let _ = CfiQueue::new(0);
+    }
+
+    #[test]
+    fn controller_stalls_on_full_queue() {
+        let mut q = CfiQueue::new(1);
+        q.push(log(1));
+        let mut qc = QueueController::new();
+        assert_eq!(qc.evaluate(&q, 1), StallReason::QueueFull);
+        assert_eq!(qc.evaluate(&q, 0), StallReason::None, "no CF, no stall even when full");
+        q.pop();
+        assert_eq!(qc.evaluate(&q, 1), StallReason::None);
+        assert_eq!(qc.stalls_queue_full, 1);
+    }
+
+    #[test]
+    fn controller_stalls_on_dual_cf() {
+        let q = CfiQueue::new(8);
+        let mut qc = QueueController::new();
+        assert_eq!(qc.evaluate(&q, 2), StallReason::DualControlFlow);
+        assert_eq!(qc.stalls_dual_cf, 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! The firmware-level forward-edge policy: JOP-style indirect jumps to
+//! unregistered targets are flagged by the RoT — entirely in firmware, no
+//! hardware change, as the paper's flexibility argument requires.
+
+use titancfi::firmware::{FirmwareKind, FirmwareRunner};
+use titancfi::CommitLog;
+
+fn ijump(target: u64) -> CommitLog {
+    // jalr zero, 0(a5)
+    CommitLog { pc: 0x8000_0040, insn: 0x0007_8067, next: 0x8000_0044, target }
+}
+
+#[test]
+fn disabled_by_default_everything_passes() {
+    let mut fw = FirmwareRunner::new(FirmwareKind::Polling);
+    assert!(!fw.check(&ijump(0xdead_0000)).violation);
+}
+
+#[test]
+fn enabled_policy_blocks_unregistered_targets() {
+    let mut fw = FirmwareRunner::new(FirmwareKind::Polling);
+    fw.enable_forward_edge();
+    fw.register_jump_target(0x8000_2000);
+    assert!(!fw.check(&ijump(0x8000_2000)).violation, "registered target passes");
+    assert!(fw.check(&ijump(0x8000_2004)).violation, "unregistered target flagged");
+    assert!(fw.check(&ijump(0x6666_0000)).violation, "gadget flagged");
+}
+
+#[test]
+fn multiple_targets_in_distinct_slots() {
+    let mut fw = FirmwareRunner::new(FirmwareKind::Polling);
+    fw.enable_forward_edge();
+    let targets = [0x8000_1000u64, 0x8000_1010, 0x8000_1020, 0x8000_1fff & !3];
+    for &t in &targets {
+        fw.register_jump_target(t);
+    }
+    for &t in &targets {
+        assert!(!fw.check(&ijump(t)).violation, "{t:#x}");
+    }
+}
+
+#[test]
+fn forward_edge_does_not_disturb_shadow_stack() {
+    let mut fw = FirmwareRunner::new(FirmwareKind::Polling);
+    fw.enable_forward_edge();
+    fw.register_jump_target(0x8000_3000);
+    // call; indirect jump; matched return — all clean.
+    let call = CommitLog { pc: 0x8000_0000, insn: 0x1000_00ef, next: 0x8000_0004, target: 0x8000_0100 };
+    assert!(!fw.check(&call).violation);
+    assert!(!fw.check(&ijump(0x8000_3000)).violation);
+    let ret = CommitLog { pc: 0x8000_0104, insn: 0x0000_8067, next: 0x8000_0108, target: 0x8000_0004 };
+    assert!(!fw.check(&ret).violation);
+}
+
+#[test]
+fn works_in_irq_variant_too() {
+    let mut fw = FirmwareRunner::new(FirmwareKind::Irq);
+    fw.enable_forward_edge();
+    fw.register_jump_target(0x8000_4000);
+    assert!(!fw.check(&ijump(0x8000_4000)).violation);
+    assert!(fw.check(&ijump(0x8000_4444)).violation);
+}
+
+#[test]
+fn agrees_with_rust_forward_edge_policy() {
+    use titancfi_policies::{CfiPolicy, ForwardEdgePolicy};
+    let mut fw = FirmwareRunner::new(FirmwareKind::Polling);
+    fw.enable_forward_edge();
+    let mut gold = ForwardEdgePolicy::new();
+    for t in [0x8000_5000u64, 0x8000_5040] {
+        fw.register_jump_target(t);
+        gold.register_entry(t);
+    }
+    for target in [0x8000_5000u64, 0x8000_5040, 0x8000_5004, 0x7777_0000] {
+        let log = ijump(target);
+        let fw_v = fw.check(&log).violation;
+        let gold_v = !gold.check(&log).is_allowed();
+        assert_eq!(fw_v, gold_v, "target {target:#x}");
+    }
+}

@@ -1,0 +1,124 @@
+//! A direct-mapped data-cache model for the CVA6 timing layer.
+//!
+//! CVA6 ships with a write-through data cache; its hit/miss behaviour is
+//! what separates the `load_extra` fast path from a memory round trip. The
+//! model is deliberately simple — direct-mapped, tag-per-line, no dirty
+//! state (write-through) — because only the *latency distribution* feeds
+//! the commit timing. Disabled by default so the published-table
+//! experiments (which the paper ran against an ideal-ish memory) are
+//! unaffected; the cache ablation bench turns it on.
+
+/// Cache geometry and miss cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of lines (power of two).
+    pub lines: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Extra cycles charged on a miss.
+    pub miss_penalty: u64,
+}
+
+impl CacheConfig {
+    /// CVA6's stock 32 KiB, 64-byte-line configuration (as 512 lines
+    /// direct-mapped) with a 20-cycle memory round trip.
+    #[must_use]
+    pub fn cva6_default() -> CacheConfig {
+        CacheConfig { lines: 512, line_bytes: 64, miss_penalty: 20 }
+    }
+}
+
+/// The direct-mapped cache state.
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    config: CacheConfig,
+    tags: Vec<Option<u64>>,
+    /// Hits observed.
+    pub hits: u64,
+    /// Misses observed.
+    pub misses: u64,
+}
+
+impl DataCache {
+    /// An empty (cold) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless lines and line size are powers of two.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> DataCache {
+        assert!(config.lines.is_power_of_two(), "lines must be a power of two");
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        DataCache { config, tags: vec![None; config.lines], hits: 0, misses: 0 }
+    }
+
+    /// Simulates an access; returns the extra miss cycles (0 on a hit).
+    pub fn access(&mut self, addr: u64) -> u64 {
+        let line_addr = addr / self.config.line_bytes;
+        let index = (line_addr as usize) & (self.config.lines - 1);
+        let tag = line_addr;
+        if self.tags[index] == Some(tag) {
+            self.hits += 1;
+            0
+        } else {
+            self.tags[index] = Some(tag);
+            self.misses += 1;
+            self.config.miss_penalty
+        }
+    }
+
+    /// Hit rate so far.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DataCache {
+        DataCache::new(CacheConfig { lines: 4, line_bytes: 16, miss_penalty: 10 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access(0x100), 10, "cold miss");
+        assert_eq!(c.access(0x104), 0, "same line hits");
+        assert_eq!(c.access(0x10f), 0, "line boundary inclusive");
+        assert_eq!(c.access(0x110), 10, "next line misses");
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let mut c = small();
+        // 4 lines x 16 bytes = 64-byte span; +64 aliases to the same index.
+        assert_eq!(c.access(0x000), 10);
+        assert_eq!(c.access(0x040), 10, "conflicting tag evicts");
+        assert_eq!(c.access(0x000), 10, "original evicted");
+    }
+
+    #[test]
+    fn hit_rate_on_sequential_scan() {
+        let mut c = DataCache::new(CacheConfig::cva6_default());
+        for addr in (0..32 * 1024u64).step_by(8) {
+            c.access(addr);
+        }
+        // 8 accesses per 64-byte line: 1 miss + 7 hits.
+        assert!((c.hit_rate() - 7.0 / 8.0).abs() < 0.01, "{}", c.hit_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = DataCache::new(CacheConfig { lines: 3, line_bytes: 16, miss_penalty: 1 });
+    }
+}

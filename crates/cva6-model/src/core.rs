@@ -1,0 +1,413 @@
+//! The CVA6 core model: architectural execution + commit-stream generation.
+//!
+//! [`Cva6Core`] couples the architectural [`Hart`] interpreter with the
+//! [`TimingModel`] and emits one [`Commit`] record per retired instruction,
+//! tagged with the commit cycle and commit port. This commit stream is what
+//! the TitanCFI CFI filters observe (paper Fig. 1, right half).
+//!
+//! The core honours external *commit stalls*: the TitanCFI Queue Controller
+//! inhibits the commit stage when the CFI queue is full (paper §IV-B2), which
+//! this model expresses as extra cycles added before the next retirement.
+
+use crate::timing::{TimingConfig, TimingModel};
+use riscv_asm::Program;
+use riscv_isa::{classify, Bus, CfClass, FlatMemory, Hart, Retired, Trap, Xlen};
+
+/// One instruction leaving the commit stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commit {
+    /// Cycle in which the instruction retired.
+    pub cycle: u64,
+    /// Commit port (0 or 1): CVA6 has two; port 1 is used when two
+    /// instructions retire in the same cycle.
+    pub port: u8,
+    /// The architectural retirement record.
+    pub retired: Retired,
+    /// CFI classification of the instruction.
+    pub cf_class: CfClass,
+}
+
+/// Aggregate execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Total cycles elapsed (including externally injected stalls).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instret: u64,
+    /// Retired control-flow instructions that are CFI-relevant
+    /// (calls + returns + indirect jumps).
+    pub cf_retired: u64,
+    /// Cycles in which both commit ports retired (dual commit).
+    pub dual_commits: u64,
+    /// Cycles in which both ports retired a *control-flow* instruction —
+    /// the conflict case the Queue Controller must stall on.
+    pub dual_cf_commits: u64,
+    /// Stall cycles injected by the CFI back-pressure interface.
+    pub cfi_stall_cycles: u64,
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// `ebreak` retired — the benchmark's exit convention.
+    Breakpoint,
+    /// `ecall` retired.
+    Ecall,
+    /// A trap the program cannot recover from.
+    Fault(Trap),
+    /// The cycle budget given to `run` was exhausted.
+    Budget,
+}
+
+/// The CVA6-like core model over a bus (flat RAM by default; the SoC layer
+/// substitutes a bus with a PMP-protected mailbox window).
+#[derive(Debug, Clone)]
+pub struct Cva6Core<B: Bus = FlatMemory> {
+    hart: Hart,
+    mem: B,
+    timing: TimingModel,
+    cycle: u64,
+    stats: CoreStats,
+    /// Slack accumulated by multi-cycle instructions that the second commit
+    /// port can use to pair a following single-cycle instruction.
+    commit_slack: u64,
+    last_commit_cycle: u64,
+}
+
+impl Cva6Core<FlatMemory> {
+    /// Builds a core with `mem_size` bytes of RAM at the program's base,
+    /// loads `program`, and points the hart at its entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program image does not fit in `mem_size`.
+    #[must_use]
+    pub fn new(program: &Program, mem_size: usize, timing: TimingConfig) -> Cva6Core {
+        assert!(
+            program.bytes.len() <= mem_size,
+            "program ({} bytes) larger than memory ({mem_size})",
+            program.bytes.len()
+        );
+        let mut mem = FlatMemory::new(program.base, mem_size);
+        mem.load(program.base, &program.bytes);
+        let mut hart = Hart::new(Xlen::Rv64, program.entry);
+        // Stack at the top of RAM, ABI-aligned.
+        hart.set_reg(riscv_isa::Reg::SP, (program.base + mem_size as u64 - 16) & !0xf);
+        Cva6Core {
+            hart,
+            mem,
+            timing: TimingModel::new(timing),
+            cycle: 0,
+            stats: CoreStats::default(),
+            commit_slack: 0,
+            last_commit_cycle: 0,
+        }
+    }
+}
+
+impl<B: Bus> Cva6Core<B> {
+    /// Builds a core over a caller-provided bus (already loaded with the
+    /// program image), starting at `entry` with `sp` pre-set by the caller
+    /// if needed.
+    #[must_use]
+    pub fn with_bus(bus: B, entry: u64, timing: TimingConfig) -> Cva6Core<B> {
+        Cva6Core {
+            hart: Hart::new(Xlen::Rv64, entry),
+            mem: bus,
+            timing: TimingModel::new(timing),
+            cycle: 0,
+            stats: CoreStats::default(),
+            commit_slack: 0,
+            last_commit_cycle: 0,
+        }
+    }
+
+    /// Mutable access to the underlying bus.
+    pub fn bus_mut(&mut self) -> &mut B {
+        &mut self.mem
+    }
+
+    /// Mutable access to the architectural hart (register setup).
+    pub fn hart_mut(&mut self) -> &mut Hart {
+        &mut self.hart
+    }
+
+    /// The timing model (cache statistics, predictor counters).
+    #[must_use]
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Current cycle count.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Execution counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CoreStats {
+        let mut s = self.stats;
+        s.cycles = self.cycle;
+        s
+    }
+
+    /// Architectural register read (for checking benchmark results).
+    #[must_use]
+    pub fn reg(&self, r: riscv_isa::Reg) -> u64 {
+        self.hart.reg(r)
+    }
+
+    /// Direct memory read (for checking benchmark results).
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault if `addr` is outside RAM.
+    pub fn read_mem(
+        &mut self,
+        addr: u64,
+        width: riscv_isa::MemWidth,
+    ) -> Result<u64, riscv_isa::MemFault> {
+        self.mem.read(addr, width)
+    }
+
+    /// Injects `cycles` of commit-stage stall (CFI queue back-pressure).
+    pub fn stall(&mut self, cycles: u64) {
+        self.cycle += cycles;
+        self.stats.cfi_stall_cycles += cycles;
+    }
+
+    /// Delivers an external exception to the hart (the CFI Log Writer's
+    /// violation exception, paper §IV-B3): saves `mepc`/`mcause`/`mtval`
+    /// and vectors to `mtvec`, charging a pipeline-flush penalty.
+    pub fn inject_exception(&mut self, cause: u64, tval: u64) {
+        let hart = &mut self.hart;
+        hart.csrs.mepc = hart.pc;
+        hart.csrs.mcause = cause;
+        hart.csrs.mtval = tval;
+        // Mirror the interrupt-entry mstatus dance.
+        let mie = hart.csrs.mstatus & riscv_isa::csr::MSTATUS_MIE;
+        hart.csrs.mstatus &= !(riscv_isa::csr::MSTATUS_MIE | riscv_isa::csr::MSTATUS_MPIE);
+        if mie != 0 {
+            hart.csrs.mstatus |= riscv_isa::csr::MSTATUS_MPIE;
+        }
+        hart.pc = hart.csrs.mtvec & !0b11;
+        self.cycle += 5; // flush penalty
+    }
+
+    /// Retires the next instruction and returns its commit record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halt`] when the program ends (`ebreak`/`ecall`) or faults.
+    pub fn step(&mut self) -> Result<Commit, Halt> {
+        let retired = match self.hart.step(&mut self.mem) {
+            Ok(r) => r,
+            Err(Trap::Breakpoint) => return Err(Halt::Breakpoint),
+            Err(Trap::Ecall) => return Err(Halt::Ecall),
+            Err(t) => return Err(Halt::Fault(t)),
+        };
+        let cf_class = classify(&retired.decoded.inst);
+        let cost = self.timing.cost(
+            &retired.decoded.inst,
+            cf_class,
+            retired.redirected(),
+            retired.next,
+            retired.target,
+            retired.mem_addr,
+        );
+
+        // Dual-commit modelling: a multi-cycle instruction leaves younger
+        // single-cycle instructions queued in the ROB; the second commit
+        // port drains one of them in the same cycle.
+        let port = if cost == 1 && self.commit_slack > 0 && self.cycle == self.last_commit_cycle
+        {
+            self.commit_slack -= 1;
+            self.stats.dual_commits += 1;
+            1
+        } else {
+            self.cycle += cost;
+            self.commit_slack = (self.commit_slack + cost - 1).min(4);
+            0
+        };
+        let commit_cycle = if port == 1 { self.last_commit_cycle } else { self.cycle };
+        self.last_commit_cycle = commit_cycle;
+
+        self.stats.instret += 1;
+        if cf_class.is_cfi_relevant() {
+            self.stats.cf_retired += 1;
+        }
+        // Keep the cycle CSR live so programs can read `cycle`/`mcycle`.
+        self.hart.csrs.mcycle = self.cycle;
+        Ok(Commit { cycle: commit_cycle, port, retired, cf_class })
+    }
+
+    /// Runs until halt or `max_cycles`, collecting the full commit trace.
+    ///
+    /// Returns the trace and the halt reason.
+    #[must_use]
+    pub fn run(&mut self, max_cycles: u64) -> (Vec<Commit>, Halt) {
+        let mut trace = Vec::new();
+        loop {
+            if self.cycle >= max_cycles {
+                return (trace, Halt::Budget);
+            }
+            match self.step() {
+                Ok(c) => trace.push(c),
+                Err(halt) => return (trace, halt),
+            }
+        }
+    }
+
+    /// Runs to completion without recording the trace (counters only).
+    #[must_use]
+    pub fn run_silent(&mut self, max_cycles: u64) -> Halt {
+        loop {
+            if self.cycle >= max_cycles {
+                return Halt::Budget;
+            }
+            if let Err(halt) = self.step() {
+                return halt;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_asm::assemble;
+    use riscv_isa::Reg;
+
+    fn core_for(src: &str) -> Cva6Core {
+        let prog = assemble(src, Xlen::Rv64, 0x8000_0000).expect("assembles");
+        Cva6Core::new(&prog, 1 << 20, TimingConfig::default())
+    }
+
+    #[test]
+    fn runs_small_loop_to_completion() {
+        let mut core = core_for(
+            r"
+            _start:
+                li a0, 10
+                li a1, 0
+            loop:
+                add a1, a1, a0
+                addi a0, a0, -1
+                bnez a0, loop
+                ebreak
+            ",
+        );
+        let (trace, halt) = core.run(1_000_000);
+        assert_eq!(halt, Halt::Breakpoint);
+        assert_eq!(core.reg(Reg::A1), 55);
+        assert!(!trace.is_empty());
+        // Commit cycles are monotonic.
+        for w in trace.windows(2) {
+            assert!(w[1].cycle >= w[0].cycle, "commit cycles must not decrease");
+        }
+    }
+
+    #[test]
+    fn counts_calls_and_returns() {
+        let mut core = core_for(
+            r"
+            _start:
+                call f
+                call f
+                ebreak
+            f:  ret
+            ",
+        );
+        let (trace, halt) = core.run(10_000);
+        assert_eq!(halt, Halt::Breakpoint);
+        let calls = trace.iter().filter(|c| c.cf_class == CfClass::Call).count();
+        let rets = trace.iter().filter(|c| c.cf_class == CfClass::Return).count();
+        assert_eq!(calls, 2);
+        assert_eq!(rets, 2);
+        assert_eq!(core.stats().cf_retired, 4);
+    }
+
+    #[test]
+    fn stall_inflates_cycles() {
+        let mut a = core_for("_start: nop\nnop\nebreak\n");
+        let mut b = core_for("_start: nop\nnop\nebreak\n");
+        b.stall(100);
+        let (_, _) = a.run(10_000);
+        let (_, _) = b.run(10_000);
+        assert_eq!(b.cycle() - a.cycle(), 100);
+        assert_eq!(b.stats().cfi_stall_cycles, 100);
+    }
+
+    #[test]
+    fn budget_halt() {
+        let mut core = core_for("_start: j _start\n");
+        let (_, halt) = core.run(50);
+        assert_eq!(halt, Halt::Budget);
+    }
+
+    #[test]
+    fn fault_reported_on_bad_memory() {
+        let mut core = core_for("_start: li a0, 0x10\nld a1, 0(a0)\nebreak\n");
+        let (_, halt) = core.run(10_000);
+        assert!(matches!(halt, Halt::Fault(Trap::MemFault(_))), "{halt:?}");
+    }
+
+    #[test]
+    fn dual_commits_happen_after_long_ops() {
+        let mut core = core_for(
+            r"
+            _start:
+                li a0, 100
+                li a1, 7
+            loop:
+                div a2, a0, a1
+                addi a0, a0, -1
+                bnez a0, loop
+                ebreak
+            ",
+        );
+        let (trace, halt) = core.run(1_000_000);
+        assert_eq!(halt, Halt::Breakpoint);
+        assert!(
+            trace.iter().any(|c| c.port == 1),
+            "expected at least one dual commit after divides"
+        );
+    }
+
+    #[test]
+    fn recursion_exercises_ras() {
+        // fib(12) via naive recursion: deep call/return pairs.
+        let mut core = core_for(
+            r"
+            _start:
+                li a0, 12
+                call fib
+                ebreak
+            fib:
+                li t0, 2
+                blt a0, t0, base
+                addi sp, sp, -32
+                sd ra, 0(sp)
+                sd a0, 8(sp)
+                addi a0, a0, -1
+                call fib
+                sd a0, 16(sp)
+                ld a0, 8(sp)
+                addi a0, a0, -2
+                call fib
+                ld t1, 16(sp)
+                add a0, a0, t1
+                ld ra, 0(sp)
+                addi sp, sp, 32
+                ret
+            base:
+                ret
+            ",
+        );
+        let (_, halt) = core.run(10_000_000);
+        assert_eq!(halt, Halt::Breakpoint);
+        assert_eq!(core.reg(Reg::A0), 144);
+        assert!(core.stats().cf_retired > 100);
+    }
+}

@@ -1,0 +1,97 @@
+//! Data-cache ablation: enabling the D-cache model changes timing but not
+//! architecture, and its counters behave sensibly across workloads.
+
+use cva6_model::{CacheConfig, Cva6Core, Halt, TimingConfig};
+use riscv_asm::assemble;
+use riscv_isa::{Reg, Xlen};
+
+const STRIDE_SRC: &str = r"
+_start:
+    # Sum a 16 KiB array twice: first pass cold, second pass warm.
+    li  t0, 0x80010000
+    li  t1, 2048           # dwords
+    li  a0, 0
+pass1:
+    ld  t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bnez t1, pass1
+    li  t0, 0x80010000
+    li  t1, 2048
+pass2:
+    ld  t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bnez t1, pass2
+    ebreak
+";
+
+fn run(timing: TimingConfig) -> (u64, u64, Option<f64>) {
+    let prog = assemble(STRIDE_SRC, Xlen::Rv64, 0x8000_0000).expect("assembles");
+    let mut core = Cva6Core::new(&prog, 1 << 20, timing);
+    let halt = core.run_silent(100_000_000);
+    assert_eq!(halt, Halt::Breakpoint);
+    let hit_rate = core.timing().dcache().map(cva6_model::DataCache::hit_rate);
+    (core.reg(Reg::A0), core.cycle(), hit_rate)
+}
+
+#[test]
+fn cache_changes_timing_not_results() {
+    let ideal = run(TimingConfig::default());
+    let cached = run(TimingConfig {
+        dcache: Some(CacheConfig::cva6_default()),
+        ..TimingConfig::default()
+    });
+    assert_eq!(ideal.0, cached.0, "architectural result identical");
+    assert!(cached.1 > ideal.1, "misses must cost cycles: {} vs {}", cached.1, ideal.1);
+}
+
+#[test]
+fn sequential_scan_hit_rate_matches_line_geometry() {
+    let (_, _, hit_rate) = run(TimingConfig {
+        dcache: Some(CacheConfig::cva6_default()),
+        ..TimingConfig::default()
+    });
+    let hit_rate = hit_rate.expect("cache enabled");
+    // 64-byte lines, 8-byte accesses: 7/8 hits on the cold pass. The array
+    // (16 KiB) fits the 32 KiB cache, so the second pass is all hits:
+    // expected rate ≈ (7/8 + 1) / 2 ≈ 0.94.
+    assert!(
+        (0.90..0.98).contains(&hit_rate),
+        "hit rate {hit_rate:.3} outside expected band"
+    );
+}
+
+#[test]
+fn thrashing_working_set_lowers_hit_rate() {
+    // Stride equal to the cache line * lines touches a new set every time.
+    let src = r"
+    _start:
+        li  s0, 4096
+        li  t0, 0x80010000
+        li  a0, 0
+    loop:
+        ld  t2, 0(t0)
+        add a0, a0, t2
+        addi t0, t0, 64        # one access per line, 256 KiB span
+        li  t3, 0x80050000
+        blt t0, t3, cont
+        li  t0, 0x80010000
+    cont:
+        addi s0, s0, -1
+        bnez s0, loop
+        ebreak
+    ";
+    let prog = assemble(src, Xlen::Rv64, 0x8000_0000).expect("assembles");
+    let mut core = Cva6Core::new(
+        &prog,
+        1 << 20,
+        TimingConfig { dcache: Some(CacheConfig::cva6_default()), ..TimingConfig::default() },
+    );
+    let halt = core.run_silent(100_000_000);
+    assert_eq!(halt, Halt::Breakpoint);
+    let rate = core.timing().dcache().expect("enabled").hit_rate();
+    assert!(rate < 0.1, "line-stride over 8x the cache must thrash: {rate:.3}");
+}

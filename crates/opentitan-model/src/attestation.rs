@@ -1,0 +1,155 @@
+//! Remote attestation: signed measurement reports over the boot image.
+//!
+//! The reference platform uses OpenTitan for "secure boot and remote
+//! attestation" (paper §I) — TitanCFI then reuses the same RoT for CFI.
+//! This module completes that picture: the RoT measures the firmware image
+//! it booted (SHA-256), and answers challenges with an HMAC-signed report
+//! binding the measurement to the verifier's nonce, so reports can neither
+//! be forged (no key) nor replayed (fresh nonce).
+
+use crate::hmac::{HmacEngine, Tag};
+use crate::sha256::{sha256, DIGEST_LEN};
+
+/// A verifier's challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Challenge {
+    /// Verifier-chosen freshness nonce.
+    pub nonce: [u8; 16],
+}
+
+/// The RoT's signed response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// SHA-256 measurement of the attested image.
+    pub measurement: [u8; DIGEST_LEN],
+    /// Echo of the challenge nonce.
+    pub nonce: [u8; 16],
+    /// HMAC over `measurement || nonce` with the attestation key.
+    pub tag: Tag,
+    /// Accelerator cycles spent producing the report.
+    pub cycles: u64,
+}
+
+/// The attestation service held by the RoT.
+#[derive(Debug, Clone)]
+pub struct Attestor {
+    engine: HmacEngine,
+    measurement: [u8; DIGEST_LEN],
+}
+
+impl Attestor {
+    /// Creates the service for a booted `image`, keyed with the device's
+    /// attestation key.
+    #[must_use]
+    pub fn new(attestation_key: &[u8], image: &[u8]) -> Attestor {
+        Attestor { engine: HmacEngine::new(attestation_key), measurement: sha256(image) }
+    }
+
+    /// The stored measurement (what a local verifier reads back).
+    #[must_use]
+    pub fn measurement(&self) -> [u8; DIGEST_LEN] {
+        self.measurement
+    }
+
+    /// Answers a challenge with a signed report.
+    #[must_use]
+    pub fn attest(&self, challenge: &Challenge) -> AttestationReport {
+        let mut msg = [0u8; DIGEST_LEN + 16];
+        msg[..DIGEST_LEN].copy_from_slice(&self.measurement);
+        msg[DIGEST_LEN..].copy_from_slice(&challenge.nonce);
+        let (tag, cycles) = self.engine.mac(&msg);
+        AttestationReport { measurement: self.measurement, nonce: challenge.nonce, tag, cycles }
+    }
+}
+
+/// Verifier-side check: the report must carry the expected measurement,
+/// echo the challenge nonce, and verify under the shared key.
+#[must_use]
+pub fn verify_report(
+    report: &AttestationReport,
+    challenge: &Challenge,
+    attestation_key: &[u8],
+    expected_measurement: &[u8; DIGEST_LEN],
+) -> bool {
+    if report.nonce != challenge.nonce || &report.measurement != expected_measurement {
+        return false;
+    }
+    let mut msg = [0u8; DIGEST_LEN + 16];
+    msg[..DIGEST_LEN].copy_from_slice(&report.measurement);
+    msg[DIGEST_LEN..].copy_from_slice(&report.nonce);
+    HmacEngine::new(attestation_key).verify(&msg, &report.tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8] = b"attestation-key";
+
+    fn setup() -> (Attestor, [u8; DIGEST_LEN]) {
+        let image = b"the booted cfi firmware image";
+        let attestor = Attestor::new(KEY, image);
+        (attestor, sha256(image))
+    }
+
+    #[test]
+    fn honest_report_verifies() {
+        let (attestor, expected) = setup();
+        let ch = Challenge { nonce: [7; 16] };
+        let report = attestor.attest(&ch);
+        assert!(verify_report(&report, &ch, KEY, &expected));
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn replayed_report_rejected() {
+        let (attestor, expected) = setup();
+        let old = Challenge { nonce: [1; 16] };
+        let report = attestor.attest(&old);
+        // A fresh challenge must not accept the old report.
+        let fresh = Challenge { nonce: [2; 16] };
+        assert!(!verify_report(&report, &fresh, KEY, &expected));
+    }
+
+    #[test]
+    fn forged_tag_rejected() {
+        let (attestor, expected) = setup();
+        let ch = Challenge { nonce: [3; 16] };
+        let mut report = attestor.attest(&ch);
+        report.tag[0] ^= 1;
+        assert!(!verify_report(&report, &ch, KEY, &expected));
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let (attestor, _) = setup();
+        let ch = Challenge { nonce: [4; 16] };
+        let report = attestor.attest(&ch);
+        let other = sha256(b"some other image");
+        assert!(!verify_report(&report, &ch, KEY, &other));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (attestor, expected) = setup();
+        let ch = Challenge { nonce: [5; 16] };
+        let report = attestor.attest(&ch);
+        assert!(!verify_report(&report, &ch, b"other-key", &expected));
+    }
+
+    #[test]
+    fn attestation_binds_to_secure_boot() {
+        // End-to-end with the flash path: provision, boot, measure, attest.
+        use crate::flash::Flash;
+        use crate::secure_boot::{boot, provision};
+        let image: Vec<u8> = (0..500u16).map(|i| (i % 251) as u8).collect();
+        let boot_engine = HmacEngine::new(b"boot-key");
+        let mut flash = Flash::new(2048, 9);
+        provision(&mut flash, &boot_engine, &image);
+        let (booted, _) = boot(&flash, &boot_engine).expect("boots");
+        let attestor = Attestor::new(KEY, &booted);
+        let ch = Challenge { nonce: [9; 16] };
+        let report = attestor.attest(&ch);
+        assert!(verify_report(&report, &ch, KEY, &sha256(&image)));
+    }
+}

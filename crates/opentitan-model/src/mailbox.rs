@@ -1,0 +1,210 @@
+//! The CFI Mailbox: the SCMI-style shared-register block between the CVA6
+//! host domain and the OpenTitan RoT.
+//!
+//! Paper §IV-A: the mailbox holds general-purpose registers wide enough for
+//! one 224-bit commit log, a **doorbell** register that interrupts the RoT
+//! when the host's CFI Log Writer finishes a transfer, and a **completion**
+//! register that — unlike a stock SCMI mailbox — is wired straight back to
+//! the CVA6 commit stage rather than to the host interrupt controller. The
+//! CFI check verdict is returned in data word 0.
+//!
+//! Both sides see the same state: the RoT maps it as a [`Device`] on the
+//! Ibex bus; the host-side Log Writer uses the `host_*` methods (modelling
+//! its AXI master port).
+
+use ibex_model::Device;
+use riscv_isa::MemWidth;
+use std::sync::{Arc, Mutex};
+
+/// Number of 32-bit data registers (256 bits ≥ one 224-bit commit log).
+pub const DATA_WORDS: usize = 8;
+
+/// Register map offsets (byte offsets from the mailbox base).
+pub mod regs {
+    /// First data word; words continue every 4 bytes.
+    pub const DATA0: u64 = 0x00;
+    /// Doorbell: host writes 1, RoT reads/clears.
+    pub const DOORBELL: u64 = 0x20;
+    /// Completion: RoT writes 1, host reads/clears.
+    pub const COMPLETION: u64 = 0x24;
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    data: [u32; DATA_WORDS],
+    doorbell: bool,
+    completion: bool,
+    /// Counters for the evaluation harness.
+    doorbells_rung: u64,
+    completions_signalled: u64,
+}
+
+/// The mailbox state, shared between the host-side writer and the RoT bus.
+#[derive(Debug, Clone, Default)]
+pub struct CfiMailbox {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl CfiMailbox {
+    /// A fresh mailbox with cleared registers.
+    #[must_use]
+    pub fn new() -> CfiMailbox {
+        CfiMailbox::default()
+    }
+
+    /// The RoT-side bus device view (register this on the Ibex bus).
+    #[must_use]
+    pub fn device(&self) -> Box<dyn Device> {
+        Box::new(MailboxDevice { shared: Arc::clone(&self.shared) })
+    }
+
+    // ---- host (CVA6 / Log Writer) side ----
+
+    /// Host AXI write of one 32-bit data word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= DATA_WORDS`.
+    pub fn host_write_data(&self, index: usize, value: u32) {
+        self.shared.lock().expect("mailbox lock").data[index] = value;
+    }
+
+    /// Host AXI read of one data word (used to fetch the verdict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= DATA_WORDS`.
+    #[must_use]
+    pub fn host_read_data(&self, index: usize) -> u32 {
+        self.shared.lock().expect("mailbox lock").data[index]
+    }
+
+    /// Host sets the doorbell, interrupting the RoT.
+    pub fn host_ring_doorbell(&self) {
+        let mut s = self.shared.lock().expect("mailbox lock");
+        s.doorbell = true;
+        s.doorbells_rung += 1;
+    }
+
+    /// Host polls the completion flag.
+    #[must_use]
+    pub fn host_completion(&self) -> bool {
+        self.shared.lock().expect("mailbox lock").completion
+    }
+
+    /// Host acknowledges (clears) completion.
+    pub fn host_clear_completion(&self) {
+        self.shared.lock().expect("mailbox lock").completion = false;
+    }
+
+    // ---- observers ----
+
+    /// Whether the doorbell is currently set (drives the RoT IRQ line).
+    #[must_use]
+    pub fn doorbell_pending(&self) -> bool {
+        self.shared.lock().expect("mailbox lock").doorbell
+    }
+
+    /// Total doorbells rung (one per streamed commit log).
+    #[must_use]
+    pub fn doorbells_rung(&self) -> u64 {
+        self.shared.lock().expect("mailbox lock").doorbells_rung
+    }
+
+    /// Total completions signalled by the RoT.
+    #[must_use]
+    pub fn completions_signalled(&self) -> u64 {
+        self.shared.lock().expect("mailbox lock").completions_signalled
+    }
+}
+
+struct MailboxDevice {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl Device for MailboxDevice {
+    fn read(&mut self, offset: u64, _width: MemWidth) -> u64 {
+        let s = self.shared.lock().expect("mailbox lock");
+        match offset {
+            o if o < 4 * DATA_WORDS as u64 => u64::from(s.data[(o / 4) as usize]),
+            regs::DOORBELL => u64::from(s.doorbell),
+            regs::COMPLETION => u64::from(s.completion),
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u64, _width: MemWidth, value: u64) {
+        let mut s = self.shared.lock().expect("mailbox lock");
+        match offset {
+            o if o < 4 * DATA_WORDS as u64 => s.data[(o / 4) as usize] = value as u32,
+            regs::DOORBELL => {
+                // RoT writes 0 to clear the pending doorbell.
+                s.doorbell = value & 1 != 0;
+            }
+            regs::COMPLETION => {
+                if value & 1 != 0 {
+                    s.completion = true;
+                    s.completions_signalled += 1;
+                    // Completion implies the log was consumed: the hardware
+                    // clears the doorbell so the firmware does not pay an
+                    // extra SoC write for it.
+                    s.doorbell = false;
+                } else {
+                    s.completion = false;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_to_rot_data_path() {
+        let mb = CfiMailbox::new();
+        let mut dev = mb.device();
+        mb.host_write_data(0, 0xdead_beef);
+        mb.host_write_data(6, 0x1234);
+        assert_eq!(dev.read(0x00, MemWidth::W), 0xdead_beef);
+        assert_eq!(dev.read(0x18, MemWidth::W), 0x1234);
+    }
+
+    #[test]
+    fn doorbell_protocol() {
+        let mb = CfiMailbox::new();
+        let mut dev = mb.device();
+        assert!(!mb.doorbell_pending());
+        mb.host_ring_doorbell();
+        assert!(mb.doorbell_pending());
+        assert_eq!(dev.read(regs::DOORBELL, MemWidth::W), 1);
+        // RoT clears it.
+        dev.write(regs::DOORBELL, MemWidth::W, 0);
+        assert!(!mb.doorbell_pending());
+        assert_eq!(mb.doorbells_rung(), 1);
+    }
+
+    #[test]
+    fn completion_protocol_with_verdict() {
+        let mb = CfiMailbox::new();
+        let mut dev = mb.device();
+        // RoT writes the verdict into data0 and signals completion.
+        dev.write(regs::DATA0, MemWidth::W, 1); // violation!
+        dev.write(regs::COMPLETION, MemWidth::W, 1);
+        assert!(mb.host_completion());
+        assert_eq!(mb.host_read_data(0), 1);
+        mb.host_clear_completion();
+        assert!(!mb.host_completion());
+        assert_eq!(mb.completions_signalled(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let mb = CfiMailbox::new();
+        let mb2 = mb.clone();
+        mb.host_ring_doorbell();
+        assert!(mb2.doorbell_pending());
+    }
+}

@@ -1,0 +1,207 @@
+//! The SCMI-style system mailbox between the host domain and the RoT.
+//!
+//! Paper §III-B: *"Communications between the host domain and the RoT are
+//! mediated by a SCMI compliant mailbox"* — general-purpose shared
+//! registers plus doorbell/completion interrupts. (TitanCFI's CFI mailbox
+//! is a second instance of the same design, specialised for commit logs.)
+//! This module models the generic channel and the two services the
+//! platform uses it for: firmware-version queries and remote-attestation
+//! challenges.
+
+use crate::attestation::{AttestationReport, Attestor, Challenge};
+use std::sync::{Arc, Mutex};
+
+/// Payload capacity of the shared-memory area (bytes).
+pub const PAYLOAD_BYTES: usize = 96;
+
+/// Host-to-RoT request messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScmiRequest {
+    /// Protocol/firmware version query.
+    Version,
+    /// Remote-attestation challenge.
+    Attest(Challenge),
+}
+
+/// RoT-to-host responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScmiResponse {
+    /// Version reply.
+    Version {
+        /// Implementation version word.
+        version: u32,
+    },
+    /// Signed attestation report.
+    Attestation(AttestationReport),
+    /// The request could not be parsed or served.
+    Error,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    request: Option<ScmiRequest>,
+    response: Option<ScmiResponse>,
+    doorbell: bool,
+    completion: bool,
+}
+
+/// The shared SCMI channel.
+#[derive(Debug, Clone, Default)]
+pub struct ScmiMailbox {
+    shared: Arc<Mutex<Channel>>,
+}
+
+impl ScmiMailbox {
+    /// An idle channel.
+    #[must_use]
+    pub fn new() -> ScmiMailbox {
+        ScmiMailbox::default()
+    }
+
+    /// Host: posts a request and rings the doorbell.
+    ///
+    /// Returns `false` when a request is already in flight (channel busy).
+    pub fn host_post(&self, request: ScmiRequest) -> bool {
+        let mut ch = self.shared.lock().expect("scmi lock");
+        if ch.doorbell || ch.completion {
+            return false;
+        }
+        ch.request = Some(request);
+        ch.doorbell = true;
+        true
+    }
+
+    /// Host: polls for and takes the response.
+    pub fn host_take_response(&self) -> Option<ScmiResponse> {
+        let mut ch = self.shared.lock().expect("scmi lock");
+        if !ch.completion {
+            return None;
+        }
+        ch.completion = false;
+        ch.response.take()
+    }
+
+    /// RoT: whether the doorbell is pending (drives the IRQ line).
+    #[must_use]
+    pub fn rot_doorbell(&self) -> bool {
+        self.shared.lock().expect("scmi lock").doorbell
+    }
+
+    /// RoT: takes the pending request (clears the doorbell).
+    pub fn rot_take_request(&self) -> Option<ScmiRequest> {
+        let mut ch = self.shared.lock().expect("scmi lock");
+        if !ch.doorbell {
+            return None;
+        }
+        ch.doorbell = false;
+        ch.request.take()
+    }
+
+    /// RoT: posts the response and signals completion.
+    pub fn rot_respond(&self, response: ScmiResponse) {
+        let mut ch = self.shared.lock().expect("scmi lock");
+        ch.response = Some(response);
+        ch.completion = true;
+    }
+}
+
+/// The RoT-side SCMI service: dispatches requests against the platform
+/// services (attestation, version).
+#[derive(Debug)]
+pub struct ScmiService {
+    mailbox: ScmiMailbox,
+    attestor: Attestor,
+    version: u32,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl ScmiService {
+    /// A service bound to `mailbox`, attesting over `image`.
+    #[must_use]
+    pub fn new(mailbox: ScmiMailbox, attestation_key: &[u8], image: &[u8]) -> ScmiService {
+        ScmiService {
+            mailbox,
+            attestor: Attestor::new(attestation_key, image),
+            version: 0x0001_0000,
+            served: 0,
+        }
+    }
+
+    /// Serves at most one pending request; returns whether one was served.
+    pub fn poll(&mut self) -> bool {
+        let Some(request) = self.mailbox.rot_take_request() else {
+            return false;
+        };
+        let response = match request {
+            ScmiRequest::Version => ScmiResponse::Version { version: self.version },
+            ScmiRequest::Attest(challenge) => {
+                ScmiResponse::Attestation(self.attestor.attest(&challenge))
+            }
+        };
+        self.mailbox.rot_respond(response);
+        self.served += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attestation::verify_report;
+    use crate::sha256::sha256;
+
+    const KEY: &[u8] = b"scmi-attestation-key";
+    const IMAGE: &[u8] = b"cfi firmware image bytes";
+
+    fn setup() -> (ScmiMailbox, ScmiService) {
+        let mb = ScmiMailbox::new();
+        let svc = ScmiService::new(mb.clone(), KEY, IMAGE);
+        (mb, svc)
+    }
+
+    #[test]
+    fn version_round_trip() {
+        let (mb, mut svc) = setup();
+        assert!(mb.host_post(ScmiRequest::Version));
+        assert!(svc.poll());
+        match mb.host_take_response() {
+            Some(ScmiResponse::Version { version }) => assert_eq!(version, 0x0001_0000),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attestation_over_scmi_verifies() {
+        let (mb, mut svc) = setup();
+        let ch = Challenge { nonce: [0x42; 16] };
+        assert!(mb.host_post(ScmiRequest::Attest(ch)));
+        assert!(svc.poll());
+        match mb.host_take_response() {
+            Some(ScmiResponse::Attestation(report)) => {
+                assert!(verify_report(&report, &ch, KEY, &sha256(IMAGE)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(svc.served, 1);
+    }
+
+    #[test]
+    fn channel_busy_rejects_second_request() {
+        let (mb, mut svc) = setup();
+        assert!(mb.host_post(ScmiRequest::Version));
+        assert!(!mb.host_post(ScmiRequest::Version), "doorbell pending");
+        svc.poll();
+        // Response not yet taken: still busy.
+        assert!(!mb.host_post(ScmiRequest::Version), "completion pending");
+        let _ = mb.host_take_response();
+        assert!(mb.host_post(ScmiRequest::Version), "idle again");
+    }
+
+    #[test]
+    fn poll_without_request_is_noop() {
+        let (_, mut svc) = setup();
+        assert!(!svc.poll());
+        assert_eq!(svc.served, 0);
+    }
+}

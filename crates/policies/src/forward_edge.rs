@@ -1,0 +1,169 @@
+//! Forward-edge protection: constraining indirect jumps and calls.
+//!
+//! The paper lists "alternative CFI policies" as future work (§VII); this
+//! module implements the natural one — a coarse-grained forward-edge policy
+//! in the style of classic CFI labels: every indirect jump or indirect call
+//! must land on a *registered entry point*. Optionally, per-source target
+//! sets give finer granularity (one label set per jump site).
+
+use crate::policy::{CfiPolicy, Verdict, ViolationKind};
+use riscv_isa::CfClass;
+use std::collections::{HashMap, HashSet};
+use titancfi::CommitLog;
+
+/// Forward-edge policy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwardEdgeStats {
+    /// Indirect jumps checked.
+    pub checked: u64,
+    /// Violations flagged.
+    pub violations: u64,
+}
+
+/// The forward-edge (label) policy.
+///
+/// # Examples
+///
+/// ```
+/// use titancfi::CommitLog;
+/// use titancfi_policies::{CfiPolicy, ForwardEdgePolicy, Verdict};
+///
+/// let mut fe = ForwardEdgePolicy::new();
+/// fe.register_entry(0x2000);
+/// // jalr zero, 0(a5) landing on the registered entry: allowed
+/// let ok = CommitLog { pc: 0x100, insn: 0x0007_8067, next: 0x104, target: 0x2000 };
+/// assert_eq!(fe.check(&ok), Verdict::Allowed);
+/// // ...and on an unregistered gadget: flagged
+/// let bad = CommitLog { pc: 0x100, insn: 0x0007_8067, next: 0x104, target: 0x2342 };
+/// assert!(!fe.check(&bad).is_allowed());
+/// ```
+#[derive(Debug, Default)]
+pub struct ForwardEdgePolicy {
+    /// Globally valid indirect-branch targets (function entries).
+    entries: HashSet<u64>,
+    /// Finer-grained per-site target sets; when a site is present here its
+    /// set *replaces* the global one.
+    per_site: HashMap<u64, HashSet<u64>>,
+    stats: ForwardEdgeStats,
+}
+
+impl ForwardEdgePolicy {
+    /// An empty policy (every indirect jump violates until entries are
+    /// registered).
+    #[must_use]
+    pub fn new() -> ForwardEdgePolicy {
+        ForwardEdgePolicy::default()
+    }
+
+    /// Registers a valid indirect-branch target (function entry).
+    pub fn register_entry(&mut self, target: u64) {
+        self.entries.insert(target);
+    }
+
+    /// Registers every symbol of an assembled program as a valid entry —
+    /// the coarse-grained policy a binary-only deployment would use.
+    pub fn register_program(&mut self, program: &riscv_asm::Program) {
+        for addr in program.symbols.values() {
+            self.entries.insert(*addr);
+        }
+    }
+
+    /// Restricts jump site `pc` to exactly `targets`.
+    pub fn register_site<I: IntoIterator<Item = u64>>(&mut self, pc: u64, targets: I) {
+        self.per_site.insert(pc, targets.into_iter().collect());
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ForwardEdgeStats {
+        self.stats
+    }
+}
+
+impl CfiPolicy for ForwardEdgePolicy {
+    fn name(&self) -> &str {
+        "forward-edge"
+    }
+
+    fn check(&mut self, log: &CommitLog) -> Verdict {
+        if log.cf_class() != CfClass::IndirectJump {
+            return Verdict::Allowed;
+        }
+        self.stats.checked += 1;
+        let allowed = match self.per_site.get(&log.pc) {
+            Some(set) => set.contains(&log.target),
+            None => self.entries.contains(&log.target),
+        };
+        if allowed {
+            Verdict::Allowed
+        } else {
+            self.stats.violations += 1;
+            Verdict::Violation(ViolationKind::ForwardEdge { target: log.target })
+        }
+    }
+
+    fn reset(&mut self) {
+        // Label sets are static program metadata; only counters reset.
+        self.stats = ForwardEdgeStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ijump(pc: u64, target: u64) -> CommitLog {
+        // jalr zero, 0(a5)
+        CommitLog { pc, insn: 0x0007_8067, next: pc + 4, target }
+    }
+
+    #[test]
+    fn unregistered_target_flagged() {
+        let mut fe = ForwardEdgePolicy::new();
+        fe.register_entry(0x1000);
+        assert!(fe.check(&ijump(0x10, 0x1000)).is_allowed());
+        assert_eq!(
+            fe.check(&ijump(0x10, 0x1004)),
+            Verdict::Violation(ViolationKind::ForwardEdge { target: 0x1004 })
+        );
+        assert_eq!(fe.stats().checked, 2);
+        assert_eq!(fe.stats().violations, 1);
+    }
+
+    #[test]
+    fn per_site_sets_override_global() {
+        let mut fe = ForwardEdgePolicy::new();
+        fe.register_entry(0x1000);
+        fe.register_site(0x50, [0x2000]);
+        // Site 0x50 may only go to 0x2000 — even 0x1000 is rejected.
+        assert!(!fe.check(&ijump(0x50, 0x1000)).is_allowed());
+        assert!(fe.check(&ijump(0x50, 0x2000)).is_allowed());
+        // Other sites still use the global set.
+        assert!(fe.check(&ijump(0x60, 0x1000)).is_allowed());
+    }
+
+    #[test]
+    fn calls_and_returns_ignored() {
+        let mut fe = ForwardEdgePolicy::new();
+        let call = CommitLog { pc: 0, insn: 0x0080_00ef, next: 4, target: 0x100 };
+        let ret = CommitLog { pc: 0x104, insn: 0x0000_8067, next: 0x108, target: 4 };
+        assert!(fe.check(&call).is_allowed());
+        assert!(fe.check(&ret).is_allowed());
+        assert_eq!(fe.stats().checked, 0);
+    }
+
+    #[test]
+    fn program_symbols_become_entries() {
+        let prog = riscv_asm::assemble(
+            "_start: nop\nf: ret\ng: ret\n",
+            riscv_isa::Xlen::Rv64,
+            0x8000_0000,
+        )
+        .expect("assembles");
+        let mut fe = ForwardEdgePolicy::new();
+        fe.register_program(&prog);
+        let f = prog.symbol("f").expect("f");
+        assert!(fe.check(&ijump(0x10, f)).is_allowed());
+        assert!(!fe.check(&ijump(0x10, f + 2)).is_allowed());
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-thread CFI enforcement (paper §V-C future work).
+//!
+//! The paper proposes enforcing CFI *per thread*, "to selectively protect
+//! only the processes exposed at the boundary of the system". This module
+//! implements that: each protected thread owns its own shadow stack; a
+//! context-switch notification retargets checking; unprotected threads pass
+//! unchecked. Shadow stacks beyond the resident budget spill with HMAC
+//! authentication exactly like the single-thread policy.
+
+use crate::policy::{CfiPolicy, Verdict};
+use crate::shadow_stack::ShadowStackPolicy;
+use std::collections::HashMap;
+use titancfi::CommitLog;
+
+/// An OS thread identifier.
+pub type ThreadId = u64;
+
+/// Per-thread shadow-stack policy with selective protection.
+///
+/// # Examples
+///
+/// ```
+/// use titancfi::CommitLog;
+/// use titancfi_policies::{CfiPolicy, PerThreadPolicy, Verdict};
+///
+/// let mut policy = PerThreadPolicy::new(256);
+/// policy.protect(7);
+/// policy.switch_to(7);
+/// let call = CommitLog { pc: 0x100, insn: 0x0080_00ef, next: 0x104, target: 0x200 };
+/// assert_eq!(policy.check(&call), Verdict::Allowed);
+/// ```
+#[derive(Debug)]
+pub struct PerThreadPolicy {
+    stacks: HashMap<ThreadId, ShadowStackPolicy>,
+    current: Option<ThreadId>,
+    capacity: usize,
+    /// Events that arrived while an unprotected thread was running.
+    pub unprotected_events: u64,
+    /// Context switches observed.
+    pub switches: u64,
+}
+
+impl PerThreadPolicy {
+    /// A policy whose per-thread stacks hold `capacity` resident frames.
+    #[must_use]
+    pub fn new(capacity: usize) -> PerThreadPolicy {
+        PerThreadPolicy {
+            stacks: HashMap::new(),
+            current: None,
+            capacity,
+            unprotected_events: 0,
+            switches: 0,
+        }
+    }
+
+    /// Marks `tid` as protected (allocates its shadow stack).
+    pub fn protect(&mut self, tid: ThreadId) {
+        self.stacks.entry(tid).or_insert_with(|| ShadowStackPolicy::new(self.capacity));
+    }
+
+    /// Removes protection (and state) for `tid`.
+    pub fn unprotect(&mut self, tid: ThreadId) {
+        self.stacks.remove(&tid);
+        if self.current == Some(tid) {
+            self.current = None;
+        }
+    }
+
+    /// Notifies the policy of a context switch to `tid`.
+    pub fn switch_to(&mut self, tid: ThreadId) {
+        self.switches += 1;
+        self.current = Some(tid);
+    }
+
+    /// Whether events are currently being checked.
+    #[must_use]
+    pub fn checking(&self) -> bool {
+        self.current.is_some_and(|tid| self.stacks.contains_key(&tid))
+    }
+
+    /// Number of protected threads.
+    #[must_use]
+    pub fn protected_threads(&self) -> usize {
+        self.stacks.len()
+    }
+}
+
+impl CfiPolicy for PerThreadPolicy {
+    fn name(&self) -> &str {
+        "per-thread-shadow-stack"
+    }
+
+    fn check(&mut self, log: &CommitLog) -> Verdict {
+        match self.current.and_then(|tid| self.stacks.get_mut(&tid)) {
+            Some(stack) => stack.check(log),
+            None => {
+                self.unprotected_events += 1;
+                Verdict::Allowed
+            }
+        }
+    }
+
+    fn last_extra_cycles(&self) -> u64 {
+        self.current
+            .and_then(|tid| self.stacks.get(&tid))
+            .map_or(0, ShadowStackPolicy::last_extra_cycles)
+    }
+
+    fn reset(&mut self) {
+        for stack in self.stacks.values_mut() {
+            stack.reset();
+        }
+        self.current = None;
+        self.unprotected_events = 0;
+        self.switches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ViolationKind;
+
+    fn call(pc: u64) -> CommitLog {
+        CommitLog { pc, insn: 0x0080_00ef, next: pc + 4, target: pc + 0x100 }
+    }
+
+    fn ret_to(target: u64) -> CommitLog {
+        CommitLog { pc: target + 0x100, insn: 0x0000_8067, next: target + 0x104, target }
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let mut p = PerThreadPolicy::new(64);
+        p.protect(1);
+        p.protect(2);
+        p.switch_to(1);
+        assert!(p.check(&call(0x1000)).is_allowed());
+        p.switch_to(2);
+        // Thread 2's stack is empty: its return underflows.
+        assert_eq!(
+            p.check(&ret_to(0x1004)),
+            Verdict::Violation(ViolationKind::ShadowStackUnderflow)
+        );
+        // Back on thread 1 the return matches.
+        p.switch_to(1);
+        assert!(p.check(&ret_to(0x1004)).is_allowed());
+        assert_eq!(p.switches, 3);
+    }
+
+    #[test]
+    fn unprotected_threads_pass_unchecked() {
+        let mut p = PerThreadPolicy::new(64);
+        p.protect(1);
+        p.switch_to(99); // not protected
+        assert!(!p.checking());
+        assert!(p.check(&ret_to(0xbad0)).is_allowed(), "unprotected: not checked");
+        assert_eq!(p.unprotected_events, 1);
+    }
+
+    #[test]
+    fn unprotect_drops_state() {
+        let mut p = PerThreadPolicy::new(64);
+        p.protect(5);
+        p.switch_to(5);
+        p.check(&call(0x2000));
+        p.unprotect(5);
+        assert!(!p.checking());
+        assert_eq!(p.protected_threads(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedules_stay_consistent() {
+        let mut p = PerThreadPolicy::new(64);
+        p.protect(1);
+        p.protect(2);
+        // Thread 1 calls a, thread 2 calls b, thread 1 returns, thread 2
+        // returns — a realistic preemptive interleaving.
+        p.switch_to(1);
+        p.check(&call(0xa000));
+        p.switch_to(2);
+        p.check(&call(0xb000));
+        p.switch_to(1);
+        assert!(p.check(&ret_to(0xa004)).is_allowed());
+        p.switch_to(2);
+        assert!(p.check(&ret_to(0xb004)).is_allowed());
+    }
+}

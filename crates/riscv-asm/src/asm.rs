@@ -1,0 +1,791 @@
+//! Two-pass assembler turning parsed statements into a memory image.
+//!
+//! Pass 1 walks the statements to assign addresses to labels (every real
+//! instruction occupies 4 bytes; pseudo-instruction sizes are computed from
+//! their literal operands, so layout is deterministic). Pass 2 resolves
+//! symbols and encodes.
+
+use crate::compress::try_compress;
+use crate::parse::{parse, Operand, ParseError, Stmt};
+use crate::program::Program;
+use riscv_isa::{
+    encode, AluImmOp, AluOp, AmoOp, BranchCond, CsrOp, Inst, MemWidth, MulOp, Reg, Xlen,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Assembly failure: parse error or semantic error with line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// Lexical/syntactic failure.
+    Parse(ParseError),
+    /// Semantic failure (bad operands, unknown symbol, range overflow...).
+    Semantic {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Parse(e) => write!(f, "{e}"),
+            AsmError::Semantic { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ParseError> for AsmError {
+    fn from(e: ParseError) -> AsmError {
+        AsmError::Parse(e)
+    }
+}
+
+fn sem(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError::Semantic { line, message: message.into() }
+}
+
+/// Assembler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Assembler {
+    /// Target base ISA (affects `li` expansion and legality checks).
+    pub xlen: Xlen,
+    /// Load address of the image.
+    pub base: u64,
+    /// Emit RVC (16-bit) encodings where a position-independent compressed
+    /// form exists. Jumps/branches and symbolic operands stay uncompressed
+    /// so layout is decided entirely in the first pass.
+    pub compress: bool,
+}
+
+impl Assembler {
+    /// A new assembler for the given ISA, loading at `base`.
+    #[must_use]
+    pub fn new(xlen: Xlen, base: u64) -> Assembler {
+        Assembler { xlen, base, compress: false }
+    }
+
+    /// Enables the RVC compression pass (builder style).
+    #[must_use]
+    pub fn compressed(mut self) -> Assembler {
+        self.compress = true;
+        self
+    }
+
+    /// Whether a statement's operands reference symbols (such statements
+    /// are sized conservatively and never compressed, keeping pass-1
+    /// layout independent of symbol values).
+    fn has_symbolic_operand(operands: &[Operand]) -> bool {
+        operands.iter().any(|op| match op {
+            Operand::Sym(_) | Operand::HiSym(_) | Operand::LoSym(_) => true,
+            Operand::Mem { offset, .. } => {
+                matches!(**offset, Operand::Sym(_) | Operand::HiSym(_) | Operand::LoSym(_))
+            }
+            _ => false,
+        })
+    }
+
+    /// Size of one encoded instruction under the compression setting.
+    fn encoded_size(&self, inst: &Inst) -> usize {
+        if self.compress && try_compress(inst, self.xlen).is_some() {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Assembles `source` into a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] on syntax errors, unknown mnemonics or symbols,
+    /// duplicate labels, or out-of-range immediates/branch targets.
+    pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
+        let stmts = parse(source)?;
+
+        // ---- pass 1: layout ----
+        let mut symbols: BTreeMap<String, u64> = BTreeMap::new();
+        let mut pc = self.base;
+        for (line, stmt) in &stmts {
+            match stmt {
+                Stmt::Label(name) => {
+                    if symbols.insert(name.clone(), pc).is_some() {
+                        return Err(sem(*line, format!("duplicate label `{name}`")));
+                    }
+                }
+                Stmt::Directive { name, args } => {
+                    pc = self.layout_directive(*line, name, args, pc, &mut symbols)?;
+                }
+                Stmt::Inst { mnemonic, operands } => {
+                    pc += self.inst_size(*line, mnemonic, operands, &symbols)? as u64;
+                }
+            }
+        }
+
+        // ---- pass 2: emit ----
+        let mut image: Vec<u8> = Vec::new();
+        let mut pc = self.base;
+        let origin = self.base;
+        let push_at = |image: &mut Vec<u8>, at: u64, bytes: &[u8]| {
+            let off = (at - origin) as usize;
+            if image.len() < off + bytes.len() {
+                image.resize(off + bytes.len(), 0);
+            }
+            image[off..off + bytes.len()].copy_from_slice(bytes);
+        };
+        for (line, stmt) in &stmts {
+            match stmt {
+                Stmt::Label(_) => {}
+                Stmt::Directive { name, args } => {
+                    let mut bytes = Vec::new();
+                    pc = self.emit_directive(*line, name, args, pc, &symbols, &mut bytes)?;
+                    if !bytes.is_empty() {
+                        push_at(&mut image, pc - bytes.len() as u64, &bytes);
+                    }
+                }
+                Stmt::Inst { mnemonic, operands } => {
+                    let insts = self.encode_inst(*line, mnemonic, operands, pc, &symbols)?;
+                    let compressible =
+                        self.compress && mnemonic != "la" && !Self::has_symbolic_operand(operands);
+                    for inst in &insts {
+                        if compressible {
+                            if let Some(h) = try_compress(inst, self.xlen) {
+                                push_at(&mut image, pc, &h.to_le_bytes());
+                                pc += 2;
+                                continue;
+                            }
+                        }
+                        push_at(&mut image, pc, &encode(inst).to_le_bytes());
+                        pc += 4;
+                    }
+                }
+            }
+        }
+
+        let entry = symbols.get("_start").copied().unwrap_or(self.base);
+        Ok(Program { base: self.base, bytes: image, symbols, entry })
+    }
+
+    fn layout_directive(
+        &self,
+        line: usize,
+        name: &str,
+        args: &[Operand],
+        pc: u64,
+        symbols: &mut BTreeMap<String, u64>,
+    ) -> Result<u64, AsmError> {
+        match name {
+            "org" => match args {
+                [Operand::Imm(v)] => {
+                    let target = *v as u64;
+                    if target < pc {
+                        return Err(sem(line, ".org may only move forward"));
+                    }
+                    Ok(target)
+                }
+                _ => Err(sem(line, ".org needs one integer argument")),
+            },
+            "align" => match args {
+                [Operand::Imm(v)] if (0..=16).contains(v) => {
+                    let a = 1u64 << v;
+                    Ok((pc + a - 1) & !(a - 1))
+                }
+                _ => Err(sem(line, ".align needs an exponent in 0..=16")),
+            },
+            "equ" | "set" => match args {
+                [Operand::Sym(s), Operand::Imm(v)] => {
+                    symbols.insert(s.clone(), *v as u64);
+                    Ok(pc)
+                }
+                _ => Err(sem(line, ".equ needs `name, value`")),
+            },
+            "byte" => Ok(pc + args.len() as u64),
+            "half" => Ok(pc + 2 * args.len() as u64),
+            "word" => Ok(pc + 4 * args.len() as u64),
+            "dword" | "quad" => Ok(pc + 8 * args.len() as u64),
+            "zero" | "space" => match args {
+                [Operand::Imm(v)] if *v >= 0 => Ok(pc + *v as u64),
+                _ => Err(sem(line, ".zero needs a non-negative size")),
+            },
+            "global" | "globl" | "text" | "data" | "section" | "option" | "size" | "type"
+            | "file" | "attribute" | "p2align" => Ok(pc),
+            other => Err(sem(line, format!("unsupported directive `.{other}`"))),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn emit_directive(
+        &self,
+        line: usize,
+        name: &str,
+        args: &[Operand],
+        pc: u64,
+        symbols: &BTreeMap<String, u64>,
+        out: &mut Vec<u8>,
+    ) -> Result<u64, AsmError> {
+        let value_of = |op: &Operand| -> Result<u64, AsmError> {
+            match op {
+                Operand::Imm(v) => Ok(*v as u64),
+                Operand::Sym(s) => symbols
+                    .get(s)
+                    .copied()
+                    .ok_or_else(|| sem(line, format!("unknown symbol `{s}`"))),
+                _ => Err(sem(line, "expected integer or symbol")),
+            }
+        };
+        match name {
+            "org" => match args {
+                [Operand::Imm(v)] => Ok(*v as u64),
+                _ => unreachable!("validated in pass 1"),
+            },
+            "align" => match args {
+                [Operand::Imm(v)] => {
+                    let a = 1u64 << v;
+                    let target = (pc + a - 1) & !(a - 1);
+                    out.extend(std::iter::repeat_n(0u8, (target - pc) as usize));
+                    Ok(target)
+                }
+                _ => unreachable!("validated in pass 1"),
+            },
+            "equ" | "set" => Ok(pc),
+            "byte" => {
+                for a in args {
+                    out.push(value_of(a)? as u8);
+                }
+                Ok(pc + args.len() as u64)
+            }
+            "half" => {
+                for a in args {
+                    out.extend((value_of(a)? as u16).to_le_bytes());
+                }
+                Ok(pc + 2 * args.len() as u64)
+            }
+            "word" => {
+                for a in args {
+                    out.extend((value_of(a)? as u32).to_le_bytes());
+                }
+                Ok(pc + 4 * args.len() as u64)
+            }
+            "dword" | "quad" => {
+                for a in args {
+                    out.extend(value_of(a)?.to_le_bytes());
+                }
+                Ok(pc + 8 * args.len() as u64)
+            }
+            "zero" | "space" => match args {
+                [Operand::Imm(v)] => {
+                    out.extend(std::iter::repeat_n(0u8, *v as usize));
+                    Ok(pc + *v as u64)
+                }
+                _ => unreachable!("validated in pass 1"),
+            },
+            _ => Ok(pc),
+        }
+    }
+
+    /// Size in bytes of an instruction statement (pass 1). Compression
+    /// decisions made here must match pass 2 exactly, which holds because
+    /// only statements with fully literal operands are ever compressed.
+    fn inst_size(
+        &self,
+        line: usize,
+        mnemonic: &str,
+        operands: &[Operand],
+        symbols: &BTreeMap<String, u64>,
+    ) -> Result<usize, AsmError> {
+        match mnemonic {
+            "li" => {
+                let value = Self::li_value(line, operands, symbols)?;
+                let rd = match operands.first() {
+                    Some(Operand::Reg(r)) => *r,
+                    _ => return Err(sem(line, "li needs a destination register")),
+                };
+                // Symbolic `li` is never compressed (matching pass 2's
+                // eligibility rule), so size it at 4 bytes per instruction.
+                if Self::has_symbolic_operand(operands) {
+                    return Ok(4 * li_sequence(rd, value, self.xlen).len());
+                }
+                Ok(li_sequence(rd, value, self.xlen)
+                    .iter()
+                    .map(|i| self.encoded_size(i))
+                    .sum())
+            }
+            "la" => Ok(8),
+            _ => {
+                if !self.compress || Self::has_symbolic_operand(operands) {
+                    return Ok(4);
+                }
+                // Fully literal statement: resolve it now (pc-independent —
+                // pc-relative forms always carry a symbolic operand).
+                let empty = BTreeMap::new();
+                match self.encode_inst(line, mnemonic, operands, 0, &empty) {
+                    Ok(insts) => {
+                        Ok(insts.iter().map(|i| self.encoded_size(i)).sum())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    /// The literal value of an `li` statement: an integer, or an
+    /// already-defined `.equ` constant (forward label references are
+    /// rejected — layout must not depend on label values).
+    fn li_value(
+        line: usize,
+        operands: &[Operand],
+        symbols: &BTreeMap<String, u64>,
+    ) -> Result<i64, AsmError> {
+        match operands {
+            [Operand::Reg(_), Operand::Imm(v)] => Ok(*v),
+            [Operand::Reg(_), Operand::Sym(s)] => symbols.get(s).map(|v| *v as i64).ok_or_else(
+                || {
+                    sem(
+                        line,
+                        format!("li needs an integer or an already-defined .equ constant; `{s}` is not defined yet (use `la` for labels)"),
+                    )
+                },
+            ),
+            _ => Err(sem(line, "li needs `rd, integer`")),
+        }
+    }
+
+    /// Encodes one statement into one or more instructions (pass 2).
+    #[allow(clippy::too_many_lines)]
+    fn encode_inst(
+        &self,
+        line: usize,
+        mnemonic: &str,
+        ops: &[Operand],
+        pc: u64,
+        symbols: &BTreeMap<String, u64>,
+    ) -> Result<Vec<Inst>, AsmError> {
+        let rv64 = self.xlen == Xlen::Rv64;
+        let reg = |i: usize| -> Result<Reg, AsmError> {
+            match ops.get(i) {
+                Some(Operand::Reg(r)) => Ok(*r),
+                other => Err(sem(line, format!("operand {i}: expected register, got {other:?}"))),
+            }
+        };
+        let sym_value = |s: &str| -> Result<u64, AsmError> {
+            symbols.get(s).copied().ok_or_else(|| sem(line, format!("unknown symbol `{s}`")))
+        };
+        // An immediate-or-relocation scalar value.
+        let imm_val = |op: &Operand| -> Result<i64, AsmError> {
+            match op {
+                Operand::Imm(v) => Ok(*v),
+                Operand::Sym(s) => Ok(sym_value(s)? as i64),
+                Operand::HiSym(s) => {
+                    let v = sym_value(s)? as i64;
+                    Ok((v + 0x800) >> 12 << 12)
+                }
+                Operand::LoSym(s) => {
+                    let v = sym_value(s)? as i64;
+                    Ok(((v & 0xfff) << 52) >> 52)
+                }
+                other => Err(sem(line, format!("expected immediate, got {other:?}"))),
+            }
+        };
+        let imm = |i: usize| -> Result<i64, AsmError> {
+            ops.get(i).ok_or_else(|| sem(line, "missing immediate operand")).and_then(imm_val)
+        };
+        // Branch/jump target: symbol resolves to pc-relative offset.
+        let target = |i: usize| -> Result<i64, AsmError> {
+            match ops.get(i) {
+                Some(Operand::Sym(s)) => Ok(sym_value(s)? as i64 - pc as i64),
+                Some(Operand::Imm(v)) => Ok(*v),
+                other => Err(sem(line, format!("expected label or offset, got {other:?}"))),
+            }
+        };
+        let mem = |i: usize| -> Result<(Reg, i64), AsmError> {
+            match ops.get(i) {
+                Some(Operand::Mem { offset, base }) => Ok((*base, imm_val(offset)?)),
+                // Bare `(reg)`-less form `sym` not supported; require mem operand.
+                other => Err(sem(line, format!("expected `offset(base)`, got {other:?}"))),
+            }
+        };
+        let check_i12 = |v: i64, what: &str| -> Result<i64, AsmError> {
+            if (-2048..2048).contains(&v) {
+                Ok(v)
+            } else {
+                Err(sem(line, format!("{what} {v} out of 12-bit range")))
+            }
+        };
+        let check_branch = |v: i64| -> Result<i64, AsmError> {
+            if (-4096..4096).contains(&v) && v % 2 == 0 {
+                Ok(v)
+            } else {
+                Err(sem(line, format!("branch offset {v} out of range")))
+            }
+        };
+        let check_jal = |v: i64| -> Result<i64, AsmError> {
+            if (-(1 << 20)..(1 << 20)).contains(&v) && v % 2 == 0 {
+                Ok(v)
+            } else {
+                Err(sem(line, format!("jump offset {v} out of range")))
+            }
+        };
+
+        let branch = |cond: BranchCond, rs1: Reg, rs2: Reg, off: i64| -> Result<Vec<Inst>, AsmError> {
+            Ok(vec![Inst::Branch { cond, rs1, rs2, offset: check_branch(off)? }])
+        };
+        let alui = |op: AluImmOp, rd: Reg, rs1: Reg, v: i64, word: bool| Inst::AluImm {
+            op,
+            rd,
+            rs1,
+            imm: v,
+            word,
+        };
+
+        let one = |i: Inst| Ok(vec![i]);
+
+        // csr operand: name or number at index i
+        let csr_at = |i: usize| -> Result<u16, AsmError> {
+            match ops.get(i) {
+                Some(Operand::Imm(v)) if (0..4096).contains(v) => Ok(*v as u16),
+                Some(Operand::Sym(s)) => csr_by_name(s)
+                    .ok_or_else(|| sem(line, format!("unknown CSR `{s}`"))),
+                other => Err(sem(line, format!("expected CSR name or number, got {other:?}"))),
+            }
+        };
+
+        match mnemonic {
+            // ---- pseudo ----
+            "nop" => one(Inst::NOP),
+            "li" => {
+                let value = Self::li_value(line, ops, symbols)?;
+                match ops.first() {
+                    Some(Operand::Reg(rd)) => Ok(li_sequence(*rd, value, self.xlen)),
+                    _ => Err(sem(line, "li needs a destination register")),
+                }
+            }
+            "la" => match ops {
+                [Operand::Reg(rd), Operand::Sym(s)] => {
+                    let offset = sym_value(s)? as i64 - pc as i64;
+                    let hi = (offset + 0x800) >> 12 << 12;
+                    let lo = offset - hi;
+                    Ok(vec![
+                        Inst::Auipc { rd: *rd, imm: hi },
+                        alui(AluImmOp::Addi, *rd, *rd, lo, false),
+                    ])
+                }
+                _ => Err(sem(line, "la needs `rd, symbol`")),
+            },
+            "mv" => one(alui(AluImmOp::Addi, reg(0)?, reg(1)?, 0, false)),
+            "not" => one(alui(AluImmOp::Xori, reg(0)?, reg(1)?, -1, false)),
+            "neg" => one(Inst::Alu { op: AluOp::Sub, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)?, word: false }),
+            "negw" => one(Inst::Alu { op: AluOp::Sub, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)?, word: true }),
+            "sext.w" => one(alui(AluImmOp::Addi, reg(0)?, reg(1)?, 0, true)),
+            "seqz" => one(alui(AluImmOp::Sltiu, reg(0)?, reg(1)?, 1, false)),
+            "snez" => one(Inst::Alu { op: AluOp::Sltu, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)?, word: false }),
+            "sltz" => one(Inst::Alu { op: AluOp::Slt, rd: reg(0)?, rs1: reg(1)?, rs2: Reg::ZERO, word: false }),
+            "sgtz" => one(Inst::Alu { op: AluOp::Slt, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)?, word: false }),
+            "beqz" => branch(BranchCond::Eq, reg(0)?, Reg::ZERO, target(1)?),
+            "bnez" => branch(BranchCond::Ne, reg(0)?, Reg::ZERO, target(1)?),
+            "bgez" => branch(BranchCond::Ge, reg(0)?, Reg::ZERO, target(1)?),
+            "bltz" => branch(BranchCond::Lt, reg(0)?, Reg::ZERO, target(1)?),
+            "blez" => branch(BranchCond::Ge, Reg::ZERO, reg(0)?, target(1)?),
+            "bgtz" => branch(BranchCond::Lt, Reg::ZERO, reg(0)?, target(1)?),
+            "bgt" => branch(BranchCond::Lt, reg(1)?, reg(0)?, target(2)?),
+            "ble" => branch(BranchCond::Ge, reg(1)?, reg(0)?, target(2)?),
+            "bgtu" => branch(BranchCond::Ltu, reg(1)?, reg(0)?, target(2)?),
+            "bleu" => branch(BranchCond::Geu, reg(1)?, reg(0)?, target(2)?),
+            "j" => one(Inst::Jal { rd: Reg::ZERO, offset: check_jal(target(0)?)? }),
+            "jr" => one(Inst::Jalr { rd: Reg::ZERO, rs1: reg(0)?, offset: 0 }),
+            "ret" => one(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }),
+            "call" => one(Inst::Jal { rd: Reg::RA, offset: check_jal(target(0)?)? }),
+            "tail" => one(Inst::Jal { rd: Reg::ZERO, offset: check_jal(target(0)?)? }),
+            "csrr" => one(Inst::Csr { op: CsrOp::Rs, rd: reg(0)?, rs1: Reg::ZERO, csr: csr_at(1)? }),
+            "csrw" => one(Inst::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: reg(1)?, csr: csr_at(0)? }),
+            "csrs" => one(Inst::Csr { op: CsrOp::Rs, rd: Reg::ZERO, rs1: reg(1)?, csr: csr_at(0)? }),
+            "csrc" => one(Inst::Csr { op: CsrOp::Rc, rd: Reg::ZERO, rs1: reg(1)?, csr: csr_at(0)? }),
+            "csrwi" => one(Inst::CsrImm { op: CsrOp::Rw, rd: Reg::ZERO, zimm: imm(1)? as u8, csr: csr_at(0)? }),
+            "csrsi" => one(Inst::CsrImm { op: CsrOp::Rs, rd: Reg::ZERO, zimm: imm(1)? as u8, csr: csr_at(0)? }),
+            "csrci" => one(Inst::CsrImm { op: CsrOp::Rc, rd: Reg::ZERO, zimm: imm(1)? as u8, csr: csr_at(0)? }),
+
+            // ---- real instructions ----
+            "lui" | "auipc" => {
+                // `lui rd, 0x12345` takes the 20-bit upper immediate;
+                // `lui rd, %hi(sym)` takes the already-shifted value.
+                let value = match ops.get(1) {
+                    Some(Operand::HiSym(_)) => imm(1)?,
+                    _ => {
+                        let v = imm(1)?;
+                        if !(0..(1 << 20)).contains(&v) {
+                            return Err(sem(line, format!("upper immediate {v} out of 20-bit range")));
+                        }
+                        ((v << 12) << 32) >> 32 // sign-extend bit 31
+                    }
+                };
+                if mnemonic == "lui" {
+                    one(Inst::Lui { rd: reg(0)?, imm: value })
+                } else {
+                    one(Inst::Auipc { rd: reg(0)?, imm: value })
+                }
+            }
+            "jal" => match ops.len() {
+                1 => one(Inst::Jal { rd: Reg::RA, offset: check_jal(target(0)?)? }),
+                2 => one(Inst::Jal { rd: reg(0)?, offset: check_jal(target(1)?)? }),
+                _ => Err(sem(line, "jal needs `[rd,] target`")),
+            },
+            "jalr" => match ops.len() {
+                1 => one(Inst::Jalr { rd: Reg::RA, rs1: reg(0)?, offset: 0 }),
+                2 => {
+                    let (base, off) = mem(1)?;
+                    one(Inst::Jalr { rd: reg(0)?, rs1: base, offset: check_i12(off, "offset")? })
+                }
+                3 => one(Inst::Jalr { rd: reg(0)?, rs1: reg(1)?, offset: check_i12(imm(2)?, "offset")? }),
+                _ => Err(sem(line, "jalr needs 1-3 operands")),
+            },
+            "beq" => branch(BranchCond::Eq, reg(0)?, reg(1)?, target(2)?),
+            "bne" => branch(BranchCond::Ne, reg(0)?, reg(1)?, target(2)?),
+            "blt" => branch(BranchCond::Lt, reg(0)?, reg(1)?, target(2)?),
+            "bge" => branch(BranchCond::Ge, reg(0)?, reg(1)?, target(2)?),
+            "bltu" => branch(BranchCond::Ltu, reg(0)?, reg(1)?, target(2)?),
+            "bgeu" => branch(BranchCond::Geu, reg(0)?, reg(1)?, target(2)?),
+            "lb" | "lh" | "lw" | "lbu" | "lhu" | "lwu" | "ld" => {
+                let (width, unsigned) = match mnemonic {
+                    "lb" => (MemWidth::B, false),
+                    "lh" => (MemWidth::H, false),
+                    "lw" => (MemWidth::W, false),
+                    "lbu" => (MemWidth::B, true),
+                    "lhu" => (MemWidth::H, true),
+                    "lwu" => (MemWidth::W, true),
+                    _ => (MemWidth::D, false),
+                };
+                if !rv64 && (mnemonic == "ld" || mnemonic == "lwu") {
+                    return Err(sem(line, format!("{mnemonic} is RV64-only")));
+                }
+                let (base, off) = mem(1)?;
+                one(Inst::Load { rd: reg(0)?, rs1: base, offset: check_i12(off, "offset")?, width, unsigned })
+            }
+            "sb" | "sh" | "sw" | "sd" => {
+                let width = match mnemonic {
+                    "sb" => MemWidth::B,
+                    "sh" => MemWidth::H,
+                    "sw" => MemWidth::W,
+                    _ => MemWidth::D,
+                };
+                if !rv64 && mnemonic == "sd" {
+                    return Err(sem(line, "sd is RV64-only"));
+                }
+                let (base, off) = mem(1)?;
+                one(Inst::Store { rs1: base, rs2: reg(0)?, offset: check_i12(off, "offset")?, width })
+            }
+            "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+                let op = match mnemonic {
+                    "addi" => AluImmOp::Addi,
+                    "slti" => AluImmOp::Slti,
+                    "sltiu" => AluImmOp::Sltiu,
+                    "xori" => AluImmOp::Xori,
+                    "ori" => AluImmOp::Ori,
+                    _ => AluImmOp::Andi,
+                };
+                one(alui(op, reg(0)?, reg(1)?, check_i12(imm(2)?, "immediate")?, false))
+            }
+            "addiw" => {
+                if !rv64 {
+                    return Err(sem(line, "addiw is RV64-only"));
+                }
+                one(alui(AluImmOp::Addi, reg(0)?, reg(1)?, check_i12(imm(2)?, "immediate")?, true))
+            }
+            "slli" | "srli" | "srai" | "slliw" | "srliw" | "sraiw" => {
+                let word = mnemonic.ends_with('w');
+                if word && !rv64 {
+                    return Err(sem(line, format!("{mnemonic} is RV64-only")));
+                }
+                let op = match &mnemonic[..4] {
+                    "slli" => AluImmOp::Slli,
+                    "srli" => AluImmOp::Srli,
+                    _ => AluImmOp::Srai,
+                };
+                let max = if word || !rv64 { 32 } else { 64 };
+                let sh = imm(2)?;
+                if !(0..max).contains(&sh) {
+                    return Err(sem(line, format!("shift amount {sh} out of range")));
+                }
+                one(alui(op, reg(0)?, reg(1)?, sh, word))
+            }
+            "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and"
+            | "addw" | "subw" | "sllw" | "srlw" | "sraw" => {
+                let (stem, word) = match mnemonic.strip_suffix('w') {
+                    Some(stem) if matches!(stem, "add" | "sub" | "sll" | "srl" | "sra") => {
+                        (stem, true)
+                    }
+                    _ => (mnemonic, false),
+                };
+                if word && !rv64 {
+                    return Err(sem(line, format!("{mnemonic} is RV64-only")));
+                }
+                let op = match stem {
+                    "add" => AluOp::Add,
+                    "sub" => AluOp::Sub,
+                    "sll" => AluOp::Sll,
+                    "slt" => AluOp::Slt,
+                    "sltu" => AluOp::Sltu,
+                    "xor" => AluOp::Xor,
+                    "srl" => AluOp::Srl,
+                    "sra" => AluOp::Sra,
+                    "or" => AluOp::Or,
+                    _ => AluOp::And,
+                };
+                one(Inst::Alu { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)?, word })
+            }
+            "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" | "mulw"
+            | "divw" | "divuw" | "remw" | "remuw" => {
+                let (stem, word) = match mnemonic.strip_suffix('w') {
+                    Some(stem) if matches!(stem, "mul" | "div" | "divu" | "rem" | "remu") => {
+                        (stem, true)
+                    }
+                    _ => (mnemonic, false),
+                };
+                if word && !rv64 {
+                    return Err(sem(line, format!("{mnemonic} is RV64-only")));
+                }
+                let op = match stem {
+                    "mul" => MulOp::Mul,
+                    "mulh" => MulOp::Mulh,
+                    "mulhsu" => MulOp::Mulhsu,
+                    "mulhu" => MulOp::Mulhu,
+                    "div" => MulOp::Div,
+                    "divu" => MulOp::Divu,
+                    "rem" => MulOp::Rem,
+                    _ => MulOp::Remu,
+                };
+                one(Inst::Mul { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)?, word })
+            }
+            "lr.w" | "lr.d" => {
+                let width = if mnemonic.ends_with('d') { MemWidth::D } else { MemWidth::W };
+                let (base, _off) = mem(1)?;
+                one(Inst::LoadReserved { rd: reg(0)?, rs1: base, width })
+            }
+            "sc.w" | "sc.d" => {
+                let width = if mnemonic.ends_with('d') { MemWidth::D } else { MemWidth::W };
+                let (base, _off) = mem(2)?;
+                one(Inst::StoreConditional { rd: reg(0)?, rs1: base, rs2: reg(1)?, width })
+            }
+            m if m.starts_with("amo") => {
+                let (stem, width) = match m.rsplit_once('.') {
+                    Some((stem, "w")) => (stem, MemWidth::W),
+                    Some((stem, "d")) => (stem, MemWidth::D),
+                    _ => return Err(sem(line, format!("bad AMO mnemonic `{m}`"))),
+                };
+                let op = match stem {
+                    "amoswap" => AmoOp::Swap,
+                    "amoadd" => AmoOp::Add,
+                    "amoxor" => AmoOp::Xor,
+                    "amoand" => AmoOp::And,
+                    "amoor" => AmoOp::Or,
+                    "amomin" => AmoOp::Min,
+                    "amomax" => AmoOp::Max,
+                    "amominu" => AmoOp::Minu,
+                    "amomaxu" => AmoOp::Maxu,
+                    other => return Err(sem(line, format!("unknown AMO `{other}`"))),
+                };
+                let (base, _off) = mem(2)?;
+                one(Inst::Amo { op, rd: reg(0)?, rs1: base, rs2: reg(1)?, width })
+            }
+            "csrrw" | "csrrs" | "csrrc" => {
+                let op = match mnemonic {
+                    "csrrw" => CsrOp::Rw,
+                    "csrrs" => CsrOp::Rs,
+                    _ => CsrOp::Rc,
+                };
+                one(Inst::Csr { op, rd: reg(0)?, rs1: reg(2)?, csr: csr_at(1)? })
+            }
+            "csrrwi" | "csrrsi" | "csrrci" => {
+                let op = match mnemonic {
+                    "csrrwi" => CsrOp::Rw,
+                    "csrrsi" => CsrOp::Rs,
+                    _ => CsrOp::Rc,
+                };
+                one(Inst::CsrImm { op, rd: reg(0)?, zimm: imm(2)? as u8, csr: csr_at(1)? })
+            }
+            "fence" => one(Inst::Fence),
+            "fence.i" => one(Inst::FenceI),
+            "ecall" => one(Inst::Ecall),
+            "ebreak" => one(Inst::Ebreak),
+            "mret" => one(Inst::Mret),
+            "wfi" => one(Inst::Wfi),
+            other => Err(sem(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+}
+
+/// Materializes a 64-bit (or 32-bit) constant into `rd` using the standard
+/// `lui`/`addi`/`slli` recipe. The sequence length is a pure function of the
+/// value, which pass 1 relies on for layout.
+#[must_use]
+pub fn li_sequence(rd: Reg, value: i64, xlen: Xlen) -> Vec<Inst> {
+    // On RV32 only the low 32 bits are architecturally visible; accept
+    // `li t0, 0x8000_0000` and friends by normalising to the sign-extended
+    // 32-bit value (matching GNU as).
+    let value = if xlen == Xlen::Rv32 { i64::from(value as i32) } else { value };
+    // Fits in 12-bit signed: one addi.
+    if (-2048..2048).contains(&value) {
+        return vec![Inst::AluImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm: value, word: false }];
+    }
+    // Fits in 32-bit signed: lui (+ addiw on RV64 / addi on RV32).
+    if i64::from(value as i32) == value {
+        let lo = ((value & 0xfff) << 52) >> 52;
+        let hi = (value - lo) & 0xffff_ffff;
+        // `hi` as a sign-extended 32-bit upper immediate.
+        let hi = i64::from(hi as i32);
+        let mut seq = vec![Inst::Lui { rd, imm: hi }];
+        if lo != 0 {
+            seq.push(Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1: rd,
+                imm: lo,
+                word: xlen == Xlen::Rv64,
+            });
+        }
+        return seq;
+    }
+    assert!(xlen == Xlen::Rv64, "64-bit constant on RV32");
+    // General case: materialize the upper part recursively, shift, add the
+    // low 12 bits.
+    let lo = ((value & 0xfff) << 52) >> 52;
+    let upper = (value - lo) >> 12;
+    let mut seq = li_sequence(rd, upper, xlen);
+    seq.push(Inst::AluImm { op: AluImmOp::Slli, rd, rs1: rd, imm: 12, word: false });
+    if lo != 0 {
+        seq.push(Inst::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm: lo, word: false });
+    }
+    seq
+}
+
+fn csr_by_name(name: &str) -> Option<u16> {
+    use riscv_isa::csr;
+    Some(match name {
+        "mstatus" => csr::MSTATUS,
+        "misa" => csr::MISA,
+        "mie" => csr::MIE,
+        "mtvec" => csr::MTVEC,
+        "mscratch" => csr::MSCRATCH,
+        "mepc" => csr::MEPC,
+        "mcause" => csr::MCAUSE,
+        "mtval" => csr::MTVAL,
+        "mip" => csr::MIP,
+        "mhartid" => csr::MHARTID,
+        "cycle" => csr::CYCLE,
+        "instret" => csr::INSTRET,
+        "mcycle" => csr::MCYCLE,
+        "minstret" => csr::MINSTRET,
+        _ => return None,
+    })
+}
+
+/// Convenience wrapper: assemble `source` for `xlen` at `base`.
+///
+/// # Errors
+///
+/// See [`Assembler::assemble`].
+pub fn assemble(source: &str, xlen: Xlen, base: u64) -> Result<Program, AsmError> {
+    Assembler::new(xlen, base).assemble(source)
+}

@@ -1,0 +1,222 @@
+//! Program disassembly: memory images back to assembler-compatible text.
+//!
+//! Complements the assembler for debugging and for golden-file tests: the
+//! listing it produces (with synthesised labels for branch targets and
+//! pseudo-instruction recognition) reassembles to the original image. The
+//! TitanCFI examples also use it to show the instruction stream the CFI
+//! filter observes.
+
+use crate::program::Program;
+use riscv_isa::{decode, AluImmOp, AluOp, BranchCond, Inst, Reg, Xlen};
+use std::collections::BTreeMap;
+
+/// One disassembled instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Address of the instruction.
+    pub addr: u64,
+    /// Raw encoding (low 16 bits meaningful for compressed).
+    pub raw: u32,
+    /// Encoding length (2 or 4).
+    pub len: u8,
+    /// Optional label bound to this address.
+    pub label: Option<String>,
+    /// Assembler-compatible text (pseudo-instructions recognised).
+    pub text: String,
+}
+
+/// Renders an instruction with pseudo-instruction recognition; `target`
+/// supplies the label to use for pc-relative operands.
+fn pretty(inst: &Inst, target_label: Option<&str>) -> String {
+    match *inst {
+        Inst::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0, word: false } => {
+            "nop".to_string()
+        }
+        Inst::AluImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm, word: false }
+            if rd != Reg::ZERO =>
+        {
+            format!("li {rd}, {imm}")
+        }
+        Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm: 0, word: false }
+            if rd != Reg::ZERO && rs1 != Reg::ZERO =>
+        {
+            format!("mv {rd}, {rs1}")
+        }
+        Inst::AluImm { op: AluImmOp::Xori, rd, rs1, imm: -1, word: false } => {
+            format!("not {rd}, {rs1}")
+        }
+        Inst::AluImm { op: AluImmOp::Sltiu, rd, rs1, imm: 1, word: false } => {
+            format!("seqz {rd}, {rs1}")
+        }
+        Inst::Alu { op: AluOp::Sub, rd, rs1: Reg::ZERO, rs2, word: false } => {
+            format!("neg {rd}, {rs2}")
+        }
+        Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 } => "ret".to_string(),
+        Inst::Jalr { rd: Reg::ZERO, rs1, offset: 0 } => format!("jr {rs1}"),
+        Inst::Jalr { rd: Reg::RA, rs1, offset: 0 } => format!("jalr {rs1}"),
+        Inst::Jal { rd: Reg::ZERO, .. } => match target_label {
+            Some(l) => format!("j {l}"),
+            None => inst.to_string(),
+        },
+        Inst::Jal { rd: Reg::RA, .. } => match target_label {
+            Some(l) => format!("call {l}"),
+            None => inst.to_string(),
+        },
+        Inst::Branch { cond, rs1, rs2, .. } => {
+            let label = match target_label {
+                Some(l) => l.to_string(),
+                None => return inst.to_string(),
+            };
+            match (cond, rs1, rs2) {
+                (BranchCond::Eq, r, Reg::ZERO) => format!("beqz {r}, {label}"),
+                (BranchCond::Ne, r, Reg::ZERO) => format!("bnez {r}, {label}"),
+                _ => format!("{} {rs1}, {rs2}, {label}", cond.mnemonic()),
+            }
+        }
+        _ => inst.to_string(),
+    }
+}
+
+/// Disassembles the code image of `program` (from its base to `end`).
+///
+/// Branch and jump targets get synthesised labels (`L_<addr>`), merged
+/// with the program's own symbols when available.
+#[must_use]
+pub fn disassemble(program: &Program, xlen: Xlen) -> Vec<DisasmLine> {
+    // First sweep: decode and collect targets.
+    let mut decoded = Vec::new();
+    let mut pc = program.base;
+    while pc < program.end() {
+        let Some(word) = fetch(program, pc) else { break };
+        let Ok(d) = decode(word, xlen) else { break };
+        let target = match d.inst {
+            Inst::Jal { offset, .. } => Some(pc.wrapping_add(offset as u64)),
+            Inst::Branch { offset, .. } => Some(pc.wrapping_add(offset as u64)),
+            _ => None,
+        };
+        decoded.push((pc, d, target));
+        pc += u64::from(d.len);
+    }
+
+    // Label map: program symbols first, synthesised for the rest.
+    let mut labels: BTreeMap<u64, String> = BTreeMap::new();
+    for (name, &addr) in &program.symbols {
+        labels.entry(addr).or_insert_with(|| name.clone());
+    }
+    for (_, _, target) in &decoded {
+        if let Some(t) = target {
+            labels.entry(*t).or_insert_with(|| format!("L_{t:x}"));
+        }
+    }
+
+    decoded
+        .into_iter()
+        .map(|(addr, d, target)| {
+            let target_label = target.and_then(|t| labels.get(&t)).map(String::as_str);
+            DisasmLine {
+                addr,
+                raw: d.raw,
+                len: d.len,
+                label: labels.get(&addr).cloned(),
+                text: pretty(&d.inst, target_label),
+            }
+        })
+        .collect()
+}
+
+/// Renders a listing that the assembler accepts back.
+#[must_use]
+pub fn to_listing(lines: &[DisasmLine]) -> String {
+    let mut out = String::new();
+    for line in lines {
+        if let Some(label) = &line.label {
+            out.push_str(label);
+            out.push_str(":\n");
+        }
+        out.push_str("    ");
+        out.push_str(&line.text);
+        out.push('\n');
+    }
+    out
+}
+
+fn fetch(program: &Program, addr: u64) -> Option<u32> {
+    let off = addr.checked_sub(program.base)? as usize;
+    let lo = *program.bytes.get(off)? as u32 | (u32::from(*program.bytes.get(off + 1)?) << 8);
+    if lo & 0b11 != 0b11 {
+        return Some(lo);
+    }
+    let hi = u32::from(*program.bytes.get(off + 2)?) | (u32::from(*program.bytes.get(off + 3)?) << 8);
+    Some(lo | hi << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{assemble, Assembler};
+
+    const SRC: &str = r"
+    _start:
+        li   a0, 10
+        li   a1, 0
+    loop:
+        add  a1, a1, a0
+        addi a0, a0, -1
+        bnez a0, loop
+        call helper
+        mv   a0, a1
+        ebreak
+    helper:
+        not  a2, a1
+        neg  a3, a1
+        ret
+    ";
+
+    #[test]
+    fn pseudo_recognition() {
+        let prog = assemble(SRC, Xlen::Rv64, 0x8000_0000).expect("assembles");
+        let lines = disassemble(&prog, Xlen::Rv64);
+        let texts: Vec<&str> = lines.iter().map(|l| l.text.as_str()).collect();
+        assert!(texts.contains(&"li a0, 10"));
+        assert!(texts.contains(&"bnez a0, loop"));
+        assert!(texts.contains(&"call helper"));
+        assert!(texts.contains(&"mv a0, a1"));
+        assert!(texts.contains(&"not a2, a1"));
+        assert!(texts.contains(&"neg a3, a1"));
+        assert!(texts.contains(&"ret"));
+    }
+
+    #[test]
+    fn labels_from_symbols() {
+        let prog = assemble(SRC, Xlen::Rv64, 0x8000_0000).expect("assembles");
+        let lines = disassemble(&prog, Xlen::Rv64);
+        let labelled: Vec<&str> = lines
+            .iter()
+            .filter_map(|l| l.label.as_deref())
+            .collect();
+        assert!(labelled.contains(&"_start"));
+        assert!(labelled.contains(&"loop"));
+        assert!(labelled.contains(&"helper"));
+    }
+
+    #[test]
+    fn listing_reassembles_to_same_image() {
+        let prog = assemble(SRC, Xlen::Rv64, 0x8000_0000).expect("assembles");
+        let listing = to_listing(&disassemble(&prog, Xlen::Rv64));
+        let again = assemble(&listing, Xlen::Rv64, 0x8000_0000)
+            .unwrap_or_else(|e| panic!("listing must reassemble: {e}\n{listing}"));
+        assert_eq!(again.bytes, prog.bytes, "round trip must be byte-exact");
+    }
+
+    #[test]
+    fn compressed_image_disassembles() {
+        let prog = Assembler::new(Xlen::Rv64, 0x8000_0000)
+            .compressed()
+            .assemble(SRC)
+            .expect("assembles");
+        let lines = disassemble(&prog, Xlen::Rv64);
+        assert!(lines.iter().any(|l| l.len == 2), "RVC encodings present");
+        // The last line of the helper is still recognised as ret.
+        assert!(lines.iter().any(|l| l.text == "ret"));
+    }
+}

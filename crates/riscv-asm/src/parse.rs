@@ -1,0 +1,305 @@
+//! Line-oriented parsing of assembly source.
+//!
+//! The surface syntax follows GNU `as` for the subset the TitanCFI firmware
+//! and benchmark kernels need: one statement per line, `label:` definitions,
+//! a handful of data directives, comments with `#` or `//`, and operands
+//! that are registers, integer literals (decimal or `0x` hex), symbols, or
+//! `offset(base)` memory references with `%hi(sym)`/`%lo(sym)` relocations.
+
+use riscv_isa::Reg;
+use std::fmt;
+
+/// A parsed operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A register name.
+    Reg(Reg),
+    /// An integer literal.
+    Imm(i64),
+    /// A bare symbol reference.
+    Sym(String),
+    /// `%hi(sym)` — upper 20 bits with low-part rounding.
+    HiSym(String),
+    /// `%lo(sym)` — low 12 bits.
+    LoSym(String),
+    /// `offset(base)` memory operand; the offset may itself be a literal or
+    /// a `%lo` relocation.
+    Mem { offset: Box<Operand>, base: Reg },
+}
+
+/// One parsed source statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `name:` — binds `name` to the current location counter.
+    Label(String),
+    /// An instruction or pseudo-instruction with operands.
+    Inst { mnemonic: String, operands: Vec<Operand> },
+    /// A directive such as `.word` with its raw arguments.
+    Directive { name: String, args: Vec<Operand> },
+}
+
+/// A parse failure, with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Strips comments (`#`, `//`) outside of any context we care about.
+fn strip_comment(s: &str) -> &str {
+    let mut end = s.len();
+    if let Some(i) = s.find('#') {
+        end = end.min(i);
+    }
+    if let Some(i) = s.find("//") {
+        end = end.min(i);
+    }
+    &s[..end]
+}
+
+/// Splits an operand list on top-level commas (parentheses nest).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+/// Parses an integer literal: decimal, `0x` hex, `0b` binary, optional sign.
+pub(crate) fn parse_int(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()? as i64
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u64::from_str_radix(&bin.replace('_', ""), 2).ok()? as i64
+    } else {
+        body.replace('_', "").parse::<i64>().ok()?
+    };
+    Some(if neg { value.wrapping_neg() } else { value })
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(err(line, "empty operand"));
+    }
+    // %hi(sym) / %lo(sym) — only when the operand is exactly one reloc group
+    // (otherwise `%lo(sym)(base)` must fall through to the memory form).
+    if s.matches('(').count() == 1 {
+        if let Some(rest) = s.strip_prefix("%hi(") {
+            let sym = rest.strip_suffix(')').ok_or_else(|| err(line, "unterminated %hi("))?;
+            return Ok(Operand::HiSym(sym.trim().to_string()));
+        }
+        if let Some(rest) = s.strip_prefix("%lo(") {
+            let sym = rest.strip_suffix(')').ok_or_else(|| err(line, "unterminated %lo("))?;
+            return Ok(Operand::LoSym(sym.trim().to_string()));
+        }
+    }
+    // offset(base) — the base register group is the *last* parenthesis.
+    if let Some(open) = s.rfind('(') {
+        if s.ends_with(')') {
+            let inner = &s[open + 1..s.len() - 1];
+            let base = Reg::parse(inner.trim())
+                .ok_or_else(|| err(line, format!("bad base register `{inner}`")))?;
+            let off_str = s[..open].trim();
+            let offset = if off_str.is_empty() {
+                Operand::Imm(0)
+            } else {
+                parse_operand(off_str, line)?
+            };
+            return Ok(Operand::Mem { offset: Box::new(offset), base });
+        }
+    }
+    if let Some(reg) = Reg::parse(s) {
+        return Ok(Operand::Reg(reg));
+    }
+    if let Some(v) = parse_int(s) {
+        return Ok(Operand::Imm(v));
+    }
+    // symbol
+    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$') {
+        return Ok(Operand::Sym(s.to_string()));
+    }
+    Err(err(line, format!("cannot parse operand `{s}`")))
+}
+
+/// Parses a full source text into statements (with 1-based line numbers).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse(source: &str) -> Result<Vec<(usize, Stmt)>, ParseError> {
+    let mut stmts = Vec::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = strip_comment(raw_line).trim();
+        // Possibly several labels then one statement on the same line.
+        while let Some(colon) = text.find(':') {
+            let (head, rest) = text.split_at(colon);
+            let name = head.trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+            {
+                break;
+            }
+            stmts.push((line, Stmt::Label(name.to_string())));
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (head, tail) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        if let Some(dname) = head.strip_prefix('.') {
+            let args = split_operands(tail)
+                .iter()
+                .map(|a| parse_operand(a, line))
+                .collect::<Result<Vec<_>, _>>()?;
+            stmts.push((line, Stmt::Directive { name: dname.to_ascii_lowercase(), args }));
+        } else {
+            let operands = split_operands(tail)
+                .iter()
+                .map(|a| parse_operand(a, line))
+                .collect::<Result<Vec<_>, _>>()?;
+            stmts.push((
+                line,
+                Stmt::Inst { mnemonic: head.to_ascii_lowercase(), operands },
+            ));
+        }
+    }
+    Ok(stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_labels_and_insts() {
+        let src = "loop:\n  addi a0, a0, -1\n  bnez a0, loop # back-edge\n";
+        let stmts = parse(src).expect("parses");
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(stmts[0].1, Stmt::Label("loop".into()));
+        match &stmts[1].1 {
+            Stmt::Inst { mnemonic, operands } => {
+                assert_eq!(mnemonic, "addi");
+                assert_eq!(operands.len(), 3);
+                assert_eq!(operands[2], Operand::Imm(-1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let stmts = parse("ld ra, 8(sp)").expect("parses");
+        match &stmts[0].1 {
+            Stmt::Inst { operands, .. } => {
+                assert_eq!(
+                    operands[1],
+                    Operand::Mem { offset: Box::new(Operand::Imm(8)), base: Reg::SP }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_hi_lo_relocations() {
+        let stmts = parse("lui a0, %hi(buf)\naddi a0, a0, %lo(buf)\nlw a1, %lo(buf)(a0)")
+            .expect("parses");
+        assert_eq!(stmts.len(), 3);
+        match &stmts[2].1 {
+            Stmt::Inst { operands, .. } => match &operands[1] {
+                Operand::Mem { offset, base } => {
+                    assert_eq!(**offset, Operand::LoSym("buf".into()));
+                    assert_eq!(*base, Reg::A0);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_directives() {
+        let stmts = parse(".org 0x100\n.word 1, 2, 0x30\n.align 3").expect("parses");
+        assert_eq!(stmts.len(), 3);
+        match &stmts[1].1 {
+            Stmt::Directive { name, args } => {
+                assert_eq!(name, "word");
+                assert_eq!(args.len(), 3);
+                assert_eq!(args[2], Operand::Imm(0x30));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_then_inst_same_line() {
+        let stmts = parse("entry: nop").expect("parses");
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let stmts = parse("nop // trailing\n# whole line\nnop # x\n").expect("parses");
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn int_literals() {
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("-42"), Some(-42));
+        assert_eq!(parse_int("0x10"), Some(16));
+        assert_eq!(parse_int("0b101"), Some(5));
+        assert_eq!(parse_int("1_000"), Some(1000));
+        assert_eq!(parse_int("zzz"), None);
+    }
+
+    #[test]
+    fn rejects_garbage_operand() {
+        assert!(parse("addi a0, a0, @!").is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! The assembled memory image.
+
+use std::collections::BTreeMap;
+
+/// An assembled program: a byte image to be loaded at [`Program::base`],
+/// plus the resolved symbol table.
+///
+/// # Examples
+///
+/// ```
+/// use riscv_asm::assemble;
+/// use riscv_isa::Xlen;
+///
+/// # fn main() -> Result<(), riscv_asm::AsmError> {
+/// let prog = assemble("_start: li a0, 7\n ret\n", Xlen::Rv64, 0x8000_0000)?;
+/// assert_eq!(prog.entry, 0x8000_0000);
+/// assert_eq!(prog.symbol("_start"), Some(0x8000_0000));
+/// assert!(!prog.bytes.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Load address of `bytes[0]`.
+    pub base: u64,
+    /// Little-endian image contents.
+    pub bytes: Vec<u8>,
+    /// Label and `.equ` symbol values.
+    pub symbols: BTreeMap<String, u64>,
+    /// Entry point: the `_start` symbol if defined, else `base`.
+    pub entry: u64,
+}
+
+impl Program {
+    /// Looks up a symbol's address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Address one past the last byte of the image.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Reads a little-endian 32-bit word at `addr`, if inside the image.
+    #[must_use]
+    pub fn word_at(&self, addr: u64) -> Option<u32> {
+        let off = addr.checked_sub(self.base)? as usize;
+        let slice = self.bytes.get(off..off + 4)?;
+        Some(u32::from_le_bytes(slice.try_into().expect("4-byte slice")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_at_bounds() {
+        let p = Program {
+            base: 0x100,
+            bytes: vec![0x13, 0x00, 0x00, 0x00, 0xff],
+            symbols: BTreeMap::new(),
+            entry: 0x100,
+        };
+        assert_eq!(p.word_at(0x100), Some(0x13));
+        assert_eq!(p.word_at(0x102), None); // truncated
+        assert_eq!(p.word_at(0xff), None);
+        assert_eq!(p.end(), 0x105);
+    }
+}

@@ -1,0 +1,289 @@
+//! End-to-end assembler tests: assemble, then decode the image back and
+//! check the instruction stream.
+
+use proptest::prelude::*;
+use riscv_asm::{assemble, li_sequence, AsmError, Assembler, Program};
+use riscv_isa::{decode, AluImmOp, BranchCond, Inst, MemWidth, Reg, Xlen};
+
+fn words(p: &Program) -> Vec<Inst> {
+    let mut out = Vec::new();
+    let mut pc = p.base;
+    while pc < p.end() {
+        let w = p.word_at(pc).expect("aligned image");
+        out.push(decode(w, Xlen::Rv64).expect("image decodes").inst);
+        pc += 4;
+    }
+    out
+}
+
+#[test]
+fn assembles_straight_line_code() {
+    let p = assemble("addi a0, zero, 5\nadd a1, a0, a0\nret\n", Xlen::Rv64, 0x1000)
+        .expect("assembles");
+    let insts = words(&p);
+    assert_eq!(insts.len(), 3);
+    assert_eq!(
+        insts[0],
+        Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 5, word: false }
+    );
+    assert_eq!(insts[2], Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+}
+
+#[test]
+fn resolves_forward_and_backward_labels() {
+    let src = r"
+    _start:
+        j fwd
+    back:
+        ret
+    fwd:
+        beqz a0, back
+        j back
+    ";
+    let p = assemble(src, Xlen::Rv64, 0).expect("assembles");
+    let insts = words(&p);
+    // j fwd at pc 0, fwd at 8
+    assert_eq!(insts[0], Inst::Jal { rd: Reg::ZERO, offset: 8 });
+    // beqz at 8 targets 4 => -4
+    assert_eq!(
+        insts[2],
+        Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::ZERO, offset: -4 }
+    );
+    assert_eq!(insts[3], Inst::Jal { rd: Reg::ZERO, offset: -8 });
+}
+
+#[test]
+fn call_and_ret_roundtrip() {
+    let src = "_start: call f\nebreak\nf: ret\n";
+    let p = assemble(src, Xlen::Rv64, 0x8000_0000).expect("assembles");
+    let insts = words(&p);
+    assert_eq!(insts[0], Inst::Jal { rd: Reg::RA, offset: 8 });
+    assert_eq!(insts[1], Inst::Ebreak);
+    assert_eq!(insts[2], Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+}
+
+#[test]
+fn la_produces_pc_relative_pair() {
+    let src = ".org 0x0\n_start: la a0, data\nret\n.org 0x100\ndata: .word 42\n";
+    let p = assemble(src, Xlen::Rv64, 0).expect("assembles");
+    // Decode just the three code words (the rest of the image is padding
+    // and data, which need not decode).
+    let insts: Vec<Inst> = (0..3)
+        .map(|i| decode(p.word_at(i * 4).unwrap(), Xlen::Rv64).expect("code decodes").inst)
+        .collect();
+    match (insts[0], insts[1]) {
+        (Inst::Auipc { rd, imm }, Inst::AluImm { op: AluImmOp::Addi, rd: rd2, rs1, imm: lo, .. }) => {
+            assert_eq!(rd, Reg::A0);
+            assert_eq!(rd2, Reg::A0);
+            assert_eq!(rs1, Reg::A0);
+            assert_eq!(imm + lo, 0x100); // auipc at pc 0
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(p.word_at(0x100), Some(42));
+}
+
+#[test]
+fn hi_lo_relocations_reconstruct_address() {
+    let src = "
+    .equ buf, 0x80002800
+    _start:
+        lui a0, %hi(buf)
+        addi a0, a0, %lo(buf)
+        ret
+    ";
+    let p = assemble(src, Xlen::Rv64, 0).expect("assembles");
+    let insts = words(&p);
+    match (insts[0], insts[1]) {
+        (Inst::Lui { imm, .. }, Inst::AluImm { imm: lo, .. }) => {
+            // `lui` sign-extends on RV64, so compare the low 32 bits.
+            assert_eq!((imm + lo) as u32, 0x8000_2800);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn data_directives_layout() {
+    let src = "
+    .org 0x10
+    tbl: .byte 1, 2, 3
+    .align 2
+    w:   .word 0xdeadbeef
+    d:   .dword 0x1122334455667788
+    z:   .zero 8
+    end:
+    ";
+    let p = assemble(src, Xlen::Rv64, 0).expect("assembles");
+    assert_eq!(p.symbol("tbl"), Some(0x10));
+    assert_eq!(p.symbol("w"), Some(0x14));
+    assert_eq!(p.symbol("d"), Some(0x18));
+    assert_eq!(p.symbol("z"), Some(0x20));
+    assert_eq!(p.symbol("end"), Some(0x28));
+    assert_eq!(p.word_at(0x14), Some(0xdead_beef));
+    assert_eq!(p.word_at(0x18), Some(0x5566_7788));
+    assert_eq!(p.word_at(0x1c), Some(0x1122_3344));
+}
+
+#[test]
+fn duplicate_label_rejected() {
+    let err = assemble("a: nop\na: nop\n", Xlen::Rv64, 0).unwrap_err();
+    assert!(matches!(err, AsmError::Semantic { .. }), "{err}");
+    assert!(err.to_string().contains("duplicate"));
+}
+
+#[test]
+fn unknown_symbol_rejected() {
+    let err = assemble("j nowhere\n", Xlen::Rv64, 0).unwrap_err();
+    assert!(err.to_string().contains("unknown symbol"));
+}
+
+#[test]
+fn branch_out_of_range_rejected() {
+    let src = "_start: beqz a0, far\n.org 0x4000\nfar: ret\n";
+    let err = assemble(src, Xlen::Rv64, 0).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}
+
+#[test]
+fn rv64_only_ops_rejected_on_rv32() {
+    for src in ["ld a0, 0(sp)", "sd a0, 0(sp)", "addiw a0, a0, 1", "mulw a0, a0, a0"] {
+        let err = assemble(src, Xlen::Rv32, 0).unwrap_err();
+        assert!(err.to_string().contains("RV64-only"), "{src}: {err}");
+    }
+    // ...but accepted on RV64
+    for src in ["ld a0, 0(sp)", "sd a0, 0(sp)", "addiw a0, a0, 1", "mulw a0, a0, a0"] {
+        assemble(src, Xlen::Rv64, 0).expect(src);
+    }
+}
+
+#[test]
+fn csr_names_resolve() {
+    let p = assemble("csrr a0, mepc\ncsrw mscratch, a1\ncsrci mstatus, 8\n", Xlen::Rv32, 0)
+        .expect("assembles");
+    let insts = words(&p);
+    match insts[0] {
+        Inst::Csr { csr, .. } => assert_eq!(csr, 0x341),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn store_with_lo_offset() {
+    let src = "
+    .equ var, 0x800
+    _start: sw a0, %lo(var)(gp)
+    ";
+    let p = assemble(src, Xlen::Rv32, 0).expect("assembles");
+    match words(&p)[0] {
+        Inst::Store { offset, width: MemWidth::W, .. } => assert_eq!(offset, -2048), // 0x800 sign-extends
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn entry_defaults_to_base_without_start() {
+    let p = assemble("nop\n", Xlen::Rv64, 0x400).expect("assembles");
+    assert_eq!(p.entry, 0x400);
+}
+
+proptest! {
+    /// `li` materializes any 64-bit constant: simulate the emitted sequence
+    /// with a tiny ALU interpreter and check the final register value.
+    #[test]
+    fn li_materializes_any_value(value in any::<i64>()) {
+        let seq = li_sequence(Reg::A0, value, Xlen::Rv64);
+        prop_assert!(seq.len() <= 8, "sequence too long: {}", seq.len());
+        let mut acc: i64 = 0;
+        for inst in &seq {
+            match *inst {
+                Inst::Lui { imm, .. } => acc = imm,
+                Inst::AluImm { op: AluImmOp::Addi, imm, word, .. } => {
+                    acc = acc.wrapping_add(imm);
+                    if word {
+                        acc = i64::from(acc as i32);
+                    }
+                }
+                Inst::AluImm { op: AluImmOp::Slli, imm, .. } => acc <<= imm,
+                ref other => prop_assert!(false, "unexpected inst {other}"),
+            }
+        }
+        prop_assert_eq!(acc, value);
+    }
+
+    /// 32-bit values materialize on RV32 too (with RV32 semantics).
+    #[test]
+    fn li_rv32_materializes_i32(value in any::<i32>()) {
+        let seq = li_sequence(Reg::A0, i64::from(value), Xlen::Rv32);
+        prop_assert!(seq.len() <= 2);
+        let mut acc: i32 = 0;
+        for inst in &seq {
+            match *inst {
+                Inst::Lui { imm, .. } => acc = imm as i32,
+                Inst::AluImm { op: AluImmOp::Addi, imm, .. } => acc = acc.wrapping_add(imm as i32),
+                ref other => prop_assert!(false, "unexpected inst {other}"),
+            }
+        }
+        prop_assert_eq!(acc, value);
+    }
+
+    /// The assembled image of an `li` statement decodes back to the same
+    /// sequence the expander produced.
+    #[test]
+    fn li_image_matches_sequence(value in any::<i64>()) {
+        let p = assemble(&format!("li t3, {value}\n"), Xlen::Rv64, 0).expect("assembles");
+        let expect = li_sequence(Reg::T3, value, Xlen::Rv64);
+        prop_assert_eq!(words(&p), expect);
+    }
+}
+
+#[test]
+fn li_accepts_predefined_equ_constants() {
+    let src = "
+    .equ MAILBOX, 0xc0000000
+    _start:
+        li t0, MAILBOX
+        ebreak
+    ";
+    let p = assemble(src, Xlen::Rv64, 0).expect("assembles");
+    // The materialized value must equal the constant (sign-extended 32-bit
+    // form on RV64, low 32 bits matching).
+    let insts = words(&p);
+    let mut acc: i64 = 0;
+    for inst in &insts[..insts.len() - 1] {
+        match *inst {
+            Inst::Lui { imm, .. } => acc = imm,
+            Inst::AluImm { op: AluImmOp::Addi, imm, word, .. } => {
+                acc = acc.wrapping_add(imm);
+                if word {
+                    acc = i64::from(acc as i32);
+                }
+            }
+            Inst::AluImm { op: AluImmOp::Slli, imm, .. } => acc <<= imm,
+            ref other => panic!("unexpected {other}"),
+        }
+    }
+    assert_eq!(acc as u32, 0xc000_0000);
+}
+
+#[test]
+fn li_rejects_forward_and_label_symbols() {
+    let err = assemble("_start: li t0, later\n.equ later, 5\n", Xlen::Rv64, 0).unwrap_err();
+    assert!(err.to_string().contains("not defined yet"), "{err}");
+}
+
+#[test]
+fn compressed_li_with_equ_symbol_layout_consistent() {
+    // Symbolic li must size identically in both passes with compression on.
+    let src = "
+    .equ SMALL, 3
+    _start:
+        li a0, SMALL
+        li a1, 3
+        ret
+    end_marker:
+    ";
+    let p = Assembler::new(Xlen::Rv64, 0).compressed().assemble(src).expect("assembles");
+    // li a0, SMALL stays 4 bytes (symbolic); li a1, 3 compresses to 2; ret to 2.
+    assert_eq!(p.symbol("end_marker"), Some(8));
+}

@@ -1,0 +1,196 @@
+//! Compression-pass tests: compressed programs behave identically to
+//! uncompressed ones, shrink meaningfully, and every emitted halfword
+//! decodes back to the original instruction.
+
+use proptest::prelude::*;
+use riscv_asm::{try_compress, Assembler};
+use riscv_isa::{decode, AluImmOp, AluOp, Inst, MemWidth, Reg, Xlen};
+
+/// A program using many compressible forms plus control flow.
+const MIXED_SRC: &str = r"
+_start:
+    addi sp, sp, -32
+    sd   ra, 0(sp)
+    sd   s0, 8(sp)
+    li   a0, 10
+    li   a1, 0
+loop:
+    mv   s0, a0
+    add  a1, a1, s0
+    andi a1, a1, 31
+    slli a1, a1, 1
+    srli a1, a1, 1
+    addi a0, a0, -1
+    bnez a0, loop
+    call leaf
+    ld   ra, 0(sp)
+    ld   s0, 8(sp)
+    addi sp, sp, 32
+    mv   a0, a1
+    ebreak
+leaf:
+    addi a1, a1, 5
+    ret
+";
+
+fn run_program(prog: &riscv_asm::Program, xlen: Xlen) -> (u64, u64) {
+    let mut mem = riscv_isa::FlatMemory::new(prog.base, 1 << 16);
+    mem.load(prog.base, &prog.bytes);
+    let mut hart = riscv_isa::Hart::new(xlen, prog.entry);
+    hart.set_reg(Reg::SP, prog.base + 0x8000);
+    let mut steps = 0u64;
+    loop {
+        match hart.step(&mut mem) {
+            Ok(_) => steps += 1,
+            Err(riscv_isa::Trap::Breakpoint) => break,
+            Err(t) => panic!("trap: {t}"),
+        }
+        assert!(steps < 100_000, "runaway");
+    }
+    (hart.reg(Reg::A0), steps)
+}
+
+#[test]
+fn compressed_program_computes_same_result() {
+    let plain = Assembler::new(Xlen::Rv64, 0x8000_0000).assemble(MIXED_SRC).expect("plain");
+    let compressed = Assembler::new(Xlen::Rv64, 0x8000_0000)
+        .compressed()
+        .assemble(MIXED_SRC)
+        .expect("compressed");
+    let (a_plain, steps_plain) = run_program(&plain, Xlen::Rv64);
+    let (a_comp, steps_comp) = run_program(&compressed, Xlen::Rv64);
+    assert_eq!(a_plain, a_comp, "results must match");
+    assert_eq!(steps_plain, steps_comp, "same instruction count");
+    assert!(
+        compressed.bytes.len() < plain.bytes.len(),
+        "compression must shrink the image: {} vs {}",
+        compressed.bytes.len(),
+        plain.bytes.len()
+    );
+    // At least 25 % savings on this compressible mix.
+    let ratio = compressed.bytes.len() as f64 / plain.bytes.len() as f64;
+    assert!(ratio < 0.75, "ratio {ratio:.2}");
+}
+
+#[test]
+fn every_kernel_runs_compressed() {
+    // The workload kernels (sans data directives edge cases) must assemble
+    // and run compressed with identical results — checked on a recursion-
+    // heavy representative here; the full sweep lives in the soc tests.
+    let src = r"
+    _start:
+        li  a0, 12
+        call fib
+        ebreak
+    fib:
+        li  t0, 2
+        blt a0, t0, base
+        addi sp, sp, -32
+        sd  ra, 0(sp)
+        sd  a0, 8(sp)
+        addi a0, a0, -1
+        call fib
+        sd  a0, 16(sp)
+        ld  a0, 8(sp)
+        addi a0, a0, -2
+        call fib
+        ld  t1, 16(sp)
+        add a0, a0, t1
+        ld  ra, 0(sp)
+        addi sp, sp, 32
+        ret
+    base:
+        ret
+    ";
+    let plain = Assembler::new(Xlen::Rv64, 0x8000_0000).assemble(src).expect("plain");
+    let comp = Assembler::new(Xlen::Rv64, 0x8000_0000).compressed().assemble(src).expect("c");
+    assert_eq!(run_program(&plain, Xlen::Rv64).0, 144);
+    assert_eq!(run_program(&comp, Xlen::Rv64).0, 144);
+}
+
+#[test]
+fn rv32_firmware_style_code_compresses() {
+    let src = r"
+    _start:
+        addi sp, sp, -16
+        sw   ra, 0(sp)
+        sw   s0, 4(sp)
+        li   a0, 21
+        slli a0, a0, 2
+        srai a0, a0, 1
+        lw   ra, 0(sp)
+        lw   s0, 4(sp)
+        addi sp, sp, 16
+        ebreak
+    ";
+    let plain = Assembler::new(Xlen::Rv32, 0x1_0000).assemble(src).expect("plain");
+    let comp = Assembler::new(Xlen::Rv32, 0x1_0000).compressed().assemble(src).expect("c");
+    assert!(comp.bytes.len() < plain.bytes.len());
+    assert_eq!(run_program(&plain, Xlen::Rv32).0, run_program(&comp, Xlen::Rv32).0);
+}
+
+fn arb_compressible_candidates() -> impl Strategy<Value = Inst> {
+    let reg = (0u8..32).prop_map(Reg::new);
+    let cregs = (8u8..16).prop_map(Reg::new);
+    prop_oneof![
+        (reg.clone(), -32i64..32).prop_map(|(rd, imm)| Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: rd,
+            imm,
+            word: false
+        }),
+        (reg.clone(), reg.clone()).prop_map(|(rd, rs2)| Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::ZERO,
+            rs2,
+            word: false
+        }),
+        (cregs.clone(), cregs.clone(), 0i64..256).prop_map(|(rd, rs1, off)| Inst::Load {
+            rd,
+            rs1,
+            offset: off & !7,
+            width: MemWidth::D,
+            unsigned: false
+        }),
+        (reg.clone(), 0i64..512).prop_map(|(rs2, off)| Inst::Store {
+            rs1: Reg::SP,
+            rs2,
+            offset: off & !7,
+            width: MemWidth::D
+        }),
+        (cregs.clone(), cregs).prop_map(|(rd, rs2)| Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1: rd,
+            rs2,
+            word: false
+        }),
+        (reg.clone(), 1i64..64).prop_map(|(rd, sh)| Inst::AluImm {
+            op: AluImmOp::Slli,
+            rd,
+            rs1: rd,
+            imm: sh,
+            word: false
+        }),
+        reg.prop_map(|rs1| Inst::Jalr { rd: Reg::ZERO, rs1, offset: 0 }),
+    ]
+}
+
+proptest! {
+    /// Whenever the pass compresses an instruction, the halfword decodes
+    /// back to exactly that instruction.
+    #[test]
+    fn compress_decode_inverse(inst in arb_compressible_candidates()) {
+        if let Some(h) = try_compress(&inst, Xlen::Rv64) {
+            let d = decode(u32::from(h), Xlen::Rv64).expect("compressed form must decode");
+            prop_assert_eq!(d.inst, inst);
+            prop_assert_eq!(d.len, 2);
+            // The commit-log path: uncompressed() must re-expand to a legal
+            // 4-byte encoding of the same instruction.
+            let full = decode(d.uncompressed(), Xlen::Rv64).expect("expansion legal");
+            prop_assert_eq!(full.inst, inst);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Control-flow classification of retired instructions.
+//!
+//! TitanCFI's CFI Filter (paper §IV-B1) selects, out of the stream of retired
+//! instructions, the three event classes the RoT firmware checks: **function
+//! calls**, **function returns**, and **indirect jumps**. RISC-V has no
+//! dedicated call/return opcodes, so the classification follows the psABI
+//! convention on `jal`/`jalr` link registers — the same heuristic the return
+//! address stack (RAS) of real cores uses:
+//!
+//! * `rd` is a link register (`ra`/`t0`) → **call**;
+//! * `jalr` with `rs1` a link register and `rd` not a link register →
+//!   **return**;
+//! * any other `jalr` → **indirect jump**;
+//! * `jal` with `rd = x0` → direct jump (not CFI-relevant: its target is
+//!   immutable in the binary);
+//! * conditional branches → not CFI-relevant for the paper's policies.
+//!
+//! The same parsing runs twice in a TitanCFI system: once in the (modelled)
+//! commit-stage filter hardware, and once in the Ibex firmware, which
+//! re-derives the class from the uncompressed encoding carried by the commit
+//! log. Keeping a single implementation here guarantees the two agree.
+
+use crate::inst::Inst;
+use core::fmt;
+
+/// Control-flow class of an instruction, as seen by the CFI filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CfClass {
+    /// `jal`/`jalr` writing a link register: pushes a return address.
+    Call,
+    /// `jalr` reading a link register without re-linking: pops and checks.
+    Return,
+    /// `jalr` that is neither call nor return: forward-edge indirect jump.
+    IndirectJump,
+    /// `jal x0, ...`: direct jump, target fixed at link time.
+    DirectJump,
+    /// Conditional branch.
+    Branch,
+    /// Anything else: not a control-flow instruction.
+    None,
+}
+
+impl CfClass {
+    /// Whether the class is streamed to the RoT by the CFI filter
+    /// (calls, returns and indirect jumps — paper §IV-B1).
+    #[must_use]
+    pub fn is_cfi_relevant(self) -> bool {
+        matches!(self, CfClass::Call | CfClass::Return | CfClass::IndirectJump)
+    }
+}
+
+impl fmt::Display for CfClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CfClass::Call => "call",
+            CfClass::Return => "return",
+            CfClass::IndirectJump => "indirect-jump",
+            CfClass::DirectJump => "direct-jump",
+            CfClass::Branch => "branch",
+            CfClass::None => "none",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies an instruction per the psABI link-register convention.
+///
+/// # Examples
+///
+/// ```
+/// use riscv_isa::{classify, CfClass, Inst, Reg};
+/// // jalr zero, 0(ra) — the canonical `ret`
+/// let ret = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+/// assert_eq!(classify(&ret), CfClass::Return);
+/// // jal ra, f — the canonical `call`
+/// let call = Inst::Jal { rd: Reg::RA, offset: 64 };
+/// assert_eq!(classify(&call), CfClass::Call);
+/// ```
+#[must_use]
+pub fn classify(inst: &Inst) -> CfClass {
+    match *inst {
+        Inst::Jal { rd, .. } => {
+            if rd.is_link() {
+                CfClass::Call
+            } else {
+                CfClass::DirectJump
+            }
+        }
+        Inst::Jalr { rd, rs1, .. } => {
+            // Table 2.1 of the RISC-V unprivileged spec ("RAS hints"):
+            // rd=link                    -> push (call)  [also pop+push if
+            //                               rs1=link and rs1!=rd, treated as
+            //                               a call here: it re-links]
+            // rd!=link, rs1=link         -> pop (return)
+            // neither                    -> plain indirect jump
+            if rd.is_link() {
+                CfClass::Call
+            } else if rs1.is_link() {
+                CfClass::Return
+            } else {
+                CfClass::IndirectJump
+            }
+        }
+        Inst::Branch { .. } => CfClass::Branch,
+        _ => CfClass::None,
+    }
+}
+
+/// Classifies directly from an uncompressed 32-bit encoding — the form the
+/// Ibex firmware uses on the commit-log `insn` field, avoiding a full decode.
+///
+/// Returns [`CfClass::None`] for encodings that are not `jal`/`jalr`/branch,
+/// including illegal ones (the filter hardware never forwards those).
+#[must_use]
+pub fn classify_raw(word: u32) -> CfClass {
+    use crate::reg::Reg;
+    let opcode = word & 0x7f;
+    let rd = Reg::new(((word >> 7) & 0x1f) as u8);
+    let rs1 = Reg::new(((word >> 15) & 0x1f) as u8);
+    match opcode {
+        0b110_1111 => {
+            if rd.is_link() {
+                CfClass::Call
+            } else {
+                CfClass::DirectJump
+            }
+        }
+        0b110_0111 => {
+            if rd.is_link() {
+                CfClass::Call
+            } else if rs1.is_link() {
+                CfClass::Return
+            } else {
+                CfClass::IndirectJump
+            }
+        }
+        0b110_0011 => CfClass::Branch,
+        _ => CfClass::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::Reg;
+
+    fn jalr(rd: Reg, rs1: Reg) -> Inst {
+        Inst::Jalr { rd, rs1, offset: 0 }
+    }
+
+    #[test]
+    fn psabi_call_return_matrix() {
+        // (rd, rs1) -> class, per the RAS hint table
+        assert_eq!(classify(&jalr(Reg::RA, Reg::A0)), CfClass::Call);
+        assert_eq!(classify(&jalr(Reg::T0, Reg::A0)), CfClass::Call);
+        assert_eq!(classify(&jalr(Reg::ZERO, Reg::RA)), CfClass::Return);
+        assert_eq!(classify(&jalr(Reg::ZERO, Reg::T0)), CfClass::Return);
+        assert_eq!(classify(&jalr(Reg::RA, Reg::RA)), CfClass::Call);
+        assert_eq!(classify(&jalr(Reg::ZERO, Reg::A5)), CfClass::IndirectJump);
+        assert_eq!(classify(&jalr(Reg::A0, Reg::A5)), CfClass::IndirectJump);
+    }
+
+    #[test]
+    fn jal_variants() {
+        assert_eq!(classify(&Inst::Jal { rd: Reg::RA, offset: 4 }), CfClass::Call);
+        assert_eq!(classify(&Inst::Jal { rd: Reg::T0, offset: 4 }), CfClass::Call);
+        assert_eq!(classify(&Inst::Jal { rd: Reg::ZERO, offset: 4 }), CfClass::DirectJump);
+        assert_eq!(classify(&Inst::Jal { rd: Reg::A0, offset: 4 }), CfClass::DirectJump);
+    }
+
+    #[test]
+    fn non_control_flow_is_none() {
+        assert_eq!(classify(&Inst::NOP), CfClass::None);
+        assert_eq!(classify(&Inst::Fence), CfClass::None);
+    }
+
+    #[test]
+    fn cfi_relevance() {
+        assert!(CfClass::Call.is_cfi_relevant());
+        assert!(CfClass::Return.is_cfi_relevant());
+        assert!(CfClass::IndirectJump.is_cfi_relevant());
+        assert!(!CfClass::DirectJump.is_cfi_relevant());
+        assert!(!CfClass::Branch.is_cfi_relevant());
+        assert!(!CfClass::None.is_cfi_relevant());
+    }
+
+    #[test]
+    fn raw_classifier_agrees_with_decoded() {
+        let samples = [
+            Inst::Jal { rd: Reg::RA, offset: 2048 },
+            Inst::Jal { rd: Reg::ZERO, offset: -16 },
+            jalr(Reg::ZERO, Reg::RA),
+            jalr(Reg::RA, Reg::A3),
+            jalr(Reg::ZERO, Reg::A3),
+            Inst::Branch {
+                cond: crate::inst::BranchCond::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                offset: -6,
+            },
+            Inst::NOP,
+            Inst::Ecall,
+        ];
+        for inst in samples {
+            assert_eq!(classify_raw(encode(&inst)), classify(&inst), "{inst}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Machine-mode CSR addresses used by the core models.
+//!
+//! Only the subset both CVA6 and Ibex implement and that the TitanCFI
+//! firmware touches is listed; the ISS models treat unknown CSR numbers as
+//! read-zero/write-ignore scratch space so firmware that pokes
+//! implementation-defined registers still runs.
+
+/// Machine status register.
+pub const MSTATUS: u16 = 0x300;
+/// Machine ISA register.
+pub const MISA: u16 = 0x301;
+/// Machine interrupt enable.
+pub const MIE: u16 = 0x304;
+/// Machine trap vector base.
+pub const MTVEC: u16 = 0x305;
+/// Machine scratch.
+pub const MSCRATCH: u16 = 0x340;
+/// Machine exception program counter.
+pub const MEPC: u16 = 0x341;
+/// Machine trap cause.
+pub const MCAUSE: u16 = 0x342;
+/// Machine trap value.
+pub const MTVAL: u16 = 0x343;
+/// Machine interrupt pending.
+pub const MIP: u16 = 0x344;
+/// Machine hart id.
+pub const MHARTID: u16 = 0xf14;
+/// Cycle counter (read-only shadow).
+pub const CYCLE: u16 = 0xc00;
+/// Retired-instruction counter (read-only shadow).
+pub const INSTRET: u16 = 0xc02;
+/// Machine cycle counter.
+pub const MCYCLE: u16 = 0xb00;
+/// Machine retired-instruction counter.
+pub const MINSTRET: u16 = 0xb02;
+
+/// `mstatus.MIE` bit: global machine interrupt enable.
+pub const MSTATUS_MIE: u64 = 1 << 3;
+/// `mstatus.MPIE` bit: previous interrupt enable, restored by `mret`.
+pub const MSTATUS_MPIE: u64 = 1 << 7;
+
+/// `mip`/`mie` bit for machine external interrupts.
+pub const MIX_MEIP: u64 = 1 << 11;
+/// `mip`/`mie` bit for machine timer interrupts.
+pub const MIX_MTIP: u64 = 1 << 7;
+/// `mip`/`mie` bit for machine software interrupts.
+pub const MIX_MSIP: u64 = 1 << 3;
+
+/// `mcause` value for a machine external interrupt (top bit set).
+pub const MCAUSE_MEI: u64 = (1 << 63) | 11;
+
+/// Returns a human-readable name for a CSR address when known.
+#[must_use]
+pub fn name(csr: u16) -> Option<&'static str> {
+    Some(match csr {
+        MSTATUS => "mstatus",
+        MISA => "misa",
+        MIE => "mie",
+        MTVEC => "mtvec",
+        MSCRATCH => "mscratch",
+        MEPC => "mepc",
+        MCAUSE => "mcause",
+        MTVAL => "mtval",
+        MIP => "mip",
+        MHARTID => "mhartid",
+        CYCLE => "cycle",
+        INSTRET => "instret",
+        MCYCLE => "mcycle",
+        MINSTRET => "minstret",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_trap_csrs() {
+        assert_eq!(name(MEPC), Some("mepc"));
+        assert_eq!(name(MCAUSE), Some("mcause"));
+        assert_eq!(name(0x7c0), None);
+    }
+
+    #[test]
+    fn interrupt_bits_are_distinct() {
+        assert_ne!(MIX_MEIP, MIX_MTIP);
+        assert_ne!(MIX_MTIP, MIX_MSIP);
+        assert_eq!(MCAUSE_MEI & 0xff, 11);
+        assert_ne!(MCAUSE_MEI & (1 << 63), 0);
+    }
+}

@@ -1,0 +1,713 @@
+//! Instruction decoding for 32-bit and 16-bit (compressed) encodings.
+//!
+//! The entry point is [`decode`], which accepts a raw 32-bit fetch word and
+//! an [`Xlen`] and returns a [`Decoded`] carrying the expanded [`Inst`], the
+//! encoding length, and the *uncompressed* 32-bit encoding. TitanCFI streams
+//! the uncompressed encoding to the RoT inside the commit log (paper §IV-B1),
+//! so compressed instructions are re-encoded to their base form here.
+
+use crate::encode::encode;
+use crate::inst::{AluImmOp, AluOp, AmoOp, BranchCond, CsrOp, Inst, MemWidth, MulOp};
+use crate::reg::Reg;
+use core::fmt;
+
+/// Base ISA register width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Xlen {
+    /// RV32 (Ibex).
+    Rv32,
+    /// RV64 (CVA6).
+    Rv64,
+}
+
+/// Error returned when a fetch word does not decode to a supported
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending raw bits (lower 16 valid for compressed).
+    pub raw: u32,
+    /// Encoding length that was attempted (2 or 4).
+    pub len: u8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal {}-byte instruction {:#010x}", self.len, self.raw)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A successfully decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decoded {
+    /// The expanded instruction.
+    pub inst: Inst,
+    /// Encoding length in bytes: 2 (compressed) or 4.
+    pub len: u8,
+    /// The raw bits as fetched (for `len == 2` only the low 16 bits are
+    /// meaningful).
+    pub raw: u32,
+}
+
+impl Decoded {
+    /// The uncompressed 32-bit encoding of the instruction — the form
+    /// TitanCFI places into the commit-log packet regardless of how the
+    /// instruction was fetched.
+    #[must_use]
+    pub fn uncompressed(&self) -> u32 {
+        if self.len == 4 {
+            self.raw
+        } else {
+            encode(&self.inst)
+        }
+    }
+
+    /// Whether the original encoding was a 16-bit compressed one.
+    #[must_use]
+    pub fn is_compressed(&self) -> bool {
+        self.len == 2
+    }
+}
+
+/// Decodes the instruction starting in `word` (a little-endian fetch of at
+/// least 16 valid bits; 32 valid bits when the low two bits are `11`).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the bits do not correspond to a supported
+/// instruction for the given `xlen`.
+pub fn decode(word: u32, xlen: Xlen) -> Result<Decoded, DecodeError> {
+    if word & 0b11 == 0b11 {
+        decode32(word, xlen).map(|inst| Decoded { inst, len: 4, raw: word }).ok_or(DecodeError {
+            raw: word,
+            len: 4,
+        })
+    } else {
+        let half = word & 0xffff;
+        decode16(half as u16, xlen)
+            .map(|inst| Decoded { inst, len: 2, raw: half })
+            .ok_or(DecodeError { raw: half, len: 2 })
+    }
+}
+
+fn x(word: u32, lo: u32, len: u32) -> u32 {
+    (word >> lo) & ((1 << len) - 1)
+}
+
+fn reg(word: u32, lo: u32) -> Reg {
+    Reg::new(x(word, lo, 5) as u8)
+}
+
+fn sext(value: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((i64::from(value)) << shift) >> shift
+}
+
+fn decode32(w: u32, xlen: Xlen) -> Option<Inst> {
+    let opcode = w & 0x7f;
+    let rd = reg(w, 7);
+    let rs1 = reg(w, 15);
+    let rs2 = reg(w, 20);
+    let funct3 = x(w, 12, 3);
+    let funct7 = x(w, 25, 7);
+    let i_imm = sext(x(w, 20, 12), 12);
+    let s_imm = sext(x(w, 25, 7) << 5 | x(w, 7, 5), 12);
+    let b_imm = sext(
+        x(w, 31, 1) << 12 | x(w, 7, 1) << 11 | x(w, 25, 6) << 5 | x(w, 8, 4) << 1,
+        13,
+    );
+    let u_imm = sext(w & 0xffff_f000, 32);
+    let j_imm = sext(
+        x(w, 31, 1) << 20 | x(w, 12, 8) << 12 | x(w, 20, 1) << 11 | x(w, 21, 10) << 1,
+        21,
+    );
+    let rv64 = xlen == Xlen::Rv64;
+
+    Some(match opcode {
+        0b011_0111 => Inst::Lui { rd, imm: u_imm },
+        0b001_0111 => Inst::Auipc { rd, imm: u_imm },
+        0b110_1111 => Inst::Jal { rd, offset: j_imm },
+        0b110_0111 if funct3 == 0 => Inst::Jalr { rd, rs1, offset: i_imm },
+        0b110_0011 => {
+            let cond = match funct3 {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return None,
+            };
+            Inst::Branch { cond, rs1, rs2, offset: b_imm }
+        }
+        0b000_0011 => {
+            let (width, unsigned) = match funct3 {
+                0b000 => (MemWidth::B, false),
+                0b001 => (MemWidth::H, false),
+                0b010 => (MemWidth::W, false),
+                0b100 => (MemWidth::B, true),
+                0b101 => (MemWidth::H, true),
+                0b110 if rv64 => (MemWidth::W, true),
+                0b011 if rv64 => (MemWidth::D, false),
+                _ => return None,
+            };
+            Inst::Load { rd, rs1, offset: i_imm, width, unsigned }
+        }
+        0b010_0011 => {
+            let width = match funct3 {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                0b011 if rv64 => MemWidth::D,
+                _ => return None,
+            };
+            Inst::Store { rs1, rs2, offset: s_imm, width }
+        }
+        0b001_0011 => {
+            let shamt_bits = if rv64 { 6 } else { 5 };
+            let shamt = i64::from(x(w, 20, shamt_bits));
+            let shift_hi = x(w, 20 + shamt_bits, 12 - shamt_bits);
+            let op = match funct3 {
+                0b000 => return Some(Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm: i_imm, word: false }),
+                0b010 => return Some(Inst::AluImm { op: AluImmOp::Slti, rd, rs1, imm: i_imm, word: false }),
+                0b011 => return Some(Inst::AluImm { op: AluImmOp::Sltiu, rd, rs1, imm: i_imm, word: false }),
+                0b100 => return Some(Inst::AluImm { op: AluImmOp::Xori, rd, rs1, imm: i_imm, word: false }),
+                0b110 => return Some(Inst::AluImm { op: AluImmOp::Ori, rd, rs1, imm: i_imm, word: false }),
+                0b111 => return Some(Inst::AluImm { op: AluImmOp::Andi, rd, rs1, imm: i_imm, word: false }),
+                0b001 if shift_hi == 0 => AluImmOp::Slli,
+                0b101 if shift_hi == 0 => AluImmOp::Srli,
+                0b101 if shift_hi == if rv64 { 0b01_0000 } else { 0b010_0000 } => AluImmOp::Srai,
+                _ => return None,
+            };
+            Inst::AluImm { op, rd, rs1, imm: shamt, word: false }
+        }
+        0b001_1011 if rv64 => {
+            // OP-IMM-32
+            let shamt = i64::from(x(w, 20, 5));
+            match (funct3, funct7) {
+                (0b000, _) => Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm: i_imm, word: true },
+                (0b001, 0b000_0000) => Inst::AluImm { op: AluImmOp::Slli, rd, rs1, imm: shamt, word: true },
+                (0b101, 0b000_0000) => Inst::AluImm { op: AluImmOp::Srli, rd, rs1, imm: shamt, word: true },
+                (0b101, 0b010_0000) => Inst::AluImm { op: AluImmOp::Srai, rd, rs1, imm: shamt, word: true },
+                _ => return None,
+            }
+        }
+        0b011_0011 => match (funct7, funct3) {
+            (0b000_0000, 0b000) => Inst::Alu { op: AluOp::Add, rd, rs1, rs2, word: false },
+            (0b010_0000, 0b000) => Inst::Alu { op: AluOp::Sub, rd, rs1, rs2, word: false },
+            (0b000_0000, 0b001) => Inst::Alu { op: AluOp::Sll, rd, rs1, rs2, word: false },
+            (0b000_0000, 0b010) => Inst::Alu { op: AluOp::Slt, rd, rs1, rs2, word: false },
+            (0b000_0000, 0b011) => Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2, word: false },
+            (0b000_0000, 0b100) => Inst::Alu { op: AluOp::Xor, rd, rs1, rs2, word: false },
+            (0b000_0000, 0b101) => Inst::Alu { op: AluOp::Srl, rd, rs1, rs2, word: false },
+            (0b010_0000, 0b101) => Inst::Alu { op: AluOp::Sra, rd, rs1, rs2, word: false },
+            (0b000_0000, 0b110) => Inst::Alu { op: AluOp::Or, rd, rs1, rs2, word: false },
+            (0b000_0000, 0b111) => Inst::Alu { op: AluOp::And, rd, rs1, rs2, word: false },
+            (0b000_0001, f3) => {
+                let op = [
+                    MulOp::Mul,
+                    MulOp::Mulh,
+                    MulOp::Mulhsu,
+                    MulOp::Mulhu,
+                    MulOp::Div,
+                    MulOp::Divu,
+                    MulOp::Rem,
+                    MulOp::Remu,
+                ][f3 as usize];
+                Inst::Mul { op, rd, rs1, rs2, word: false }
+            }
+            _ => return None,
+        },
+        0b011_1011 if rv64 => match (funct7, funct3) {
+            (0b000_0000, 0b000) => Inst::Alu { op: AluOp::Add, rd, rs1, rs2, word: true },
+            (0b010_0000, 0b000) => Inst::Alu { op: AluOp::Sub, rd, rs1, rs2, word: true },
+            (0b000_0000, 0b001) => Inst::Alu { op: AluOp::Sll, rd, rs1, rs2, word: true },
+            (0b000_0000, 0b101) => Inst::Alu { op: AluOp::Srl, rd, rs1, rs2, word: true },
+            (0b010_0000, 0b101) => Inst::Alu { op: AluOp::Sra, rd, rs1, rs2, word: true },
+            (0b000_0001, 0b000) => Inst::Mul { op: MulOp::Mul, rd, rs1, rs2, word: true },
+            (0b000_0001, 0b100) => Inst::Mul { op: MulOp::Div, rd, rs1, rs2, word: true },
+            (0b000_0001, 0b101) => Inst::Mul { op: MulOp::Divu, rd, rs1, rs2, word: true },
+            (0b000_0001, 0b110) => Inst::Mul { op: MulOp::Rem, rd, rs1, rs2, word: true },
+            (0b000_0001, 0b111) => Inst::Mul { op: MulOp::Remu, rd, rs1, rs2, word: true },
+            _ => return None,
+        },
+        0b010_1111 => {
+            // A extension
+            let width = match funct3 {
+                0b010 => MemWidth::W,
+                0b011 if rv64 => MemWidth::D,
+                _ => return None,
+            };
+            match funct7 >> 2 {
+                0b00010 if rs2 == Reg::ZERO => Inst::LoadReserved { rd, rs1, width },
+                0b00011 => Inst::StoreConditional { rd, rs1, rs2, width },
+                0b00001 => Inst::Amo { op: AmoOp::Swap, rd, rs1, rs2, width },
+                0b00000 => Inst::Amo { op: AmoOp::Add, rd, rs1, rs2, width },
+                0b00100 => Inst::Amo { op: AmoOp::Xor, rd, rs1, rs2, width },
+                0b01100 => Inst::Amo { op: AmoOp::And, rd, rs1, rs2, width },
+                0b01000 => Inst::Amo { op: AmoOp::Or, rd, rs1, rs2, width },
+                0b10000 => Inst::Amo { op: AmoOp::Min, rd, rs1, rs2, width },
+                0b10100 => Inst::Amo { op: AmoOp::Max, rd, rs1, rs2, width },
+                0b11000 => Inst::Amo { op: AmoOp::Minu, rd, rs1, rs2, width },
+                0b11100 => Inst::Amo { op: AmoOp::Maxu, rd, rs1, rs2, width },
+                _ => return None,
+            }
+        }
+        0b000_1111 => {
+            if funct3 == 0b001 {
+                Inst::FenceI
+            } else {
+                Inst::Fence
+            }
+        }
+        0b111_0011 => {
+            let csr = x(w, 20, 12) as u16;
+            match funct3 {
+                0b000 => match w {
+                    0x0000_0073 => Inst::Ecall,
+                    0x0010_0073 => Inst::Ebreak,
+                    0x3020_0073 => Inst::Mret,
+                    0x1050_0073 => Inst::Wfi,
+                    _ => return None,
+                },
+                0b001 => Inst::Csr { op: CsrOp::Rw, rd, rs1, csr },
+                0b010 => Inst::Csr { op: CsrOp::Rs, rd, rs1, csr },
+                0b011 => Inst::Csr { op: CsrOp::Rc, rd, rs1, csr },
+                0b101 => Inst::CsrImm { op: CsrOp::Rw, rd, zimm: rs1.index(), csr },
+                0b110 => Inst::CsrImm { op: CsrOp::Rs, rd, zimm: rs1.index(), csr },
+                0b111 => Inst::CsrImm { op: CsrOp::Rc, rd, zimm: rs1.index(), csr },
+                _ => return None,
+            }
+        }
+        _ => return None,
+    })
+}
+
+fn creg(field: u32) -> Reg {
+    Reg::new(8 + (field & 0x7) as u8)
+}
+
+fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
+    let h = u32::from(h);
+    if h == 0 {
+        return None; // defined illegal
+    }
+    let op = h & 0b11;
+    let funct3 = x(h, 13, 3);
+    let rv64 = xlen == Xlen::Rv64;
+
+    Some(match (op, funct3) {
+        (0b00, 0b000) => {
+            // c.addi4spn
+            let imm = x(h, 7, 4) << 6 | x(h, 11, 2) << 4 | x(h, 5, 1) << 3 | x(h, 6, 1) << 2;
+            if imm == 0 {
+                return None;
+            }
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: creg(x(h, 2, 3)),
+                rs1: Reg::SP,
+                imm: i64::from(imm),
+                word: false,
+            }
+        }
+        (0b00, 0b010) => {
+            // c.lw
+            let imm = x(h, 10, 3) << 3 | x(h, 6, 1) << 2 | x(h, 5, 1) << 6;
+            Inst::Load {
+                rd: creg(x(h, 2, 3)),
+                rs1: creg(x(h, 7, 3)),
+                offset: i64::from(imm),
+                width: MemWidth::W,
+                unsigned: false,
+            }
+        }
+        (0b00, 0b011) if rv64 => {
+            // c.ld
+            let imm = x(h, 10, 3) << 3 | x(h, 5, 2) << 6;
+            Inst::Load {
+                rd: creg(x(h, 2, 3)),
+                rs1: creg(x(h, 7, 3)),
+                offset: i64::from(imm),
+                width: MemWidth::D,
+                unsigned: false,
+            }
+        }
+        (0b00, 0b110) => {
+            // c.sw
+            let imm = x(h, 10, 3) << 3 | x(h, 6, 1) << 2 | x(h, 5, 1) << 6;
+            Inst::Store {
+                rs1: creg(x(h, 7, 3)),
+                rs2: creg(x(h, 2, 3)),
+                offset: i64::from(imm),
+                width: MemWidth::W,
+            }
+        }
+        (0b00, 0b111) if rv64 => {
+            // c.sd
+            let imm = x(h, 10, 3) << 3 | x(h, 5, 2) << 6;
+            Inst::Store {
+                rs1: creg(x(h, 7, 3)),
+                rs2: creg(x(h, 2, 3)),
+                offset: i64::from(imm),
+                width: MemWidth::D,
+            }
+        }
+        (0b01, 0b000) => {
+            // c.addi (c.nop when rd==x0)
+            let imm = sext(x(h, 12, 1) << 5 | x(h, 2, 5), 6);
+            Inst::AluImm { op: AluImmOp::Addi, rd: reg(h, 7), rs1: reg(h, 7), imm, word: false }
+        }
+        (0b01, 0b001) => {
+            if rv64 {
+                // c.addiw
+                let rd = reg(h, 7);
+                if rd == Reg::ZERO {
+                    return None;
+                }
+                let imm = sext(x(h, 12, 1) << 5 | x(h, 2, 5), 6);
+                Inst::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm, word: true }
+            } else {
+                // c.jal (RV32 only)
+                Inst::Jal { rd: Reg::RA, offset: cj_offset(h) }
+            }
+        }
+        (0b01, 0b010) => {
+            // c.li
+            let imm = sext(x(h, 12, 1) << 5 | x(h, 2, 5), 6);
+            Inst::AluImm { op: AluImmOp::Addi, rd: reg(h, 7), rs1: Reg::ZERO, imm, word: false }
+        }
+        (0b01, 0b011) => {
+            let rd = reg(h, 7);
+            if rd == Reg::SP {
+                // c.addi16sp
+                let imm = sext(
+                    x(h, 12, 1) << 9 | x(h, 3, 2) << 7 | x(h, 5, 1) << 6 | x(h, 2, 1) << 5
+                        | x(h, 6, 1) << 4,
+                    10,
+                );
+                if imm == 0 {
+                    return None;
+                }
+                Inst::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm, word: false }
+            } else {
+                // c.lui
+                let imm = sext(x(h, 12, 1) << 17 | x(h, 2, 5) << 12, 18);
+                if imm == 0 {
+                    return None;
+                }
+                Inst::Lui { rd, imm }
+            }
+        }
+        (0b01, 0b100) => {
+            let rd = creg(x(h, 7, 3));
+            match x(h, 10, 2) {
+                0b00 => {
+                    if !rv64 && x(h, 12, 1) == 1 {
+                        return None; // RV32: shamt >= 32 reserved
+                    }
+                    let shamt = i64::from(x(h, 12, 1) << 5 | x(h, 2, 5));
+                    Inst::AluImm { op: AluImmOp::Srli, rd, rs1: rd, imm: shamt, word: false }
+                }
+                0b01 => {
+                    if !rv64 && x(h, 12, 1) == 1 {
+                        return None; // RV32: shamt >= 32 reserved
+                    }
+                    let shamt = i64::from(x(h, 12, 1) << 5 | x(h, 2, 5));
+                    Inst::AluImm { op: AluImmOp::Srai, rd, rs1: rd, imm: shamt, word: false }
+                }
+                0b10 => {
+                    let imm = sext(x(h, 12, 1) << 5 | x(h, 2, 5), 6);
+                    Inst::AluImm { op: AluImmOp::Andi, rd, rs1: rd, imm, word: false }
+                }
+                _ => {
+                    let rs2 = creg(x(h, 2, 3));
+                    let word = x(h, 12, 1) == 1;
+                    let aop = match x(h, 5, 2) {
+                        0b00 => AluOp::Sub,
+                        0b01 if !word => AluOp::Xor,
+                        0b10 if !word => AluOp::Or,
+                        0b11 if !word => AluOp::And,
+                        0b01 if word && rv64 => AluOp::Add, // c.addw
+                        _ => return None,
+                    };
+                    if word && !rv64 {
+                        return None;
+                    }
+                    Inst::Alu { op: aop, rd, rs1: rd, rs2, word }
+                }
+            }
+        }
+        (0b01, 0b101) => Inst::Jal { rd: Reg::ZERO, offset: cj_offset(h) },
+        (0b01, 0b110) | (0b01, 0b111) => {
+            let offset = sext(
+                x(h, 12, 1) << 8 | x(h, 5, 2) << 6 | x(h, 2, 1) << 5 | x(h, 10, 2) << 3
+                    | x(h, 3, 2) << 1,
+                9,
+            );
+            let cond = if funct3 == 0b110 { BranchCond::Eq } else { BranchCond::Ne };
+            Inst::Branch { cond, rs1: creg(x(h, 7, 3)), rs2: Reg::ZERO, offset }
+        }
+        (0b10, 0b000) => {
+            // c.slli
+            if !rv64 && x(h, 12, 1) == 1 {
+                return None; // RV32: shamt >= 32 reserved
+            }
+            let rd = reg(h, 7);
+            let shamt = i64::from(x(h, 12, 1) << 5 | x(h, 2, 5));
+            Inst::AluImm { op: AluImmOp::Slli, rd, rs1: rd, imm: shamt, word: false }
+        }
+        (0b10, 0b010) => {
+            // c.lwsp
+            let rd = reg(h, 7);
+            if rd == Reg::ZERO {
+                return None;
+            }
+            let imm = x(h, 12, 1) << 5 | x(h, 4, 3) << 2 | x(h, 2, 2) << 6;
+            Inst::Load { rd, rs1: Reg::SP, offset: i64::from(imm), width: MemWidth::W, unsigned: false }
+        }
+        (0b10, 0b011) if rv64 => {
+            // c.ldsp
+            let rd = reg(h, 7);
+            if rd == Reg::ZERO {
+                return None;
+            }
+            let imm = x(h, 12, 1) << 5 | x(h, 5, 2) << 3 | x(h, 2, 3) << 6;
+            Inst::Load { rd, rs1: Reg::SP, offset: i64::from(imm), width: MemWidth::D, unsigned: false }
+        }
+        (0b10, 0b100) => {
+            let rs1 = reg(h, 7);
+            let rs2 = reg(h, 2);
+            if x(h, 12, 1) == 0 {
+                if rs2 == Reg::ZERO {
+                    // c.jr
+                    if rs1 == Reg::ZERO {
+                        return None;
+                    }
+                    Inst::Jalr { rd: Reg::ZERO, rs1, offset: 0 }
+                } else {
+                    // c.mv
+                    Inst::Alu { op: AluOp::Add, rd: rs1, rs1: Reg::ZERO, rs2, word: false }
+                }
+            } else if rs2 == Reg::ZERO {
+                if rs1 == Reg::ZERO {
+                    Inst::Ebreak
+                } else {
+                    // c.jalr
+                    Inst::Jalr { rd: Reg::RA, rs1, offset: 0 }
+                }
+            } else {
+                // c.add
+                Inst::Alu { op: AluOp::Add, rd: rs1, rs1, rs2, word: false }
+            }
+        }
+        (0b10, 0b110) => {
+            // c.swsp
+            let imm = x(h, 9, 4) << 2 | x(h, 7, 2) << 6;
+            Inst::Store { rs1: Reg::SP, rs2: reg(h, 2), offset: i64::from(imm), width: MemWidth::W }
+        }
+        (0b10, 0b111) if rv64 => {
+            // c.sdsp
+            let imm = x(h, 10, 3) << 3 | x(h, 7, 3) << 6;
+            Inst::Store { rs1: Reg::SP, rs2: reg(h, 2), offset: i64::from(imm), width: MemWidth::D }
+        }
+        _ => return None,
+    })
+}
+
+fn cj_offset(h: u32) -> i64 {
+    sext(
+        x(h, 12, 1) << 11 | x(h, 8, 1) << 10 | x(h, 9, 2) << 8 | x(h, 6, 1) << 7 | x(h, 7, 1) << 6
+            | x(h, 2, 1) << 5 | x(h, 11, 1) << 4 | x(h, 3, 3) << 1,
+        12,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d64(w: u32) -> Inst {
+        decode(w, Xlen::Rv64).expect("decodes").inst
+    }
+
+    fn d32(w: u32) -> Inst {
+        decode(w, Xlen::Rv32).expect("decodes").inst
+    }
+
+    #[test]
+    fn decodes_basic_alu() {
+        // addi a0, a0, 1  => 0x00150513
+        assert_eq!(
+            d64(0x0015_0513),
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm: 1, word: false }
+        );
+        // add a0, a1, a2 => 0x00c58533
+        assert_eq!(
+            d64(0x00c5_8533),
+            Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word: false }
+        );
+        // sub t0, t1, t2 => 0x407302b3
+        assert_eq!(
+            d64(0x4073_02b3),
+            Inst::Alu { op: AluOp::Sub, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2, word: false }
+        );
+    }
+
+    #[test]
+    fn decodes_jal_jalr() {
+        // jal ra, 8 => 0x008000ef
+        assert_eq!(d64(0x0080_00ef), Inst::Jal { rd: Reg::RA, offset: 8 });
+        // jalr zero, 0(ra) => ret => 0x00008067
+        assert_eq!(d64(0x0000_8067), Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        // negative jal offset: jal zero, -4 => 0xffdff06f
+        assert_eq!(d64(0xffdf_f06f), Inst::Jal { rd: Reg::ZERO, offset: -4 });
+    }
+
+    #[test]
+    fn decodes_branches() {
+        // beq a0, a1, 16 => 0x00b50863
+        assert_eq!(
+            d64(0x00b5_0863),
+            Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 16 }
+        );
+        // bne a0, zero, -8 => 0xfe051ce3
+        assert_eq!(
+            d64(0xfe05_1ce3),
+            Inst::Branch { cond: BranchCond::Ne, rs1: Reg::A0, rs2: Reg::ZERO, offset: -8 }
+        );
+    }
+
+    #[test]
+    fn decodes_loads_stores() {
+        // ld a0, 16(sp) => 0x01013503
+        assert_eq!(
+            d64(0x0101_3503),
+            Inst::Load { rd: Reg::A0, rs1: Reg::SP, offset: 16, width: MemWidth::D, unsigned: false }
+        );
+        // sd ra, 8(sp) => 0x00113423
+        assert_eq!(
+            d64(0x0011_3423),
+            Inst::Store { rs1: Reg::SP, rs2: Reg::RA, offset: 8, width: MemWidth::D }
+        );
+        // lw on rv32 fine, ld rejected on rv32
+        assert!(decode(0x0101_3503, Xlen::Rv32).is_err());
+    }
+
+    #[test]
+    fn decodes_system() {
+        assert_eq!(d64(0x0000_0073), Inst::Ecall);
+        assert_eq!(d64(0x0010_0073), Inst::Ebreak);
+        assert_eq!(d64(0x3020_0073), Inst::Mret);
+        assert_eq!(d64(0x1050_0073), Inst::Wfi);
+        // csrrw t0, mepc(0x341), t1 => 0x341312f3
+        assert_eq!(
+            d64(0x3413_12f3),
+            Inst::Csr { op: CsrOp::Rw, rd: Reg::T0, rs1: Reg::T1, csr: 0x341 }
+        );
+    }
+
+    #[test]
+    fn decodes_m_extension() {
+        // mul a0, a1, a2 => 0x02c58533
+        assert_eq!(
+            d64(0x02c5_8533),
+            Inst::Mul { op: MulOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word: false }
+        );
+        // divw a0, a1, a2 => 0x02c5c53b (RV64 only)
+        assert_eq!(
+            d64(0x02c5_c53b),
+            Inst::Mul { op: MulOp::Div, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word: true }
+        );
+        assert!(decode(0x02c5_c53b, Xlen::Rv32).is_err());
+    }
+
+    #[test]
+    fn decodes_compressed_common() {
+        // c.addi sp, -16  => funct3=000 op=01, rd=sp imm=-16 => 0x1141
+        let d = decode(0x1141, Xlen::Rv64).expect("c.addi");
+        assert_eq!(d.len, 2);
+        assert_eq!(
+            d.inst,
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm: -16, word: false }
+        );
+        // c.jr ra (ret) => 0x8082
+        let d = decode(0x8082, Xlen::Rv64).expect("c.jr");
+        assert_eq!(d.inst, Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        // c.jalr a5 => 0x9782
+        let d = decode(0x9782, Xlen::Rv64).expect("c.jalr");
+        assert_eq!(d.inst, Inst::Jalr { rd: Reg::RA, rs1: Reg::A5, offset: 0 });
+        // c.mv a0, a1 => 0x852e
+        let d = decode(0x852e, Xlen::Rv64).expect("c.mv");
+        assert_eq!(
+            d.inst,
+            Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, rs2: Reg::A1, word: false }
+        );
+    }
+
+    #[test]
+    fn compressed_jal_is_rv32_only() {
+        // 0x2001: RV32 c.jal 0 ; RV64 c.addiw -> but rd=x0 invalid
+        let rv32 = decode(0x2001, Xlen::Rv32).expect("c.jal on rv32");
+        assert_eq!(rv32.inst, Inst::Jal { rd: Reg::RA, offset: 0 });
+        assert!(decode(0x2001, Xlen::Rv64).is_err());
+    }
+
+    #[test]
+    fn zero_halfword_is_illegal() {
+        assert!(decode(0x0000, Xlen::Rv64).is_err());
+        assert!(decode(0x0000, Xlen::Rv32).is_err());
+    }
+
+    #[test]
+    fn uncompressed_form_of_compressed_ret() {
+        let d = decode(0x8082, Xlen::Rv64).expect("c.jr ra");
+        assert!(d.is_compressed());
+        assert_eq!(d.uncompressed(), 0x0000_8067); // jalr zero, 0(ra)
+    }
+
+    #[test]
+    fn decodes_atomics() {
+        // lr.w a0, (a1) => 0x1005a52f
+        assert_eq!(
+            d64(0x1005_a52f),
+            Inst::LoadReserved { rd: Reg::A0, rs1: Reg::A1, width: MemWidth::W }
+        );
+        // sc.w a0, a2, (a1) => 0x18c5a52f
+        assert_eq!(
+            d64(0x18c5_a52f),
+            Inst::StoreConditional { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, width: MemWidth::W }
+        );
+        // amoadd.w a0, a2, (a1) => 0x00c5a52f
+        assert_eq!(
+            d64(0x00c5_a52f),
+            Inst::Amo { op: AmoOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, width: MemWidth::W }
+        );
+        // amoswap.d valid only on RV64
+        assert!(decode(0x08c5_b52f, Xlen::Rv32).is_err());
+    }
+
+    #[test]
+    fn decodes_rv32_shifts_reject_64bit_shamt() {
+        // slli a0, a0, 32 is legal RV64 (0x02051513), illegal RV32
+        assert_eq!(
+            d64(0x0205_1513),
+            Inst::AluImm { op: AluImmOp::Slli, rd: Reg::A0, rs1: Reg::A0, imm: 32, word: false }
+        );
+        assert!(decode(0x0205_1513, Xlen::Rv32).is_err());
+        // slli a0, a0, 3 fine on both
+        assert_eq!(
+            d32(0x0035_1513),
+            Inst::AluImm { op: AluImmOp::Slli, rd: Reg::A0, rs1: Reg::A0, imm: 3, word: false }
+        );
+    }
+
+    #[test]
+    fn srai_decodes_on_both_xlens() {
+        // srai a0, a0, 3 => 0x40355513
+        let want = Inst::AluImm { op: AluImmOp::Srai, rd: Reg::A0, rs1: Reg::A0, imm: 3, word: false };
+        assert_eq!(d64(0x4035_5513), want);
+        assert_eq!(d32(0x4035_5513), want);
+    }
+}

@@ -1,0 +1,243 @@
+//! Instruction encoding back to 32-bit machine words.
+//!
+//! [`encode`] is the inverse of the 32-bit half of [`crate::decode::decode`]:
+//! for any instruction `i` produced by the decoder, `decode(encode(&i))`
+//! yields `i` again (this is enforced by property tests). The assembler in
+//! `riscv-asm` and the commit-log builder (which needs the *uncompressed*
+//! encoding of compressed instructions) are the two consumers.
+
+use crate::inst::{AluImmOp, AluOp, AmoOp, BranchCond, CsrOp, Inst, MemWidth, MulOp};
+use crate::reg::Reg;
+
+fn r(reg: Reg) -> u32 {
+    u32::from(reg.index())
+}
+
+fn i_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, imm: i64) -> u32 {
+    opcode | r(rd) << 7 | funct3 << 12 | r(rs1) << 15 | ((imm as u32) & 0xfff) << 20
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | (imm & 0x1f) << 7
+        | funct3 << 12
+        | r(rs1) << 15
+        | r(rs2) << 20
+        | ((imm >> 5) & 0x7f) << 25
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i64) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | ((imm >> 11) & 1) << 7
+        | ((imm >> 1) & 0xf) << 8
+        | funct3 << 12
+        | r(rs1) << 15
+        | r(rs2) << 20
+        | ((imm >> 5) & 0x3f) << 25
+        | ((imm >> 12) & 1) << 31
+}
+
+fn u_type(opcode: u32, rd: Reg, imm: i64) -> u32 {
+    opcode | r(rd) << 7 | (imm as u32 & 0xffff_f000)
+}
+
+fn j_type(opcode: u32, rd: Reg, offset: i64) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | r(rd) << 7
+        | ((imm >> 12) & 0xff) << 12
+        | ((imm >> 11) & 1) << 20
+        | ((imm >> 1) & 0x3ff) << 21
+        | ((imm >> 20) & 1) << 31
+}
+
+fn r_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, rs2: Reg, funct7: u32) -> u32 {
+    opcode | r(rd) << 7 | funct3 << 12 | r(rs1) << 15 | r(rs2) << 20 | funct7 << 25
+}
+
+/// Encodes an instruction into its (uncompressed) 32-bit machine word.
+///
+/// # Examples
+///
+/// ```
+/// use riscv_isa::{encode, Inst, Reg};
+/// let ret = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+/// assert_eq!(encode(&ret), 0x0000_8067);
+/// ```
+#[must_use]
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Lui { rd, imm } => u_type(0b011_0111, rd, imm),
+        Inst::Auipc { rd, imm } => u_type(0b001_0111, rd, imm),
+        Inst::Jal { rd, offset } => j_type(0b110_1111, rd, offset),
+        Inst::Jalr { rd, rs1, offset } => i_type(0b110_0111, rd, 0, rs1, offset),
+        Inst::Branch { cond, rs1, rs2, offset } => {
+            let f3 = match cond {
+                BranchCond::Eq => 0b000,
+                BranchCond::Ne => 0b001,
+                BranchCond::Lt => 0b100,
+                BranchCond::Ge => 0b101,
+                BranchCond::Ltu => 0b110,
+                BranchCond::Geu => 0b111,
+            };
+            b_type(0b110_0011, f3, rs1, rs2, offset)
+        }
+        Inst::Load { rd, rs1, offset, width, unsigned } => {
+            let f3 = match (width, unsigned) {
+                (MemWidth::B, false) => 0b000,
+                (MemWidth::H, false) => 0b001,
+                (MemWidth::W, false) => 0b010,
+                (MemWidth::D, _) => 0b011,
+                (MemWidth::B, true) => 0b100,
+                (MemWidth::H, true) => 0b101,
+                (MemWidth::W, true) => 0b110,
+            };
+            i_type(0b000_0011, rd, f3, rs1, offset)
+        }
+        Inst::Store { rs1, rs2, offset, width } => {
+            let f3 = match width {
+                MemWidth::B => 0b000,
+                MemWidth::H => 0b001,
+                MemWidth::W => 0b010,
+                MemWidth::D => 0b011,
+            };
+            s_type(0b010_0011, f3, rs1, rs2, offset)
+        }
+        Inst::AluImm { op, rd, rs1, imm, word } => {
+            let opcode = if word { 0b001_1011 } else { 0b001_0011 };
+            match op {
+                AluImmOp::Addi => i_type(opcode, rd, 0b000, rs1, imm),
+                AluImmOp::Slti => i_type(opcode, rd, 0b010, rs1, imm),
+                AluImmOp::Sltiu => i_type(opcode, rd, 0b011, rs1, imm),
+                AluImmOp::Xori => i_type(opcode, rd, 0b100, rs1, imm),
+                AluImmOp::Ori => i_type(opcode, rd, 0b110, rs1, imm),
+                AluImmOp::Andi => i_type(opcode, rd, 0b111, rs1, imm),
+                AluImmOp::Slli => i_type(opcode, rd, 0b001, rs1, imm & 0x3f),
+                AluImmOp::Srli => i_type(opcode, rd, 0b101, rs1, imm & 0x3f),
+                AluImmOp::Srai => i_type(opcode, rd, 0b101, rs1, (imm & 0x3f) | 0x400),
+            }
+        }
+        Inst::Alu { op, rd, rs1, rs2, word } => {
+            let opcode = if word { 0b011_1011 } else { 0b011_0011 };
+            let (f3, f7) = match op {
+                AluOp::Add => (0b000, 0b000_0000),
+                AluOp::Sub => (0b000, 0b010_0000),
+                AluOp::Sll => (0b001, 0b000_0000),
+                AluOp::Slt => (0b010, 0b000_0000),
+                AluOp::Sltu => (0b011, 0b000_0000),
+                AluOp::Xor => (0b100, 0b000_0000),
+                AluOp::Srl => (0b101, 0b000_0000),
+                AluOp::Sra => (0b101, 0b010_0000),
+                AluOp::Or => (0b110, 0b000_0000),
+                AluOp::And => (0b111, 0b000_0000),
+            };
+            r_type(opcode, rd, f3, rs1, rs2, f7)
+        }
+        Inst::Mul { op, rd, rs1, rs2, word } => {
+            let opcode = if word { 0b011_1011 } else { 0b011_0011 };
+            let f3 = match op {
+                MulOp::Mul => 0b000,
+                MulOp::Mulh => 0b001,
+                MulOp::Mulhsu => 0b010,
+                MulOp::Mulhu => 0b011,
+                MulOp::Div => 0b100,
+                MulOp::Divu => 0b101,
+                MulOp::Rem => 0b110,
+                MulOp::Remu => 0b111,
+            };
+            r_type(opcode, rd, f3, rs1, rs2, 0b000_0001)
+        }
+        Inst::LoadReserved { rd, rs1, width } => {
+            let f3 = if width == MemWidth::D { 0b011 } else { 0b010 };
+            r_type(0b010_1111, rd, f3, rs1, Reg::ZERO, 0b00010 << 2)
+        }
+        Inst::StoreConditional { rd, rs1, rs2, width } => {
+            let f3 = if width == MemWidth::D { 0b011 } else { 0b010 };
+            r_type(0b010_1111, rd, f3, rs1, rs2, 0b00011 << 2)
+        }
+        Inst::Amo { op, rd, rs1, rs2, width } => {
+            let f3 = if width == MemWidth::D { 0b011 } else { 0b010 };
+            let f5 = match op {
+                AmoOp::Add => 0b00000,
+                AmoOp::Swap => 0b00001,
+                AmoOp::Xor => 0b00100,
+                AmoOp::And => 0b01100,
+                AmoOp::Or => 0b01000,
+                AmoOp::Min => 0b10000,
+                AmoOp::Max => 0b10100,
+                AmoOp::Minu => 0b11000,
+                AmoOp::Maxu => 0b11100,
+            };
+            r_type(0b010_1111, rd, f3, rs1, rs2, f5 << 2)
+        }
+        Inst::Csr { op, rd, rs1, csr } => {
+            let f3 = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+            };
+            i_type(0b111_0011, rd, f3, rs1, i64::from(csr))
+        }
+        Inst::CsrImm { op, rd, zimm, csr } => {
+            let f3 = match op {
+                CsrOp::Rw => 0b101,
+                CsrOp::Rs => 0b110,
+                CsrOp::Rc => 0b111,
+            };
+            i_type(0b111_0011, rd, f3, Reg::new(zimm & 0x1f), i64::from(csr))
+        }
+        Inst::Fence => 0x0ff0_000f,
+        Inst::FenceI => 0x0000_100f,
+        Inst::Ecall => 0x0000_0073,
+        Inst::Ebreak => 0x0010_0073,
+        Inst::Mret => 0x3020_0073,
+        Inst::Wfi => 0x1050_0073,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode, Xlen};
+
+    #[test]
+    fn encode_known_words() {
+        assert_eq!(encode(&Inst::Jal { rd: Reg::RA, offset: 8 }), 0x0080_00ef);
+        assert_eq!(encode(&Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }), 0x0000_8067);
+        assert_eq!(
+            encode(&Inst::Store { rs1: Reg::SP, rs2: Reg::RA, offset: 8, width: MemWidth::D }),
+            0x0011_3423
+        );
+        assert_eq!(encode(&Inst::Ecall), 0x0000_0073);
+    }
+
+    #[test]
+    fn roundtrip_handpicked() {
+        let cases = [
+            Inst::Lui { rd: Reg::A0, imm: 0x12345 << 12 },
+            Inst::Auipc { rd: Reg::T0, imm: -4096 },
+            Inst::Jal { rd: Reg::ZERO, offset: -1048576 },
+            Inst::Jalr { rd: Reg::RA, rs1: Reg::A5, offset: -2048 },
+            Inst::Branch { cond: BranchCond::Geu, rs1: Reg::S0, rs2: Reg::S1, offset: 4094 },
+            Inst::Load { rd: Reg::A0, rs1: Reg::GP, offset: 2047, width: MemWidth::H, unsigned: true },
+            Inst::Store { rs1: Reg::TP, rs2: Reg::T6, offset: -2048, width: MemWidth::B },
+            Inst::AluImm { op: AluImmOp::Srai, rd: Reg::A3, rs1: Reg::A4, imm: 63, word: false },
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A3, rs1: Reg::A4, imm: -1, word: true },
+            Inst::Alu { op: AluOp::Sra, rd: Reg::S2, rs1: Reg::S3, rs2: Reg::S4, word: true },
+            Inst::Mul { op: MulOp::Remu, rd: Reg::T1, rs1: Reg::T2, rs2: Reg::T3, word: false },
+            Inst::Amo { op: AmoOp::Maxu, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, width: MemWidth::D },
+            Inst::Csr { op: CsrOp::Rs, rd: Reg::A0, rs1: Reg::ZERO, csr: 0x342 },
+            Inst::CsrImm { op: CsrOp::Rc, rd: Reg::ZERO, zimm: 8, csr: 0x300 },
+            Inst::Mret,
+            Inst::Wfi,
+        ];
+        for inst in cases {
+            let word = encode(&inst);
+            let back = decode(word, Xlen::Rv64).unwrap_or_else(|e| panic!("{inst}: {e}"));
+            assert_eq!(back.inst, inst, "word {word:#010x}");
+            assert_eq!(back.len, 4);
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The decoded instruction representation.
+//!
+//! [`Inst`] covers the RV32I and RV64I base ISAs plus the M (integer
+//! multiply/divide), A (atomics, the subset CVA6 and Ibex expose to
+//! integer code), Zicsr and Zifencei extensions. Compressed (C extension)
+//! encodings are expanded to their base equivalents at decode time; the
+//! [`crate::decode::Decoded`] wrapper records the original encoding width so
+//! that timing models and the TitanCFI commit-log builder can reconstruct the
+//! "uncompressed binary encoding" field the paper streams to the RoT.
+
+use crate::reg::Reg;
+use core::fmt;
+
+/// Width qualifier for loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit.
+    B,
+    /// 16-bit.
+    H,
+    /// 32-bit.
+    W,
+    /// 64-bit (RV64 only).
+    D,
+}
+
+impl MemWidth {
+    /// Number of bytes transferred.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// Branch comparison condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt`
+    Lt,
+    /// `bge`
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+impl BranchCond {
+    /// Mnemonic suffix (`"eq"`, `"ne"`, ...).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+
+    /// Evaluates the condition on two 64-bit operand values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Register-register ALU operation (OP major opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `add`
+    Add,
+    /// `sub`
+    Sub,
+    /// `sll`
+    Sll,
+    /// `slt`
+    Slt,
+    /// `sltu`
+    Sltu,
+    /// `xor`
+    Xor,
+    /// `srl`
+    Srl,
+    /// `sra`
+    Sra,
+    /// `or`
+    Or,
+    /// `and`
+    And,
+}
+
+impl AluOp {
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+        }
+    }
+}
+
+/// Register-immediate ALU operation (OP-IMM major opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `addi`
+    Addi,
+    /// `slti`
+    Slti,
+    /// `sltiu`
+    Sltiu,
+    /// `xori`
+    Xori,
+    /// `ori`
+    Ori,
+    /// `andi`
+    Andi,
+    /// `slli`
+    Slli,
+    /// `srli`
+    Srli,
+    /// `srai`
+    Srai,
+}
+
+impl AluImmOp {
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Slli => "slli",
+            AluImmOp::Srli => "srli",
+            AluImmOp::Srai => "srai",
+        }
+    }
+}
+
+/// M-extension operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulOp {
+    /// `mul`
+    Mul,
+    /// `mulh`
+    Mulh,
+    /// `mulhsu`
+    Mulhsu,
+    /// `mulhu`
+    Mulhu,
+    /// `div`
+    Div,
+    /// `divu`
+    Divu,
+    /// `rem`
+    Rem,
+    /// `remu`
+    Remu,
+}
+
+impl MulOp {
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MulOp::Mul => "mul",
+            MulOp::Mulh => "mulh",
+            MulOp::Mulhsu => "mulhsu",
+            MulOp::Mulhu => "mulhu",
+            MulOp::Div => "div",
+            MulOp::Divu => "divu",
+            MulOp::Rem => "rem",
+            MulOp::Remu => "remu",
+        }
+    }
+}
+
+/// CSR access operation (Zicsr).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// `csrrw`
+    Rw,
+    /// `csrrs`
+    Rs,
+    /// `csrrc`
+    Rc,
+}
+
+/// A-extension atomic memory operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    /// `amoswap`
+    Swap,
+    /// `amoadd`
+    Add,
+    /// `amoxor`
+    Xor,
+    /// `amoand`
+    And,
+    /// `amoor`
+    Or,
+    /// `amomin`
+    Min,
+    /// `amomax`
+    Max,
+    /// `amominu`
+    Minu,
+    /// `amomaxu`
+    Maxu,
+}
+
+impl AmoOp {
+    /// Assembly mnemonic stem (without width suffix).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AmoOp::Swap => "amoswap",
+            AmoOp::Add => "amoadd",
+            AmoOp::Xor => "amoxor",
+            AmoOp::And => "amoand",
+            AmoOp::Or => "amoor",
+            AmoOp::Min => "amomin",
+            AmoOp::Max => "amomax",
+            AmoOp::Minu => "amominu",
+            AmoOp::Maxu => "amomaxu",
+        }
+    }
+}
+
+/// A decoded RISC-V instruction (RV32/RV64 IMA + Zicsr + Zifencei).
+///
+/// Word-variant arithmetic (RV64 `addw` etc.) is expressed via the `word`
+/// flag on the ALU variants rather than separate enum cases, mirroring how
+/// both CVA6 and Ibex decode internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `lui rd, imm` — load upper immediate.
+    Lui { rd: Reg, imm: i64 },
+    /// `auipc rd, imm` — add upper immediate to pc.
+    Auipc { rd: Reg, imm: i64 },
+    /// `jal rd, offset` — jump and link.
+    Jal { rd: Reg, offset: i64 },
+    /// `jalr rd, offset(rs1)` — indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, offset: i64 },
+    /// Conditional branch.
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, offset: i64 },
+    /// Load; `unsigned` selects `lbu`/`lhu`/`lwu`.
+    Load { rd: Reg, rs1: Reg, offset: i64, width: MemWidth, unsigned: bool },
+    /// Store.
+    Store { rs1: Reg, rs2: Reg, offset: i64, width: MemWidth },
+    /// Register-immediate ALU; `word` selects the RV64 `*w` form.
+    AluImm { op: AluImmOp, rd: Reg, rs1: Reg, imm: i64, word: bool },
+    /// Register-register ALU; `word` selects the RV64 `*w` form.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    /// M extension; `word` selects the RV64 `*w` form.
+    Mul { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    /// `lr.w` / `lr.d`.
+    LoadReserved { rd: Reg, rs1: Reg, width: MemWidth },
+    /// `sc.w` / `sc.d`.
+    StoreConditional { rd: Reg, rs1: Reg, rs2: Reg, width: MemWidth },
+    /// AMO read-modify-write.
+    Amo { op: AmoOp, rd: Reg, rs1: Reg, rs2: Reg, width: MemWidth },
+    /// CSR access with register operand; `rs1` is the source.
+    Csr { op: CsrOp, rd: Reg, rs1: Reg, csr: u16 },
+    /// CSR access with 5-bit zero-extended immediate operand.
+    CsrImm { op: CsrOp, rd: Reg, zimm: u8, csr: u16 },
+    /// `fence` (treated as a full fence by the models).
+    Fence,
+    /// `fence.i`.
+    FenceI,
+    /// `ecall`.
+    Ecall,
+    /// `ebreak`.
+    Ebreak,
+    /// `mret`.
+    Mret,
+    /// `wfi`.
+    Wfi,
+}
+
+impl Inst {
+    /// A canonical no-op (`addi x0, x0, 0`).
+    pub const NOP: Inst = Inst::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::ZERO,
+        rs1: Reg::ZERO,
+        imm: 0,
+        word: false,
+    };
+
+    /// The destination register written by this instruction, if any.
+    ///
+    /// `x0` destinations are reported as `None` since the write has no
+    /// architectural effect.
+    #[must_use]
+    pub fn rd(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::Alu { rd, .. }
+            | Inst::Mul { rd, .. }
+            | Inst::LoadReserved { rd, .. }
+            | Inst::StoreConditional { rd, .. }
+            | Inst::Amo { rd, .. }
+            | Inst::Csr { rd, .. }
+            | Inst::CsrImm { rd, .. } => rd,
+            _ => return None,
+        };
+        (rd != Reg::ZERO).then_some(rd)
+    }
+
+    /// Source registers read by this instruction (up to two).
+    #[must_use]
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Inst::Jalr { rs1, .. }
+            | Inst::Load { rs1, .. }
+            | Inst::AluImm { rs1, .. }
+            | Inst::Csr { rs1, .. }
+            | Inst::LoadReserved { rs1, .. } => [Some(rs1), None],
+            Inst::Branch { rs1, rs2, .. }
+            | Inst::Store { rs1, rs2, .. }
+            | Inst::Alu { rs1, rs2, .. }
+            | Inst::Mul { rs1, rs2, .. }
+            | Inst::StoreConditional { rs1, rs2, .. }
+            | Inst::Amo { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            _ => [None, None],
+        }
+    }
+
+    /// Whether the instruction may redirect the program counter.
+    #[must_use]
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. } | Inst::Mret
+        )
+    }
+
+    /// Whether the instruction accesses data memory.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::Store { .. }
+                | Inst::LoadReserved { .. }
+                | Inst::StoreConditional { .. }
+                | Inst::Amo { .. }
+        )
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn w(word: bool) -> &'static str {
+            if word {
+                "w"
+            } else {
+                ""
+            }
+        }
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm >> 12) & 0xf_ffff),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm >> 12) & 0xf_ffff),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch { cond, rs1, rs2, offset } => {
+                write!(f, "{} {rs1}, {rs2}, {offset}", cond.mnemonic())
+            }
+            Inst::Load { rd, rs1, offset, width, unsigned } => {
+                let m = match (width, unsigned) {
+                    (MemWidth::B, false) => "lb",
+                    (MemWidth::B, true) => "lbu",
+                    (MemWidth::H, false) => "lh",
+                    (MemWidth::H, true) => "lhu",
+                    (MemWidth::W, false) => "lw",
+                    (MemWidth::W, true) => "lwu",
+                    (MemWidth::D, _) => "ld",
+                };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Inst::Store { rs1, rs2, offset, width } => {
+                let m = match width {
+                    MemWidth::B => "sb",
+                    MemWidth::H => "sh",
+                    MemWidth::W => "sw",
+                    MemWidth::D => "sd",
+                };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Inst::AluImm { op, rd, rs1, imm, word } => {
+                write!(f, "{}{} {rd}, {rs1}, {imm}", op.mnemonic(), w(word))
+            }
+            Inst::Alu { op, rd, rs1, rs2, word } => {
+                write!(f, "{}{} {rd}, {rs1}, {rs2}", op.mnemonic(), w(word))
+            }
+            Inst::Mul { op, rd, rs1, rs2, word } => {
+                write!(f, "{}{} {rd}, {rs1}, {rs2}", op.mnemonic(), w(word))
+            }
+            Inst::LoadReserved { rd, rs1, width } => {
+                let s = if width == MemWidth::D { "d" } else { "w" };
+                write!(f, "lr.{s} {rd}, ({rs1})")
+            }
+            Inst::StoreConditional { rd, rs1, rs2, width } => {
+                let s = if width == MemWidth::D { "d" } else { "w" };
+                write!(f, "sc.{s} {rd}, {rs2}, ({rs1})")
+            }
+            Inst::Amo { op, rd, rs1, rs2, width } => {
+                let s = if width == MemWidth::D { "d" } else { "w" };
+                write!(f, "{}.{s} {rd}, {rs2}, ({rs1})", op.mnemonic())
+            }
+            Inst::Csr { op, rd, rs1, csr } => {
+                let m = match op {
+                    CsrOp::Rw => "csrrw",
+                    CsrOp::Rs => "csrrs",
+                    CsrOp::Rc => "csrrc",
+                };
+                write!(f, "{m} {rd}, {csr:#x}, {rs1}")
+            }
+            Inst::CsrImm { op, rd, zimm, csr } => {
+                let m = match op {
+                    CsrOp::Rw => "csrrwi",
+                    CsrOp::Rs => "csrrsi",
+                    CsrOp::Rc => "csrrci",
+                };
+                write!(f, "{m} {rd}, {csr:#x}, {zimm}")
+            }
+            Inst::Fence => f.write_str("fence"),
+            Inst::FenceI => f.write_str("fence.i"),
+            Inst::Ecall => f.write_str("ecall"),
+            Inst::Ebreak => f.write_str("ebreak"),
+            Inst::Mret => f.write_str("mret"),
+            Inst::Wfi => f.write_str("wfi"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_has_no_destination() {
+        assert_eq!(Inst::NOP.rd(), None);
+        assert!(!Inst::NOP.is_control_flow());
+        assert!(!Inst::NOP.is_memory());
+    }
+
+    #[test]
+    fn control_flow_detection() {
+        let call = Inst::Jal { rd: Reg::RA, offset: 16 };
+        let ret = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+        let br = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: -8 };
+        assert!(call.is_control_flow());
+        assert!(ret.is_control_flow());
+        assert!(br.is_control_flow());
+        assert!(!Inst::Fence.is_control_flow());
+    }
+
+    #[test]
+    fn sources_of_store() {
+        let st = Inst::Store { rs1: Reg::SP, rs2: Reg::RA, offset: 8, width: MemWidth::D };
+        assert_eq!(st.sources(), [Some(Reg::SP), Some(Reg::RA)]);
+        assert_eq!(st.rd(), None);
+    }
+
+    #[test]
+    fn branch_cond_eval() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(BranchCond::Lt.eval(u64::MAX, 0)); // -1 < 0 signed
+        assert!(!BranchCond::Ltu.eval(u64::MAX, 0));
+        assert!(BranchCond::Geu.eval(u64::MAX, 0));
+        assert!(BranchCond::Ne.eval(1, 2));
+        assert!(BranchCond::Ge.eval(5, 5));
+    }
+
+    #[test]
+    fn display_forms() {
+        let ld = Inst::Load { rd: Reg::A0, rs1: Reg::SP, offset: 16, width: MemWidth::D, unsigned: false };
+        assert_eq!(ld.to_string(), "ld a0, 16(sp)");
+        let addw = Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word: true };
+        assert_eq!(addw.to_string(), "addw a0, a1, a2");
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B.bytes(), 1);
+        assert_eq!(MemWidth::H.bytes(), 2);
+        assert_eq!(MemWidth::W.bytes(), 4);
+        assert_eq!(MemWidth::D.bytes(), 8);
+    }
+}

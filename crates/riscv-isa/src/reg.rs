@@ -1,0 +1,214 @@
+//! Integer register file names.
+//!
+//! RISC-V integer registers `x0..x31` with their psABI mnemonics. The ABI
+//! role of a register matters to TitanCFI: the control-flow classifier in
+//! [`crate::cfi`] distinguishes calls from returns by looking at the *link
+//! registers* `ra` (`x1`) and `t5`/`t0` (`x5`) exactly as the RISC-V psABI
+//! prescribes.
+
+use core::fmt;
+
+/// An integer register index in `0..32`.
+///
+/// # Examples
+///
+/// ```
+/// use riscv_isa::Reg;
+/// let ra = Reg::RA;
+/// assert_eq!(ra.index(), 1);
+/// assert_eq!(ra.to_string(), "ra");
+/// assert!(ra.is_link());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address (link register).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporary / alternate link register.
+    pub const T0: Reg = Reg(5);
+    /// Temporary.
+    pub const T1: Reg = Reg(6);
+    /// Temporary.
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer.
+    pub const S0: Reg = Reg(8);
+    /// Saved register.
+    pub const S1: Reg = Reg(9);
+    /// Argument / return value.
+    pub const A0: Reg = Reg(10);
+    /// Argument / return value.
+    pub const A1: Reg = Reg(11);
+    /// Argument.
+    pub const A2: Reg = Reg(12);
+    /// Argument.
+    pub const A3: Reg = Reg(13);
+    /// Argument.
+    pub const A4: Reg = Reg(14);
+    /// Argument.
+    pub const A5: Reg = Reg(15);
+    /// Argument.
+    pub const A6: Reg = Reg(16);
+    /// Argument.
+    pub const A7: Reg = Reg(17);
+    /// Saved register.
+    pub const S2: Reg = Reg(18);
+    /// Saved register.
+    pub const S3: Reg = Reg(19);
+    /// Saved register.
+    pub const S4: Reg = Reg(20);
+    /// Saved register.
+    pub const S5: Reg = Reg(21);
+    /// Saved register.
+    pub const S6: Reg = Reg(22);
+    /// Saved register.
+    pub const S7: Reg = Reg(23);
+    /// Saved register.
+    pub const S8: Reg = Reg(24);
+    /// Saved register.
+    pub const S9: Reg = Reg(25);
+    /// Saved register.
+    pub const S10: Reg = Reg(26);
+    /// Saved register.
+    pub const S11: Reg = Reg(27);
+    /// Temporary.
+    pub const T3: Reg = Reg(28);
+    /// Temporary.
+    pub const T4: Reg = Reg(29);
+    /// Temporary.
+    pub const T5: Reg = Reg(30);
+    /// Temporary.
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The raw index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is one of the psABI link registers (`ra`/`x1` or
+    /// `t0`/`x5`), used by [`crate::cfi`] to classify `jal`/`jalr`.
+    #[must_use]
+    pub fn is_link(self) -> bool {
+        self.0 == 1 || self.0 == 5
+    }
+
+    /// The psABI mnemonic (`"zero"`, `"ra"`, `"sp"`, ...).
+    #[must_use]
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Parses either an ABI name (`"ra"`) or an architectural name (`"x1"`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Reg> {
+        if let Some(rest) = name.strip_prefix('x') {
+            if let Ok(n) = rest.parse::<u8>() {
+                return Reg::try_new(n);
+            }
+        }
+        if name == "fp" {
+            return Some(Reg::S0);
+        }
+        (0u8..32).map(Reg).find(|r| r.abi_name() == name)
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+            assert_eq!(Reg::parse(&format!("x{}", r.index())), Some(r));
+        }
+    }
+
+    #[test]
+    fn fp_is_s0() {
+        assert_eq!(Reg::parse("fp"), Some(Reg::S0));
+    }
+
+    #[test]
+    fn link_registers() {
+        assert!(Reg::RA.is_link());
+        assert!(Reg::T0.is_link());
+        assert!(!Reg::SP.is_link());
+        assert!(!Reg::ZERO.is_link());
+        assert_eq!(Reg::all().filter(|r| r.is_link()).count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(Reg::try_new(32), None);
+        assert!(Reg::try_new(31).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(40);
+    }
+
+    #[test]
+    fn display_matches_abi_name() {
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::T6.to_string(), "t6");
+    }
+}

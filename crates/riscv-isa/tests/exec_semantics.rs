@@ -1,0 +1,195 @@
+//! Differential semantics tests: every ALU/M operation executed by the
+//! interpreter must match Rust's own arithmetic, across both XLENs,
+//! including the word-variant sign-extension subtleties RV64 is infamous
+//! for.
+
+use proptest::prelude::*;
+use riscv_isa::{
+    encode, AluImmOp, AluOp, FlatMemory, Hart, Inst, MulOp, Reg, Xlen,
+};
+
+/// Executes a single instruction with `rs1 = a`, `rs2 = b` and returns the
+/// destination register value.
+fn exec_one(inst: Inst, a: u64, b: u64, xlen: Xlen) -> u64 {
+    let mut mem = FlatMemory::new(0x1000, 0x100);
+    mem.load(0x1000, &encode(&inst).to_le_bytes());
+    let mut hart = Hart::new(xlen, 0x1000);
+    hart.set_reg(Reg::A1, a);
+    hart.set_reg(Reg::A2, b);
+    hart.step(&mut mem).expect("executes");
+    hart.reg(Reg::A0)
+}
+
+fn alu(op: AluOp, word: bool) -> Inst {
+    Inst::Alu { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word }
+}
+
+fn mul(op: MulOp, word: bool) -> Inst {
+    Inst::Mul { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word }
+}
+
+/// Rust reference for the RV64 base ALU semantics.
+fn ref_alu64(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 63),
+        AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        AluOp::Sltu => u64::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+/// Rust reference for the RV64 `*w` (32-bit) ALU semantics.
+fn ref_alu_w(op: AluOp, a: u64, b: u64) -> u64 {
+    let a32 = a as u32;
+    let b32 = b as u32;
+    let r = match op {
+        AluOp::Add => a32.wrapping_add(b32),
+        AluOp::Sub => a32.wrapping_sub(b32),
+        AluOp::Sll => a32 << (b32 & 31),
+        AluOp::Srl => a32 >> (b32 & 31),
+        AluOp::Sra => ((a32 as i32) >> (b32 & 31)) as u32,
+        _ => unreachable!("no word form"),
+    };
+    i64::from(r as i32) as u64
+}
+
+fn ref_mul64(op: MulOp, a: u64, b: u64) -> u64 {
+    let (sa, sb) = (a as i64, b as i64);
+    match op {
+        MulOp::Mul => a.wrapping_mul(b),
+        MulOp::Mulh => ((i128::from(sa) * i128::from(sb)) >> 64) as u64,
+        MulOp::Mulhsu => unreachable!("covered by its own property test"),
+        MulOp::Mulhu => ((u128::from(a) * u128::from(b)) >> 64) as u64,
+        MulOp::Div => {
+            if sb == 0 {
+                u64::MAX
+            } else if sa == i64::MIN && sb == -1 {
+                sa as u64
+            } else {
+                (sa / sb) as u64
+            }
+        }
+        MulOp::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        MulOp::Rem => {
+            if sb == 0 {
+                a
+            } else if sa == i64::MIN && sb == -1 {
+                0
+            } else {
+                (sa % sb) as u64
+            }
+        }
+        MulOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn alu64_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+        for op in [
+            AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Slt, AluOp::Sltu,
+            AluOp::Xor, AluOp::Srl, AluOp::Sra, AluOp::Or, AluOp::And,
+        ] {
+            prop_assert_eq!(
+                exec_one(alu(op, false), a, b, Xlen::Rv64),
+                ref_alu64(op, a, b),
+                "op {:?}", op
+            );
+        }
+    }
+
+    #[test]
+    fn alu_word_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+        for op in [AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+            prop_assert_eq!(
+                exec_one(alu(op, true), a, b, Xlen::Rv64),
+                ref_alu_w(op, a, b),
+                "op {:?}w", op
+            );
+        }
+    }
+
+    #[test]
+    fn mul64_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+        for op in [MulOp::Mul, MulOp::Mulh, MulOp::Mulhu, MulOp::Div, MulOp::Divu, MulOp::Rem, MulOp::Remu] {
+            prop_assert_eq!(
+                exec_one(mul(op, false), a, b, Xlen::Rv64),
+                ref_mul64(op, a, b),
+                "op {:?}", op
+            );
+        }
+    }
+
+    #[test]
+    fn mulhsu_matches_wide_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+        // mulhsu: signed a x unsigned b, upper 64 bits.
+        let want = ((i128::from(a as i64) * i128::from(b)) >> 64) as u64;
+        prop_assert_eq!(exec_one(mul(MulOp::Mulhsu, false), a, b, Xlen::Rv64), want);
+    }
+
+    #[test]
+    fn rv32_alu_is_sign_extended_32_bit(a in any::<u32>(), b in any::<u32>()) {
+        let a64 = u64::from(a);
+        let b64 = u64::from(b);
+        for op in [AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Xor] {
+            let got = exec_one(alu(op, false), a64, b64, Xlen::Rv32);
+            let want32 = match op {
+                AluOp::Add => a.wrapping_add(b),
+                AluOp::Sub => a.wrapping_sub(b),
+                AluOp::Sll => a << (b & 31),
+                AluOp::Srl => a >> (b & 31),
+                AluOp::Sra => ((a as i32) >> (b & 31)) as u32,
+                _ => a ^ b,
+            };
+            prop_assert_eq!(got, i64::from(want32 as i32) as u64, "op {:?}", op);
+        }
+    }
+
+    #[test]
+    fn word_div_edge_cases_hold(a in any::<u32>()) {
+        // divw by zero -> -1; remw by zero -> dividend (sign-extended).
+        let a64 = u64::from(a);
+        prop_assert_eq!(exec_one(mul(MulOp::Div, true), a64, 0, Xlen::Rv64), u64::MAX);
+        prop_assert_eq!(
+            exec_one(mul(MulOp::Rem, true), a64, 0, Xlen::Rv64),
+            i64::from(a as i32) as u64
+        );
+    }
+
+    #[test]
+    fn slti_and_immediates(a in any::<u64>(), imm in -2048i64..2048) {
+        let slti = Inst::AluImm { op: AluImmOp::Slti, rd: Reg::A0, rs1: Reg::A1, imm, word: false };
+        prop_assert_eq!(exec_one(slti, a, 0, Xlen::Rv64), u64::from((a as i64) < imm));
+        let sltiu = Inst::AluImm { op: AluImmOp::Sltiu, rd: Reg::A0, rs1: Reg::A1, imm, word: false };
+        prop_assert_eq!(exec_one(sltiu, a, 0, Xlen::Rv64), u64::from(a < imm as u64));
+    }
+}
+
+#[test]
+fn int_min_division_overflow() {
+    let min = i64::MIN as u64;
+    assert_eq!(exec_one(mul(MulOp::Div, false), min, u64::MAX, Xlen::Rv64), min);
+    assert_eq!(exec_one(mul(MulOp::Rem, false), min, u64::MAX, Xlen::Rv64), 0);
+    // Word variant.
+    let min32 = i64::from(i32::MIN) as u64;
+    assert_eq!(exec_one(mul(MulOp::Div, true), min32, u64::MAX, Xlen::Rv64), min32);
+    assert_eq!(exec_one(mul(MulOp::Rem, true), min32, u64::MAX, Xlen::Rv64), 0);
+}

@@ -1,0 +1,305 @@
+//! Multi-core TitanCFI: two host cores sharing one RoT.
+//!
+//! The paper's future work (§VII) names "more capable platforms, featuring
+//! multi-core hosts". This module implements it: each core keeps its own
+//! CFI filter, both feed a shared, *core-tagged* CFI queue (the queue is
+//! the arbitration point — the single-push-per-cycle rule now also
+//! serialises cross-core conflicts), and one Log Writer streams tagged
+//! logs to the mailbox with the core id in data word 7. The RoT runs the
+//! banked multi-core firmware, keeping one shadow stack per core.
+
+use crate::hostbus::HostBus;
+use cva6_model::{Cva6Core, Halt, TimingConfig};
+use opentitan_model::rot::LatencyProfile;
+use opentitan_model::{CfiMailbox, OpenTitan};
+use riscv_asm::Program;
+use titancfi::firmware::build_multicore_firmware;
+use titancfi::{AxiTiming, CfiFilter, CommitLog};
+use std::collections::VecDeque;
+
+/// Number of host cores.
+pub const CORES: usize = 2;
+
+/// A commit log tagged with its originating core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaggedLog {
+    /// Originating core (0 or 1).
+    pub core: u8,
+    /// The log.
+    pub log: CommitLog,
+}
+
+/// A violation attributed to a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaggedViolation {
+    /// The offending core.
+    pub core: u8,
+    /// The offending log.
+    pub log: CommitLog,
+    /// RoT cycle at which the verdict was read.
+    pub cycle: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriterState {
+    Idle,
+    Writing { beat: usize, done_at: u64 },
+    WaitCompletion,
+    ReadResult { done_at: u64 },
+}
+
+/// The shared, core-tagged Log Writer.
+#[derive(Debug)]
+struct TaggedWriter {
+    state: WriterState,
+    timing: AxiTiming,
+    current: Option<TaggedLog>,
+    logs_written: u64,
+}
+
+impl TaggedWriter {
+    fn new(timing: AxiTiming) -> TaggedWriter {
+        TaggedWriter { state: WriterState::Idle, timing, current: None, logs_written: 0 }
+    }
+
+    fn busy(&self) -> bool {
+        self.state != WriterState::Idle
+    }
+
+    fn tick(
+        &mut self,
+        now: u64,
+        queue: &mut VecDeque<TaggedLog>,
+        mailbox: &CfiMailbox,
+    ) -> Option<TaggedViolation> {
+        match self.state {
+            WriterState::Idle => {
+                if let Some(tagged) = queue.pop_front() {
+                    self.current = Some(tagged);
+                    self.state =
+                        WriterState::Writing { beat: 0, done_at: now + self.timing.write_beat };
+                }
+                None
+            }
+            WriterState::Writing { beat, done_at } => {
+                if now < done_at {
+                    return None;
+                }
+                let tagged = self.current.expect("writing implies current");
+                let beats = tagged.log.to_beats();
+                mailbox.host_write_data(2 * beat, beats[beat] as u32);
+                if 2 * beat + 1 < titancfi::commit_log::WORDS {
+                    mailbox.host_write_data(2 * beat + 1, (beats[beat] >> 32) as u32);
+                }
+                if beat + 1 == titancfi::commit_log::BEATS {
+                    // Final beat also carries the core id in word 7.
+                    mailbox.host_write_data(7, u32::from(tagged.core));
+                    mailbox.host_ring_doorbell();
+                    self.state = WriterState::WaitCompletion;
+                } else {
+                    self.state = WriterState::Writing {
+                        beat: beat + 1,
+                        done_at: now + self.timing.write_beat,
+                    };
+                }
+                None
+            }
+            WriterState::WaitCompletion => {
+                if mailbox.host_completion() {
+                    self.state = WriterState::ReadResult { done_at: now + self.timing.read };
+                }
+                None
+            }
+            WriterState::ReadResult { done_at } => {
+                if now < done_at {
+                    return None;
+                }
+                let verdict = mailbox.host_read_data(0);
+                mailbox.host_clear_completion();
+                let tagged = self.current.take().expect("read implies current");
+                self.logs_written += 1;
+                self.state = WriterState::Idle;
+                if verdict != 0 {
+                    return Some(TaggedViolation {
+                        core: tagged.core,
+                        log: tagged.log,
+                        cycle: now,
+                    });
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Per-core run report.
+#[derive(Debug, Clone)]
+pub struct CoreReport {
+    /// Why the core stopped.
+    pub halt: Halt,
+    /// Cycles (including CFI stalls).
+    pub cycles: u64,
+    /// CFI-relevant instructions streamed.
+    pub cf_streamed: u64,
+}
+
+/// Results of a dual-core run.
+#[derive(Debug, Clone)]
+pub struct DualReport {
+    /// Per-core reports.
+    pub cores: [CoreReport; CORES],
+    /// Violations, attributed to cores.
+    pub violations: Vec<TaggedViolation>,
+    /// Total logs checked by the RoT.
+    pub logs_checked: u64,
+}
+
+/// The dual-core SoC.
+#[derive(Debug)]
+pub struct DualHostSoc {
+    cores: [Cva6Core<HostBus>; CORES],
+    filters: [CfiFilter; CORES],
+    halted: [Option<Halt>; CORES],
+    queue: VecDeque<TaggedLog>,
+    queue_depth: usize,
+    writer: TaggedWriter,
+    rot: OpenTitan,
+    bg_cycle: u64,
+    violations: Vec<TaggedViolation>,
+}
+
+impl DualHostSoc {
+    /// Builds the SoC running `programs[i]` on core `i`, each with
+    /// `mem_size` bytes of private RAM, a shared CFI queue of
+    /// `queue_depth`, and the multi-core polling firmware in the RoT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program does not fit its RAM or the firmware fails to
+    /// boot.
+    #[must_use]
+    pub fn new(programs: [&Program; CORES], mem_size: usize, queue_depth: usize) -> DualHostSoc {
+        let fw = build_multicore_firmware();
+        let mut rot = OpenTitan::new(&fw, LatencyProfile::baseline());
+        let poll_loop = fw.symbol("poll_loop").expect("poll_loop symbol");
+        for _ in 0..1000 {
+            let c = rot.core.step().expect("boot");
+            if c.retired.pc == poll_loop {
+                break;
+            }
+        }
+        let cores = programs.map(|program| {
+            assert!(program.bytes.len() <= mem_size, "program larger than memory");
+            let mut bus = HostBus::new(program.base, mem_size);
+            bus.load(program.base, &program.bytes);
+            bus.map_mailbox(rot.mailbox.clone());
+            bus.protect_mailbox();
+            let mut core = Cva6Core::with_bus(bus, program.entry, TimingConfig::default());
+            core.hart_mut().set_reg(
+                riscv_isa::Reg::SP,
+                (program.base + mem_size as u64 - 16) & !0xf,
+            );
+            core
+        });
+        DualHostSoc {
+            cores,
+            filters: [CfiFilter::new(), CfiFilter::new()],
+            halted: [None, None],
+            queue: VecDeque::new(),
+            queue_depth,
+            writer: TaggedWriter::new(AxiTiming::default()),
+            rot,
+            bg_cycle: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    fn tick_once(&mut self) {
+        if let Some(v) = self.writer.tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox) {
+            self.violations.push(v);
+        }
+        self.rot.sync_irq();
+        let runnable = self.rot.core.state() == ibex_model::IbexState::Running
+            || self.rot.mailbox.doorbell_pending();
+        if runnable && self.rot.core.cycle() <= self.bg_cycle {
+            if let Err(ibex_model::IbexEvent::Trapped(t)) = self.rot.core.step() {
+                panic!("RoT firmware trapped: {t}");
+            }
+        }
+        self.bg_cycle += 1;
+    }
+
+    fn advance_background(&mut self, until: u64) {
+        while self.bg_cycle < until {
+            if self.queue.is_empty()
+                && !self.writer.busy()
+                && !self.rot.mailbox.doorbell_pending()
+            {
+                self.bg_cycle = until;
+                self.rot.core.advance_to(until);
+                return;
+            }
+            self.tick_once();
+        }
+    }
+
+    /// Runs both programs to completion (or `max_cycles` each).
+    #[must_use]
+    pub fn run(&mut self, max_cycles: u64) -> DualReport {
+        loop {
+            // Pick the live core that is furthest behind — lock-step-ish
+            // interleaving by local cycle count.
+            let next = (0..CORES)
+                .filter(|&i| self.halted[i].is_none())
+                .min_by_key(|&i| self.cores[i].cycle());
+            let Some(i) = next else { break };
+            if self.cores[i].cycle() >= max_cycles {
+                self.halted[i] = Some(Halt::Budget);
+                continue;
+            }
+            match self.cores[i].step() {
+                Ok(commit) => {
+                    self.advance_background(commit.cycle);
+                    if let Some(log) = self.filters[i].scan(&commit.retired) {
+                        while self.queue.len() >= self.queue_depth {
+                            let before = self.bg_cycle;
+                            self.tick_once();
+                            self.cores[i].stall(self.bg_cycle - before);
+                        }
+                        self.queue.push_back(TaggedLog { core: i as u8, log });
+                    }
+                }
+                Err(halt) => self.halted[i] = Some(halt),
+            }
+        }
+        // Drain in-flight checks.
+        let mut guard = 0u64;
+        while (!self.queue.is_empty()
+            || self.writer.busy()
+            || self.rot.mailbox.doorbell_pending())
+            && guard < 10_000_000
+        {
+            self.tick_once();
+            guard += 1;
+        }
+        DualReport {
+            cores: [0, 1].map(|i| CoreReport {
+                halt: self.halted[i].expect("loop exits only when halted"),
+                cycles: self.cores[i].cycle(),
+                cf_streamed: self.filters[i].stats().emitted,
+            }),
+            violations: self.violations.clone(),
+            logs_checked: self.writer.logs_written,
+        }
+    }
+
+    /// Register read-back on core `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= CORES`.
+    #[must_use]
+    pub fn host_reg(&self, i: usize, r: riscv_isa::Reg) -> u64 {
+        self.cores[i].reg(r)
+    }
+}

@@ -1,0 +1,329 @@
+//! Full-SoC co-simulation: CVA6, the TitanCFI pipeline, and the RoT in
+//! lock-step.
+//!
+//! This is the "RTL simulation" of the reproduction: the protected program
+//! runs on the CVA6 model; every retired instruction passes the CFI filters;
+//! relevant commit logs go through the CFI queue, the Log Writer FSM, the
+//! mailbox, and are checked by the *actual RV32 firmware* executing on the
+//! Ibex model. Queue back-pressure stalls the CVA6 commit stage exactly as
+//! in the paper (§IV-B2), and violations raised by the RoT surface as
+//! exceptions.
+
+use crate::hostbus::HostBus;
+use cva6_model::{Cva6Core, Halt, TimingConfig};
+use opentitan_model::rot::LatencyProfile;
+use opentitan_model::{OpenTitan, ScmiWire, ScmiWireService};
+use riscv_asm::Program;
+use titancfi::firmware::{build_firmware, FirmwareKind};
+use titancfi::{AxiTiming, CfiFilter, CfiQueue, LogWriter, QueueController, Violation};
+
+/// SoC configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SocConfig {
+    /// CFI queue depth (paper: 1 for Table II, 8 for Table III).
+    pub queue_depth: usize,
+    /// Firmware/interconnect variant running in the RoT.
+    pub firmware: FirmwareKind,
+    /// Host RAM size.
+    pub mem_size: usize,
+    /// CVA6 timing parameters.
+    pub timing: TimingConfig,
+    /// Log Writer AXI timing.
+    pub axi: AxiTiming,
+    /// Whether a violation halts the simulation (exception) or is only
+    /// recorded.
+    pub halt_on_violation: bool,
+    /// Deliver a machine-mode exception to the host hart on each violation
+    /// (the Log Writer's exception line, paper §IV-B3). The victim's trap
+    /// handler then runs — cause [`CFI_VIOLATION_CAUSE`], `mtval` holding
+    /// the offending target address.
+    pub trap_host_on_violation: bool,
+}
+
+/// The `mcause` value delivered for a CFI violation (a custom exception
+/// code in the implementation-defined range, as a hardware design would).
+pub const CFI_VIOLATION_CAUSE: u64 = 24;
+
+impl Default for SocConfig {
+    fn default() -> SocConfig {
+        SocConfig {
+            queue_depth: 8,
+            firmware: FirmwareKind::Polling,
+            mem_size: 1 << 20,
+            timing: TimingConfig::default(),
+            axi: AxiTiming::default(),
+            halt_on_violation: false,
+            trap_host_on_violation: false,
+        }
+    }
+}
+
+/// Aggregate results of a co-simulated run.
+#[derive(Debug, Clone)]
+pub struct SocReport {
+    /// Why the host program stopped.
+    pub halt: Halt,
+    /// Total cycles including CFI stalls.
+    pub cycles: u64,
+    /// Host core counters.
+    pub core: cva6_model::CoreStats,
+    /// CFI filter counters (both ports merged).
+    pub filter: titancfi::FilterStats,
+    /// Commit logs fully checked by the RoT.
+    pub logs_checked: u64,
+    /// Violations the RoT flagged.
+    pub violations: Vec<Violation>,
+    /// Peak CFI queue occupancy.
+    pub queue_high_water: usize,
+    /// Core stall events from a full queue.
+    pub stalls_queue_full: u64,
+    /// Core stall events from dual control-flow commits.
+    pub stalls_dual_cf: u64,
+}
+
+impl SocReport {
+    /// Slowdown relative to a baseline cycle count (percent).
+    #[must_use]
+    pub fn slowdown_percent(&self, baseline_cycles: u64) -> f64 {
+        if baseline_cycles == 0 {
+            return 0.0;
+        }
+        (self.cycles as f64 / baseline_cycles as f64 - 1.0) * 100.0
+    }
+}
+
+/// The composed system on chip.
+#[derive(Debug)]
+pub struct SystemOnChip {
+    core: Cva6Core<HostBus>,
+    filter: CfiFilter,
+    queue: CfiQueue,
+    controller: QueueController,
+    writer: LogWriter,
+    rot: OpenTitan,
+    config: SocConfig,
+    bg_cycle: u64,
+    last_cf_cycle: Option<u64>,
+    violations: Vec<Violation>,
+    trapped_violations: usize,
+    scmi_service: ScmiWireService,
+}
+
+impl SystemOnChip {
+    /// Builds the SoC, loads `program` into host RAM, boots the RoT
+    /// firmware to its idle point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit host RAM or the firmware fails to
+    /// boot.
+    #[must_use]
+    pub fn new(program: &Program, config: SocConfig) -> SystemOnChip {
+        let fw = build_firmware(config.firmware);
+        let profile = match config.firmware {
+            FirmwareKind::Optimized => LatencyProfile::optimized(),
+            _ => LatencyProfile::baseline(),
+        };
+        let mut rot = OpenTitan::new(&fw, profile);
+        // Host bus: program RAM plus the host-visible mailbox window,
+        // locked down by PMP exactly as the paper's threat model assumes
+        // (software cannot tamper with in-flight commit logs; only the
+        // hardware Log Writer reaches the mailbox).
+        assert!(
+            program.bytes.len() <= config.mem_size,
+            "program ({} bytes) larger than memory ({})",
+            program.bytes.len(),
+            config.mem_size
+        );
+        let mut bus = HostBus::new(program.base, config.mem_size);
+        bus.load(program.base, &program.bytes);
+        bus.map_mailbox(rot.mailbox.clone());
+        bus.protect_mailbox();
+        // The general SCMI system mailbox (host-accessible): version and
+        // remote-attestation services, attesting the booted CFI firmware.
+        let scmi = ScmiWire::new();
+        bus.map_scmi(scmi.clone());
+        let scmi_service =
+            ScmiWireService::new(scmi, b"titancfi-attestation-key", &fw.bytes);
+        let mut core = Cva6Core::with_bus(bus, program.entry, config.timing);
+        core.hart_mut().set_reg(
+            riscv_isa::Reg::SP,
+            (program.base + config.mem_size as u64 - 16) & !0xf,
+        );
+        // Boot firmware to idle.
+        match config.firmware {
+            FirmwareKind::Irq => {
+                let (_, ev) = rot.core.run_until_idle(1_000_000);
+                assert_eq!(ev, Some(ibex_model::IbexEvent::Asleep), "firmware must park");
+            }
+            _ => {
+                let poll_loop = fw.symbol("poll_loop").expect("poll_loop symbol");
+                for _ in 0..1000 {
+                    let c = rot.core.step().expect("boot");
+                    if c.retired.pc == poll_loop {
+                        break;
+                    }
+                }
+            }
+        }
+        SystemOnChip {
+            core,
+            filter: CfiFilter::new(),
+            queue: CfiQueue::new(config.queue_depth),
+            controller: QueueController::new(),
+            writer: LogWriter::new(config.axi),
+            rot,
+            config,
+            bg_cycle: 0,
+            last_cf_cycle: None,
+            violations: Vec::new(),
+            trapped_violations: 0,
+            scmi_service,
+        }
+    }
+
+    /// The SHA-256 measurement of the booted CFI firmware — what a remote
+    /// verifier expects attestation reports to carry.
+    #[must_use]
+    pub fn firmware_measurement(&self) -> [u8; 32] {
+        self.scmi_service.measurement()
+    }
+
+    /// Advances the background machinery (Log Writer + RoT) to `until`.
+    fn advance_background(&mut self, until: u64) {
+        while self.bg_cycle < until {
+            // Fast-forward across true idleness.
+            if self.queue.is_empty()
+                && !self.writer.busy()
+                && !self.rot.mailbox.doorbell_pending()
+            {
+                self.scmi_service.poll();
+                self.bg_cycle = until;
+                self.rot.core.advance_to(until);
+                return;
+            }
+            self.tick_once();
+        }
+    }
+
+    fn tick_once(&mut self) {
+        if let Some(v) = self.writer.tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox) {
+            self.violations.push(v);
+        }
+        self.scmi_service.poll();
+        self.rot.sync_irq();
+        let runnable = self.rot.core.state() == ibex_model::IbexState::Running
+            || self.rot.mailbox.doorbell_pending();
+        if runnable && self.rot.core.cycle() <= self.bg_cycle {
+            // The firmware only traps on bugs; surface them loudly.
+            if let Err(ibex_model::IbexEvent::Trapped(t)) = self.rot.core.step() {
+                panic!("RoT firmware trapped: {t}");
+            }
+        }
+        self.bg_cycle += 1;
+    }
+
+    /// Runs the host program to completion (or `max_cycles`), co-simulating
+    /// the CFI pipeline.
+    #[must_use]
+    pub fn run(&mut self, max_cycles: u64) -> SocReport {
+        let halt = loop {
+            if self.core.cycle() >= max_cycles {
+                break Halt::Budget;
+            }
+            if self.config.halt_on_violation && !self.violations.is_empty() {
+                break Halt::Breakpoint;
+            }
+            match self.core.step() {
+                Ok(commit) => {
+                    self.advance_background(commit.cycle);
+                    // Deliver any violation the background machinery found
+                    // while this instruction was in flight.
+                    if self.config.trap_host_on_violation
+                        && self.violations.len() > self.trapped_violations
+                    {
+                        let v = self.violations[self.trapped_violations];
+                        self.trapped_violations = self.violations.len();
+                        self.core.inject_exception(CFI_VIOLATION_CAUSE, v.log.target);
+                    }
+                    if let Some(log) = self.filter.scan(&commit.retired) {
+                        // Dual-CF conflict: two CF logs in the same commit
+                        // cycle cannot both be pushed (paper §IV-B2).
+                        if self.last_cf_cycle == Some(commit.cycle) {
+                            self.controller.stalls_dual_cf += 1;
+                            self.core.stall(1);
+                        }
+                        self.last_cf_cycle = Some(commit.cycle);
+                        // Queue full: stall the commit stage until the Log
+                        // Writer frees a slot.
+                        while self.queue.is_full() {
+                            let before = self.bg_cycle;
+                            self.tick_once();
+                            let waited = self.bg_cycle - before;
+                            self.controller.stalls_queue_full += waited;
+                            self.core.stall(waited);
+                        }
+                        let pushed = self.queue.push(log);
+                        debug_assert!(pushed, "push after full-wait must succeed");
+                    }
+                }
+                Err(halt) => break halt,
+            }
+        };
+
+        // Drain in-flight checks so counters are final.
+        let mut guard = 0u64;
+        while (!self.queue.is_empty()
+            || self.writer.busy()
+            || self.rot.mailbox.doorbell_pending())
+            && guard < 10_000_000
+        {
+            self.tick_once();
+            guard += 1;
+        }
+
+        SocReport {
+            halt,
+            cycles: self.core.cycle(),
+            core: self.core.stats(),
+            filter: self.filter.stats(),
+            logs_checked: self.writer.logs_written,
+            violations: self.violations.clone(),
+            queue_high_water: self.queue.max_occupancy,
+            stalls_queue_full: self.controller.stalls_queue_full,
+            stalls_dual_cf: self.controller.stalls_dual_cf,
+        }
+    }
+
+    /// Host register read-back (for checking program results).
+    #[must_use]
+    pub fn host_reg(&self, r: riscv_isa::Reg) -> u64 {
+        self.core.reg(r)
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// Number of host accesses blocked by the mailbox PMP guard (tamper
+    /// attempts from software).
+    #[must_use]
+    pub fn pmp_denials(&mut self) -> u64 {
+        self.core.bus_mut().pmp_denials
+    }
+
+    /// Direct access to the host bus (verifier-side readback in tests).
+    pub fn host_bus_mut(&mut self) -> &mut HostBus {
+        self.core.bus_mut()
+    }
+}
+
+/// Runs `program` without any CFI machinery — the baseline for slowdowns.
+#[must_use]
+pub fn run_baseline(program: &Program, config: &SocConfig) -> (Halt, u64) {
+    let mut core = Cva6Core::new(program, config.mem_size, config.timing);
+    let halt = core.run_silent(u64::MAX / 2);
+    (halt, core.cycle())
+}

@@ -1,0 +1,149 @@
+//! Property tests for the trace-driven queue model, including differential
+//! testing against an independent brute-force cycle-stepped simulator.
+
+use proptest::prelude::*;
+use titancfi_trace::{service_bound, simulate, Trace};
+
+/// An independent reference implementation: advance cycle by cycle with an
+/// explicit queue and writer state. O(total_cycles) — only usable for
+/// small cases, which is exactly what differential testing needs.
+fn brute_force_stall(trace: &Trace, latency: u64, depth: usize) -> u64 {
+    let mut queue: Vec<u64> = Vec::new(); // enqueue times of logs in queue
+    let mut writer_busy_until = 0u64; // writer is serving until this cycle
+    let mut writer_active = false;
+    let mut stall = 0u64;
+    let mut now;
+    for &base_cycle in &trace.cf_cycles {
+        now = base_cycle + stall;
+        // Drain writer/queue up to `now`.
+        loop {
+            if writer_active && writer_busy_until <= now {
+                writer_active = false;
+            }
+            if !writer_active && !queue.is_empty() {
+                let head_enq = queue.remove(0);
+                let start = head_enq.max(writer_busy_until);
+                if start <= now {
+                    writer_active = true;
+                    writer_busy_until = start + latency;
+                    continue;
+                }
+                // Service would start in the future; put it back.
+                queue.insert(0, head_enq);
+            }
+            break;
+        }
+        // If the queue is full, the core stalls until the writer pops.
+        while queue.len() == depth {
+            // Next pop happens when the writer goes idle.
+            let idle_at = writer_busy_until.max(now);
+            stall += idle_at - now;
+            now = idle_at;
+            let head_enq = queue.remove(0);
+            let start = head_enq.max(writer_busy_until);
+            writer_active = true;
+            writer_busy_until = start.max(now) + latency;
+            break;
+        }
+        queue.push(now);
+        // Writer picks it up immediately if idle.
+        if !writer_active && queue.len() == 1 {
+            writer_active = true;
+            writer_busy_until = now.max(writer_busy_until) + latency;
+            queue.remove(0);
+        }
+    }
+    stall
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (1usize..40, 1u64..30).prop_flat_map(|(n, max_gap)| {
+        proptest::collection::vec(0u64..max_gap, n).prop_map(|gaps| {
+            let mut cycles = Vec::with_capacity(gaps.len());
+            let mut t = 0;
+            for g in gaps {
+                t += g + 1;
+                cycles.push(t);
+            }
+            let total = t + 100;
+            Trace::from_cf_cycles(cycles, total)
+        })
+    })
+}
+
+proptest! {
+    /// The closed-form model agrees with the brute-force cycle stepper.
+    #[test]
+    fn matches_brute_force(trace in arb_trace(), latency in 1u64..40, depth in 1usize..6) {
+        let fast = simulate(&trace, latency, depth).stall_cycles;
+        let slow = brute_force_stall(&trace, latency, depth);
+        prop_assert_eq!(fast, slow, "latency {} depth {}", latency, depth);
+    }
+
+    /// Deeper queues never increase stalls.
+    #[test]
+    fn monotone_in_depth(trace in arb_trace(), latency in 1u64..60) {
+        let mut prev = u64::MAX;
+        for depth in 1..8 {
+            let s = simulate(&trace, latency, depth).stall_cycles;
+            prop_assert!(s <= prev);
+            prev = s;
+        }
+    }
+
+    /// Higher check latency never decreases stalls.
+    #[test]
+    fn monotone_in_latency(trace in arb_trace(), depth in 1usize..6) {
+        let mut prev = 0u64;
+        for latency in [1u64, 5, 20, 60, 150] {
+            let s = simulate(&trace, latency, depth).stall_cycles;
+            prop_assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    /// The service-rate bound is a true lower bound on the simulated run.
+    #[test]
+    fn service_bound_is_lower_bound(trace in arb_trace(), latency in 1u64..80, depth in 1usize..6) {
+        let out = simulate(&trace, latency, depth);
+        let bound = service_bound(&trace, latency);
+        // Compare total runtimes (bound is on the whole run). The host may
+        // retire its last instruction while up to `depth + 1` checks are
+        // still in flight (queued + being served) — the paper's slowdown is
+        // host cycles, so those do not extend the run. Allow that slack.
+        let simulated = out.cycles_with_cfi as f64;
+        let bound_cycles = trace.total_cycles as f64 * (1.0 + bound);
+        let in_flight_slack = ((depth as u64 + 1) * latency) as f64;
+        prop_assert!(simulated + in_flight_slack >= bound_cycles,
+            "simulated {} vs bound {}", simulated, bound_cycles);
+    }
+
+    /// Time-shifting the whole trace does not change the stall count.
+    #[test]
+    fn shift_invariant(trace in arb_trace(), latency in 1u64..40, shift in 0u64..1000) {
+        let shifted = Trace::from_cf_cycles(
+            trace.cf_cycles.iter().map(|c| c + shift).collect(),
+            trace.total_cycles + shift,
+        );
+        prop_assert_eq!(
+            simulate(&trace, latency, 2).stall_cycles,
+            simulate(&shifted, latency, 2).stall_cycles
+        );
+    }
+
+    /// With a latency no larger than every gap, even a depth-1 queue never
+    /// stalls.
+    #[test]
+    fn fast_rot_never_stalls(trace in arb_trace()) {
+        let min_gap = trace
+            .cf_cycles
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .min()
+            .unwrap_or(u64::MAX)
+            .min(trace.cf_cycles.first().copied().unwrap_or(u64::MAX));
+        prop_assume!(min_gap >= 1);
+        let out = simulate(&trace, min_gap.min(50), 1);
+        prop_assert_eq!(out.stall_cycles, 0);
+    }
+}

@@ -1,0 +1,806 @@
+//! Extended benchmark kernels covering the remaining control-flow profiles
+//! of the paper's Table III: branch-chain automata (nsichneu), state
+//! machines with per-event calls (statemate, slre), fixed-point numerics
+//! (cubic, minver, nbody, st), sorting/merging (wikisort), bit-stream
+//! decoding (huffbench), table-driven crypto/codec rounds (nettle-aes,
+//! qrduino, picojpeg) and the small RISC-V-Tests kernels (median, vvadd,
+//! spmv).
+//!
+//! As in [`crate::kernels`], every kernel leaves a checksum in `a0`,
+//! verified against a Rust reference implementation by the test suite.
+
+use crate::kernels::Kernel;
+
+/// nsichneu profile: a long chain of data-dependent branches, no calls.
+const NSICHNEU_SRC: &str = r"
+_start:
+    li  s0, 20          # outer iterations
+    li  a0, 0x1234      # state
+nsi_outer:
+    li  s1, 64          # chain length
+nsi_chain:
+    andi t0, a0, 1
+    beqz t0, nsi_even
+    # odd: a0 = a0*3 + 1 (Collatz-ish)
+    slli t1, a0, 1
+    add  a0, a0, t1
+    addi a0, a0, 1
+    j    nsi_next
+nsi_even:
+    srli a0, a0, 1
+    addi a0, a0, 7
+nsi_next:
+    li   t0, 0xffffff
+    and  a0, a0, t0
+    addi s1, s1, -1
+    bnez s1, nsi_chain
+    addi s0, s0, -1
+    bnez s0, nsi_outer
+    ebreak
+";
+
+/// statemate profile: an event-driven FSM, one function call per event.
+const STATEMATE_SRC: &str = r"
+_start:
+    li  s0, 300         # events
+    li  s1, 0           # state
+    li  s2, 0x1d        # LFSR seed for events
+    li  a0, 0           # checksum
+sm_loop:
+    # next event = LFSR step (x >>= 1, xor taps on lsb)
+    andi t0, s2, 1
+    srli s2, s2, 1
+    beqz t0, sm_noxor
+    li   t1, 0xb8
+    xor  s2, s2, t1
+sm_noxor:
+    andi a1, s2, 3      # event in 0..3
+    call transition
+    add  a0, a0, s1
+    addi s0, s0, -1
+    bnez s0, sm_loop
+    li   t0, 0xffff
+    and  a0, a0, t0
+    ebreak
+
+# transition(a1 = event): s1 = (s1 * 5 + event + 1) % 7
+transition:
+    slli t0, s1, 2
+    add  t0, t0, s1
+    add  t0, t0, a1
+    addi t0, t0, 1
+    li   t1, 7
+    remu s1, t0, t1
+    ret
+";
+
+/// median (RISC-V-Tests): 3-tap median filter over an array.
+const MEDIAN_SRC: &str = r"
+_start:
+    # data[i] = (i * 13 + 5) & 0x3ff, 64 entries
+    la  t0, med_in
+    li  t1, 0
+md_gen:
+    li  t2, 13
+    mul t3, t1, t2
+    addi t3, t3, 5
+    li  t2, 0x3ff
+    and t3, t3, t2
+    sd  t3, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, 1
+    li  t2, 64
+    blt t1, t2, md_gen
+    # median of (a,b,c) for i in 1..63, accumulate
+    li  a0, 0
+    li  t1, 1
+md_loop:
+    slli t2, t1, 3
+    la   t3, med_in
+    add  t2, t2, t3
+    ld   t4, -8(t2)     # a
+    ld   t5, 0(t2)      # b
+    ld   t6, 8(t2)      # c
+    # median: a+b+c - min - max
+    add  t0, t4, t5
+    add  t0, t0, t6
+    # min in t3, max in s1 (t3 reused, careful: t3 holds base) — use a1/a2
+    mv   a1, t4
+    bge  t5, a1, md_min1
+    mv   a1, t5
+md_min1:
+    bge  t6, a1, md_min2
+    mv   a1, t6
+md_min2:
+    mv   a2, t4
+    bge  a2, t5, md_max1
+    mv   a2, t5
+md_max1:
+    bge  a2, t6, md_max2
+    mv   a2, t6
+md_max2:
+    sub  t0, t0, a1
+    sub  t0, t0, a2
+    add  a0, a0, t0
+    addi t1, t1, 1
+    li   t2, 63
+    blt  t1, t2, md_loop
+    ebreak
+
+.align 3
+med_in: .zero 512
+";
+
+/// vvadd (RISC-V-Tests mt-vvadd profile): plain vector add.
+const VVADD_SRC: &str = r"
+_start:
+    la  t0, va
+    la  t1, vb
+    li  t2, 0
+vv_gen:
+    slli t3, t2, 1
+    addi t4, t3, 3
+    sd  t3, 0(t0)
+    sd  t4, 0(t1)
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi t2, t2, 1
+    li  t3, 128
+    blt t2, t3, vv_gen
+    la  t0, va
+    la  t1, vb
+    li  t2, 0
+    li  a0, 0
+vv_add:
+    ld  t3, 0(t0)
+    ld  t4, 0(t1)
+    add t3, t3, t4
+    add a0, a0, t3
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi t2, t2, 1
+    li  t3, 128
+    blt t2, t3, vv_add
+    ebreak
+
+.align 3
+va: .zero 1024
+vb: .zero 1024
+";
+
+/// spmv (RISC-V-Tests): CSR sparse matrix-vector product. The matrix is a
+/// tridiagonal 32x32 built at runtime.
+const SPMV_SRC: &str = r"
+_start:
+    # x[i] = i + 1
+    la  t0, vx
+    li  t1, 0
+sp_genx:
+    addi t2, t1, 1
+    sd  t2, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, 1
+    li  t2, 32
+    blt t1, t2, sp_genx
+    # y = A*x for tridiagonal A with A[i][i]=2, A[i][i-1]=A[i][i+1]=-1
+    li  a0, 0
+    li  t1, 0            # row
+sp_row:
+    li  t3, 0            # acc
+    # diag
+    slli t4, t1, 3
+    la  t5, vx
+    add t4, t4, t5
+    ld  t6, 0(t4)
+    slli t6, t6, 1
+    add t3, t3, t6
+    # left
+    beqz t1, sp_noleft
+    ld  t6, -8(t4)
+    sub t3, t3, t6
+sp_noleft:
+    # right
+    li  t5, 31
+    bge t1, t5, sp_noright
+    ld  t6, 8(t4)
+    sub t3, t3, t6
+sp_noright:
+    # accumulate y[i] * (i+1)
+    addi t5, t1, 1
+    mul t3, t3, t5
+    add a0, a0, t3
+    addi t1, t1, 1
+    li  t5, 32
+    blt t1, t5, sp_row
+    ebreak
+
+.align 3
+vx: .zero 256
+";
+
+/// cubic profile: fixed-point Newton iteration for integer cube roots.
+const CUBIC_SRC: &str = r"
+_start:
+    li  s0, 50           # values
+    li  a0, 0
+cu_loop:
+    # v = s0^3 * 7 + 11
+    mul t0, s0, s0
+    mul t0, t0, s0
+    li  t1, 7
+    mul t0, t0, t1
+    addi t0, t0, 11
+    mv  a1, t0
+    call icbrt
+    add a0, a0, a1      # icbrt returns in a1
+    addi s0, s0, -1
+    bnez s0, cu_loop
+    ebreak
+
+# icbrt(a1 = v): Newton iterations x = (2x + v / x^2) / 3, 20 rounds from x = v/3+1
+icbrt:
+    mv   t0, a1          # v
+    li   t1, 3
+    divu t2, t0, t1
+    addi t2, t2, 1       # x
+    li   t3, 20          # iterations
+ic_iter:
+    mul  t4, t2, t2
+    beqz t4, ic_done
+    divu t4, t0, t4      # v / x^2
+    slli t5, t2, 1
+    add  t4, t4, t5
+    divu t2, t4, t1      # / 3
+    addi t3, t3, -1
+    bnez t3, ic_iter
+ic_done:
+    mv   a1, t2
+    ret
+";
+
+/// st profile: one-pass mean and variance accumulation.
+const ST_SRC: &str = r"
+_start:
+    # data[i] = (i * 9 + 2) & 0xff for 200 samples
+    li  s0, 200
+    li  t1, 0           # i
+    li  t2, 0           # sum
+    li  t3, 0           # sumsq
+st_loop:
+    li  t4, 9
+    mul t5, t1, t4
+    addi t5, t5, 2
+    andi t5, t5, 0xff
+    add t2, t2, t5
+    mul t6, t5, t5
+    add t3, t3, t6
+    addi t1, t1, 1
+    blt t1, s0, st_loop
+    # mean = sum / n ; var = sumsq/n - mean^2
+    divu t4, t2, s0
+    divu t5, t3, s0
+    mul  t6, t4, t4
+    sub  t5, t5, t6
+    add  a0, t4, t5
+    ebreak
+";
+
+/// wikisort profile: bottom-up merge sort (call per merge) of 64 keys.
+const WIKISORT_SRC: &str = r"
+_start:
+    # keys from xorshift32
+    la  t0, ws_a
+    li  t1, 0x1a2b3c4d
+    li  t2, 0
+ws_gen:
+    slli t3, t1, 13
+    xor  t1, t1, t3
+    srli t3, t1, 17
+    xor  t1, t1, t3
+    slli t3, t1, 5
+    xor  t1, t1, t3
+    li   t3, 0xffffffff
+    and  t1, t1, t3
+    sd   t1, 0(t0)
+    addi t0, t0, 8
+    addi t2, t2, 1
+    li   t3, 64
+    blt  t2, t3, ws_gen
+    # bottom-up merge: width = 1, 2, 4, ... 32
+    li  s0, 1           # width
+ws_pass:
+    li  s1, 0           # left
+ws_merge_loop:
+    # mid = left + width ; right = min(left + 2*width, 64)
+    add  a1, s1, s0
+    li   t0, 64
+    bge  a1, t0, ws_pass_done
+    slli t1, s0, 1
+    add  a2, s1, t1
+    ble  a2, t0, ws_rok
+    mv   a2, t0
+ws_rok:
+    mv   a0, s1
+    call merge          # merge(a0=left, a1=mid, a2=right)
+    slli t1, s0, 1
+    add  s1, s1, t1
+    li   t0, 64
+    blt  s1, t0, ws_merge_loop
+ws_pass_done:
+    slli s0, s0, 1
+    li   t0, 64
+    blt  s0, t0, ws_pass
+    # checksum: sum a[i]*(i+1) over sorted array
+    la  t0, ws_a
+    li  t1, 0
+    li  a0, 0
+ws_sum:
+    ld  t2, 0(t0)
+    addi t3, t1, 1
+    mul t2, t2, t3
+    add a0, a0, t2
+    addi t0, t0, 8
+    addi t1, t1, 1
+    li  t3, 64
+    blt t1, t3, ws_sum
+    ebreak
+
+# merge(a0=left, a1=mid, a2=right): merge ws_a[l..m) and ws_a[m..r) via ws_tmp
+merge:
+    la  t0, ws_a
+    la  t1, ws_tmp
+    mv  t2, a0          # i
+    mv  t3, a1          # j
+    mv  t4, a0          # k (into tmp)
+mg_loop:
+    bge t2, a1, mg_take_j
+    bge t3, a2, mg_take_i
+    slli t5, t2, 3
+    add  t5, t5, t0
+    ld   t5, 0(t5)
+    slli t6, t3, 3
+    add  t6, t6, t0
+    ld   t6, 0(t6)
+    bleu t5, t6, mg_take_i
+mg_take_j:
+    bge  t3, a2, mg_copyback
+    slli t6, t3, 3
+    add  t6, t6, t0
+    ld   t5, 0(t6)
+    addi t3, t3, 1
+    j    mg_store
+mg_take_i:
+    slli t6, t2, 3
+    add  t6, t6, t0
+    ld   t5, 0(t6)
+    addi t2, t2, 1
+mg_store:
+    slli t6, t4, 3
+    add  t6, t6, t1
+    sd   t5, 0(t6)
+    addi t4, t4, 1
+    blt  t4, a2, mg_loop
+mg_copyback:
+    mv  t2, a0
+mg_cb_loop:
+    bge t2, a2, mg_done
+    slli t5, t2, 3
+    add  t6, t5, t1
+    ld   t6, 0(t6)
+    add  t5, t5, t0
+    sd   t6, 0(t5)
+    addi t2, t2, 1
+    j    mg_cb_loop
+mg_done:
+    ret
+
+.align 3
+ws_a:   .zero 512
+ws_tmp: .zero 512
+";
+
+/// huffbench profile: bit-stream decoding with a per-symbol tree walk.
+const HUFF_SRC: &str = r"
+_start:
+    # Encoded stream: 512 bits from an LFSR; decode against a fixed
+    # canonical tree: 0 -> sym A (leaf), 10 -> sym B, 110 -> C, 111 -> D.
+    li  s0, 512          # bits to consume
+    li  s1, 0xace1       # LFSR state
+    li  a0, 0            # checksum
+hf_symbol:
+    blez s0, hf_done
+    call next_bit
+    beqz a1, hf_a        # 0 -> A
+    call next_bit
+    beqz a1, hf_b        # 10 -> B
+    call next_bit
+    beqz a1, hf_c        # 110 -> C
+    # 111 -> D
+    addi a0, a0, 7
+    j    hf_symbol
+hf_a:
+    addi a0, a0, 1
+    j    hf_symbol
+hf_b:
+    addi a0, a0, 3
+    j    hf_symbol
+hf_c:
+    addi a0, a0, 5
+    j    hf_symbol
+hf_done:
+    ebreak
+
+# next_bit: a1 = lsb of LFSR (16-bit, taps 16,14,13,11), consumes s0
+next_bit:
+    andi a1, s1, 1
+    # feedback = bit0 ^ bit2 ^ bit3 ^ bit5
+    srli t0, s1, 2
+    xor  t1, s1, t0
+    srli t0, s1, 3
+    xor  t1, t1, t0
+    srli t0, s1, 5
+    xor  t1, t1, t0
+    andi t1, t1, 1
+    srli s1, s1, 1
+    slli t1, t1, 15
+    or   s1, s1, t1
+    addi s0, s0, -1
+    ret
+";
+
+/// nettle-aes profile: table substitution + xor rounds over a 16-byte state.
+const AES_PROF_SRC: &str = r"
+_start:
+    # sbox[i] = (i * 7 + 13) & 0xff ; state[i] = i
+    la  t0, sbox
+    li  t1, 0
+ae_gens:
+    li  t2, 7
+    mul t3, t1, t2
+    addi t3, t3, 13
+    andi t3, t3, 0xff
+    sb  t3, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    li  t2, 256
+    blt t1, t2, ae_gens
+    la  t0, state
+    li  t1, 0
+ae_genst:
+    sb  t1, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    li  t2, 16
+    blt t1, t2, ae_genst
+    # 100 rounds: state[i] = sbox[state[i]] ^ state[(i+1)%16] ^ round
+    li  s0, 100
+ae_round:
+    li  t1, 0
+ae_byte:
+    la  t0, state
+    add t2, t0, t1
+    lbu t3, 0(t2)
+    la  t4, sbox
+    add t4, t4, t3
+    lbu t3, 0(t4)
+    addi t5, t1, 1
+    andi t5, t5, 15
+    add t5, t0, t5
+    lbu t5, 0(t5)
+    xor t3, t3, t5
+    xor t3, t3, s0
+    andi t3, t3, 0xff
+    sb  t3, 0(t2)
+    addi t1, t1, 1
+    li  t4, 16
+    blt t1, t4, ae_byte
+    addi s0, s0, -1
+    bnez s0, ae_round
+    # checksum
+    la  t0, state
+    li  t1, 0
+    li  a0, 0
+ae_sum:
+    lbu t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 1
+    addi t1, t1, 1
+    li  t2, 16
+    blt t1, t2, ae_sum
+    ebreak
+
+sbox:  .zero 256
+state: .zero 16
+";
+
+/// slre profile: a regex-like matcher with one call per input character.
+const SLRE_SRC: &str = r"
+_start:
+    # Match `a+b` against text[i] = 'a' + ((i*5+1) % 3) over 400 chars,
+    # counting matches. Matcher state in s1: 0=start, 1=seen-a.
+    li  s0, 400
+    li  s1, 0
+    li  s2, 0           # i
+    li  a0, 0           # match count
+sl_loop:
+    # ch = 'a' + ((i*5+1) % 3)
+    li  t0, 5
+    mul t1, s2, t0
+    addi t1, t1, 1
+    li  t0, 3
+    remu t1, t1, t0
+    addi a1, t1, 97     # 'a'
+    call step_match
+    addi s2, s2, 1
+    blt  s2, s0, sl_loop
+    ebreak
+
+# step_match(a1 = ch): updates s1, increments a0 on match of /a+b/
+step_match:
+    li  t0, 97          # 'a'
+    beq a1, t0, sm_saw_a
+    li  t0, 98          # 'b'
+    beq a1, t0, sm_saw_b
+    li  s1, 0           # other char: reset
+    ret
+sm_saw_a:
+    li  s1, 1
+    ret
+sm_saw_b:
+    beqz s1, sm_reset
+    addi a0, a0, 1      # a+b matched
+sm_reset:
+    li  s1, 0
+    ret
+";
+
+/// qrduino profile: GF(256) multiply-accumulate via log/antilog tables.
+const QRDUINO_SRC: &str = r"
+_start:
+    # Build antilog table for GF(256), poly 0x11d: alog[i+1]=alog[i]*2 (mod poly)
+    la  t0, alog
+    li  t1, 1           # current
+    li  t2, 0           # i
+qr_gen:
+    sb  t1, 0(t0)
+    addi t0, t0, 1
+    slli t1, t1, 1
+    andi t3, t1, 0x100
+    beqz t3, qr_nored
+    li   t3, 0x11d
+    xor  t1, t1, t3
+qr_nored:
+    andi t1, t1, 0xff
+    addi t2, t2, 1
+    li   t3, 255
+    blt  t2, t3, qr_gen
+    # checksum: sum alog[(i*3) % 255] * i for i in 1..100
+    li  t1, 1
+    li  a0, 0
+qr_sum:
+    li  t2, 3
+    mul t3, t1, t2
+    li  t2, 255
+    remu t3, t3, t2
+    la  t4, alog
+    add t4, t4, t3
+    lbu t4, 0(t4)
+    mul t4, t4, t1
+    add a0, a0, t4
+    addi t1, t1, 1
+    li  t2, 100
+    blt t1, t2, qr_sum
+    ebreak
+
+alog: .zero 256
+";
+
+/// picojpeg profile: zigzag traversal + dequantization + butterfly adds.
+const PICOJPEG_SRC: &str = r"
+_start:
+    # block[i] = (i * 17 - 100) for 64 coefficients, quant[i] = (i & 7) + 1
+    la  t0, blk
+    la  t1, qt
+    li  t2, 0
+pj_gen:
+    li  t3, 17
+    mul t4, t2, t3
+    addi t4, t4, -100
+    sd  t4, 0(t0)
+    andi t5, t2, 7
+    addi t5, t5, 1
+    sd  t5, 0(t1)
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi t2, t2, 1
+    li  t3, 64
+    blt t2, t3, pj_gen
+    # 30 blocks: dequant + row butterflies, accumulate
+    li  s0, 30
+    li  a0, 0
+pj_block:
+    li  t2, 0
+pj_deq:
+    slli t3, t2, 3
+    la   t4, blk
+    add  t4, t4, t3
+    ld   t5, 0(t4)
+    la   t6, qt
+    add  t6, t6, t3
+    ld   t6, 0(t6)
+    mul  t5, t5, t6
+    add  a0, a0, t5
+    addi t2, t2, 1
+    li   t3, 64
+    blt  t2, t3, pj_deq
+    # butterfly on first row: b[i] = b[i] + b[7-i] (i<4)
+    li   t2, 0
+pj_bfly:
+    slli t3, t2, 3
+    la   t4, blk
+    add  t4, t4, t3
+    ld   t5, 0(t4)
+    li   t6, 7
+    sub  t6, t6, t2
+    slli t6, t6, 3
+    la   t1, blk
+    add  t6, t6, t1
+    ld   t6, 0(t6)
+    add  t5, t5, t6
+    sd   t5, 0(t4)
+    addi t2, t2, 1
+    li   t3, 4
+    blt  t2, t3, pj_bfly
+    addi s0, s0, -1
+    bnez s0, pj_block
+    li   t0, 0xffffff
+    and  a0, a0, t0
+    ebreak
+
+.align 3
+blk: .zero 512
+qt:  .zero 512
+";
+
+/// minver profile: 3x3 integer matrix inverse via adjugate (determinant-
+/// scaled), called per matrix.
+const MINVER_SRC: &str = r"
+_start:
+    li  s0, 40          # matrices
+    li  a0, 0
+mv_loop:
+    # matrix entries m[i] = ((i+1) * s0 + i*i + 1), 9 entries in regs via memory
+    la  t0, mat
+    li  t1, 0
+mv_gen:
+    addi t2, t1, 1
+    mul  t2, t2, s0
+    mul  t3, t1, t1
+    add  t2, t2, t3
+    addi t2, t2, 1
+    sd   t2, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, 1
+    li   t3, 9
+    blt  t1, t3, mv_gen
+    call det3
+    add  a0, a0, a1
+    addi s0, s0, -1
+    bnez s0, mv_loop
+    li   t0, 0xffffffff
+    and  a0, a0, t0
+    ebreak
+
+# det3: a1 = determinant of the 3x3 matrix at `mat` (row-major dwords)
+det3:
+    la  t0, mat
+    ld  t1, 0(t0)       # m00
+    ld  t2, 8(t0)       # m01
+    ld  t3, 16(t0)      # m02
+    ld  t4, 24(t0)      # m10
+    ld  t5, 32(t0)      # m11
+    ld  t6, 40(t0)      # m12
+    ld  a2, 48(t0)      # m20
+    ld  a3, 56(t0)      # m21
+    ld  a4, 64(t0)      # m22
+    # det = m00(m11*m22 - m12*m21) - m01(m10*m22 - m12*m20) + m02(m10*m21 - m11*m20)
+    mul a5, t5, a4
+    mul a6, t6, a3
+    sub a5, a5, a6
+    mul a5, a5, t1
+    mul a6, t4, a4
+    mul a7, t6, a2
+    sub a6, a6, a7
+    mul a6, a6, t2
+    sub a5, a5, a6
+    mul a6, t4, a3
+    mul a7, t5, a2
+    sub a6, a6, a7
+    mul a6, a6, t3
+    add a1, a5, a6
+    ret
+
+.align 3
+mat: .zero 72
+";
+
+/// nbody profile: pairwise force accumulation with a call per pair.
+const NBODY_SRC: &str = r"
+_start:
+    # positions p[i] = (i*i*3 + i + 7) & 0xff for 8 bodies
+    la  t0, pos
+    li  t1, 0
+nb_gen:
+    mul t2, t1, t1
+    li  t3, 3
+    mul t2, t2, t3
+    add t2, t2, t1
+    addi t2, t2, 7
+    andi t2, t2, 0xff
+    sd  t2, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, 1
+    li  t2, 8
+    blt t1, t2, nb_gen
+    # 20 steps: for each pair (i<j) force += pairwise(i,j)
+    li  s0, 20
+    li  a0, 0
+nb_step:
+    li  s1, 0           # i
+nb_i:
+    addi s2, s1, 1      # j
+nb_j:
+    mv  a1, s1
+    mv  a2, s2
+    call pair_force
+    add a0, a0, a3
+    addi s2, s2, 1
+    li  t0, 8
+    blt s2, t0, nb_j
+    addi s1, s1, 1
+    li  t0, 7
+    blt s1, t0, nb_i
+    addi s0, s0, -1
+    bnez s0, nb_step
+    li  t0, 0xffffff
+    and a0, a0, t0
+    ebreak
+
+# pair_force(a1=i, a2=j): a3 = 1000 / (d*d + 1) with d = p[i] - p[j]
+pair_force:
+    la  t0, pos
+    slli t1, a1, 3
+    add  t1, t1, t0
+    ld   t1, 0(t1)
+    slli t2, a2, 3
+    add  t2, t2, t0
+    ld   t2, 0(t2)
+    sub  t3, t1, t2
+    mul  t3, t3, t3
+    addi t3, t3, 1
+    li   t4, 1000
+    divu a3, t4, t3
+    ret
+
+.align 3
+pos: .zero 64
+";
+
+/// All extended kernels.
+pub const EXT_KERNELS: [Kernel; 15] = [
+    Kernel { name: "nbody", source: NBODY_SRC, expected: None },
+    Kernel { name: "nsichneu", source: NSICHNEU_SRC, expected: None },
+    Kernel { name: "statemate", source: STATEMATE_SRC, expected: None },
+    Kernel { name: "median", source: MEDIAN_SRC, expected: None },
+    Kernel { name: "vvadd", source: VVADD_SRC, expected: None },
+    Kernel { name: "spmv", source: SPMV_SRC, expected: None },
+    Kernel { name: "cubic", source: CUBIC_SRC, expected: None },
+    Kernel { name: "st", source: ST_SRC, expected: None },
+    Kernel { name: "wikisort", source: WIKISORT_SRC, expected: None },
+    Kernel { name: "huffbench", source: HUFF_SRC, expected: None },
+    Kernel { name: "nettle-aes", source: AES_PROF_SRC, expected: None },
+    Kernel { name: "slre", source: SLRE_SRC, expected: None },
+    Kernel { name: "qrduino", source: QRDUINO_SRC, expected: None },
+    Kernel { name: "picojpeg", source: PICOJPEG_SRC, expected: None },
+    Kernel { name: "minver", source: MINVER_SRC, expected: None },
+];

@@ -1,0 +1,49 @@
+//! The RVC compression pass must deliver real code-size savings on the
+//! kernel suite — evidence the pass covers the frequent instruction forms.
+
+use titancfi_workloads::kernels::all_kernels;
+
+#[test]
+fn kernels_compress_meaningfully() {
+    let mut total_plain = 0usize;
+    let mut total_comp = 0usize;
+    for kernel in all_kernels() {
+        let plain = kernel.program().expect("plain").bytes.len();
+        let comp = kernel.program_compressed().expect("compressed").bytes.len();
+        assert!(comp <= plain, "{}: compression must never grow", kernel.name);
+        total_plain += plain;
+        total_comp += comp;
+    }
+    let ratio = total_comp as f64 / total_plain as f64;
+    // The hand-written kernels lean on t-registers (x5-x7, x28-x31), which
+    // sit outside RVC's compressed register window (x8-x15) — so unlike
+    // compiler output (~25-30 % savings with -Os), only the sp-relative
+    // and full-register forms (c.addi/c.li/c.slli/c.mv/c.jr/...) apply.
+    // Require measurable savings; the a/s-register-heavy case in
+    // riscv-asm's compression tests checks the >25 % regime.
+    assert!(
+        ratio < 0.97,
+        "suite-wide compression ratio {ratio:.3} too weak ({total_comp}/{total_plain})"
+    );
+}
+
+#[test]
+fn compressed_kernels_all_execute_correctly() {
+    use cva6_model::{Cva6Core, Halt, TimingConfig};
+    use riscv_isa::Reg;
+    use titancfi_workloads::kernels::KERNEL_MEM;
+    for kernel in all_kernels() {
+        let plain = kernel.program().expect("plain");
+        let comp = kernel.program_compressed().expect("compressed");
+        let mut a = Cva6Core::new(&plain, KERNEL_MEM, TimingConfig::default());
+        let mut b = Cva6Core::new(&comp, KERNEL_MEM, TimingConfig::default());
+        assert_eq!(a.run_silent(500_000_000), Halt::Breakpoint, "{}", kernel.name);
+        assert_eq!(b.run_silent(500_000_000), Halt::Breakpoint, "{}", kernel.name);
+        assert_eq!(
+            a.reg(Reg::A0),
+            b.reg(Reg::A0),
+            "{}: compressed result must match",
+            kernel.name
+        );
+    }
+}

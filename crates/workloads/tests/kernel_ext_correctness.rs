@@ -1,0 +1,267 @@
+//! Rust reference implementations for every extended kernel.
+
+use cva6_model::{Cva6Core, Halt, TimingConfig};
+use riscv_isa::Reg;
+use titancfi_workloads::kernels::{all_kernels, KERNEL_MEM};
+
+fn run(name: &str) -> u64 {
+    let kernel = all_kernels().find(|k| k.name == name).unwrap_or_else(|| panic!("{name}?"));
+    let prog = kernel.program().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut core = Cva6Core::new(&prog, KERNEL_MEM, TimingConfig::default());
+    let halt = core.run_silent(500_000_000);
+    assert_eq!(halt, Halt::Breakpoint, "{name} must halt cleanly, got {halt:?}");
+    core.reg(Reg::A0)
+}
+
+#[test]
+fn nsichneu_reference() {
+    let mut a0: u64 = 0x1234;
+    for _ in 0..20 {
+        for _ in 0..64 {
+            if a0 & 1 == 1 {
+                a0 = a0.wrapping_mul(3).wrapping_add(1);
+            } else {
+                a0 = (a0 >> 1) + 7;
+            }
+            a0 &= 0xff_ffff;
+        }
+    }
+    assert_eq!(run("nsichneu"), a0);
+}
+
+#[test]
+fn statemate_reference() {
+    let mut state: u64 = 0;
+    let mut lfsr: u64 = 0x1d;
+    let mut sum: u64 = 0;
+    for _ in 0..300 {
+        let bit = lfsr & 1;
+        lfsr >>= 1;
+        if bit != 0 {
+            lfsr ^= 0xb8;
+        }
+        let event = lfsr & 3;
+        state = (state * 5 + event + 1) % 7;
+        sum += state;
+    }
+    assert_eq!(run("statemate"), sum & 0xffff);
+}
+
+#[test]
+fn median_reference() {
+    let data: Vec<i64> = (0..64).map(|i| (i * 13 + 5) & 0x3ff).collect();
+    let mut sum = 0i64;
+    for i in 1..63 {
+        let (a, b, c) = (data[i - 1], data[i], data[i + 1]);
+        sum += a + b + c - a.min(b).min(c) - a.max(b).max(c);
+    }
+    assert_eq!(run("median"), sum as u64);
+}
+
+#[test]
+fn vvadd_reference() {
+    let sum: u64 = (0..128u64).map(|i| 2 * i + (2 * i + 3)).sum();
+    assert_eq!(run("vvadd"), sum);
+}
+
+#[test]
+fn spmv_reference() {
+    let x: Vec<i64> = (1..=32).collect();
+    let mut sum = 0i64;
+    for i in 0..32usize {
+        let mut y = 2 * x[i];
+        if i > 0 {
+            y -= x[i - 1];
+        }
+        if i < 31 {
+            y -= x[i + 1];
+        }
+        sum += y * (i as i64 + 1);
+    }
+    assert_eq!(run("spmv"), sum as u64);
+}
+
+#[test]
+fn cubic_reference() {
+    fn icbrt(v: u64) -> u64 {
+        let mut x = v / 3 + 1;
+        for _ in 0..20 {
+            let x2 = x * x;
+            if x2 == 0 {
+                break;
+            }
+            x = (v / x2 + 2 * x) / 3;
+        }
+        x
+    }
+    let mut sum = 0u64;
+    for s in (1..=50u64).rev() {
+        let v = s * s * s * 7 + 11;
+        sum += icbrt(v);
+    }
+    assert_eq!(run("cubic"), sum);
+}
+
+#[test]
+fn st_reference() {
+    let n = 200u64;
+    let data: Vec<u64> = (0..n).map(|i| (i * 9 + 2) & 0xff).collect();
+    let sum: u64 = data.iter().sum();
+    let sumsq: u64 = data.iter().map(|v| v * v).sum();
+    let mean = sum / n;
+    let var = sumsq / n - mean * mean;
+    assert_eq!(run("st"), mean + var);
+}
+
+#[test]
+fn wikisort_reference() {
+    let mut vals = Vec::with_capacity(64);
+    let mut x: u64 = 0x1a2b_3c4d;
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        x &= 0xffff_ffff;
+        vals.push(x);
+    }
+    vals.sort_unstable();
+    let sum: u64 = vals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v.wrapping_mul(i as u64 + 1))
+        .fold(0, u64::wrapping_add);
+    assert_eq!(run("wikisort"), sum);
+}
+
+#[test]
+fn huffbench_reference() {
+    // 16-bit Fibonacci LFSR as in the kernel.
+    let mut state: u64 = 0xace1;
+    let mut bits_left = 512i64;
+    let mut next_bit = |bits_left: &mut i64| {
+        let out = state & 1;
+        let fb = (state ^ (state >> 2) ^ (state >> 3) ^ (state >> 5)) & 1;
+        state = (state >> 1) | (fb << 15);
+        *bits_left -= 1;
+        out
+    };
+    let mut sum = 0u64;
+    while bits_left > 0 {
+        if next_bit(&mut bits_left) == 0 {
+            sum += 1; // A
+        } else if next_bit(&mut bits_left) == 0 {
+            sum += 3; // B
+        } else if next_bit(&mut bits_left) == 0 {
+            sum += 5; // C
+        } else {
+            sum += 7; // D
+        }
+    }
+    assert_eq!(run("huffbench"), sum);
+}
+
+#[test]
+fn nettle_aes_reference() {
+    let sbox: Vec<u8> = (0..256u32).map(|i| ((i * 7 + 13) & 0xff) as u8).collect();
+    let mut state: Vec<u8> = (0..16u8).collect();
+    for round in (1..=100u64).rev() {
+        let mut next = state.clone();
+        for i in 0..16usize {
+            let v = sbox[state[i] as usize] ^ state[(i + 1) % 16] ^ (round as u8);
+            next[i] = v;
+            // kernel updates in place: subsequent bytes see updated values
+            state[i] = v;
+        }
+        let _ = next;
+    }
+    let sum: u64 = state.iter().map(|&b| u64::from(b)).sum();
+    assert_eq!(run("nettle-aes"), sum);
+}
+
+#[test]
+fn slre_reference() {
+    let mut state = 0u64;
+    let mut matches = 0u64;
+    for i in 0..400u64 {
+        let ch = 97 + ((i * 5 + 1) % 3);
+        match ch {
+            97 => state = 1,
+            98 => {
+                if state == 1 {
+                    matches += 1;
+                }
+                state = 0;
+            }
+            _ => state = 0,
+        }
+    }
+    assert_eq!(run("slre"), matches);
+}
+
+#[test]
+fn qrduino_reference() {
+    let mut alog = [0u8; 256];
+    let mut cur: u32 = 1;
+    for item in alog.iter_mut().take(255) {
+        *item = cur as u8;
+        cur <<= 1;
+        if cur & 0x100 != 0 {
+            cur ^= 0x11d;
+        }
+        cur &= 0xff;
+    }
+    let mut sum = 0u64;
+    for i in 1..100u64 {
+        sum += u64::from(alog[((i * 3) % 255) as usize]) * i;
+    }
+    assert_eq!(run("qrduino"), sum);
+}
+
+#[test]
+fn picojpeg_reference() {
+    let mut blk: Vec<i64> = (0..64).map(|i| i * 17 - 100).collect();
+    let qt: Vec<i64> = (0..64).map(|i| (i & 7) + 1).collect();
+    let mut sum = 0i64;
+    for _ in 0..30 {
+        for i in 0..64 {
+            sum += blk[i] * qt[i];
+        }
+        for i in 0..4 {
+            blk[i] += blk[7 - i];
+        }
+    }
+    assert_eq!(run("picojpeg"), (sum as u64) & 0xff_ffff);
+}
+
+#[test]
+fn minver_reference() {
+    fn det3(m: &[i64; 9]) -> i64 {
+        m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6])
+            + m[2] * (m[3] * m[7] - m[4] * m[6])
+    }
+    let mut sum = 0i64;
+    for s in (1..=40i64).rev() {
+        let mut m = [0i64; 9];
+        for (i, cell) in m.iter_mut().enumerate() {
+            let i = i as i64;
+            *cell = (i + 1) * s + i * i + 1;
+        }
+        sum = sum.wrapping_add(det3(&m));
+    }
+    assert_eq!(run("minver"), (sum as u64) & 0xffff_ffff);
+}
+
+#[test]
+fn nbody_reference() {
+    let pos: Vec<i64> = (0..8i64).map(|i| (i * i * 3 + i + 7) & 0xff).collect();
+    let mut sum = 0u64;
+    for _ in 0..20 {
+        for i in 0..7usize {
+            for j in i + 1..8 {
+                let d = pos[i] - pos[j];
+                sum += 1000 / ((d * d) as u64 + 1);
+            }
+        }
+    }
+    assert_eq!(run("nbody"), sum & 0xff_ffff);
+}

@@ -1,0 +1,68 @@
+//! ROP detection demo: a stack-smashed victim, caught by the RoT.
+//!
+//! The victim function spills its return address to the stack; a simulated
+//! memory-write vulnerability overwrites the slot with a gadget address.
+//! When the hijacked `ret` retires, the commit log streamed to OpenTitan
+//! mismatches the shadow stack and the RoT raises a violation — the exact
+//! scenario of the paper's threat model (§VI).
+//!
+//! Run with: `cargo run --example rop_detection`
+
+use riscv_asm::assemble;
+use riscv_isa::Xlen;
+use titancfi_soc::{SocConfig, SystemOnChip};
+
+const VICTIM: &str = r"
+_start:
+    li   s0, 3            # three benign calls first
+warmup:
+    call benign
+    addi s0, s0, -1
+    bnez s0, warmup
+    call vulnerable       # then the attack fires
+    ebreak
+
+benign:
+    addi a0, a0, 1
+    ret
+
+vulnerable:
+    addi sp, sp, -16
+    sd   ra, 8(sp)        # saved return address
+    la   t0, gadget
+    sd   t0, 8(sp)        # << attacker's write primitive lands here
+    ld   ra, 8(sp)
+    addi sp, sp, 16
+    ret                   # hijacked!
+
+gadget:
+    li   a0, 0x666        # attacker payload
+spin:
+    j    spin
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = assemble(VICTIM, Xlen::Rv64, 0x8000_0000)?;
+    let gadget = program.symbol("gadget").expect("gadget symbol");
+
+    let config = SocConfig { halt_on_violation: true, ..SocConfig::default() };
+    let mut soc = SystemOnChip::new(&program, config);
+    let report = soc.run(1_000_000);
+
+    println!("ROP detection demo");
+    println!("==================");
+    println!("gadget address:      {gadget:#x}");
+    println!("benign calls passed: {}", report.filter.calls - 1);
+    println!("violations raised:   {}", report.violations.len());
+
+    let v = report.violations.first().expect("the hijack must be detected");
+    println!("\nVIOLATION");
+    println!("  offending pc:      {:#x}", v.log.pc);
+    println!("  instruction:       {:#010x} (ret)", v.log.insn);
+    println!("  intended return:   (shadow stack top)");
+    println!("  actual target:     {:#x}", v.log.target);
+    println!("  detected at cycle: {}", v.cycle);
+    assert_eq!(v.log.target, gadget, "violation points at the gadget");
+    println!("\nTitanCFI caught the control-flow hijack.");
+    Ok(())
+}

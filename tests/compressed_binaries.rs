@@ -1,0 +1,86 @@
+//! Full-system runs of *compressed* kernels: the CFI filter must classify
+//! compressed control-flow instructions and stream their uncompressed
+//! 32-bit encodings to the RoT (paper §IV-B1) — the firmware parses those
+//! encodings, so a single misexpanded `c.jr` would break checking.
+
+use cva6_model::{Cva6Core, Halt, TimingConfig};
+use riscv_isa::Reg;
+use titancfi_soc::{SocConfig, SystemOnChip};
+use titancfi_workloads::kernels::{all_kernels, KERNEL_MEM};
+
+#[test]
+fn compressed_kernels_verify_under_full_cfi() {
+    for name in ["fib", "towers", "dhry-calls", "dispatch", "wikisort"] {
+        let kernel = all_kernels().find(|k| k.name == name).expect(name);
+        let plain = kernel.program().expect("plain");
+        let compressed = kernel.program_compressed().expect("compressed");
+        assert!(
+            compressed.bytes.len() < plain.bytes.len(),
+            "{name}: compression must shrink ({} vs {})",
+            compressed.bytes.len(),
+            plain.bytes.len()
+        );
+
+        // Bare run to know the expected result.
+        let mut bare = Cva6Core::new(&plain, KERNEL_MEM, TimingConfig::default());
+        let _ = bare.run_silent(500_000_000);
+        let want = bare.reg(Reg::A0);
+
+        // Compressed binary under full CFI.
+        let config = SocConfig { mem_size: KERNEL_MEM, ..SocConfig::default() };
+        let mut soc = SystemOnChip::new(&compressed, config);
+        let report = soc.run(500_000_000);
+        assert_eq!(report.halt, Halt::Breakpoint, "{name}");
+        assert_eq!(soc.host_reg(Reg::A0), want, "{name}: identical result");
+        assert!(report.violations.is_empty(), "{name}: {:?}", report.violations);
+        assert!(report.logs_checked > 0, "{name}: logs must flow");
+        assert_eq!(report.filter.emitted, report.logs_checked, "{name}");
+    }
+}
+
+#[test]
+fn compressed_stream_contains_rvc_retirements() {
+    let kernel = all_kernels().find(|k| k.name == "fib").expect("fib");
+    let compressed = kernel.program_compressed().expect("compressed");
+    let mut core = Cva6Core::new(&compressed, KERNEL_MEM, TimingConfig::default());
+    let (commits, halt) = core.run(500_000_000);
+    assert_eq!(halt, Halt::Breakpoint);
+    let rvc = commits.iter().filter(|c| c.retired.decoded.is_compressed()).count();
+    assert!(rvc > 0, "compressed binary must retire RVC encodings");
+    // Compressed returns still classify as returns and expand to the
+    // canonical 32-bit ret.
+    let c_ret = commits.iter().find(|c| {
+        c.retired.decoded.is_compressed() && c.cf_class == riscv_isa::CfClass::Return
+    });
+    let c_ret = c_ret.expect("a compressed ret must exist (the `ret` pseudo)");
+    assert_eq!(c_ret.retired.decoded.uncompressed(), 0x0000_8067);
+}
+
+#[test]
+fn compressed_rop_still_detected() {
+    let victim = r"
+    _start:
+        call vulnerable
+        ebreak
+    vulnerable:
+        addi sp, sp, -16
+        sd   ra, 8(sp)
+        la   t0, gadget
+        sd   t0, 8(sp)
+        ld   ra, 8(sp)
+        addi sp, sp, 16
+        ret
+    gadget:
+        li   a0, 0x666
+        j    gadget
+    ";
+    let prog = riscv_asm::Assembler::new(riscv_isa::Xlen::Rv64, 0x8000_0000)
+        .compressed()
+        .assemble(victim)
+        .expect("assembles");
+    let config = SocConfig { halt_on_violation: true, ..SocConfig::default() };
+    let mut soc = SystemOnChip::new(&prog, config);
+    let report = soc.run(1_000_000);
+    assert!(!report.violations.is_empty(), "hijack must be detected in RVC code too");
+    assert_eq!(report.violations[0].log.insn, 0x0000_8067, "uncompressed encoding streamed");
+}

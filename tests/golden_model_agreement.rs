@@ -1,0 +1,104 @@
+//! The Rust policy layer (`titancfi-policies`) and the RV32 firmware must
+//! agree verdict-for-verdict on the same commit-log streams — the classic
+//! golden-model-vs-implementation check, including property-based streams.
+
+use proptest::prelude::*;
+use titancfi::firmware::{FirmwareKind, FirmwareRunner};
+use titancfi::CommitLog;
+use titancfi_policies::{attacks, CfiPolicy, ShadowStackPolicy};
+
+fn firmware_verdicts(stream: &[CommitLog]) -> Vec<bool> {
+    let mut fw = FirmwareRunner::new(FirmwareKind::Polling);
+    stream.iter().map(|log| fw.check(log).violation).collect()
+}
+
+fn golden_verdicts(stream: &[CommitLog]) -> Vec<bool> {
+    let mut ss = ShadowStackPolicy::new(4096);
+    stream
+        .iter()
+        .map(|log| !ss.check(log).is_allowed())
+        .collect()
+}
+
+#[test]
+fn agree_on_clean_nested_stream() {
+    let stream = attacks::nested_call_stream(0x8000_0000, 50);
+    assert_eq!(firmware_verdicts(&stream), golden_verdicts(&stream));
+}
+
+#[test]
+fn agree_on_rop_attack() {
+    let clean = attacks::nested_call_stream(0x8000_0000, 30);
+    let attacked = attacks::Attack::Rop {
+        nth_return: 5,
+        gadgets: vec![0x6000_0000, 0x6000_0040],
+    }
+    .apply(&clean);
+    let fw = firmware_verdicts(&attacked);
+    let gold = golden_verdicts(&attacked);
+    assert_eq!(fw, gold);
+    assert!(fw.iter().any(|&v| v), "the attack is detected by both");
+}
+
+#[test]
+fn agree_on_underflow() {
+    let ret = CommitLog { pc: 0x9000, insn: 0x0000_8067, next: 0x9004, target: 0x1234 };
+    assert_eq!(firmware_verdicts(&[ret]), golden_verdicts(&[ret]));
+    assert_eq!(firmware_verdicts(&[ret]), vec![true]);
+}
+
+/// Generates plausible commit-log streams: a random walk of calls, matched
+/// or mismatched returns, and indirect jumps.
+fn arb_stream() -> impl Strategy<Value = Vec<CommitLog>> {
+    proptest::collection::vec((0u8..4, any::<u16>()), 1..60).prop_map(|ops| {
+        let mut stack: Vec<u64> = Vec::new();
+        let mut stream = Vec::new();
+        let mut pc = 0x8000_0000u64;
+        for (op, r) in ops {
+            match op {
+                // call
+                0 | 1 => {
+                    let target = pc + 0x100 + u64::from(r) * 4;
+                    stream.push(CommitLog { pc, insn: 0x0080_00ef, next: pc + 4, target });
+                    stack.push(pc + 4);
+                    pc = target;
+                }
+                // return (sometimes hijacked, sometimes to empty stack)
+                2 => {
+                    let honest = stack.pop();
+                    let hijack = r % 5 == 0;
+                    let target = match (honest, hijack) {
+                        (Some(t), false) => t,
+                        (Some(t), true) => t ^ 0x40,
+                        (None, _) => 0xdead_0000 + u64::from(r),
+                    };
+                    stream.push(CommitLog { pc, insn: 0x0000_8067, next: pc + 4, target });
+                    pc = target;
+                }
+                // indirect jump
+                _ => {
+                    let target = 0x8000_4000 + u64::from(r) * 4;
+                    stream.push(CommitLog { pc, insn: 0x0007_8067, next: pc + 4, target });
+                    pc = target;
+                }
+            }
+            pc &= 0xffff_ffff; // stay in the 32-bit space the firmware compares
+        }
+        stream
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Verdict-for-verdict agreement on arbitrary streams. NOTE: after the
+    /// first violation the firmware and golden model may diverge (a real
+    /// deployment traps on the first violation), so agreement is only
+    /// required up to and including the first flagged event.
+    #[test]
+    fn golden_model_matches_firmware(stream in arb_stream()) {
+        let fw = firmware_verdicts(&stream);
+        let gold = golden_verdicts(&stream);
+        let first_violation = gold.iter().position(|&v| v).map_or(gold.len(), |i| i + 1);
+        prop_assert_eq!(&fw[..first_violation], &gold[..first_violation]);
+    }
+}

@@ -1,0 +1,90 @@
+//! The Log Writer's exception line: a CFI violation delivers a machine-mode
+//! exception to the host hart, whose trap handler can contain the damage —
+//! the recovery story the paper's FSM description implies (§IV-B3).
+
+use cva6_model::Halt;
+use riscv_isa::Reg;
+use titancfi_soc::{SocConfig, SystemOnChip, CFI_VIOLATION_CAUSE};
+
+/// A victim that installs a CFI trap handler, then gets hijacked. The
+/// handler records `mcause` in `s10`, `mtval` in `s11`, and parks.
+const VICTIM_WITH_HANDLER: &str = r"
+_start:
+    la   t0, cfi_trap
+    csrw mtvec, t0
+    call vulnerable
+    ebreak                  # unreachable if the gadget spins
+
+vulnerable:
+    addi sp, sp, -16
+    sd   ra, 8(sp)
+    la   t0, gadget
+    sd   t0, 8(sp)          # the attacker's write primitive
+    ld   ra, 8(sp)
+    addi sp, sp, 16
+    ret                     # hijacked
+
+gadget:
+    li   a0, 0x666
+gadget_spin:
+    j    gadget_spin        # payload runs until the exception lands
+
+cfi_trap:
+    csrr s10, mcause
+    csrr s11, mtval
+    li   a0, 0x5afe         # containment action
+    ebreak
+";
+
+#[test]
+fn violation_delivers_exception_to_host() {
+    let prog = riscv_asm::assemble(VICTIM_WITH_HANDLER, riscv_isa::Xlen::Rv64, 0x8000_0000)
+        .expect("assembles");
+    let gadget = prog.symbol("gadget").expect("gadget");
+    let config = SocConfig { trap_host_on_violation: true, ..SocConfig::default() };
+    let mut soc = SystemOnChip::new(&prog, config);
+    let report = soc.run(1_000_000);
+
+    assert_eq!(report.halt, Halt::Breakpoint, "handler's ebreak reached");
+    assert_eq!(soc.host_reg(Reg::A0), 0x5afe, "containment code ran");
+    assert_eq!(soc.host_reg(Reg::S10), CFI_VIOLATION_CAUSE, "mcause identifies CFI");
+    assert_eq!(soc.host_reg(Reg::S11), gadget, "mtval names the gadget target");
+    assert!(!report.violations.is_empty());
+}
+
+#[test]
+fn without_trap_config_payload_keeps_running() {
+    // Same victim, exception delivery off: the gadget spins until the
+    // cycle budget — demonstrating why the exception line matters.
+    let prog = riscv_asm::assemble(VICTIM_WITH_HANDLER, riscv_isa::Xlen::Rv64, 0x8000_0000)
+        .expect("assembles");
+    let config = SocConfig { trap_host_on_violation: false, ..SocConfig::default() };
+    let mut soc = SystemOnChip::new(&prog, config);
+    let report = soc.run(100_000);
+    assert_eq!(report.halt, Halt::Budget, "payload spins forever");
+    assert_eq!(soc.host_reg(Reg::A0), 0x666, "attacker code ran unchecked");
+    assert!(!report.violations.is_empty(), "...though the RoT did flag it");
+}
+
+#[test]
+fn clean_program_never_traps() {
+    let clean = r"
+    _start:
+        la   t0, cfi_trap
+        csrw mtvec, t0
+        call f
+        li   a0, 1
+        ebreak
+    f:  ret
+    cfi_trap:
+        li   a0, 0xbad
+        ebreak
+    ";
+    let prog = riscv_asm::assemble(clean, riscv_isa::Xlen::Rv64, 0x8000_0000).expect("ok");
+    let config = SocConfig { trap_host_on_violation: true, ..SocConfig::default() };
+    let mut soc = SystemOnChip::new(&prog, config);
+    let report = soc.run(1_000_000);
+    assert_eq!(report.halt, Halt::Breakpoint);
+    assert_eq!(soc.host_reg(Reg::A0), 1, "no spurious exception");
+    assert!(report.violations.is_empty());
+}
