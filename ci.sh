@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate — the same sequence .github/workflows/ci.yml runs.
+# The workspace has no external dependencies, so everything works offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> ci.sh: all green"

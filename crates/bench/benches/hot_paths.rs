@@ -2,13 +2,16 @@
 //! filter, the queue, the commit-log packer, the trace model, and the
 //! crypto primitives. These bound how fast the full-system simulation can
 //! go and catch performance regressions in the core data structures.
+//!
+//! Self-timed via `titancfi_harness::timing` (no criterion; the workspace
+//! builds dependency-free). Run with `cargo bench -p titancfi-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use titancfi::{CfiQueue, CommitLog};
+use titancfi_harness::timing::{bench, bench_throughput};
 use titancfi_trace::{simulate, Trace};
 
-fn bench_decode(c: &mut Criterion) {
+fn bench_decode() {
     // A realistic mix of encodings.
     let words: Vec<u32> = vec![
         0x0015_0513, // addi
@@ -20,104 +23,92 @@ fn bench_decode(c: &mut Criterion) {
         0xfe05_1ce3, // bne
         0x02c5_8533, // mul
     ];
-    let mut group = c.benchmark_group("decode");
-    group.throughput(Throughput::Elements(words.len() as u64));
-    group.bench_function("decode32_mix", |b| {
-        b.iter(|| {
-            for &w in &words {
-                black_box(riscv_isa::decode(black_box(w), riscv_isa::Xlen::Rv64).unwrap());
-            }
-        })
+    let n = words.len() as u64;
+    bench_throughput("decode/decode32_mix", n, || {
+        for &w in &words {
+            black_box(riscv_isa::decode(black_box(w), riscv_isa::Xlen::Rv64).unwrap());
+        }
     });
-    group.bench_function("classify_raw_mix", |b| {
-        b.iter(|| {
-            for &w in &words {
-                black_box(riscv_isa::classify_raw(black_box(w)));
-            }
-        })
+    bench_throughput("decode/classify_raw_mix", n, || {
+        for &w in &words {
+            black_box(riscv_isa::classify_raw(black_box(w)));
+        }
     });
-    group.finish();
 }
 
-fn bench_commit_log(c: &mut Criterion) {
+fn bench_commit_log() {
     let log = CommitLog {
         pc: 0x8000_0000_1234_5678,
         insn: 0x0000_8067,
         next: 0x8000_0000_1234_567c,
         target: 0x8000_0000_0000_4444,
     };
-    c.bench_function("commit_log_pack_unpack", |b| {
-        b.iter(|| {
-            let words = black_box(&log).to_words();
-            black_box(CommitLog::from_words(&words))
-        })
+    bench("commit_log_pack_unpack", || {
+        let words = black_box(&log).to_words();
+        black_box(CommitLog::from_words(&words))
     });
 }
 
-fn bench_queue(c: &mut Criterion) {
-    let log = CommitLog { pc: 0, insn: 0x0000_8067, next: 4, target: 8 };
-    c.bench_function("cfi_queue_push_pop_depth8", |b| {
-        let mut q = CfiQueue::new(8);
-        b.iter(|| {
-            for _ in 0..8 {
-                q.push(black_box(log));
-            }
-            for _ in 0..8 {
-                black_box(q.pop());
-            }
-        })
+fn bench_queue() {
+    let log = CommitLog {
+        pc: 0,
+        insn: 0x0000_8067,
+        next: 4,
+        target: 8,
+    };
+    let mut q = CfiQueue::new(8);
+    bench("cfi_queue_push_pop_depth8", || {
+        for _ in 0..8 {
+            q.push(black_box(log));
+        }
+        for _ in 0..8 {
+            black_box(q.pop());
+        }
     });
 }
 
-fn bench_trace_model(c: &mut Criterion) {
+fn bench_trace_model() {
     // A 100k-event bursty trace, similar to the `mm` benchmark's density.
     let mut cf = Vec::with_capacity(100_000);
     for i in 0..100_000u64 {
         cf.push(i * 6);
     }
     let trace = Trace::from_cf_cycles(cf, 1_000_000);
-    let mut group = c.benchmark_group("trace_model");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("simulate_100k_events_depth8", |b| {
-        b.iter(|| black_box(simulate(black_box(&trace), 267, 8)))
+    bench_throughput("trace_model/simulate_100k_events_depth8", 100_000, || {
+        black_box(simulate(black_box(&trace), 267, 8))
     });
-    group.finish();
 }
 
-fn bench_crypto(c: &mut Criterion) {
+fn bench_crypto() {
     let engine = opentitan_model::HmacEngine::new(b"bench-key");
     let page = vec![0xa5u8; 4096];
-    let mut group = c.benchmark_group("crypto");
-    group.throughput(Throughput::Bytes(4096));
-    group.bench_function("sha256_4k", |b| {
-        b.iter(|| black_box(opentitan_model::sha256::sha256(black_box(&page))))
+    bench_throughput("crypto/sha256_4k", 4096, || {
+        black_box(opentitan_model::sha256::sha256(black_box(&page)))
     });
-    group.bench_function("hmac_spill_page_4k", |b| {
-        b.iter(|| black_box(engine.mac(black_box(&page))))
+    bench_throughput("crypto/hmac_spill_page_4k", 4096, || {
+        black_box(engine.mac(black_box(&page)))
     });
-    group.finish();
 }
 
-fn bench_cva6_throughput(c: &mut Criterion) {
+fn bench_cva6_throughput() {
     // Simulated instructions per second on a numeric kernel.
     let kernel = titancfi_workloads::Kernel::by_name("matmult-int").expect("kernel");
     let prog = kernel.program().expect("assembles");
-    c.bench_function("cva6_sim_matmult", |b| {
-        b.iter(|| {
-            let mut core = cva6_model::Cva6Core::new(
-                black_box(&prog),
-                titancfi_workloads::KERNEL_MEM,
-                cva6_model::TimingConfig::default(),
-            );
-            black_box(core.run_silent(100_000_000))
-        })
+    bench("cva6_sim_matmult", || {
+        let mut core = cva6_model::Cva6Core::new(
+            black_box(&prog),
+            titancfi_workloads::KERNEL_MEM,
+            cva6_model::TimingConfig::default(),
+        );
+        black_box(core.run_silent(100_000_000))
     });
 }
 
-criterion_group! {
-    name = hot_paths;
-    config = Criterion::default().sample_size(20);
-    targets = bench_decode, bench_commit_log, bench_queue, bench_trace_model,
-              bench_crypto, bench_cva6_throughput
+fn main() {
+    bench_decode();
+    bench_commit_log();
+    bench_queue();
+    bench_trace_model();
+    bench_crypto();
+    bench_cva6_throughput();
 }
-criterion_main!(hot_paths);

@@ -1,39 +1,26 @@
-//! One Criterion bench per paper table: regenerating each artifact is the
-//! benchmark body, so `cargo bench` both times the harness and proves every
-//! table still reproduces.
+//! One bench per paper table: regenerating each artifact is the benchmark
+//! body, so `cargo bench` both times the harness and proves every table
+//! still reproduces.
+//!
+//! Self-timed via `titancfi_harness::timing` (no criterion; the workspace
+//! builds dependency-free).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use titancfi_harness::timing::bench;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     // Table I runs real firmware on the Ibex model three times; time one
     // full regeneration.
-    c.bench_function("table1_firmware_breakdown", |b| {
-        b.iter(|| black_box(titancfi_bench::table1()))
+    bench("table1_firmware_breakdown", || {
+        black_box(titancfi_bench::table1())
+    });
+    bench("table2_comparison_depth1", || {
+        black_box(titancfi_bench::table2())
+    });
+    bench("table3_full_suite_depth8", || {
+        black_box(titancfi_bench::table3())
+    });
+    bench("table4_fpga_resources", || {
+        black_box(titancfi_bench::table4())
     });
 }
-
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2_comparison_depth1", |b| {
-        b.iter(|| black_box(titancfi_bench::table2()))
-    });
-}
-
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3_full_suite_depth8", |b| {
-        b.iter(|| black_box(titancfi_bench::table3()))
-    });
-}
-
-fn bench_table4(c: &mut Criterion) {
-    c.bench_function("table4_fpga_resources", |b| {
-        b.iter(|| black_box(titancfi_bench::table4()))
-    });
-}
-
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1, bench_table2, bench_table3, bench_table4
-}
-criterion_main!(tables);

@@ -5,48 +5,8 @@
 //!
 //! This is the reproduction's own evaluation — complementary to `table3`,
 //! which regenerates the paper's numbers from its published statistics.
-
-use cva6_model::{Cva6Core, Halt, TimingConfig};
-use titancfi_trace::{simulate, Trace};
-use titancfi_workloads::kernels::{all_kernels, KERNEL_MEM};
-use titancfi_workloads::published::{
-    LATENCY_IRQ, LATENCY_OPT, LATENCY_POLL, TABLE3_QUEUE_DEPTH,
-};
+//! `--bin campaign` runs the same kernels as parallel jobs.
 
 fn main() {
-    println!("Native kernel suite under the TitanCFI trace model (queue depth {TABLE3_QUEUE_DEPTH})");
-    println!(
-        "{:<14} {:>10} {:>8} {:>9} | {:>7} {:>7} {:>7}",
-        "Kernel", "Cycles", "CF", "CF/kcyc", "Opt.", "Poll.", "IRQ"
-    );
-    println!("{}", "-".repeat(74));
-    for kernel in all_kernels() {
-        let prog = kernel.program().expect("kernel assembles");
-        let mut core = Cva6Core::new(&prog, KERNEL_MEM, TimingConfig::default());
-        let (commits, halt) = core.run(500_000_000);
-        assert_eq!(halt, Halt::Breakpoint, "{} halts", kernel.name);
-        let trace = Trace::from_commits(&commits, core.cycle());
-        let density = trace.cf_count() as f64 * 1000.0 / core.cycle() as f64;
-        let sd = [LATENCY_OPT, LATENCY_POLL, LATENCY_IRQ]
-            .map(|lat| simulate(&trace, lat, TABLE3_QUEUE_DEPTH).slowdown_percent());
-        let fmt = |v: f64| {
-            if v < 0.5 {
-                "-".to_string()
-            } else {
-                format!("{v:.0}")
-            }
-        };
-        println!(
-            "{:<14} {:>10} {:>8} {:>9.2} | {:>7} {:>7} {:>7}",
-            kernel.name,
-            core.cycle(),
-            trace.cf_count(),
-            density,
-            fmt(sd[0]),
-            fmt(sd[1]),
-            fmt(sd[2]),
-        );
-    }
-    println!("\nKernels are this repo's own assembly implementations (see");
-    println!("crates/workloads); traces come from actual execution on the CVA6 model.");
+    print!("{}", titancfi_bench::native_suite_text());
 }

@@ -3,37 +3,8 @@
 //! 8-entry queue and its two firmware optimizations.
 //!
 //! Run with: `cargo run -p titancfi-bench --bin sweep`
-
-use titancfi_trace::simulate;
-use titancfi_workloads::published::{table3_row, LATENCY_IRQ, LATENCY_OPT, LATENCY_POLL};
-use titancfi_workloads::synthetic::trace_for;
-
-const BENCHMARKS: [&str; 5] = ["mm", "dhrystone", "cubic", "sglib-combined", "huffbench"];
-const DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+//! (or in parallel, as part of `--bin campaign`.)
 
 fn main() {
-    println!("Queue-depth x latency design space (slowdown %, calibrated traces)\n");
-    for name in BENCHMARKS {
-        let row = table3_row(name).expect("published row");
-        let trace = trace_for(row, 0x5eed);
-        println!(
-            "{name}  ({} cycles, {} control-flow events)",
-            row.cycles, row.cf
-        );
-        println!(
-            "  {:>8} {:>10} {:>10} {:>10}",
-            "depth", "IRQ(267)", "Poll(112)", "Opt(73)"
-        );
-        for depth in DEPTHS {
-            let irq = simulate(&trace, LATENCY_IRQ, depth).slowdown_percent();
-            let poll = simulate(&trace, LATENCY_POLL, depth).slowdown_percent();
-            let opt = simulate(&trace, LATENCY_OPT, depth).slowdown_percent();
-            println!("  {depth:>8} {irq:>10.1} {poll:>10.1} {opt:>10.1}");
-        }
-        println!();
-    }
-    println!("Reading: queue depth barely helps saturated benchmarks (mm) — only a");
-    println!("faster check does — while bursty ones (huffbench) are fully absorbed at");
-    println!("depth 8. That is the paper's implicit argument for pairing a small queue");
-    println!("with firmware-latency optimization rather than growing the queue.");
+    print!("{}", titancfi_bench::sweep_text());
 }

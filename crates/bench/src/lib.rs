@@ -11,29 +11,48 @@
 //! | [`table2`] | Table II — slowdown vs DExIE/FIXER, queue depth 1 | calibrated traces through the queue model |
 //! | [`table3`] | Table III — full-suite slowdown, queue depth 8 | same |
 //! | [`table4`] | Table IV — FPGA resource overhead | structural estimator |
+//!
+//! Every artifact is split into *fragment* functions (one table row, one
+//! sweep block, one kernel line) plus an `*_assemble` function that stitches
+//! fragments into the final text. The serial `tableN`/`sweep_text`/
+//! `native_suite_text` paths and the parallel [`campaign`] jobs call the
+//! same fragments, so their outputs are byte-identical by construction.
+
+pub mod campaign;
 
 use std::fmt::Write as _;
 use titancfi::firmware::{CheckMeasurement, FirmwareKind, FirmwareRunner};
 use titancfi::{Category, CommitLog, Phase};
 use titancfi_fpga as fpga;
 use titancfi_trace::baselines::{DexieModel, FixerModel};
-use titancfi_trace::simulate;
+use titancfi_trace::{simulate, Trace};
 use titancfi_workloads::published::{
     self, LATENCY_IRQ, LATENCY_OPT, LATENCY_POLL, TABLE2, TABLE2_QUEUE_DEPTH, TABLE3,
     TABLE3_QUEUE_DEPTH,
 };
 use titancfi_workloads::synthetic::trace_for;
+use titancfi_workloads::{ComparisonRow, Kernel, PublishedRow, KERNEL_MEM};
 
 /// A representative call commit log (used by Table I).
 #[must_use]
 pub fn sample_call() -> CommitLog {
-    CommitLog { pc: 0x8000_0000, insn: 0x1000_00ef, next: 0x8000_0004, target: 0x8000_0100 }
+    CommitLog {
+        pc: 0x8000_0000,
+        insn: 0x1000_00ef,
+        next: 0x8000_0004,
+        target: 0x8000_0100,
+    }
 }
 
 /// The matching return commit log.
 #[must_use]
 pub fn sample_ret() -> CommitLog {
-    CommitLog { pc: 0x8000_0104, insn: 0x0000_8067, next: 0x8000_0108, target: 0x8000_0004 }
+    CommitLog {
+        pc: 0x8000_0104,
+        insn: 0x0000_8067,
+        next: 0x8000_0108,
+        target: 0x8000_0004,
+    }
 }
 
 /// Measures one CALL and one RET in each firmware variant.
@@ -45,7 +64,10 @@ pub fn measure_all_variants() -> Vec<(FirmwareKind, CheckMeasurement, CheckMeasu
             let mut fw = FirmwareRunner::new(kind);
             let call = fw.check(&sample_call());
             let ret = fw.check(&sample_ret());
-            assert!(!call.violation && !ret.violation, "reference pair must pass");
+            assert!(
+                !call.violation && !ret.violation,
+                "reference pair must pass"
+            );
             (kind, call, ret)
         })
         .collect()
@@ -60,10 +82,65 @@ pub fn measured_latencies() -> [u64; 3] {
     [0, 1, 2].map(|i| (ms[i].1.latency + ms[i].2.latency) / 2)
 }
 
-/// Regenerates Table I: cycles to enforce the return-address-protection
-/// policy in OpenTitan, split {IRQ, CFI} × {Logic, Mem-RoT, Mem-SoC}.
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+/// The Table I rows contributed by one firmware variant (CALL and RET,
+/// per-category breakdown plus totals), and its average check latency.
+/// This is one campaign job's worth of work.
 #[must_use]
-pub fn table1() -> String {
+pub fn table1_variant_rows(kind: FirmwareKind) -> (String, u64) {
+    let mut fw = FirmwareRunner::new(kind);
+    let call = fw.check(&sample_call());
+    let ret = fw.check(&sample_ret());
+    assert!(
+        !call.violation && !ret.violation,
+        "reference pair must pass"
+    );
+    let mut out = String::new();
+    for (op, m) in [("CALL", &call), ("RET", &ret)] {
+        for cat in Category::ALL {
+            let irq = m.breakdown.cell(Phase::Irq, cat);
+            let cfi = m.breakdown.cell(Phase::Cfi, cat);
+            let _ = writeln!(
+                out,
+                "{:<10} {:<5} {:<9} | {:>5} {:>5} {:>5} | {:>6} {:>6} {:>6}",
+                kind.name(),
+                op,
+                cat.to_string(),
+                irq.instructions,
+                cfi.instructions,
+                irq.instructions + cfi.instructions,
+                irq.cycles,
+                cfi.cycles,
+                irq.cycles + cfi.cycles,
+            );
+        }
+        let irq = m.breakdown.phase_total(Phase::Irq);
+        let cfi = m.breakdown.phase_total(Phase::Cfi);
+        let _ = writeln!(
+            out,
+            "{:<10} {:<5} {:<9} | {:>5} {:>5} {:>5} | {:>6} {:>6} {:>6}   latency {}",
+            kind.name(),
+            op,
+            "TOT",
+            irq.instructions,
+            cfi.instructions,
+            irq.instructions + cfi.instructions,
+            irq.cycles,
+            cfi.cycles,
+            irq.cycles + cfi.cycles,
+            m.latency,
+        );
+    }
+    (out, (call.latency + ret.latency) / 2)
+}
+
+/// Stitches per-variant row blocks (in [`FirmwareKind::ALL`] order) and the
+/// measured latencies into the full Table I text.
+#[must_use]
+pub fn table1_assemble(variant_rows: &[String], latencies: [u64; 3]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -75,49 +152,14 @@ pub fn table1() -> String {
         "Variant", "Op.", "", "I.IRQ", "I.CFI", "I.TOT", "C.IRQ", "C.CFI", "C.TOT"
     );
     let _ = writeln!(out, "{}", "-".repeat(78));
-    for (kind, call, ret) in measure_all_variants() {
-        for (op, m) in [("CALL", &call), ("RET", &ret)] {
-            for cat in Category::ALL {
-                let irq = m.breakdown.cell(Phase::Irq, cat);
-                let cfi = m.breakdown.cell(Phase::Cfi, cat);
-                let _ = writeln!(
-                    out,
-                    "{:<10} {:<5} {:<9} | {:>5} {:>5} {:>5} | {:>6} {:>6} {:>6}",
-                    kind.name(),
-                    op,
-                    cat.to_string(),
-                    irq.instructions,
-                    cfi.instructions,
-                    irq.instructions + cfi.instructions,
-                    irq.cycles,
-                    cfi.cycles,
-                    irq.cycles + cfi.cycles,
-                );
-            }
-            let irq = m.breakdown.phase_total(Phase::Irq);
-            let cfi = m.breakdown.phase_total(Phase::Cfi);
-            let _ = writeln!(
-                out,
-                "{:<10} {:<5} {:<9} | {:>5} {:>5} {:>5} | {:>6} {:>6} {:>6}   latency {}",
-                kind.name(),
-                op,
-                "TOT",
-                irq.instructions,
-                cfi.instructions,
-                irq.instructions + cfi.instructions,
-                irq.cycles,
-                cfi.cycles,
-                irq.cycles + cfi.cycles,
-                m.latency,
-            );
-        }
+    for rows in variant_rows {
+        out.push_str(rows);
     }
-    let lat = measured_latencies();
     let _ = writeln!(out);
     let _ = writeln!(
         out,
         "Measured average check latency: IRQ {} / Polling {} / Optimized {} cycles",
-        lat[0], lat[1], lat[2]
+        latencies[0], latencies[1], latencies[2]
     );
     let _ = writeln!(
         out,
@@ -125,6 +167,23 @@ pub fn table1() -> String {
     );
     out
 }
+
+/// Regenerates Table I: cycles to enforce the return-address-protection
+/// policy in OpenTitan, split {IRQ, CFI} × {Logic, Mem-RoT, Mem-SoC}.
+#[must_use]
+pub fn table1() -> String {
+    let parts: Vec<(String, u64)> = FirmwareKind::ALL
+        .iter()
+        .map(|&kind| table1_variant_rows(kind))
+        .collect();
+    let latencies = [parts[0].1, parts[1].1, parts[2].1];
+    let rows: Vec<String> = parts.into_iter().map(|(rows, _)| rows).collect();
+    table1_assemble(&rows, latencies)
+}
+
+// ---------------------------------------------------------------------------
+// Tables II and III (trace-model replays)
+// ---------------------------------------------------------------------------
 
 /// Simulated slowdowns (Opt, Poll, IRQ) in percent for a published row at
 /// the given queue depth, using the paper's emulation latencies.
@@ -135,20 +194,56 @@ pub fn simulated_slowdowns(row: &published::PublishedRow, depth: usize) -> [f64;
         .map(|lat| simulate(&trace, lat, depth).slowdown_percent())
 }
 
-// Deterministic per-benchmark seed (stable across runs; hexspeak helper).
-#[allow(non_snake_case)]
-fn xtitan_seed(name: &str) -> u64 {
+/// Deterministic per-benchmark seed (stable across runs; FNV-1a over the
+/// benchmark name, same function the campaign descriptors record).
+#[must_use]
+pub fn xtitan_seed(name: &str) -> u64 {
     name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
         (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
     })
 }
 
-/// Regenerates Table II: runtime slowdown at queue depth 1 vs the
-/// published DExIE and FIXER numbers.
+/// One Table II data line — the fragment a `table2` campaign job computes.
 #[must_use]
-pub fn table2() -> String {
+pub fn table2_row_line(cmp: &ComparisonRow) -> String {
+    let row = published::table3_row(cmp.name).expect("trace stats");
+    let trace = trace_for(row, xtitan_seed(row.name));
+    let got = simulated_slowdowns(row, TABLE2_QUEUE_DEPTH);
+    let competitor = cmp.competitor.map_or_else(
+        || "n.a.".to_string(),
+        |v| format!("{v:.0} ({})", cmp.competitor_name),
+    );
+    // Our mechanistic model of the same competitor on the same trace.
+    let model = match cmp.competitor_name {
+        "DExIE" => DexieModel::default().slowdown_percent(&trace),
+        _ => FixerModel::default().slowdown_percent(&trace),
+    };
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE II — runtime slowdown comparison with DExIE [8] and FIXER [6]");
+    let _ = writeln!(
+        out,
+        "{:<15} {:>10} {:>7.0} | {:>7.0} {:>7.0} {:>7.0} | {:>7.0} {:>7.0} {:>7.0}",
+        cmp.name,
+        competitor,
+        model,
+        got[0],
+        got[1],
+        got[2],
+        cmp.titancfi[0],
+        cmp.titancfi[1],
+        cmp.titancfi[2],
+    );
+    out
+}
+
+/// Stitches per-row Table II lines (in [`TABLE2`] order) into the full
+/// table text.
+#[must_use]
+pub fn table2_assemble(rows: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE II — runtime slowdown comparison with DExIE [8] and FIXER [6]"
+    );
     let _ = writeln!(out, "(CFI queue depth {TABLE2_QUEUE_DEPTH}; slowdown in %)");
     let _ = writeln!(
         out,
@@ -156,38 +251,22 @@ pub fn table2() -> String {
         "Benchmark", "Published", "Model", "Opt.", "Poll.", "IRQ", "p.Opt", "p.Poll", "p.IRQ"
     );
     let _ = writeln!(out, "{}", "-".repeat(92));
-    let dexie = DexieModel::default();
-    let fixer = FixerModel::default();
-    for cmp in &TABLE2 {
-        let row = published::table3_row(cmp.name).expect("trace stats");
-        let trace = trace_for(row, xtitan_seed(row.name));
-        let got = simulated_slowdowns(row, TABLE2_QUEUE_DEPTH);
-        let competitor = cmp
-            .competitor
-            .map_or_else(|| "n.a.".to_string(), |v| format!("{v:.0} ({})", cmp.competitor_name));
-        // Our mechanistic model of the same competitor on the same trace.
-        let model = match cmp.competitor_name {
-            "DExIE" => dexie.slowdown_percent(&trace),
-            _ => fixer.slowdown_percent(&trace),
-        };
-        let _ = writeln!(
-            out,
-            "{:<15} {:>10} {:>7.0} | {:>7.0} {:>7.0} {:>7.0} | {:>7.0} {:>7.0} {:>7.0}",
-            cmp.name,
-            competitor,
-            model,
-            got[0],
-            got[1],
-            got[2],
-            cmp.titancfi[0],
-            cmp.titancfi[1],
-            cmp.titancfi[2],
-        );
+    for line in rows {
+        out.push_str(line);
     }
-    let _ = writeln!(out, "
-(`Model` re-derives the competitor's overhead mechanistically: DExIE as a");
-    let _ = writeln!(out, "clock-degrading lock-step monitor, FIXER as inline check instructions.)");
-    let _ = writeln!(out, "\n(p.* columns are the paper's published values; FIXER reports only a");
+    let _ = writeln!(
+        out,
+        "
+(`Model` re-derives the competitor's overhead mechanistically: DExIE as a"
+    );
+    let _ = writeln!(
+        out,
+        "clock-degrading lock-step monitor, FIXER as inline check instructions.)"
+    );
+    let _ = writeln!(
+        out,
+        "\n(p.* columns are the paper's published values; FIXER reports only a"
+    );
     let _ = writeln!(
         out,
         "{:.1} % aggregate overhead without a per-benchmark breakdown.)",
@@ -196,12 +275,52 @@ pub fn table2() -> String {
     out
 }
 
-/// Regenerates Table III: the full EmBench-IoT + RISC-V-Tests sweep at
-/// queue depth 8.
+/// Regenerates Table II: runtime slowdown at queue depth 1 vs the
+/// published DExIE and FIXER numbers.
 #[must_use]
-pub fn table3() -> String {
+pub fn table2() -> String {
+    let rows: Vec<String> = TABLE2.iter().map(table2_row_line).collect();
+    table2_assemble(&rows)
+}
+
+/// One Table III data line — the fragment a `table3` campaign job computes.
+#[must_use]
+pub fn table3_row_line(row: &PublishedRow) -> String {
+    let got = simulated_slowdowns(row, TABLE3_QUEUE_DEPTH);
+    let fmt_sd = |v: f64| {
+        if v < 0.5 {
+            "-".to_string()
+        } else {
+            format!("{v:.0}")
+        }
+    };
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE III — slowdown on the full suites (CFI queue depth {TABLE3_QUEUE_DEPTH})");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        row.name,
+        row.cycles,
+        row.cf,
+        fmt_sd(got[0]),
+        fmt_sd(got[1]),
+        fmt_sd(got[2]),
+        fmt_sd(row.slowdown_opt),
+        fmt_sd(row.slowdown_poll),
+        fmt_sd(row.slowdown_irq),
+    );
+    out
+}
+
+/// Stitches per-row Table III lines (one per [`TABLE3`] entry, in order)
+/// into the full table text, inserting the suite separators.
+#[must_use]
+pub fn table3_assemble(rows: &[String]) -> String {
+    assert_eq!(rows.len(), TABLE3.len(), "one fragment per published row");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE III — slowdown on the full suites (CFI queue depth {TABLE3_QUEUE_DEPTH})"
+    );
     let _ = writeln!(
         out,
         "{:<16} {:>10} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
@@ -209,44 +328,45 @@ pub fn table3() -> String {
     );
     let _ = writeln!(out, "{}", "-".repeat(95));
     let mut suite = None;
-    for row in &TABLE3 {
+    for (row, line) in TABLE3.iter().zip(rows) {
         if suite != Some(row.suite) {
             suite = Some(row.suite);
             let _ = writeln!(out, "--- {} ---", row.suite.name());
         }
-        let got = simulated_slowdowns(row, TABLE3_QUEUE_DEPTH);
-        let fmt_sd = |v: f64| {
-            if v < 0.5 {
-                "-".to_string()
-            } else {
-                format!("{v:.0}")
-            }
-        };
-        let _ = writeln!(
-            out,
-            "{:<16} {:>10} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
-            row.name,
-            row.cycles,
-            row.cf,
-            fmt_sd(got[0]),
-            fmt_sd(got[1]),
-            fmt_sd(got[2]),
-            fmt_sd(row.slowdown_opt),
-            fmt_sd(row.slowdown_poll),
-            fmt_sd(row.slowdown_irq),
-        );
+        out.push_str(line);
     }
-    let _ = writeln!(out, "\n(p.* columns are the paper's published values. The IRQ column is the");
-    let _ = writeln!(out, "calibration target; Poll./Opt. are predictions of the queue model.)");
+    let _ = writeln!(
+        out,
+        "\n(p.* columns are the paper's published values. The IRQ column is the"
+    );
+    let _ = writeln!(
+        out,
+        "calibration target; Poll./Opt. are predictions of the queue model.)"
+    );
     out
 }
+
+/// Regenerates Table III: the full EmBench-IoT + RISC-V-Tests sweep at
+/// queue depth 8.
+#[must_use]
+pub fn table3() -> String {
+    let rows: Vec<String> = TABLE3.iter().map(table3_row_line).collect();
+    table3_assemble(&rows)
+}
+
+// ---------------------------------------------------------------------------
+// Table IV
+// ---------------------------------------------------------------------------
 
 /// Regenerates Table IV: hardware resource utilization vs DExIE.
 #[must_use]
 pub fn table4() -> String {
     use fpga::published as p;
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE IV — hardware resource utilization (queue depth 8)");
+    let _ = writeln!(
+        out,
+        "TABLE IV — hardware resource utilization (queue depth 8)"
+    );
     let _ = writeln!(
         out,
         "{:<6} {:<10} {:>10} {:>10} {:>9} {:>10} | {:>9}",
@@ -289,17 +409,190 @@ pub fn table4() -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Design-space sweep (the `sweep` binary's content)
+// ---------------------------------------------------------------------------
+
+/// The benchmarks the design-space sweep explores — the heaviest published
+/// rows, where the queue-depth choice actually matters.
+pub const SWEEP_BENCHMARKS: [&str; 5] = ["mm", "dhrystone", "cubic", "sglib-combined", "huffbench"];
+
+/// Queue depths swept.
+pub const SWEEP_DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// The fixed calibration seed the sweep uses for every benchmark.
+pub const SWEEP_SEED: u64 = 0x5eed;
+
+/// One benchmark's sweep block (header line, column header, one line per
+/// depth, trailing blank line) — the fragment a `sweep` campaign job
+/// computes.
+#[must_use]
+pub fn sweep_block(name: &str) -> String {
+    let row = published::table3_row(name).expect("published row");
+    let trace = trace_for(row, SWEEP_SEED);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}  ({} cycles, {} control-flow events)",
+        row.cycles, row.cf
+    );
+    let _ = writeln!(
+        out,
+        "  {:>8} {:>10} {:>10} {:>10}",
+        "depth", "IRQ(267)", "Poll(112)", "Opt(73)"
+    );
+    for depth in SWEEP_DEPTHS {
+        let irq = simulate(&trace, LATENCY_IRQ, depth).slowdown_percent();
+        let poll = simulate(&trace, LATENCY_POLL, depth).slowdown_percent();
+        let opt = simulate(&trace, LATENCY_OPT, depth).slowdown_percent();
+        let _ = writeln!(out, "  {depth:>8} {irq:>10.1} {poll:>10.1} {opt:>10.1}");
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Stitches per-benchmark sweep blocks (in [`SWEEP_BENCHMARKS`] order) into
+/// the full sweep text.
+#[must_use]
+pub fn sweep_assemble(blocks: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Queue-depth x latency design space (slowdown %, calibrated traces)\n"
+    );
+    for block in blocks {
+        out.push_str(block);
+    }
+    let _ = writeln!(
+        out,
+        "Reading: queue depth barely helps saturated benchmarks (mm) — only a"
+    );
+    let _ = writeln!(
+        out,
+        "faster check does — while bursty ones (huffbench) are fully absorbed at"
+    );
+    let _ = writeln!(
+        out,
+        "depth 8. That is the paper's implicit argument for pairing a small queue"
+    );
+    let _ = writeln!(
+        out,
+        "with firmware-latency optimization rather than growing the queue."
+    );
+    out
+}
+
+/// The full design-space sweep: queue depth × check latency on the
+/// heaviest published benchmarks.
+#[must_use]
+pub fn sweep_text() -> String {
+    let blocks: Vec<String> = SWEEP_BENCHMARKS
+        .iter()
+        .map(|name| sweep_block(name))
+        .collect();
+    sweep_assemble(&blocks)
+}
+
+// ---------------------------------------------------------------------------
+// Native kernel suite (the `native_suite` binary's content)
+// ---------------------------------------------------------------------------
+
+/// Cycle cap for one native kernel run.
+pub const NATIVE_CYCLE_CAP: u64 = 500_000_000;
+
+/// Runs one kernel on the CVA6 model and renders its suite line; also
+/// returns the simulated cycle count (the campaign's throughput metric).
+///
+/// # Errors
+///
+/// Returns a message if the kernel fails to assemble or does not reach its
+/// breakpoint within [`NATIVE_CYCLE_CAP`] cycles.
+pub fn native_kernel_line(kernel: &Kernel) -> Result<(String, u64), String> {
+    use cva6_model::{Cva6Core, Halt, TimingConfig};
+    let prog = kernel
+        .program()
+        .map_err(|e| format!("{}: {e}", kernel.name))?;
+    let mut core = Cva6Core::new(&prog, KERNEL_MEM, TimingConfig::default());
+    let (commits, halt) = core.run(NATIVE_CYCLE_CAP);
+    if halt != Halt::Breakpoint {
+        return Err(format!("{} did not halt: {halt:?}", kernel.name));
+    }
+    let trace = Trace::from_commits(&commits, core.cycle());
+    let density = trace.cf_count() as f64 * 1000.0 / core.cycle() as f64;
+    let sd = [LATENCY_OPT, LATENCY_POLL, LATENCY_IRQ]
+        .map(|lat| simulate(&trace, lat, TABLE3_QUEUE_DEPTH).slowdown_percent());
+    let fmt = |v: f64| {
+        if v < 0.5 {
+            "-".to_string()
+        } else {
+            format!("{v:.0}")
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>8} {:>9.2} | {:>7} {:>7} {:>7}",
+        kernel.name,
+        core.cycle(),
+        trace.cf_count(),
+        density,
+        fmt(sd[0]),
+        fmt(sd[1]),
+        fmt(sd[2]),
+    );
+    Ok((out, core.cycle()))
+}
+
+/// Stitches per-kernel lines (in [`titancfi_workloads::all_kernels`] order)
+/// into the full native-suite text.
+#[must_use]
+pub fn native_assemble(lines: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Native kernel suite under the TitanCFI trace model (queue depth {TABLE3_QUEUE_DEPTH})"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>8} {:>9} | {:>7} {:>7} {:>7}",
+        "Kernel", "Cycles", "CF", "CF/kcyc", "Opt.", "Poll.", "IRQ"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    for line in lines {
+        out.push_str(line);
+    }
+    let _ = writeln!(
+        out,
+        "\nKernels are this repo's own assembly implementations (see"
+    );
+    let _ = writeln!(
+        out,
+        "crates/workloads); traces come from actual execution on the CVA6 model."
+    );
+    out
+}
+
+/// The full native-suite sweep, run serially.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to assemble or halt — every kernel in the
+/// repository is expected to run to its breakpoint.
+#[must_use]
+pub fn native_suite_text() -> String {
+    let lines: Vec<String> = titancfi_workloads::all_kernels()
+        .map(|k| native_kernel_line(k).expect("kernel runs").0)
+        .collect();
+    native_assemble(&lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn tables_render_nonempty() {
-        for (name, table) in [
-            ("t2", table2()),
-            ("t3", table3()),
-            ("t4", table4()),
-        ] {
+        for (name, table) in [("t2", table2()), ("t3", table3()), ("t4", table4())] {
             assert!(table.lines().count() > 8, "{name} too short:\n{table}");
         }
     }
@@ -327,13 +620,25 @@ mod tests {
         // the latency ordering holds per row.
         for row in &TABLE3 {
             let got = simulated_slowdowns(row, TABLE3_QUEUE_DEPTH);
-            assert!(got[0] <= got[1] + 1.0 && got[1] <= got[2] + 1.0, "{}", row.name);
+            assert!(
+                got[0] <= got[1] + 1.0 && got[1] <= got[2] + 1.0,
+                "{}",
+                row.name
+            );
             if row.slowdown_irq == 0.0 {
                 assert!(got[2] < 2.0, "{}: clean row got {:.1}%", row.name, got[2]);
             }
             if row.slowdown_irq > 100.0 {
                 assert!(got[2] > 50.0, "{}: heavy row got {:.1}%", row.name, got[2]);
             }
+        }
+    }
+
+    #[test]
+    fn sweep_text_covers_all_benchmarks() {
+        let s = sweep_text();
+        for name in SWEEP_BENCHMARKS {
+            assert!(s.contains(name), "sweep missing {name}");
         }
     }
 }

@@ -1,0 +1,109 @@
+//! The campaign's headline guarantees, tested end to end on the real jobs:
+//! parallel output is byte-identical to the serial paths, and a warm cache
+//! reproduces the same bytes without running anything.
+
+use std::path::PathBuf;
+use titancfi_bench::campaign::{CampaignPlan, PlanSpec};
+use titancfi_harness::{run_campaign, CampaignConfig, ResultCache, Telemetry, TelemetrySink};
+
+fn run(
+    plan: &CampaignPlan,
+    workers: usize,
+    cache: Option<ResultCache>,
+) -> titancfi_harness::CampaignOutcome {
+    let cfg = CampaignConfig {
+        workers,
+        cache,
+        ..CampaignConfig::default()
+    };
+    run_campaign(plan.jobs(), &cfg, &Telemetry::new(TelemetrySink::Null))
+}
+
+/// A four-worker campaign assembles the exact bytes the serial functions
+/// produce — the scheduling of the pool never leaks into the artifacts.
+#[test]
+fn parallel_campaign_matches_serial_output() {
+    let plan = CampaignPlan::build(PlanSpec {
+        tables: true,
+        sweep: true,
+        native: false,
+    });
+    let outcome = run(&plan, 4, None);
+    assert_eq!(
+        outcome.report.failed, 0,
+        "failures: {:?}",
+        outcome.report.failures
+    );
+    let artifacts = plan.assemble(&outcome);
+    assert_eq!(
+        artifacts.table1.as_deref(),
+        Some(titancfi_bench::table1().as_str())
+    );
+    assert_eq!(
+        artifacts.table2.as_deref(),
+        Some(titancfi_bench::table2().as_str())
+    );
+    assert_eq!(
+        artifacts.table3.as_deref(),
+        Some(titancfi_bench::table3().as_str())
+    );
+    assert_eq!(
+        artifacts.table4.as_deref(),
+        Some(titancfi_bench::table4().as_str())
+    );
+    assert_eq!(
+        artifacts.sweep.as_deref(),
+        Some(titancfi_bench::sweep_text().as_str())
+    );
+    assert!(
+        artifacts.native.is_none(),
+        "native suite was not in the plan"
+    );
+}
+
+/// A second run over the same cache executes nothing, reports every job as
+/// a cache hit, and still assembles identical bytes.
+#[test]
+fn warm_cache_reproduces_identical_artifacts() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("campaign-warm-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let plan = CampaignPlan::build(PlanSpec {
+        tables: true,
+        sweep: true,
+        native: false,
+    });
+    let cold = run(
+        &plan,
+        4,
+        Some(ResultCache::open(&dir).expect("cache opens")),
+    );
+    assert_eq!(
+        cold.report.failed, 0,
+        "failures: {:?}",
+        cold.report.failures
+    );
+    assert_eq!(
+        cold.report.cached, 0,
+        "first run starts from an empty cache"
+    );
+    assert_eq!(cold.report.ran, plan.len());
+
+    let warm = run(
+        &plan,
+        2,
+        Some(ResultCache::open(&dir).expect("cache reopens")),
+    );
+    assert_eq!(warm.report.ran, 0, "warm run must not execute any job");
+    assert_eq!(warm.report.cached, plan.len());
+
+    let a = plan.assemble(&cold);
+    let b = plan.assemble(&warm);
+    assert_eq!(a.table1, b.table1);
+    assert_eq!(a.table2, b.table2);
+    assert_eq!(a.table3, b.table3);
+    assert_eq!(a.table4, b.table4);
+    assert_eq!(a.sweep, b.sweep);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -199,8 +199,14 @@ mod tests {
     #[test]
     fn category_mapping() {
         assert_eq!(Category::from_access(None), Category::Logic);
-        assert_eq!(Category::from_access(Some(RegionKind::RotPrivate)), Category::MemRot);
-        assert_eq!(Category::from_access(Some(RegionKind::Soc)), Category::MemSoc);
+        assert_eq!(
+            Category::from_access(Some(RegionKind::RotPrivate)),
+            Category::MemRot
+        );
+        assert_eq!(
+            Category::from_access(Some(RegionKind::Soc)),
+            Category::MemSoc
+        );
     }
 
     #[test]

@@ -167,7 +167,10 @@ mod tests {
     #[test]
     fn class_from_embedded_encoding() {
         assert_eq!(sample().cf_class(), CfClass::Return);
-        let call = CommitLog { insn: 0x0080_00ef, ..sample() }; // jal ra, 8
+        let call = CommitLog {
+            insn: 0x0080_00ef,
+            ..sample()
+        }; // jal ra, 8
         assert_eq!(call.cf_class(), CfClass::Call);
     }
 

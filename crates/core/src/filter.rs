@@ -69,7 +69,10 @@ mod tests {
     fn filter_program(insts: &[Inst]) -> (CfiFilter, Vec<CommitLog>) {
         let mut mem = FlatMemory::new(0x1000, 0x1000);
         for (i, inst) in insts.iter().enumerate() {
-            mem.load(0x1000 + 4 * i as u64, &riscv_isa::encode(inst).to_le_bytes());
+            mem.load(
+                0x1000 + 4 * i as u64,
+                &riscv_isa::encode(inst).to_le_bytes(),
+            );
         }
         let mut hart = Hart::new(Xlen::Rv64, 0x1000);
         hart.set_reg(Reg::RA, 0x1008);
@@ -88,9 +91,16 @@ mod tests {
     #[test]
     fn passes_only_cfi_relevant_instructions() {
         let (filter, logs) = filter_program(&[
-            Inst::NOP,                                            // not CF
-            Inst::Jal { rd: Reg::ZERO, offset: 4 },               // direct jump
-            Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }, // return
+            Inst::NOP, // not CF
+            Inst::Jal {
+                rd: Reg::ZERO,
+                offset: 4,
+            }, // direct jump
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            }, // return
         ]);
         assert_eq!(filter.stats().scanned, 3);
         assert_eq!(filter.stats().emitted, 1);
@@ -100,7 +110,10 @@ mod tests {
 
     #[test]
     fn call_log_carries_return_address() {
-        let (_, logs) = filter_program(&[Inst::Jal { rd: Reg::RA, offset: 8 }]);
+        let (_, logs) = filter_program(&[Inst::Jal {
+            rd: Reg::RA,
+            offset: 8,
+        }]);
         assert_eq!(logs.len(), 1);
         assert_eq!(logs[0].next, 0x1004, "next = return address to push");
         assert_eq!(logs[0].target, 0x1008);
@@ -108,7 +121,11 @@ mod tests {
 
     #[test]
     fn indirect_jump_counted() {
-        let (filter, logs) = filter_program(&[Inst::Jalr { rd: Reg::ZERO, rs1: Reg::A5, offset: 0 }]);
+        let (filter, logs) = filter_program(&[Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::A5,
+            offset: 0,
+        }]);
         assert_eq!(filter.stats().indirect_jumps, 1);
         assert_eq!(logs[0].cf_class(), riscv_isa::CfClass::IndirectJump);
     }

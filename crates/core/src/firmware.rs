@@ -36,8 +36,11 @@ pub enum FirmwareKind {
 
 impl FirmwareKind {
     /// All variants in Table I order.
-    pub const ALL: [FirmwareKind; 3] =
-        [FirmwareKind::Irq, FirmwareKind::Polling, FirmwareKind::Optimized];
+    pub const ALL: [FirmwareKind; 3] = [
+        FirmwareKind::Irq,
+        FirmwareKind::Polling,
+        FirmwareKind::Optimized,
+    ];
 
     /// Display name matching the paper.
     #[must_use]
@@ -218,7 +221,6 @@ poll_loop:
     call cfi_check
     j    poll_loop
 ";
-
 
 /// The multi-core CFI policy: identical to [`CFI_CHECK_ASM`]'s shadow
 /// stack, but the commit log carries the originating core's id in mailbox
@@ -472,8 +474,7 @@ impl FirmwareRunner {
             self.rot.sync_irq();
             match self.rot.core.step() {
                 Ok(c) => {
-                    let phase = if (self.cfi_range.0..self.cfi_range.1).contains(&c.retired.pc)
-                    {
+                    let phase = if (self.cfi_range.0..self.cfi_range.1).contains(&c.retired.pc) {
                         Phase::Cfi
                     } else {
                         Phase::Irq
@@ -499,7 +500,10 @@ impl FirmwareRunner {
                 }
                 Err(ibex_model::IbexEvent::Trapped(t)) => panic!("firmware trapped: {t}"),
             }
-            assert!(self.rot.core.cycle() < budget, "firmware exceeded cycle budget");
+            assert!(
+                self.rot.core.cycle() < budget,
+                "firmware exceeded cycle budget"
+            );
         }
 
         let latency = self.rot.core.cycle() - start;
@@ -513,7 +517,12 @@ impl FirmwareRunner {
         if violation {
             self.violations += 1;
         }
-        CheckMeasurement { op: log.cf_class(), violation, latency, breakdown }
+        CheckMeasurement {
+            op: log.cf_class(),
+            violation,
+            latency,
+            breakdown,
+        }
     }
 
     /// The variant this runner executes.
@@ -551,7 +560,11 @@ impl FirmwareRunner {
         self.rot
             .core
             .bus
-            .write(table + slot * 4, riscv_isa::MemWidth::W, target & 0xffff_ffff)
+            .write(
+                table + slot * 4,
+                riscv_isa::MemWidth::W,
+                target & 0xffff_ffff,
+            )
             .expect("fe_table is in the scratchpad");
     }
 

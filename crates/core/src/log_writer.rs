@@ -22,7 +22,10 @@ pub struct AxiTiming {
 
 impl Default for AxiTiming {
     fn default() -> AxiTiming {
-        AxiTiming { write_beat: 4, read: 8 }
+        AxiTiming {
+            write_beat: 4,
+            read: 8,
+        }
     }
 }
 
@@ -141,7 +144,9 @@ impl LogWriter {
             }
             WriterState::WaitCompletion => {
                 if mailbox.host_completion() {
-                    self.state = WriterState::ReadResult { done_at: now + self.timing.read };
+                    self.state = WriterState::ReadResult {
+                        done_at: now + self.timing.read,
+                    };
                 }
                 None
             }
@@ -151,7 +156,10 @@ impl LogWriter {
                 }
                 let verdict = mailbox.host_read_data(0);
                 mailbox.host_clear_completion();
-                let log = self.current.take().expect("read state implies a current log");
+                let log = self
+                    .current
+                    .take()
+                    .expect("read state implies a current log");
                 self.logs_written += 1;
                 self.state = WriterState::Idle;
                 if verdict != 0 {
@@ -169,7 +177,12 @@ mod tests {
     use super::*;
 
     fn log(pc: u64) -> CommitLog {
-        CommitLog { pc, insn: 0x0000_8067, next: pc + 4, target: 0x9000 }
+        CommitLog {
+            pc,
+            insn: 0x0000_8067,
+            next: pc + 4,
+            target: 0x9000,
+        }
     }
 
     /// Drives the FSM while a mock "RoT" answers with `verdict` as soon as
@@ -186,9 +199,21 @@ mod tests {
             if mailbox.doorbell_pending() {
                 // Mock RoT: instantly check and complete.
                 let mut dev = mailbox.device();
-                dev.write(opentitan_model::mailbox::regs::DATA0, riscv_isa::MemWidth::W, u64::from(verdict));
-                dev.write(opentitan_model::mailbox::regs::DOORBELL, riscv_isa::MemWidth::W, 0);
-                dev.write(opentitan_model::mailbox::regs::COMPLETION, riscv_isa::MemWidth::W, 1);
+                dev.write(
+                    opentitan_model::mailbox::regs::DATA0,
+                    riscv_isa::MemWidth::W,
+                    u64::from(verdict),
+                );
+                dev.write(
+                    opentitan_model::mailbox::regs::DOORBELL,
+                    riscv_isa::MemWidth::W,
+                    0,
+                );
+                dev.write(
+                    opentitan_model::mailbox::regs::COMPLETION,
+                    riscv_isa::MemWidth::W,
+                    1,
+                );
             }
             if let Some(v) = writer.tick(now, &mut queue, &mailbox) {
                 violation = Some(v);
@@ -245,7 +270,9 @@ mod tests {
                 break;
             }
         }
-        let words: Vec<u32> = (0..crate::commit_log::WORDS).map(|i| mailbox.host_read_data(i)).collect();
+        let words: Vec<u32> = (0..crate::commit_log::WORDS)
+            .map(|i| mailbox.host_read_data(i))
+            .collect();
         let got = CommitLog::from_words(&words.try_into().expect("7 words"));
         assert_eq!(got, sent);
     }

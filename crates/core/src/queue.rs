@@ -30,7 +30,12 @@ impl CfiQueue {
     #[must_use]
     pub fn new(depth: usize) -> CfiQueue {
         assert!(depth > 0, "queue depth must be at least 1");
-        CfiQueue { entries: VecDeque::with_capacity(depth), depth, max_occupancy: 0, pushes: 0 }
+        CfiQueue {
+            entries: VecDeque::with_capacity(depth),
+            depth,
+            max_occupancy: 0,
+            pushes: 0,
+        }
     }
 
     /// Configured depth.
@@ -134,7 +139,12 @@ mod tests {
     use super::*;
 
     fn log(pc: u64) -> CommitLog {
-        CommitLog { pc, insn: 0x0000_8067, next: pc + 4, target: 0x100 }
+        CommitLog {
+            pc,
+            insn: 0x0000_8067,
+            next: pc + 4,
+            target: 0x100,
+        }
     }
 
     #[test]
@@ -184,7 +194,11 @@ mod tests {
         q.push(log(1));
         let mut qc = QueueController::new();
         assert_eq!(qc.evaluate(&q, 1), StallReason::QueueFull);
-        assert_eq!(qc.evaluate(&q, 0), StallReason::None, "no CF, no stall even when full");
+        assert_eq!(
+            qc.evaluate(&q, 0),
+            StallReason::None,
+            "no CF, no stall even when full"
+        );
         q.pop();
         assert_eq!(qc.evaluate(&q, 1), StallReason::None);
         assert_eq!(qc.stalls_queue_full, 1);

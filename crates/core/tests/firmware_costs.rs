@@ -6,15 +6,30 @@ use titancfi::{Category, CommitLog, Phase};
 
 fn call_log() -> CommitLog {
     // jal ra, +0x100 at 0x8000_0000
-    CommitLog { pc: 0x8000_0000, insn: 0x1000_00ef, next: 0x8000_0004, target: 0x8000_0100 }
+    CommitLog {
+        pc: 0x8000_0000,
+        insn: 0x1000_00ef,
+        next: 0x8000_0004,
+        target: 0x8000_0100,
+    }
 }
 
 fn ret_log() -> CommitLog {
     // ret from 0x8000_0104 back to the pushed 0x8000_0004
-    CommitLog { pc: 0x8000_0104, insn: 0x0000_8067, next: 0x8000_0108, target: 0x8000_0004 }
+    CommitLog {
+        pc: 0x8000_0104,
+        insn: 0x0000_8067,
+        next: 0x8000_0108,
+        target: 0x8000_0004,
+    }
 }
 
-fn measure(kind: FirmwareKind) -> (titancfi::firmware::CheckMeasurement, titancfi::firmware::CheckMeasurement) {
+fn measure(
+    kind: FirmwareKind,
+) -> (
+    titancfi::firmware::CheckMeasurement,
+    titancfi::firmware::CheckMeasurement,
+) {
     let mut fw = FirmwareRunner::new(kind);
     let call = fw.check(&call_log());
     let ret = fw.check(&ret_log());
@@ -42,7 +57,10 @@ fn print_table1_shape() {
             );
             for cat in Category::ALL {
                 let c = m.breakdown.cell(Phase::Cfi, cat);
-                println!("    CFI {cat}: {} instr, {} cycles", c.instructions, c.cycles);
+                println!(
+                    "    CFI {cat}: {} instr, {} cycles",
+                    c.instructions, c.cycles
+                );
             }
         }
     }
@@ -144,7 +162,12 @@ fn underflow_flagged_as_violation() {
 fn indirect_jump_passes_without_shadow_stack_effect() {
     let mut fw = FirmwareRunner::new(FirmwareKind::Polling);
     // jalr zero, 0(a5): indirect jump — forward-edge policy disabled here.
-    let ij = CommitLog { pc: 0x8000_0000, insn: 0x0007_8067, next: 0x8000_0004, target: 0x8000_0200 };
+    let ij = CommitLog {
+        pc: 0x8000_0000,
+        insn: 0x0007_8067,
+        next: 0x8000_0004,
+        target: 0x8000_0200,
+    };
     assert!(!fw.check(&ij).violation);
     // Shadow stack untouched: a following matched pair still works.
     assert!(!fw.check(&call_log()).violation);

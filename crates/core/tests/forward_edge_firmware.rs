@@ -7,7 +7,12 @@ use titancfi::CommitLog;
 
 fn ijump(target: u64) -> CommitLog {
     // jalr zero, 0(a5)
-    CommitLog { pc: 0x8000_0040, insn: 0x0007_8067, next: 0x8000_0044, target }
+    CommitLog {
+        pc: 0x8000_0040,
+        insn: 0x0007_8067,
+        next: 0x8000_0044,
+        target,
+    }
 }
 
 #[test]
@@ -21,8 +26,14 @@ fn enabled_policy_blocks_unregistered_targets() {
     let mut fw = FirmwareRunner::new(FirmwareKind::Polling);
     fw.enable_forward_edge();
     fw.register_jump_target(0x8000_2000);
-    assert!(!fw.check(&ijump(0x8000_2000)).violation, "registered target passes");
-    assert!(fw.check(&ijump(0x8000_2004)).violation, "unregistered target flagged");
+    assert!(
+        !fw.check(&ijump(0x8000_2000)).violation,
+        "registered target passes"
+    );
+    assert!(
+        fw.check(&ijump(0x8000_2004)).violation,
+        "unregistered target flagged"
+    );
     assert!(fw.check(&ijump(0x6666_0000)).violation, "gadget flagged");
 }
 
@@ -45,10 +56,20 @@ fn forward_edge_does_not_disturb_shadow_stack() {
     fw.enable_forward_edge();
     fw.register_jump_target(0x8000_3000);
     // call; indirect jump; matched return — all clean.
-    let call = CommitLog { pc: 0x8000_0000, insn: 0x1000_00ef, next: 0x8000_0004, target: 0x8000_0100 };
+    let call = CommitLog {
+        pc: 0x8000_0000,
+        insn: 0x1000_00ef,
+        next: 0x8000_0004,
+        target: 0x8000_0100,
+    };
     assert!(!fw.check(&call).violation);
     assert!(!fw.check(&ijump(0x8000_3000)).violation);
-    let ret = CommitLog { pc: 0x8000_0104, insn: 0x0000_8067, next: 0x8000_0108, target: 0x8000_0004 };
+    let ret = CommitLog {
+        pc: 0x8000_0104,
+        insn: 0x0000_8067,
+        next: 0x8000_0108,
+        target: 0x8000_0004,
+    };
     assert!(!fw.check(&ret).violation);
 }
 

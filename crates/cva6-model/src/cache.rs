@@ -24,7 +24,11 @@ impl CacheConfig {
     /// direct-mapped) with a 20-cycle memory round trip.
     #[must_use]
     pub fn cva6_default() -> CacheConfig {
-        CacheConfig { lines: 512, line_bytes: 64, miss_penalty: 20 }
+        CacheConfig {
+            lines: 512,
+            line_bytes: 64,
+            miss_penalty: 20,
+        }
     }
 }
 
@@ -47,9 +51,20 @@ impl DataCache {
     /// Panics unless lines and line size are powers of two.
     #[must_use]
     pub fn new(config: CacheConfig) -> DataCache {
-        assert!(config.lines.is_power_of_two(), "lines must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
-        DataCache { config, tags: vec![None; config.lines], hits: 0, misses: 0 }
+        assert!(
+            config.lines.is_power_of_two(),
+            "lines must be a power of two"
+        );
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        DataCache {
+            config,
+            tags: vec![None; config.lines],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Simulates an access; returns the extra miss cycles (0 on a hit).
@@ -83,7 +98,11 @@ mod tests {
     use super::*;
 
     fn small() -> DataCache {
-        DataCache::new(CacheConfig { lines: 4, line_bytes: 16, miss_penalty: 10 })
+        DataCache::new(CacheConfig {
+            lines: 4,
+            line_bytes: 16,
+            miss_penalty: 10,
+        })
     }
 
     #[test]
@@ -119,6 +138,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
-        let _ = DataCache::new(CacheConfig { lines: 3, line_bytes: 16, miss_penalty: 1 });
+        let _ = DataCache::new(CacheConfig {
+            lines: 3,
+            line_bytes: 16,
+            miss_penalty: 1,
+        });
     }
 }

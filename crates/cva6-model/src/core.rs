@@ -92,7 +92,10 @@ impl Cva6Core<FlatMemory> {
         mem.load(program.base, &program.bytes);
         let mut hart = Hart::new(Xlen::Rv64, program.entry);
         // Stack at the top of RAM, ABI-aligned.
-        hart.set_reg(riscv_isa::Reg::SP, (program.base + mem_size as u64 - 16) & !0xf);
+        hart.set_reg(
+            riscv_isa::Reg::SP,
+            (program.base + mem_size as u64 - 16) & !0xf,
+        );
         Cva6Core {
             hart,
             mem,
@@ -220,8 +223,7 @@ impl<B: Bus> Cva6Core<B> {
         // Dual-commit modelling: a multi-cycle instruction leaves younger
         // single-cycle instructions queued in the ROB; the second commit
         // port drains one of them in the same cycle.
-        let port = if cost == 1 && self.commit_slack > 0 && self.cycle == self.last_commit_cycle
-        {
+        let port = if cost == 1 && self.commit_slack > 0 && self.cycle == self.last_commit_cycle {
             self.commit_slack -= 1;
             self.stats.dual_commits += 1;
             1
@@ -230,7 +232,11 @@ impl<B: Bus> Cva6Core<B> {
             self.commit_slack = (self.commit_slack + cost - 1).min(4);
             0
         };
-        let commit_cycle = if port == 1 { self.last_commit_cycle } else { self.cycle };
+        let commit_cycle = if port == 1 {
+            self.last_commit_cycle
+        } else {
+            self.cycle
+        };
         self.last_commit_cycle = commit_cycle;
 
         self.stats.instret += 1;
@@ -239,7 +245,12 @@ impl<B: Bus> Cva6Core<B> {
         }
         // Keep the cycle CSR live so programs can read `cycle`/`mcycle`.
         self.hart.csrs.mcycle = self.cycle;
-        Ok(Commit { cycle: commit_cycle, port, retired, cf_class })
+        Ok(Commit {
+            cycle: commit_cycle,
+            port,
+            retired,
+            cf_class,
+        })
     }
 
     /// Runs until halt or `max_cycles`, collecting the full commit trace.
@@ -322,7 +333,10 @@ mod tests {
         let (trace, halt) = core.run(10_000);
         assert_eq!(halt, Halt::Breakpoint);
         let calls = trace.iter().filter(|c| c.cf_class == CfClass::Call).count();
-        let rets = trace.iter().filter(|c| c.cf_class == CfClass::Return).count();
+        let rets = trace
+            .iter()
+            .filter(|c| c.cf_class == CfClass::Return)
+            .count();
         assert_eq!(calls, 2);
         assert_eq!(rets, 2);
         assert_eq!(core.stats().cf_retired, 4);

@@ -214,8 +214,15 @@ mod tests {
     #[test]
     fn predicted_return_is_cheap_unpredicted_is_not() {
         let mut m = model();
-        let call = Inst::Jal { rd: Reg::RA, offset: 0x40 };
-        let ret = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+        let call = Inst::Jal {
+            rd: Reg::RA,
+            offset: 0x40,
+        };
+        let ret = Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        };
         // Call from pc with next=0x104 pushes 0x104.
         m.cost(&call, CfClass::Call, true, 0x104, 0x140, None);
         let predicted = m.cost(&ret, CfClass::Return, true, 0x144, 0x104, None);
@@ -229,9 +236,15 @@ mod tests {
 
     #[test]
     fn ras_depth_bounded() {
-        let cfg = TimingConfig { ras_depth: 2, ..TimingConfig::default() };
+        let cfg = TimingConfig {
+            ras_depth: 2,
+            ..TimingConfig::default()
+        };
         let mut m = TimingModel::new(cfg);
-        let call = Inst::Jal { rd: Reg::RA, offset: 0x40 };
+        let call = Inst::Jal {
+            rd: Reg::RA,
+            offset: 0x40,
+        };
         for i in 0..5u64 {
             m.cost(&call, CfClass::Call, true, 0x100 + i * 4, 0x200, None);
         }
@@ -259,7 +272,11 @@ mod tests {
     #[test]
     fn indirect_jump_always_flushes() {
         let mut m = model();
-        let ij = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::A5, offset: 0 };
+        let ij = Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::A5,
+            offset: 0,
+        };
         let cost = m.cost(&ij, CfClass::IndirectJump, true, 0x104, 0x900, None);
         assert_eq!(cost, 1 + m.config().mispredict_penalty);
     }

@@ -45,7 +45,12 @@ fn cache_changes_timing_not_results() {
         ..TimingConfig::default()
     });
     assert_eq!(ideal.0, cached.0, "architectural result identical");
-    assert!(cached.1 > ideal.1, "misses must cost cycles: {} vs {}", cached.1, ideal.1);
+    assert!(
+        cached.1 > ideal.1,
+        "misses must cost cycles: {} vs {}",
+        cached.1,
+        ideal.1
+    );
 }
 
 #[test]
@@ -88,10 +93,16 @@ fn thrashing_working_set_lowers_hit_rate() {
     let mut core = Cva6Core::new(
         &prog,
         1 << 20,
-        TimingConfig { dcache: Some(CacheConfig::cva6_default()), ..TimingConfig::default() },
+        TimingConfig {
+            dcache: Some(CacheConfig::cva6_default()),
+            ..TimingConfig::default()
+        },
     );
     let halt = core.run_silent(100_000_000);
     assert_eq!(halt, Halt::Breakpoint);
     let rate = core.timing().dcache().expect("enabled").hit_rate();
-    assert!(rate < 0.1, "line-stride over 8x the cache must thrash: {rate:.3}");
+    assert!(
+        rate < 0.1,
+        "line-stride over 8x the cache must thrash: {rate:.3}"
+    );
 }

@@ -164,17 +164,41 @@ pub mod published {
     use super::Resources;
 
     /// CVA6 host core without CFI.
-    pub const HOST_BASE: Resources = Resources { lut: 50_200, ff: 30_400, bram: 66 };
+    pub const HOST_BASE: Resources = Resources {
+        lut: 50_200,
+        ff: 30_400,
+        bram: 66,
+    };
     /// Full SoC without CFI.
-    pub const SOC_BASE: Resources = Resources { lut: 441_000, ff: 257_000, bram: 268 };
+    pub const SOC_BASE: Resources = Resources {
+        lut: 441_000,
+        ff: 257_000,
+        bram: 268,
+    };
     /// Paper-reported TitanCFI delta on the host core.
-    pub const HOST_DELTA: Resources = Resources { lut: 1_160, ff: 1_770, bram: 0 };
+    pub const HOST_DELTA: Resources = Resources {
+        lut: 1_160,
+        ff: 1_770,
+        bram: 0,
+    };
     /// Paper-reported TitanCFI delta on the SoC.
-    pub const SOC_DELTA: Resources = Resources { lut: 1_330, ff: 2_190, bram: 0 };
+    pub const SOC_DELTA: Resources = Resources {
+        lut: 1_330,
+        ff: 2_190,
+        bram: 0,
+    };
     /// DExIE's base core (from the DExIE paper, quoted in Table IV).
-    pub const DEXIE_BASE: Resources = Resources { lut: 4_660, ff: 3_090, bram: 136 };
+    pub const DEXIE_BASE: Resources = Resources {
+        lut: 4_660,
+        ff: 3_090,
+        bram: 136,
+    };
     /// DExIE's delta (72 % LUT overhead).
-    pub const DEXIE_DELTA: Resources = Resources { lut: 3_360, ff: 2_240, bram: 6 };
+    pub const DEXIE_DELTA: Resources = Resources {
+        lut: 3_360,
+        ff: 2_240,
+        bram: 6,
+    };
 }
 
 #[cfg(test)]
@@ -244,8 +268,20 @@ mod tests {
 
     #[test]
     fn resources_arithmetic_and_display() {
-        let a = Resources::logic(10, 20) + Resources { lut: 1, ff: 2, bram: 3 };
-        assert_eq!(a, Resources { lut: 11, ff: 22, bram: 3 });
+        let a = Resources::logic(10, 20)
+            + Resources {
+                lut: 1,
+                ff: 2,
+                bram: 3,
+            };
+        assert_eq!(
+            a,
+            Resources {
+                lut: 11,
+                ff: 22,
+                bram: 3
+            }
+        );
         assert_eq!(a.to_string(), "11 LUT / 22 FF / 3 BRAM");
         let (l, f, b) = Resources::logic(10, 20).percent_of(&Resources {
             lut: 100,

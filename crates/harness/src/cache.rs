@@ -1,0 +1,169 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each completed job's output is stored as JSON under
+//! `<dir>/<content-hash>.json`. A later campaign that schedules a job with
+//! the same descriptor gets the stored output back without running it —
+//! which turns repeated sweeps into incremental ones. The descriptor's
+//! canonical string is stored alongside the output and re-checked on read,
+//! so a hash collision degrades to a cache miss, never a wrong result.
+
+use crate::job::{JobDescriptor, JobOutput};
+use crate::json::Json;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory of cached job results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory cannot be created.
+    pub fn open(dir: &Path) -> io::Result<ResultCache> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The backing directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, desc: &JobDescriptor) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", desc.content_hash()))
+    }
+
+    /// Looks up a stored result. Returns `None` on miss, on an unreadable
+    /// or corrupt entry, or if the stored descriptor does not match
+    /// (hash collision).
+    #[must_use]
+    pub fn get(&self, desc: &JobDescriptor) -> Option<JobOutput> {
+        let text = fs::read_to_string(self.path_for(desc)).ok()?;
+        let value = Json::parse(&text).ok()?;
+        if value.get("descriptor")?.as_str()? != desc.canonical() {
+            return None;
+        }
+        let artifact = value.get("artifact")?.as_str()?.to_string();
+        let mut metrics = Vec::new();
+        if let Some(Json::Obj(pairs)) = value.get("metrics") {
+            for (k, v) in pairs {
+                metrics.push((k.clone(), v.as_num()?));
+            }
+        }
+        Some(JobOutput { artifact, metrics })
+    }
+
+    /// Stores a result. The write is atomic (temp file + rename) so a
+    /// crashed or concurrent campaign can never leave a torn entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn put(&self, desc: &JobDescriptor, output: &JobOutput) -> io::Result<()> {
+        let value = Json::obj(vec![
+            ("descriptor", Json::Str(desc.canonical())),
+            ("artifact", Json::Str(output.artifact.clone())),
+            (
+                "metrics",
+                Json::Obj(
+                    output
+                        .metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let path = self.path_for(desc);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, value.encode())?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Number of entries currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("titancfi-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_desc(seed: u64) -> JobDescriptor {
+        JobDescriptor::new("test-job", &[("seed", seed.to_string())])
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).expect("open");
+        let desc = sample_desc(1);
+        assert!(cache.get(&desc).is_none());
+        let out = JobOutput {
+            artifact: "row text\nwith newline".to_string(),
+            metrics: vec![
+                ("sim_cycles".to_string(), 123_456.0),
+                ("ratio".to_string(), 0.5),
+            ],
+        };
+        cache.put(&desc, &out).expect("put");
+        assert_eq!(cache.get(&desc), Some(out));
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_descriptor_misses() {
+        let dir = temp_dir("miss");
+        let cache = ResultCache::open(&dir).expect("open");
+        cache
+            .put(&sample_desc(1), &JobOutput::text("one".to_string()))
+            .expect("put");
+        assert!(cache.get(&sample_desc(2)).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_degrades_to_miss() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::open(&dir).expect("open");
+        let desc = sample_desc(3);
+        cache
+            .put(&desc, &JobOutput::text("ok".to_string()))
+            .expect("put");
+        let path = dir.join(format!("{:016x}.json", desc.content_hash()));
+        fs::write(&path, "{not json").expect("corrupt");
+        assert!(cache.get(&desc).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

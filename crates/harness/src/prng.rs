@@ -1,0 +1,172 @@
+//! Small deterministic PRNGs: SplitMix64 and xoshiro256** (Blackman &
+//! Vigna), as used throughout the workspace for seeded test-input
+//! generation and synthetic-trace jitter.
+//!
+//! The workspace is dependency-free by policy, so this module replaces the
+//! `rand` crate everywhere: explicit seeds in, identical streams out on
+//! every platform. SplitMix64 doubles as the seed expander for xoshiro —
+//! the construction the xoshiro authors recommend.
+
+/// SplitMix64: a tiny, fast, full-period 64-bit generator. Good enough on
+/// its own for jitter; also the canonical seed expander for xoshiro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from an explicit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the general-purpose generator of the xoshiro family.
+/// 256-bit state, period 2^256 − 1, passes BigCrush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator, expanding the 64-bit seed through SplitMix64
+    /// so that similar seeds still yield uncorrelated streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Xoshiro256 {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next 32 uniformly distributed bits (upper half — the good bits).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, n)` via Lemire-style widening multiply with a
+    /// rejection pass to kill modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Rejection sampling over the largest multiple of n.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform signed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Fair coin.
+    pub fn chance(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniformly picks an element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 0, from the reference C implementation.
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(g.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(g.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256::new(42);
+        let mut b = Xoshiro256::new(42);
+        let mut c = Xoshiro256::new(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut g = Xoshiro256::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = g.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+    }
+
+    #[test]
+    fn range_i64_spans_negative() {
+        let mut g = Xoshiro256::new(9);
+        for _ in 0..1000 {
+            let v = g.range_i64(-2048, 2048);
+            assert!((-2048..2048).contains(&v));
+        }
+        // i64 extremes must not overflow.
+        let v = g.range_i64(i64::MIN, i64::MAX);
+        assert!(v < i64::MAX);
+    }
+}

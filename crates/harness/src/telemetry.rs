@@ -1,0 +1,284 @@
+//! Structured campaign telemetry.
+//!
+//! Every pool event — job start, finish, failure, cache hit — is emitted
+//! as one JSON object per line (JSONL) to a configurable sink, timestamped
+//! in milliseconds since campaign start. The same events aggregate into a
+//! [`CampaignReport`]: completion counts, wall time, total simulated
+//! cycles, and end-to-end simulation throughput.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Where JSONL events go.
+pub enum TelemetrySink {
+    /// Discard events (aggregation still happens in the report).
+    Null,
+    /// Write to standard error.
+    Stderr,
+    /// Write to a file (opened by the caller).
+    File(std::fs::File),
+}
+
+/// A thread-safe JSONL event writer.
+pub struct Telemetry {
+    sink: Mutex<TelemetrySink>,
+    epoch: Instant,
+}
+
+impl Telemetry {
+    /// Creates a telemetry stream writing to `sink`.
+    #[must_use]
+    pub fn new(sink: TelemetrySink) -> Telemetry {
+        Telemetry {
+            sink: Mutex::new(sink),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Milliseconds since this stream was created.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// Emits one event. `event` is the event name; `fields` are appended
+    /// after the standard `t_ms` timestamp.
+    pub fn emit(&self, event: &str, fields: Vec<(&str, Json)>) {
+        let mut pairs = vec![
+            ("event", Json::Str(event.to_string())),
+            (
+                "t_ms",
+                Json::Num((self.elapsed_ms() * 100.0).round() / 100.0),
+            ),
+        ];
+        pairs.extend(fields);
+        let line = Json::obj(pairs).encode();
+        let mut sink = self
+            .sink
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &mut *sink {
+            TelemetrySink::Null => {}
+            TelemetrySink::Stderr => {
+                let _ = writeln!(std::io::stderr(), "{line}");
+            }
+            TelemetrySink::File(f) => {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+}
+
+/// Terminal status of one job after the pool is done with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran (or was cached) to completion.
+    Completed {
+        /// Whether the result came from the cache.
+        cached: bool,
+    },
+    /// All attempts failed (error return or panic).
+    Failed {
+        /// The last error message.
+        error: String,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// The watchdog gave up waiting for it.
+    TimedOut {
+        /// The watchdog limit that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+/// Per-job record, in submission order.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Submission index.
+    pub index: usize,
+    /// Human label.
+    pub label: String,
+    /// Content hash of the descriptor.
+    pub hash: u64,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Wall-clock duration of the final attempt (or of the cache lookup).
+    pub duration_ms: f64,
+    /// The output, if completed.
+    pub output: Option<crate::job::JobOutput>,
+}
+
+impl JobRecord {
+    /// Whether the job completed (from cache or a live run).
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        matches!(self.status, JobStatus::Completed { .. })
+    }
+}
+
+/// Aggregated campaign outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Total jobs submitted.
+    pub total: usize,
+    /// Jobs that completed by actually running.
+    pub ran: usize,
+    /// Jobs that completed from the cache.
+    pub cached: usize,
+    /// Jobs that failed after retries.
+    pub failed: usize,
+    /// Jobs abandoned by the watchdog.
+    pub timed_out: usize,
+    /// Worker count used.
+    pub workers: usize,
+    /// End-to-end wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Sum of every completed job's `sim_cycles` metric.
+    pub sim_cycles: f64,
+    /// Labels and errors of failed/timed-out jobs, in submission order.
+    pub failures: Vec<(String, String)>,
+}
+
+impl CampaignReport {
+    /// Aggregates per-job records into a report.
+    #[must_use]
+    pub fn from_records(records: &[JobRecord], workers: usize, wall_ms: f64) -> CampaignReport {
+        let mut report = CampaignReport {
+            total: records.len(),
+            ran: 0,
+            cached: 0,
+            failed: 0,
+            timed_out: 0,
+            workers,
+            wall_ms,
+            sim_cycles: 0.0,
+            failures: Vec::new(),
+        };
+        for rec in records {
+            match &rec.status {
+                JobStatus::Completed { cached } => {
+                    if *cached {
+                        report.cached += 1;
+                    } else {
+                        report.ran += 1;
+                    }
+                    if let Some(out) = &rec.output {
+                        report.sim_cycles += out.metric("sim_cycles").unwrap_or(0.0);
+                    }
+                }
+                JobStatus::Failed { error, .. } => {
+                    report.failed += 1;
+                    report.failures.push((rec.label.clone(), error.clone()));
+                }
+                JobStatus::TimedOut { limit_ms } => {
+                    report.timed_out += 1;
+                    report.failures.push((
+                        rec.label.clone(),
+                        format!("watchdog timeout after {limit_ms} ms"),
+                    ));
+                }
+            }
+        }
+        report
+    }
+
+    /// Simulated cycles per wall-clock second — the campaign's end-to-end
+    /// simulation throughput.
+    #[must_use]
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.sim_cycles / (self.wall_ms / 1000.0)
+        }
+    }
+
+    /// Human-readable summary block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign: {} jobs on {} workers",
+            self.total, self.workers
+        );
+        let _ = writeln!(
+            out,
+            "  completed {} ({} ran, {} cache hits), failed {}, timed out {}",
+            self.ran + self.cached,
+            self.ran,
+            self.cached,
+            self.failed,
+            self.timed_out,
+        );
+        let _ = writeln!(
+            out,
+            "  wall {:.2} s, {:.2e} simulated cycles, {:.2e} cycles/s",
+            self.wall_ms / 1000.0,
+            self.sim_cycles,
+            self.cycles_per_second(),
+        );
+        for (label, error) in &self.failures {
+            let _ = writeln!(out, "  FAILED {label}: {error}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobOutput;
+
+    fn rec(index: usize, status: JobStatus, cycles: Option<f64>) -> JobRecord {
+        JobRecord {
+            index,
+            label: format!("job{index}"),
+            hash: index as u64,
+            status,
+            duration_ms: 1.0,
+            output: cycles.map(|c| JobOutput {
+                artifact: String::new(),
+                metrics: vec![("sim_cycles".to_string(), c)],
+            }),
+        }
+    }
+
+    #[test]
+    fn report_aggregates_statuses() {
+        let records = vec![
+            rec(0, JobStatus::Completed { cached: false }, Some(1000.0)),
+            rec(1, JobStatus::Completed { cached: true }, Some(500.0)),
+            rec(
+                2,
+                JobStatus::Failed {
+                    error: "boom".to_string(),
+                    attempts: 2,
+                },
+                None,
+            ),
+            rec(3, JobStatus::TimedOut { limit_ms: 10 }, None),
+        ];
+        let report = CampaignReport::from_records(&records, 4, 2000.0);
+        assert_eq!(report.total, 4);
+        assert_eq!(report.ran, 1);
+        assert_eq!(report.cached, 1);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.timed_out, 1);
+        assert!((report.sim_cycles - 1500.0).abs() < f64::EPSILON);
+        assert!((report.cycles_per_second() - 750.0).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("FAILED job2: boom"));
+        assert!(text.contains("watchdog timeout"));
+    }
+
+    #[test]
+    fn emit_does_not_panic_on_null_sink() {
+        let t = Telemetry::new(TelemetrySink::Null);
+        t.emit("job_start", vec![("label", Json::Str("x".to_string()))]);
+        assert!(t.elapsed_ms() >= 0.0);
+    }
+}

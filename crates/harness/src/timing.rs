@@ -1,0 +1,98 @@
+//! A minimal self-timing micro-benchmark runner.
+//!
+//! Replaces criterion for this workspace's `harness = false` benches: a
+//! warm-up pass, a calibrated measurement loop, and a median-of-samples
+//! report in ns/iter (plus derived throughput). No statistics framework —
+//! enough to bound the simulation hot paths and catch gross regressions.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per measurement batch.
+    pub iters: u64,
+}
+
+impl Sample {
+    /// Elements-per-second throughput, given elements processed per iter.
+    #[must_use]
+    pub fn throughput(&self, elements_per_iter: u64) -> f64 {
+        if self.ns_per_iter <= 0.0 {
+            0.0
+        } else {
+            elements_per_iter as f64 / (self.ns_per_iter * 1e-9)
+        }
+    }
+}
+
+/// Times `f`, auto-calibrating the batch size to ~10 ms, and prints one
+/// result line. Returns the sample for further reporting.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Sample {
+    // Warm-up + calibration: find an iteration count taking >= ~10 ms.
+    let mut iters: u64 = 1;
+    let batch_ns = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as u64;
+        if ns >= 10_000_000 || iters >= 1 << 20 {
+            break ns.max(1);
+        }
+        // Aim straight at the budget, with headroom.
+        iters = (iters * 2).max(iters * 10_000_000 / ns.max(1) / 2);
+    };
+    let _ = batch_ns;
+
+    // Measurement: five batches, report the median.
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let sample = Sample {
+        name: name.to_string(),
+        ns_per_iter: samples[2],
+        iters,
+    };
+    println!(
+        "{:<44} {:>12.1} ns/iter   ({} iters/batch)",
+        sample.name, sample.ns_per_iter, iters
+    );
+    sample
+}
+
+/// Like [`bench`], but also prints throughput for `elements` per iter.
+pub fn bench_throughput<T>(name: &str, elements: u64, f: impl FnMut() -> T) -> Sample {
+    let sample = bench(name, f);
+    println!(
+        "{:<44} {:>12.2} M elements/s",
+        format!("  \u{21b3} {} x{elements}", sample.name),
+        sample.throughput(elements) / 1e6
+    );
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let sample = bench("noop-ish", || std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(sample.ns_per_iter > 0.0);
+        assert!(sample.iters >= 1);
+        assert!(sample.throughput(8) > 0.0);
+    }
+}

@@ -43,7 +43,10 @@ impl RegionLatency {
     /// Same latency for reads and writes.
     #[must_use]
     pub fn symmetric(cycles: u64) -> RegionLatency {
-        RegionLatency { read: cycles, write: cycles }
+        RegionLatency {
+            read: cycles,
+            write: cycles,
+        }
     }
 }
 
@@ -137,7 +140,13 @@ impl SystemBus {
         device: Box<dyn Device>,
     ) {
         self.check_overlap(base, size);
-        self.regions.push(Region { base, size, kind, latency, backing: Backing::Dev(device) });
+        self.regions.push(Region {
+            base,
+            size,
+            kind,
+            latency,
+            backing: Backing::Dev(device),
+        });
     }
 
     fn check_overlap(&self, base: u64, size: u64) {
@@ -193,16 +202,23 @@ impl SystemBus {
     }
 
     fn region_for(&mut self, addr: u64, len: u64) -> Option<&mut Region> {
-        self.regions.iter_mut().find(|r| addr >= r.base && addr + len <= r.base + r.size)
+        self.regions
+            .iter_mut()
+            .find(|r| addr >= r.base && addr + len <= r.base + r.size)
     }
 }
 
 impl Bus for SystemBus {
     fn read(&mut self, addr: u64, width: MemWidth) -> Result<u64, MemFault> {
         let n = width.bytes();
-        let region = self.region_for(addr, n).ok_or(MemFault { addr, store: false })?;
-        let info =
-            AccessInfo { kind: region.kind, cycles: region.latency.read, store: false };
+        let region = self
+            .region_for(addr, n)
+            .ok_or(MemFault { addr, store: false })?;
+        let info = AccessInfo {
+            kind: region.kind,
+            cycles: region.latency.read,
+            store: false,
+        };
         let off = addr - region.base;
         let v = match &mut region.backing {
             Backing::Ram(data) => {
@@ -221,8 +237,14 @@ impl Bus for SystemBus {
 
     fn write(&mut self, addr: u64, width: MemWidth, value: u64) -> Result<(), MemFault> {
         let n = width.bytes();
-        let region = self.region_for(addr, n).ok_or(MemFault { addr, store: true })?;
-        let info = AccessInfo { kind: region.kind, cycles: region.latency.write, store: true };
+        let region = self
+            .region_for(addr, n)
+            .ok_or(MemFault { addr, store: true })?;
+        let info = AccessInfo {
+            kind: region.kind,
+            cycles: region.latency.write,
+            store: true,
+        };
         let off = addr - region.base;
         match &mut region.backing {
             Backing::Ram(data) => {
@@ -241,13 +263,17 @@ impl Bus for SystemBus {
         // Instruction fetches hit the private ROM/SRAM; they are pipelined
         // and not charged as data accesses, so bypass the access record.
         let remaining = {
-            let r = self.region_for(addr, 1).ok_or(MemFault { addr, store: false })?;
+            let r = self
+                .region_for(addr, 1)
+                .ok_or(MemFault { addr, store: false })?;
             r.base + r.size - addr
         };
         let n = 4.min(remaining);
         let mut v: u64 = 0;
         for i in (0..n).rev() {
-            let region = self.region_for(addr + i, 1).ok_or(MemFault { addr, store: false })?;
+            let region = self
+                .region_for(addr + i, 1)
+                .ok_or(MemFault { addr, store: false })?;
             let off = addr + i - region.base;
             let byte = match &mut region.backing {
                 Backing::Ram(data) => u64::from(data[off as usize]),
@@ -280,7 +306,12 @@ mod tests {
     #[test]
     fn ram_read_write_with_latency_tag() {
         let mut bus = SystemBus::new();
-        bus.add_ram(0x1000, 0x100, RegionKind::RotPrivate, RegionLatency::symmetric(5));
+        bus.add_ram(
+            0x1000,
+            0x100,
+            RegionKind::RotPrivate,
+            RegionLatency::symmetric(5),
+        );
         bus.write(0x1008, MemWidth::W, 0xaabbccdd).expect("write");
         let info = bus.take_access().expect("tagged");
         assert_eq!(info.kind, RegionKind::RotPrivate);
@@ -309,23 +340,41 @@ mod tests {
     #[test]
     fn unmapped_access_faults() {
         let mut bus = SystemBus::new();
-        bus.add_ram(0x1000, 0x100, RegionKind::RotPrivate, RegionLatency::symmetric(1));
+        bus.add_ram(
+            0x1000,
+            0x100,
+            RegionKind::RotPrivate,
+            RegionLatency::symmetric(1),
+        );
         assert!(bus.read(0x5000, MemWidth::W).is_err());
-        assert!(bus.write(0x10fe, MemWidth::W, 0).is_err(), "straddles region end");
+        assert!(
+            bus.write(0x10fe, MemWidth::W, 0).is_err(),
+            "straddles region end"
+        );
     }
 
     #[test]
     #[should_panic(expected = "overlaps")]
     fn overlapping_regions_rejected() {
         let mut bus = SystemBus::new();
-        bus.add_ram(0x1000, 0x100, RegionKind::RotPrivate, RegionLatency::symmetric(1));
+        bus.add_ram(
+            0x1000,
+            0x100,
+            RegionKind::RotPrivate,
+            RegionLatency::symmetric(1),
+        );
         bus.add_ram(0x10f0, 0x100, RegionKind::Soc, RegionLatency::symmetric(1));
     }
 
     #[test]
     fn fetch_spans_regions() {
         let mut bus = SystemBus::new();
-        bus.add_ram(0x1000, 0x100, RegionKind::RotPrivate, RegionLatency::symmetric(1));
+        bus.add_ram(
+            0x1000,
+            0x100,
+            RegionKind::RotPrivate,
+            RegionLatency::symmetric(1),
+        );
         bus.load(0x1000, &[0x13, 0x05, 0x10, 0x00]);
         assert_eq!(bus.fetch(0x1000).expect("fetch"), 0x0010_0513);
         // Fetch at the very end of the region reads the remaining bytes.

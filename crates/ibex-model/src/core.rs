@@ -27,7 +27,11 @@ pub struct IbexTiming {
 
 impl Default for IbexTiming {
     fn default() -> IbexTiming {
-        IbexTiming { irq_wake_latency: 45, taken_bubble: 1, div_extra: 37 }
+        IbexTiming {
+            irq_wake_latency: 45,
+            taken_bubble: 1,
+            div_extra: 37,
+        }
     }
 }
 
@@ -209,8 +213,18 @@ mod tests {
     fn system(src: &str) -> IbexCore {
         let prog = assemble(src, Xlen::Rv32, 0x10000).expect("assembles");
         let mut bus = SystemBus::new();
-        bus.add_ram(0x10000, 0x10000, RegionKind::RotPrivate, RegionLatency::symmetric(5));
-        bus.add_ram(0x8000_0000, 0x10000, RegionKind::Soc, RegionLatency::symmetric(12));
+        bus.add_ram(
+            0x10000,
+            0x10000,
+            RegionKind::RotPrivate,
+            RegionLatency::symmetric(5),
+        );
+        bus.add_ram(
+            0x8000_0000,
+            0x10000,
+            RegionKind::Soc,
+            RegionLatency::symmetric(12),
+        );
         bus.load(prog.base, &prog.bytes);
         let mut core = IbexCore::new(bus, prog.entry, IbexTiming::default());
         core.hart.set_reg(Reg::SP, 0x1fff0);
@@ -234,9 +248,9 @@ mod tests {
         loop {
             match core.step() {
                 Ok(c) => {
-                    if c.mem_kind.is_some() {
+                    if let Some(kind) = c.mem_kind {
                         costs.push(c.cost);
-                        kinds.push(c.mem_kind.unwrap());
+                        kinds.push(kind);
                     }
                 }
                 Err(IbexEvent::Trapped(Trap::Breakpoint)) => break,

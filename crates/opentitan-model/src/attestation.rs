@@ -42,7 +42,10 @@ impl Attestor {
     /// attestation key.
     #[must_use]
     pub fn new(attestation_key: &[u8], image: &[u8]) -> Attestor {
-        Attestor { engine: HmacEngine::new(attestation_key), measurement: sha256(image) }
+        Attestor {
+            engine: HmacEngine::new(attestation_key),
+            measurement: sha256(image),
+        }
     }
 
     /// The stored measurement (what a local verifier reads back).
@@ -58,7 +61,12 @@ impl Attestor {
         msg[..DIGEST_LEN].copy_from_slice(&self.measurement);
         msg[DIGEST_LEN..].copy_from_slice(&challenge.nonce);
         let (tag, cycles) = self.engine.mac(&msg);
-        AttestationReport { measurement: self.measurement, nonce: challenge.nonce, tag, cycles }
+        AttestationReport {
+            measurement: self.measurement,
+            nonce: challenge.nonce,
+            tag,
+            cycles,
+        }
     }
 }
 

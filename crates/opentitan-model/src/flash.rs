@@ -71,8 +71,7 @@ pub fn secded_decode(data: u64, parity: u8) -> EccRead {
             syndrome |= 1 << i;
         }
     }
-    let overall_calc =
-        ((data.count_ones() + u32::from(parity & 0x7f).count_ones()) & 1) as u8;
+    let overall_calc = ((data.count_ones() + u32::from(parity & 0x7f).count_ones()) & 1) as u8;
     let overall_err = overall_calc != (parity >> 7) & 1;
     if syndrome == 0 && !overall_err {
         return EccRead::Clean(data);
@@ -211,7 +210,10 @@ impl Flash {
     #[must_use]
     pub fn new(words: usize, key: u64) -> Flash {
         let scrambler = Scrambler::new(key);
-        let mut flash = Flash { scrambler, words: Vec::with_capacity(words) };
+        let mut flash = Flash {
+            scrambler,
+            words: Vec::with_capacity(words),
+        };
         for addr in 0..words as u64 {
             let stored = flash.scrambler.scramble(addr, 0);
             let (d, p) = secded_encode(stored);

@@ -55,7 +55,9 @@ impl CfiMailbox {
     /// The RoT-side bus device view (register this on the Ibex bus).
     #[must_use]
     pub fn device(&self) -> Box<dyn Device> {
-        Box::new(MailboxDevice { shared: Arc::clone(&self.shared) })
+        Box::new(MailboxDevice {
+            shared: Arc::clone(&self.shared),
+        })
     }
 
     // ---- host (CVA6 / Log Writer) side ----
@@ -114,7 +116,10 @@ impl CfiMailbox {
     /// Total completions signalled by the RoT.
     #[must_use]
     pub fn completions_signalled(&self) -> u64 {
-        self.shared.lock().expect("mailbox lock").completions_signalled
+        self.shared
+            .lock()
+            .expect("mailbox lock")
+            .completions_signalled
     }
 }
 

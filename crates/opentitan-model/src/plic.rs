@@ -63,7 +63,9 @@ impl Plic {
     /// The RoT-side bus device view.
     #[must_use]
     pub fn device(&self) -> Box<dyn Device> {
-        Box::new(PlicDevice { shared: Arc::clone(&self.shared) })
+        Box::new(PlicDevice {
+            shared: Arc::clone(&self.shared),
+        })
     }
 }
 
@@ -109,11 +111,18 @@ mod tests {
         plic.raise(SRC_CFI_MAILBOX);
         assert!(plic.irq_line());
         // Claim returns the source and masks the line.
-        assert_eq!(dev.read(regs::CLAIM_COMPLETE, MemWidth::W), u64::from(SRC_CFI_MAILBOX));
+        assert_eq!(
+            dev.read(regs::CLAIM_COMPLETE, MemWidth::W),
+            u64::from(SRC_CFI_MAILBOX)
+        );
         assert!(!plic.irq_line(), "in-service source does not re-interrupt");
         // Source deasserts, firmware completes.
         plic.lower(SRC_CFI_MAILBOX);
-        dev.write(regs::CLAIM_COMPLETE, MemWidth::W, u64::from(SRC_CFI_MAILBOX));
+        dev.write(
+            regs::CLAIM_COMPLETE,
+            MemWidth::W,
+            u64::from(SRC_CFI_MAILBOX),
+        );
         assert!(!plic.irq_line());
         // Re-raise works after completion.
         plic.raise(SRC_CFI_MAILBOX);

@@ -97,14 +97,18 @@ impl OpenTitan {
     #[must_use]
     pub fn new(firmware: &Program, profile: LatencyProfile) -> OpenTitan {
         assert!(
-            firmware.base >= map::SRAM_BASE
-                && firmware.end() <= map::SRAM_BASE + map::SRAM_SIZE,
+            firmware.base >= map::SRAM_BASE && firmware.end() <= map::SRAM_BASE + map::SRAM_SIZE,
             "firmware image must live in the RoT scratchpad"
         );
         let mailbox = CfiMailbox::new();
         let plic = Plic::new();
         let mut bus = SystemBus::new();
-        bus.add_ram(map::SRAM_BASE, map::SRAM_SIZE, RegionKind::RotPrivate, profile.rot);
+        bus.add_ram(
+            map::SRAM_BASE,
+            map::SRAM_SIZE,
+            RegionKind::RotPrivate,
+            profile.rot,
+        );
         bus.add_device(
             map::PLIC_BASE,
             map::PLIC_SIZE,
@@ -119,11 +123,17 @@ impl OpenTitan {
             profile.soc,
             mailbox.device(),
         );
-        bus.add_ram(map::SOC_RAM_BASE, map::SOC_RAM_SIZE, RegionKind::Soc, profile.soc);
+        bus.add_ram(
+            map::SOC_RAM_BASE,
+            map::SOC_RAM_SIZE,
+            RegionKind::Soc,
+            profile.soc,
+        );
         bus.load(firmware.base, &firmware.bytes);
         let mut core = IbexCore::new(bus, firmware.entry, profile.timing);
         // Stack at the top of the scratchpad.
-        core.hart.set_reg(riscv_isa::Reg::SP, map::SRAM_BASE + map::SRAM_SIZE - 16);
+        core.hart
+            .set_reg(riscv_isa::Reg::SP, map::SRAM_BASE + map::SRAM_SIZE - 16);
         OpenTitan {
             core,
             mailbox,
@@ -153,8 +163,8 @@ mod tests {
 
     #[test]
     fn boots_firmware_in_scratchpad() {
-        let fw = assemble("_start: li a0, 99\nebreak\n", Xlen::Rv32, map::SRAM_BASE)
-            .expect("assembles");
+        let fw =
+            assemble("_start: li a0, 99\nebreak\n", Xlen::Rv32, map::SRAM_BASE).expect("assembles");
         let mut rot = OpenTitan::new(&fw, LatencyProfile::baseline());
         let _ = rot.core.step().expect("li");
         assert_eq!(rot.core.hart.reg(Reg::A0), 99);

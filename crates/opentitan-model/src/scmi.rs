@@ -134,7 +134,9 @@ impl ScmiService {
             return false;
         };
         let response = match request {
-            ScmiRequest::Version => ScmiResponse::Version { version: self.version },
+            ScmiRequest::Version => ScmiResponse::Version {
+                version: self.version,
+            },
             ScmiRequest::Attest(challenge) => {
                 ScmiResponse::Attestation(self.attestor.attest(&challenge))
             }

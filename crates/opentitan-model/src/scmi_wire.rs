@@ -52,7 +52,9 @@ struct Wire {
 
 impl Default for Wire {
     fn default() -> Wire {
-        Wire { bytes: [0; WINDOW as usize] }
+        Wire {
+            bytes: [0; WINDOW as usize],
+        }
     }
 }
 
@@ -134,7 +136,8 @@ impl ScmiWireService {
         let msg = self.wire.host_read(regs::MSG_TYPE, 4) as u32;
         match msg {
             MSG_VERSION => {
-                self.wire.host_write(regs::RESPONSE, 4, u64::from(self.version));
+                self.wire
+                    .host_write(regs::RESPONSE, 4, u64::from(self.version));
                 self.wire.host_write(regs::STATUS, 4, 0);
             }
             MSG_ATTEST => {
@@ -150,7 +153,8 @@ impl ScmiWireService {
                     .chain(report.nonce.iter())
                     .chain(report.tag.iter());
                 for (i, b) in payload.enumerate() {
-                    self.wire.host_write(regs::RESPONSE + i as u64, 1, u64::from(*b));
+                    self.wire
+                        .host_write(regs::RESPONSE + i as u64, 1, u64::from(*b));
                 }
                 self.wire.host_write(regs::STATUS, 4, 0);
             }
@@ -189,7 +193,12 @@ pub fn read_report(wire: &ScmiWire) -> crate::attestation::AttestationReport {
     for (i, b) in tag.iter_mut().enumerate() {
         *b = wire.host_read(base + 48 + i as u64, 1) as u8;
     }
-    crate::attestation::AttestationReport { measurement, nonce, tag, cycles: 0 }
+    crate::attestation::AttestationReport {
+        measurement,
+        nonce,
+        tag,
+        cycles: 0,
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +234,12 @@ mod tests {
         wire.host_write(regs::DOORBELL, 4, 1);
         assert!(svc.poll());
         let report = read_report(&wire);
-        assert!(verify_report(&report, &Challenge { nonce }, KEY, &sha256(IMAGE)));
+        assert!(verify_report(
+            &report,
+            &Challenge { nonce },
+            KEY,
+            &sha256(IMAGE)
+        ));
         assert!(svc.auth_cycles > 0);
     }
 

@@ -120,7 +120,13 @@ pub fn boot(flash: &Flash, engine: &HmacEngine) -> Result<(Vec<u8>, BootReport),
     if !engine.verify(&image, &tag) {
         return Err(BootError::AuthFailure);
     }
-    Ok((image, BootReport { words_read: 1 + words + 4, auth_cycles }))
+    Ok((
+        image,
+        BootReport {
+            words_read: 1 + words + 4,
+            auth_cycles,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -161,7 +167,9 @@ mod tests {
         flash.flip_bit(IMAGE_BASE_WORD + 3, 44);
         assert_eq!(
             boot(&flash, &engine),
-            Err(BootError::FlashCorruption { word: IMAGE_BASE_WORD + 3 })
+            Err(BootError::FlashCorruption {
+                word: IMAGE_BASE_WORD + 3
+            })
         );
     }
 

@@ -1,34 +1,57 @@
-//! Property tests for the scrambled, ECC-protected flash.
+//! Randomized tests for the scrambled, ECC-protected flash, driven by the
+//! workspace's seeded PRNG.
 
 use opentitan_model::flash::{secded_decode, secded_encode, EccRead, Flash, Scrambler};
-use proptest::prelude::*;
+use titancfi_harness::Xoshiro256;
 
-proptest! {
-    /// Clean encode/decode round-trips for arbitrary words.
-    #[test]
-    fn secded_roundtrip(v in any::<u64>()) {
+const CASES: usize = 1024;
+
+/// Clean encode/decode round-trips for arbitrary words.
+#[test]
+fn secded_roundtrip() {
+    let mut rng = Xoshiro256::new(0x5001);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
         let (d, p) = secded_encode(v);
-        prop_assert_eq!(secded_decode(d, p), EccRead::Clean(v));
+        assert_eq!(secded_decode(d, p), EccRead::Clean(v), "value {v:#x}");
     }
+}
 
-    /// Any single stored-bit flip (data or parity) is corrected back to
-    /// the original value.
-    #[test]
-    fn secded_corrects_any_single_flip(v in any::<u64>(), bit in 0u8..72) {
-        let (mut d, mut p) = secded_encode(v);
-        if bit < 64 {
-            d ^= 1u64 << bit;
-        } else {
-            p ^= 1u8 << (bit - 64);
+/// Any single stored-bit flip (data or parity) is corrected back to the
+/// original value. Exhaustive over all 72 bit positions per value.
+#[test]
+fn secded_corrects_any_single_flip() {
+    let mut rng = Xoshiro256::new(0x5002);
+    for _ in 0..CASES / 8 {
+        let v = rng.next_u64();
+        for bit in 0u8..72 {
+            let (mut d, mut p) = secded_encode(v);
+            if bit < 64 {
+                d ^= 1u64 << bit;
+            } else {
+                p ^= 1u8 << (bit - 64);
+            }
+            assert_eq!(
+                secded_decode(d, p).value(),
+                Some(v),
+                "value {v:#x} bit {bit}"
+            );
         }
-        prop_assert_eq!(secded_decode(d, p).value(), Some(v), "bit {}", bit);
     }
+}
 
-    /// Any double flip is flagged uncorrectable — never silently
-    /// miscorrected to a wrong value.
-    #[test]
-    fn secded_flags_any_double_flip(v in any::<u64>(), a in 0u8..72, b in 0u8..72) {
-        prop_assume!(a != b);
+/// Any double flip is flagged uncorrectable — never silently miscorrected
+/// to a wrong value.
+#[test]
+fn secded_flags_any_double_flip() {
+    let mut rng = Xoshiro256::new(0x5003);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
+        let a = rng.below(72) as u8;
+        let b = rng.below(72) as u8;
+        if a == b {
+            continue;
+        }
         let (mut d, mut p) = secded_encode(v);
         for bit in [a, b] {
             if bit < 64 {
@@ -37,22 +60,32 @@ proptest! {
                 p ^= 1u8 << (bit - 64);
             }
         }
-        prop_assert_eq!(secded_decode(d, p), EccRead::Uncorrectable, "bits {} {}", a, b);
+        assert_eq!(
+            secded_decode(d, p),
+            EccRead::Uncorrectable,
+            "value {v:#x} bits {a} {b}"
+        );
     }
+}
 
-    /// The scrambler is a bijection per address, and differently-keyed
-    /// scramblers disagree.
-    #[test]
-    fn scrambler_bijective_and_keyed(key1 in any::<u64>(), key2 in any::<u64>(),
-                                     addr in 0u64..4096, data in any::<u64>()) {
+/// The scrambler is a bijection per address, and differently-keyed
+/// scramblers disagree.
+#[test]
+fn scrambler_bijective_and_keyed() {
+    let mut rng = Xoshiro256::new(0x5004);
+    for _ in 0..CASES {
+        let key1 = rng.next_u64();
+        let key2 = rng.next_u64();
+        let addr = rng.below(4096);
+        let data = rng.next_u64();
         let s1 = Scrambler::new(key1);
-        prop_assert_eq!(s1.descramble(addr, s1.scramble(addr, data)), data);
+        assert_eq!(s1.descramble(addr, s1.scramble(addr, data)), data);
         if key1 != key2 {
             let s2 = Scrambler::new(key2);
             // Not a hard guarantee per-word, but overwhelming for random keys.
             if s1.scramble(addr, data) == s2.scramble(addr, data) {
                 // Allow rare collisions: check a second address too.
-                prop_assert_ne!(
+                assert_ne!(
                     s1.scramble(addr + 1, data),
                     s2.scramble(addr + 1, data),
                     "two keys agreeing twice is a bug"
@@ -60,19 +93,25 @@ proptest! {
             }
         }
     }
+}
 
-    /// Flash write/read with an arbitrary single fault still yields the
-    /// stored value; plaintext never appears in the raw array.
-    #[test]
-    fn flash_end_to_end(key in any::<u64>(), value in any::<u64>(), bit in 0u8..72) {
+/// Flash write/read with an arbitrary single fault still yields the stored
+/// value; plaintext never appears in the raw array.
+#[test]
+fn flash_end_to_end() {
+    let mut rng = Xoshiro256::new(0x5005);
+    for _ in 0..CASES {
+        let key = rng.next_u64();
+        let value = rng.next_u64();
+        let bit = rng.below(72) as u8;
         let mut f = Flash::new(64, key);
         f.write(7, value);
         if value != 0 && value.count_ones() > 8 {
             // Scrambled storage should not equal the plaintext for
             // non-trivial values (probabilistic, overwhelming).
-            prop_assert_ne!(f.raw(7), value);
+            assert_ne!(f.raw(7), value);
         }
         f.flip_bit(7, bit);
-        prop_assert_eq!(f.read(7).value(), Some(value));
+        assert_eq!(f.read(7).value(), Some(value), "value {value:#x} bit {bit}");
     }
 }

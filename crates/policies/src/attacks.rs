@@ -53,16 +53,21 @@ impl Attack {
             match log.cf_class() {
                 CfClass::Return => {
                     match self {
-                        Attack::Rop { nth_return, gadgets } => {
+                        Attack::Rop {
+                            nth_return,
+                            gadgets,
+                        } => {
                             if returns_seen >= *nth_return && gadget_iter < gadgets.len() {
                                 log.target = gadgets[gadget_iter];
                                 gadget_iter += 1;
                             }
                         }
-                        Attack::StackPivot { nth_return, fake_base } => {
+                        Attack::StackPivot {
+                            nth_return,
+                            fake_base,
+                        } => {
                             if returns_seen >= *nth_return {
-                                log.target =
-                                    fake_base + 0x10 * (returns_seen - nth_return) as u64;
+                                log.target = fake_base + 0x10 * (returns_seen - nth_return) as u64;
                             }
                         }
                         Attack::Jop { .. } => {}
@@ -148,8 +153,11 @@ mod tests {
     #[test]
     fn stack_pivot_detected() {
         let clean = nested_call_stream(0x8000_0000, 10);
-        let attacked =
-            Attack::StackPivot { nth_return: 0, fake_base: 0x7000_0000 }.apply(&clean);
+        let attacked = Attack::StackPivot {
+            nth_return: 0,
+            fake_base: 0x7000_0000,
+        }
+        .apply(&clean);
         assert_eq!(detect(&attacked), Some(10), "first pivoted return flagged");
     }
 
@@ -160,9 +168,18 @@ mod tests {
         let mut clean = nested_call_stream(0x8000_0000, 5);
         clean.insert(
             5,
-            CommitLog { pc: 0x8000_0500, insn: 0x0007_8067, next: 0x8000_0504, target: 0x9000 },
+            CommitLog {
+                pc: 0x8000_0500,
+                insn: 0x0007_8067,
+                next: 0x8000_0504,
+                target: 0x9000,
+            },
         );
-        let attacked = Attack::Jop { nth_jump: 0, gadget: 0x6666_0000 }.apply(&clean);
+        let attacked = Attack::Jop {
+            nth_jump: 0,
+            gadget: 0x6666_0000,
+        }
+        .apply(&clean);
         assert_eq!(detect(&attacked), None);
         // The combined policy does catch it.
         let mut fe = crate::forward_edge::ForwardEdgePolicy::new();
@@ -170,9 +187,7 @@ mod tests {
         let mut combined = crate::combined::CombinedPolicy::new()
             .with(ShadowStackPolicy::new(1024))
             .with(fe);
-        let caught = attacked
-            .iter()
-            .any(|log| !combined.check(log).is_allowed());
+        let caught = attacked.iter().any(|log| !combined.check(log).is_allowed());
         assert!(caught, "combined policy detects JOP");
     }
 
@@ -180,9 +195,18 @@ mod tests {
     fn attack_preserves_stream_length() {
         let clean = nested_call_stream(0, 8);
         for attack in [
-            Attack::Rop { nth_return: 1, gadgets: vec![0xdead] },
-            Attack::Jop { nth_jump: 0, gadget: 0xbeef },
-            Attack::StackPivot { nth_return: 2, fake_base: 0x100 },
+            Attack::Rop {
+                nth_return: 1,
+                gadgets: vec![0xdead],
+            },
+            Attack::Jop {
+                nth_jump: 0,
+                gadget: 0xbeef,
+            },
+            Attack::StackPivot {
+                nth_return: 2,
+                fake_base: 0x100,
+            },
         ] {
             assert_eq!(attack.apply(&clean).len(), clean.len());
         }

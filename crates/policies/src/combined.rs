@@ -28,7 +28,9 @@ pub struct CombinedPolicy {
 impl std::fmt::Debug for CombinedPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.policies.iter().map(|p| p.name()).collect();
-        f.debug_struct("CombinedPolicy").field("policies", &names).finish()
+        f.debug_struct("CombinedPolicy")
+            .field("policies", &names)
+            .finish()
     }
 }
 
@@ -98,19 +100,36 @@ mod tests {
     fn both_policies_enforced() {
         let mut fe = ForwardEdgePolicy::new();
         fe.register_entry(0x3000);
-        let mut combined = CombinedPolicy::new().with(ShadowStackPolicy::new(64)).with(fe);
+        let mut combined = CombinedPolicy::new()
+            .with(ShadowStackPolicy::new(64))
+            .with(fe);
 
         // Valid call.
-        let call = CommitLog { pc: 0x100, insn: 0x0080_00ef, next: 0x104, target: 0x3000 };
+        let call = CommitLog {
+            pc: 0x100,
+            insn: 0x0080_00ef,
+            next: 0x104,
+            target: 0x3000,
+        };
         assert!(combined.check(&call).is_allowed());
         // Indirect jump to a gadget: caught by the forward-edge half.
-        let jop = CommitLog { pc: 0x200, insn: 0x0007_8067, next: 0x204, target: 0x3456 };
+        let jop = CommitLog {
+            pc: 0x200,
+            insn: 0x0007_8067,
+            next: 0x204,
+            target: 0x3456,
+        };
         assert_eq!(
             combined.check(&jop),
             Verdict::Violation(ViolationKind::ForwardEdge { target: 0x3456 })
         );
         // Hijacked return: caught by the shadow-stack half.
-        let rop = CommitLog { pc: 0x3004, insn: 0x0000_8067, next: 0x3008, target: 0x9999 };
+        let rop = CommitLog {
+            pc: 0x3004,
+            insn: 0x0000_8067,
+            next: 0x3008,
+            target: 0x9999,
+        };
         assert!(matches!(
             combined.check(&rop),
             Verdict::Violation(ViolationKind::ReturnMismatch { .. })
@@ -121,17 +140,35 @@ mod tests {
     fn empty_combination_allows_all() {
         let mut c = CombinedPolicy::new();
         assert!(c.is_empty());
-        let anything = CommitLog { pc: 0, insn: 0x0000_8067, next: 4, target: 0xbad };
+        let anything = CommitLog {
+            pc: 0,
+            insn: 0x0000_8067,
+            next: 4,
+            target: 0xbad,
+        };
         assert!(c.check(&anything).is_allowed());
     }
 
     #[test]
     fn reset_propagates() {
         let mut c = CombinedPolicy::new().with(ShadowStackPolicy::new(64));
-        let call = CommitLog { pc: 0x100, insn: 0x0080_00ef, next: 0x104, target: 0x3000 };
+        let call = CommitLog {
+            pc: 0x100,
+            insn: 0x0080_00ef,
+            next: 0x104,
+            target: 0x3000,
+        };
         c.check(&call);
         c.reset();
-        let ret = CommitLog { pc: 0x3004, insn: 0x0000_8067, next: 0x3008, target: 0x104 };
-        assert!(matches!(c.check(&ret), Verdict::Violation(ViolationKind::ShadowStackUnderflow)));
+        let ret = CommitLog {
+            pc: 0x3004,
+            insn: 0x0000_8067,
+            next: 0x3008,
+            target: 0x104,
+        };
+        assert!(matches!(
+            c.check(&ret),
+            Verdict::Violation(ViolationKind::ShadowStackUnderflow)
+        ));
     }
 }

@@ -114,7 +114,12 @@ mod tests {
 
     fn ijump(pc: u64, target: u64) -> CommitLog {
         // jalr zero, 0(a5)
-        CommitLog { pc, insn: 0x0007_8067, next: pc + 4, target }
+        CommitLog {
+            pc,
+            insn: 0x0007_8067,
+            next: pc + 4,
+            target,
+        }
     }
 
     #[test]
@@ -145,8 +150,18 @@ mod tests {
     #[test]
     fn calls_and_returns_ignored() {
         let mut fe = ForwardEdgePolicy::new();
-        let call = CommitLog { pc: 0, insn: 0x0080_00ef, next: 4, target: 0x100 };
-        let ret = CommitLog { pc: 0x104, insn: 0x0000_8067, next: 0x108, target: 4 };
+        let call = CommitLog {
+            pc: 0,
+            insn: 0x0080_00ef,
+            next: 4,
+            target: 0x100,
+        };
+        let ret = CommitLog {
+            pc: 0x104,
+            insn: 0x0000_8067,
+            next: 0x108,
+            target: 4,
+        };
         assert!(fe.check(&call).is_allowed());
         assert!(fe.check(&ret).is_allowed());
         assert_eq!(fe.stats().checked, 0);

@@ -55,7 +55,9 @@ impl PerThreadPolicy {
 
     /// Marks `tid` as protected (allocates its shadow stack).
     pub fn protect(&mut self, tid: ThreadId) {
-        self.stacks.entry(tid).or_insert_with(|| ShadowStackPolicy::new(self.capacity));
+        self.stacks
+            .entry(tid)
+            .or_insert_with(|| ShadowStackPolicy::new(self.capacity));
     }
 
     /// Removes protection (and state) for `tid`.
@@ -75,7 +77,8 @@ impl PerThreadPolicy {
     /// Whether events are currently being checked.
     #[must_use]
     pub fn checking(&self) -> bool {
-        self.current.is_some_and(|tid| self.stacks.contains_key(&tid))
+        self.current
+            .is_some_and(|tid| self.stacks.contains_key(&tid))
     }
 
     /// Number of protected threads.
@@ -122,11 +125,21 @@ mod tests {
     use crate::policy::ViolationKind;
 
     fn call(pc: u64) -> CommitLog {
-        CommitLog { pc, insn: 0x0080_00ef, next: pc + 4, target: pc + 0x100 }
+        CommitLog {
+            pc,
+            insn: 0x0080_00ef,
+            next: pc + 4,
+            target: pc + 0x100,
+        }
     }
 
     fn ret_to(target: u64) -> CommitLog {
-        CommitLog { pc: target + 0x100, insn: 0x0000_8067, next: target + 0x104, target }
+        CommitLog {
+            pc: target + 0x100,
+            insn: 0x0000_8067,
+            next: target + 0x104,
+            target,
+        }
     }
 
     #[test]
@@ -154,7 +167,10 @@ mod tests {
         p.protect(1);
         p.switch_to(99); // not protected
         assert!(!p.checking());
-        assert!(p.check(&ret_to(0xbad0)).is_allowed(), "unprotected: not checked");
+        assert!(
+            p.check(&ret_to(0xbad0)).is_allowed(),
+            "unprotected: not checked"
+        );
         assert_eq!(p.unprotected_events, 1);
     }
 

@@ -8,8 +8,8 @@
 //! `titancfi::firmware` implements the same semantics, and integration
 //! tests check the two agree verdict-for-verdict.
 
-use titancfi::CommitLog;
 use std::fmt;
+use titancfi::CommitLog;
 
 /// Why a policy rejected a control-flow event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,13 +36,18 @@ impl fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ViolationKind::ReturnMismatch { expected, actual } => {
-                write!(f, "return mismatch: expected {expected:#x}, got {actual:#x}")
+                write!(
+                    f,
+                    "return mismatch: expected {expected:#x}, got {actual:#x}"
+                )
             }
             ViolationKind::ShadowStackUnderflow => f.write_str("shadow stack underflow"),
             ViolationKind::ForwardEdge { target } => {
                 write!(f, "indirect jump to disallowed target {target:#x}")
             }
-            ViolationKind::SpillAuthFailure => f.write_str("spilled metadata failed authentication"),
+            ViolationKind::SpillAuthFailure => {
+                f.write_str("spilled metadata failed authentication")
+            }
         }
     }
 }
@@ -98,9 +103,14 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        let v = ViolationKind::ReturnMismatch { expected: 0x10, actual: 0x20 };
+        let v = ViolationKind::ReturnMismatch {
+            expected: 0x10,
+            actual: 0x20,
+        };
         assert!(v.to_string().contains("0x10"));
         assert!(v.to_string().contains("0x20"));
-        assert!(ViolationKind::SpillAuthFailure.to_string().contains("authentication"));
+        assert!(ViolationKind::SpillAuthFailure
+            .to_string()
+            .contains("authentication"));
     }
 }

@@ -12,8 +12,8 @@
 
 use crate::policy::{CfiPolicy, Verdict, ViolationKind};
 use opentitan_model::hmac::{HmacEngine, Tag};
-use titancfi::CommitLog;
 use riscv_isa::CfClass;
+use titancfi::CommitLog;
 
 /// A spilled page of shadow-stack frames living in (untrusted) SoC memory.
 #[derive(Debug, Clone)]
@@ -141,7 +141,10 @@ impl ShadowStackPolicy {
         let (_, cycles) = self.engine.mac(&Self::page_bytes(&page.frames, page.seq));
         self.stats.auth_cycles += cycles;
         self.last_extra += cycles;
-        if !self.engine.verify(&Self::page_bytes(&page.frames, page.seq), &page.tag) {
+        if !self
+            .engine
+            .verify(&Self::page_bytes(&page.frames, page.seq), &page.tag)
+        {
             return Err(ViolationKind::SpillAuthFailure);
         }
         self.stats.restores += 1;
@@ -213,11 +216,21 @@ mod tests {
     use super::*;
 
     fn call(pc: u64) -> CommitLog {
-        CommitLog { pc, insn: 0x0080_00ef, next: pc + 4, target: pc + 0x100 }
+        CommitLog {
+            pc,
+            insn: 0x0080_00ef,
+            next: pc + 4,
+            target: pc + 0x100,
+        }
     }
 
     fn ret_to(target: u64) -> CommitLog {
-        CommitLog { pc: target + 0x100, insn: 0x0000_8067, next: target + 0x104, target }
+        CommitLog {
+            pc: target + 0x100,
+            insn: 0x0000_8067,
+            next: target + 0x104,
+            target,
+        }
     }
 
     #[test]
@@ -263,7 +276,10 @@ mod tests {
         for i in 0..depth {
             assert!(ss.check(&call(0x1000 + i * 16)).is_allowed());
         }
-        assert!(ss.stats().spills > 0, "capacity 8 with depth 100 must spill");
+        assert!(
+            ss.stats().spills > 0,
+            "capacity 8 with depth 100 must spill"
+        );
         assert_eq!(ss.depth(), depth as usize);
         for i in (0..depth).rev() {
             let v = ss.check(&ret_to(0x1000 + i * 16 + 4));
@@ -293,7 +309,10 @@ mod tests {
                 other => panic!("unexpected verdict {other:?}"),
             }
         }
-        assert!(saw_auth_failure, "tampered spill page must fail authentication");
+        assert!(
+            saw_auth_failure,
+            "tampered spill page must fail authentication"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl From<ParseError> for AsmError {
 }
 
 fn sem(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError::Semantic { line, message: message.into() }
+    AsmError::Semantic {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Assembler configuration.
@@ -66,7 +69,11 @@ impl Assembler {
     /// A new assembler for the given ISA, loading at `base`.
     #[must_use]
     pub fn new(xlen: Xlen, base: u64) -> Assembler {
-        Assembler { xlen, base, compress: false }
+        Assembler {
+            xlen,
+            base,
+            compress: false,
+        }
     }
 
     /// Enables the RVC compression pass (builder style).
@@ -83,7 +90,10 @@ impl Assembler {
         operands.iter().any(|op| match op {
             Operand::Sym(_) | Operand::HiSym(_) | Operand::LoSym(_) => true,
             Operand::Mem { offset, .. } => {
-                matches!(**offset, Operand::Sym(_) | Operand::HiSym(_) | Operand::LoSym(_))
+                matches!(
+                    **offset,
+                    Operand::Sym(_) | Operand::HiSym(_) | Operand::LoSym(_)
+                )
             }
             _ => false,
         })
@@ -167,7 +177,12 @@ impl Assembler {
         }
 
         let entry = symbols.get("_start").copied().unwrap_or(self.base);
-        Ok(Program { base: self.base, bytes: image, symbols, entry })
+        Ok(Program {
+            base: self.base,
+            bytes: image,
+            symbols,
+            entry,
+        })
     }
 
     fn layout_directive(
@@ -323,9 +338,7 @@ impl Assembler {
                 // pc-relative forms always carry a symbolic operand).
                 let empty = BTreeMap::new();
                 match self.encode_inst(line, mnemonic, operands, 0, &empty) {
-                    Ok(insts) => {
-                        Ok(insts.iter().map(|i| self.encoded_size(i)).sum())
-                    }
+                    Ok(insts) => Ok(insts.iter().map(|i| self.encoded_size(i)).sum()),
                     Err(e) => Err(e),
                 }
             }
@@ -368,11 +381,17 @@ impl Assembler {
         let reg = |i: usize| -> Result<Reg, AsmError> {
             match ops.get(i) {
                 Some(Operand::Reg(r)) => Ok(*r),
-                other => Err(sem(line, format!("operand {i}: expected register, got {other:?}"))),
+                other => Err(sem(
+                    line,
+                    format!("operand {i}: expected register, got {other:?}"),
+                )),
             }
         };
         let sym_value = |s: &str| -> Result<u64, AsmError> {
-            symbols.get(s).copied().ok_or_else(|| sem(line, format!("unknown symbol `{s}`")))
+            symbols
+                .get(s)
+                .copied()
+                .ok_or_else(|| sem(line, format!("unknown symbol `{s}`")))
         };
         // An immediate-or-relocation scalar value.
         let imm_val = |op: &Operand| -> Result<i64, AsmError> {
@@ -391,14 +410,19 @@ impl Assembler {
             }
         };
         let imm = |i: usize| -> Result<i64, AsmError> {
-            ops.get(i).ok_or_else(|| sem(line, "missing immediate operand")).and_then(imm_val)
+            ops.get(i)
+                .ok_or_else(|| sem(line, "missing immediate operand"))
+                .and_then(imm_val)
         };
         // Branch/jump target: symbol resolves to pc-relative offset.
         let target = |i: usize| -> Result<i64, AsmError> {
             match ops.get(i) {
                 Some(Operand::Sym(s)) => Ok(sym_value(s)? as i64 - pc as i64),
                 Some(Operand::Imm(v)) => Ok(*v),
-                other => Err(sem(line, format!("expected label or offset, got {other:?}"))),
+                other => Err(sem(
+                    line,
+                    format!("expected label or offset, got {other:?}"),
+                )),
             }
         };
         let mem = |i: usize| -> Result<(Reg, i64), AsmError> {
@@ -430,9 +454,15 @@ impl Assembler {
             }
         };
 
-        let branch = |cond: BranchCond, rs1: Reg, rs2: Reg, off: i64| -> Result<Vec<Inst>, AsmError> {
-            Ok(vec![Inst::Branch { cond, rs1, rs2, offset: check_branch(off)? }])
-        };
+        let branch =
+            |cond: BranchCond, rs1: Reg, rs2: Reg, off: i64| -> Result<Vec<Inst>, AsmError> {
+                Ok(vec![Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset: check_branch(off)?,
+                }])
+            };
         let alui = |op: AluImmOp, rd: Reg, rs1: Reg, v: i64, word: bool| Inst::AluImm {
             op,
             rd,
@@ -447,9 +477,13 @@ impl Assembler {
         let csr_at = |i: usize| -> Result<u16, AsmError> {
             match ops.get(i) {
                 Some(Operand::Imm(v)) if (0..4096).contains(v) => Ok(*v as u16),
-                Some(Operand::Sym(s)) => csr_by_name(s)
-                    .ok_or_else(|| sem(line, format!("unknown CSR `{s}`"))),
-                other => Err(sem(line, format!("expected CSR name or number, got {other:?}"))),
+                Some(Operand::Sym(s)) => {
+                    csr_by_name(s).ok_or_else(|| sem(line, format!("unknown CSR `{s}`")))
+                }
+                other => Err(sem(
+                    line,
+                    format!("expected CSR name or number, got {other:?}"),
+                )),
             }
         };
 
@@ -477,13 +511,43 @@ impl Assembler {
             },
             "mv" => one(alui(AluImmOp::Addi, reg(0)?, reg(1)?, 0, false)),
             "not" => one(alui(AluImmOp::Xori, reg(0)?, reg(1)?, -1, false)),
-            "neg" => one(Inst::Alu { op: AluOp::Sub, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)?, word: false }),
-            "negw" => one(Inst::Alu { op: AluOp::Sub, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)?, word: true }),
+            "neg" => one(Inst::Alu {
+                op: AluOp::Sub,
+                rd: reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: reg(1)?,
+                word: false,
+            }),
+            "negw" => one(Inst::Alu {
+                op: AluOp::Sub,
+                rd: reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: reg(1)?,
+                word: true,
+            }),
             "sext.w" => one(alui(AluImmOp::Addi, reg(0)?, reg(1)?, 0, true)),
             "seqz" => one(alui(AluImmOp::Sltiu, reg(0)?, reg(1)?, 1, false)),
-            "snez" => one(Inst::Alu { op: AluOp::Sltu, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)?, word: false }),
-            "sltz" => one(Inst::Alu { op: AluOp::Slt, rd: reg(0)?, rs1: reg(1)?, rs2: Reg::ZERO, word: false }),
-            "sgtz" => one(Inst::Alu { op: AluOp::Slt, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)?, word: false }),
+            "snez" => one(Inst::Alu {
+                op: AluOp::Sltu,
+                rd: reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: reg(1)?,
+                word: false,
+            }),
+            "sltz" => one(Inst::Alu {
+                op: AluOp::Slt,
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                rs2: Reg::ZERO,
+                word: false,
+            }),
+            "sgtz" => one(Inst::Alu {
+                op: AluOp::Slt,
+                rd: reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: reg(1)?,
+                word: false,
+            }),
             "beqz" => branch(BranchCond::Eq, reg(0)?, Reg::ZERO, target(1)?),
             "bnez" => branch(BranchCond::Ne, reg(0)?, Reg::ZERO, target(1)?),
             "bgez" => branch(BranchCond::Ge, reg(0)?, Reg::ZERO, target(1)?),
@@ -494,18 +558,70 @@ impl Assembler {
             "ble" => branch(BranchCond::Ge, reg(1)?, reg(0)?, target(2)?),
             "bgtu" => branch(BranchCond::Ltu, reg(1)?, reg(0)?, target(2)?),
             "bleu" => branch(BranchCond::Geu, reg(1)?, reg(0)?, target(2)?),
-            "j" => one(Inst::Jal { rd: Reg::ZERO, offset: check_jal(target(0)?)? }),
-            "jr" => one(Inst::Jalr { rd: Reg::ZERO, rs1: reg(0)?, offset: 0 }),
-            "ret" => one(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }),
-            "call" => one(Inst::Jal { rd: Reg::RA, offset: check_jal(target(0)?)? }),
-            "tail" => one(Inst::Jal { rd: Reg::ZERO, offset: check_jal(target(0)?)? }),
-            "csrr" => one(Inst::Csr { op: CsrOp::Rs, rd: reg(0)?, rs1: Reg::ZERO, csr: csr_at(1)? }),
-            "csrw" => one(Inst::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: reg(1)?, csr: csr_at(0)? }),
-            "csrs" => one(Inst::Csr { op: CsrOp::Rs, rd: Reg::ZERO, rs1: reg(1)?, csr: csr_at(0)? }),
-            "csrc" => one(Inst::Csr { op: CsrOp::Rc, rd: Reg::ZERO, rs1: reg(1)?, csr: csr_at(0)? }),
-            "csrwi" => one(Inst::CsrImm { op: CsrOp::Rw, rd: Reg::ZERO, zimm: imm(1)? as u8, csr: csr_at(0)? }),
-            "csrsi" => one(Inst::CsrImm { op: CsrOp::Rs, rd: Reg::ZERO, zimm: imm(1)? as u8, csr: csr_at(0)? }),
-            "csrci" => one(Inst::CsrImm { op: CsrOp::Rc, rd: Reg::ZERO, zimm: imm(1)? as u8, csr: csr_at(0)? }),
+            "j" => one(Inst::Jal {
+                rd: Reg::ZERO,
+                offset: check_jal(target(0)?)?,
+            }),
+            "jr" => one(Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: reg(0)?,
+                offset: 0,
+            }),
+            "ret" => one(Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            }),
+            "call" => one(Inst::Jal {
+                rd: Reg::RA,
+                offset: check_jal(target(0)?)?,
+            }),
+            "tail" => one(Inst::Jal {
+                rd: Reg::ZERO,
+                offset: check_jal(target(0)?)?,
+            }),
+            "csrr" => one(Inst::Csr {
+                op: CsrOp::Rs,
+                rd: reg(0)?,
+                rs1: Reg::ZERO,
+                csr: csr_at(1)?,
+            }),
+            "csrw" => one(Inst::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::ZERO,
+                rs1: reg(1)?,
+                csr: csr_at(0)?,
+            }),
+            "csrs" => one(Inst::Csr {
+                op: CsrOp::Rs,
+                rd: Reg::ZERO,
+                rs1: reg(1)?,
+                csr: csr_at(0)?,
+            }),
+            "csrc" => one(Inst::Csr {
+                op: CsrOp::Rc,
+                rd: Reg::ZERO,
+                rs1: reg(1)?,
+                csr: csr_at(0)?,
+            }),
+            "csrwi" => one(Inst::CsrImm {
+                op: CsrOp::Rw,
+                rd: Reg::ZERO,
+                zimm: imm(1)? as u8,
+                csr: csr_at(0)?,
+            }),
+            "csrsi" => one(Inst::CsrImm {
+                op: CsrOp::Rs,
+                rd: Reg::ZERO,
+                zimm: imm(1)? as u8,
+                csr: csr_at(0)?,
+            }),
+            "csrci" => one(Inst::CsrImm {
+                op: CsrOp::Rc,
+                rd: Reg::ZERO,
+                zimm: imm(1)? as u8,
+                csr: csr_at(0)?,
+            }),
 
             // ---- real instructions ----
             "lui" | "auipc" => {
@@ -516,29 +632,56 @@ impl Assembler {
                     _ => {
                         let v = imm(1)?;
                         if !(0..(1 << 20)).contains(&v) {
-                            return Err(sem(line, format!("upper immediate {v} out of 20-bit range")));
+                            return Err(sem(
+                                line,
+                                format!("upper immediate {v} out of 20-bit range"),
+                            ));
                         }
                         ((v << 12) << 32) >> 32 // sign-extend bit 31
                     }
                 };
                 if mnemonic == "lui" {
-                    one(Inst::Lui { rd: reg(0)?, imm: value })
+                    one(Inst::Lui {
+                        rd: reg(0)?,
+                        imm: value,
+                    })
                 } else {
-                    one(Inst::Auipc { rd: reg(0)?, imm: value })
+                    one(Inst::Auipc {
+                        rd: reg(0)?,
+                        imm: value,
+                    })
                 }
             }
             "jal" => match ops.len() {
-                1 => one(Inst::Jal { rd: Reg::RA, offset: check_jal(target(0)?)? }),
-                2 => one(Inst::Jal { rd: reg(0)?, offset: check_jal(target(1)?)? }),
+                1 => one(Inst::Jal {
+                    rd: Reg::RA,
+                    offset: check_jal(target(0)?)?,
+                }),
+                2 => one(Inst::Jal {
+                    rd: reg(0)?,
+                    offset: check_jal(target(1)?)?,
+                }),
                 _ => Err(sem(line, "jal needs `[rd,] target`")),
             },
             "jalr" => match ops.len() {
-                1 => one(Inst::Jalr { rd: Reg::RA, rs1: reg(0)?, offset: 0 }),
+                1 => one(Inst::Jalr {
+                    rd: Reg::RA,
+                    rs1: reg(0)?,
+                    offset: 0,
+                }),
                 2 => {
                     let (base, off) = mem(1)?;
-                    one(Inst::Jalr { rd: reg(0)?, rs1: base, offset: check_i12(off, "offset")? })
+                    one(Inst::Jalr {
+                        rd: reg(0)?,
+                        rs1: base,
+                        offset: check_i12(off, "offset")?,
+                    })
                 }
-                3 => one(Inst::Jalr { rd: reg(0)?, rs1: reg(1)?, offset: check_i12(imm(2)?, "offset")? }),
+                3 => one(Inst::Jalr {
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    offset: check_i12(imm(2)?, "offset")?,
+                }),
                 _ => Err(sem(line, "jalr needs 1-3 operands")),
             },
             "beq" => branch(BranchCond::Eq, reg(0)?, reg(1)?, target(2)?),
@@ -561,7 +704,13 @@ impl Assembler {
                     return Err(sem(line, format!("{mnemonic} is RV64-only")));
                 }
                 let (base, off) = mem(1)?;
-                one(Inst::Load { rd: reg(0)?, rs1: base, offset: check_i12(off, "offset")?, width, unsigned })
+                one(Inst::Load {
+                    rd: reg(0)?,
+                    rs1: base,
+                    offset: check_i12(off, "offset")?,
+                    width,
+                    unsigned,
+                })
             }
             "sb" | "sh" | "sw" | "sd" => {
                 let width = match mnemonic {
@@ -574,7 +723,12 @@ impl Assembler {
                     return Err(sem(line, "sd is RV64-only"));
                 }
                 let (base, off) = mem(1)?;
-                one(Inst::Store { rs1: base, rs2: reg(0)?, offset: check_i12(off, "offset")?, width })
+                one(Inst::Store {
+                    rs1: base,
+                    rs2: reg(0)?,
+                    offset: check_i12(off, "offset")?,
+                    width,
+                })
             }
             "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
                 let op = match mnemonic {
@@ -585,13 +739,25 @@ impl Assembler {
                     "ori" => AluImmOp::Ori,
                     _ => AluImmOp::Andi,
                 };
-                one(alui(op, reg(0)?, reg(1)?, check_i12(imm(2)?, "immediate")?, false))
+                one(alui(
+                    op,
+                    reg(0)?,
+                    reg(1)?,
+                    check_i12(imm(2)?, "immediate")?,
+                    false,
+                ))
             }
             "addiw" => {
                 if !rv64 {
                     return Err(sem(line, "addiw is RV64-only"));
                 }
-                one(alui(AluImmOp::Addi, reg(0)?, reg(1)?, check_i12(imm(2)?, "immediate")?, true))
+                one(alui(
+                    AluImmOp::Addi,
+                    reg(0)?,
+                    reg(1)?,
+                    check_i12(imm(2)?, "immediate")?,
+                    true,
+                ))
             }
             "slli" | "srli" | "srai" | "slliw" | "srliw" | "sraiw" => {
                 let word = mnemonic.ends_with('w');
@@ -633,7 +799,13 @@ impl Assembler {
                     "or" => AluOp::Or,
                     _ => AluOp::And,
                 };
-                one(Inst::Alu { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)?, word })
+                one(Inst::Alu {
+                    op,
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    rs2: reg(2)?,
+                    word,
+                })
             }
             "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" | "mulw"
             | "divw" | "divuw" | "remw" | "remuw" => {
@@ -656,17 +828,40 @@ impl Assembler {
                     "rem" => MulOp::Rem,
                     _ => MulOp::Remu,
                 };
-                one(Inst::Mul { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)?, word })
+                one(Inst::Mul {
+                    op,
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    rs2: reg(2)?,
+                    word,
+                })
             }
             "lr.w" | "lr.d" => {
-                let width = if mnemonic.ends_with('d') { MemWidth::D } else { MemWidth::W };
+                let width = if mnemonic.ends_with('d') {
+                    MemWidth::D
+                } else {
+                    MemWidth::W
+                };
                 let (base, _off) = mem(1)?;
-                one(Inst::LoadReserved { rd: reg(0)?, rs1: base, width })
+                one(Inst::LoadReserved {
+                    rd: reg(0)?,
+                    rs1: base,
+                    width,
+                })
             }
             "sc.w" | "sc.d" => {
-                let width = if mnemonic.ends_with('d') { MemWidth::D } else { MemWidth::W };
+                let width = if mnemonic.ends_with('d') {
+                    MemWidth::D
+                } else {
+                    MemWidth::W
+                };
                 let (base, _off) = mem(2)?;
-                one(Inst::StoreConditional { rd: reg(0)?, rs1: base, rs2: reg(1)?, width })
+                one(Inst::StoreConditional {
+                    rd: reg(0)?,
+                    rs1: base,
+                    rs2: reg(1)?,
+                    width,
+                })
             }
             m if m.starts_with("amo") => {
                 let (stem, width) = match m.rsplit_once('.') {
@@ -687,7 +882,13 @@ impl Assembler {
                     other => return Err(sem(line, format!("unknown AMO `{other}`"))),
                 };
                 let (base, _off) = mem(2)?;
-                one(Inst::Amo { op, rd: reg(0)?, rs1: base, rs2: reg(1)?, width })
+                one(Inst::Amo {
+                    op,
+                    rd: reg(0)?,
+                    rs1: base,
+                    rs2: reg(1)?,
+                    width,
+                })
             }
             "csrrw" | "csrrs" | "csrrc" => {
                 let op = match mnemonic {
@@ -695,7 +896,12 @@ impl Assembler {
                     "csrrs" => CsrOp::Rs,
                     _ => CsrOp::Rc,
                 };
-                one(Inst::Csr { op, rd: reg(0)?, rs1: reg(2)?, csr: csr_at(1)? })
+                one(Inst::Csr {
+                    op,
+                    rd: reg(0)?,
+                    rs1: reg(2)?,
+                    csr: csr_at(1)?,
+                })
             }
             "csrrwi" | "csrrsi" | "csrrci" => {
                 let op = match mnemonic {
@@ -703,7 +909,12 @@ impl Assembler {
                     "csrrsi" => CsrOp::Rs,
                     _ => CsrOp::Rc,
                 };
-                one(Inst::CsrImm { op, rd: reg(0)?, zimm: imm(2)? as u8, csr: csr_at(1)? })
+                one(Inst::CsrImm {
+                    op,
+                    rd: reg(0)?,
+                    zimm: imm(2)? as u8,
+                    csr: csr_at(1)?,
+                })
             }
             "fence" => one(Inst::Fence),
             "fence.i" => one(Inst::FenceI),
@@ -724,10 +935,20 @@ pub fn li_sequence(rd: Reg, value: i64, xlen: Xlen) -> Vec<Inst> {
     // On RV32 only the low 32 bits are architecturally visible; accept
     // `li t0, 0x8000_0000` and friends by normalising to the sign-extended
     // 32-bit value (matching GNU as).
-    let value = if xlen == Xlen::Rv32 { i64::from(value as i32) } else { value };
+    let value = if xlen == Xlen::Rv32 {
+        i64::from(value as i32)
+    } else {
+        value
+    };
     // Fits in 12-bit signed: one addi.
     if (-2048..2048).contains(&value) {
-        return vec![Inst::AluImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm: value, word: false }];
+        return vec![Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: Reg::ZERO,
+            imm: value,
+            word: false,
+        }];
     }
     // Fits in 32-bit signed: lui (+ addiw on RV64 / addi on RV32).
     if i64::from(value as i32) == value {
@@ -750,12 +971,27 @@ pub fn li_sequence(rd: Reg, value: i64, xlen: Xlen) -> Vec<Inst> {
     assert!(xlen == Xlen::Rv64, "64-bit constant on RV32");
     // General case: materialize the upper part recursively, shift, add the
     // low 12 bits.
+    // Wrapping: for values near i64::MAX the borrow of a negative `lo`
+    // overflows, but register arithmetic is mod 2^64 anyway and the low 12
+    // bits of the wrapped difference are still zero.
     let lo = ((value & 0xfff) << 52) >> 52;
-    let upper = (value - lo) >> 12;
+    let upper = value.wrapping_sub(lo) >> 12;
     let mut seq = li_sequence(rd, upper, xlen);
-    seq.push(Inst::AluImm { op: AluImmOp::Slli, rd, rs1: rd, imm: 12, word: false });
+    seq.push(Inst::AluImm {
+        op: AluImmOp::Slli,
+        rd,
+        rs1: rd,
+        imm: 12,
+        word: false,
+    });
     if lo != 0 {
-        seq.push(Inst::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm: lo, word: false });
+        seq.push(Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: rd,
+            imm: lo,
+            word: false,
+        });
     }
     seq
 }

@@ -34,9 +34,13 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
     let rv64 = xlen == Xlen::Rv64;
     let h = match *inst {
         // ---- quadrant 0 ----
-        Inst::AluImm { op: AluImmOp::Addi, rd, rs1: Reg::SP, imm, word: false }
-            if creg(rd).is_some() && imm > 0 && imm < 1024 && imm % 4 == 0 =>
-        {
+        Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: Reg::SP,
+            imm,
+            word: false,
+        } if creg(rd).is_some() && imm > 0 && imm < 1024 && imm % 4 == 0 => {
             // c.addi4spn
             let imm = imm as u32;
             (creg(rd).expect("checked") << 2)
@@ -45,11 +49,16 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                 | ((imm >> 6) & 0xf) << 7
                 | ((imm >> 4) & 0x3) << 11
         }
-        Inst::Load { rd, rs1, offset, width: MemWidth::W, unsigned: false }
-            if creg(rd).is_some()
-                && creg(rs1).is_some()
-                && (0..128).contains(&offset)
-                && offset % 4 == 0 =>
+        Inst::Load {
+            rd,
+            rs1,
+            offset,
+            width: MemWidth::W,
+            unsigned: false,
+        } if creg(rd).is_some()
+            && creg(rs1).is_some()
+            && (0..128).contains(&offset)
+            && offset % 4 == 0 =>
         {
             let imm = offset as u32;
             0b010 << 13
@@ -59,12 +68,17 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                 | (creg(rs1).expect("checked") << 7)
                 | ((imm >> 3) & 0x7) << 10
         }
-        Inst::Load { rd, rs1, offset, width: MemWidth::D, unsigned: false }
-            if rv64
-                && creg(rd).is_some()
-                && creg(rs1).is_some()
-                && (0..256).contains(&offset)
-                && offset % 8 == 0 =>
+        Inst::Load {
+            rd,
+            rs1,
+            offset,
+            width: MemWidth::D,
+            unsigned: false,
+        } if rv64
+            && creg(rd).is_some()
+            && creg(rs1).is_some()
+            && (0..256).contains(&offset)
+            && offset % 8 == 0 =>
         {
             let imm = offset as u32;
             0b011 << 13
@@ -73,11 +87,15 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                 | (creg(rs1).expect("checked") << 7)
                 | ((imm >> 3) & 0x7) << 10
         }
-        Inst::Store { rs1, rs2, offset, width: MemWidth::W }
-            if creg(rs1).is_some()
-                && creg(rs2).is_some()
-                && (0..128).contains(&offset)
-                && offset % 4 == 0 =>
+        Inst::Store {
+            rs1,
+            rs2,
+            offset,
+            width: MemWidth::W,
+        } if creg(rs1).is_some()
+            && creg(rs2).is_some()
+            && (0..128).contains(&offset)
+            && offset % 4 == 0 =>
         {
             let imm = offset as u32;
             0b110 << 13
@@ -87,12 +105,16 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                 | (creg(rs1).expect("checked") << 7)
                 | ((imm >> 3) & 0x7) << 10
         }
-        Inst::Store { rs1, rs2, offset, width: MemWidth::D }
-            if rv64
-                && creg(rs1).is_some()
-                && creg(rs2).is_some()
-                && (0..256).contains(&offset)
-                && offset % 8 == 0 =>
+        Inst::Store {
+            rs1,
+            rs2,
+            offset,
+            width: MemWidth::D,
+        } if rv64
+            && creg(rs1).is_some()
+            && creg(rs2).is_some()
+            && (0..256).contains(&offset)
+            && offset % 8 == 0 =>
         {
             let imm = offset as u32;
             0b111 << 13
@@ -103,18 +125,37 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
         }
 
         // ---- quadrant 1 ----
-        Inst::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0, word: false } => {
+        Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+            word: false,
+        } => {
             0b01 // c.nop
         }
-        Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm, word: false }
-            if rd == rs1 && rd != Reg::ZERO && rd != Reg::SP && imm != 0 && (-32..32).contains(&imm) =>
+        Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        } if rd == rs1
+            && rd != Reg::ZERO
+            && rd != Reg::SP
+            && imm != 0
+            && (-32..32).contains(&imm) =>
         {
             let imm = imm as u32;
             0b01 | (imm & 0x1f) << 2 | r5(rd) << 7 | ((imm >> 5) & 1) << 12
         }
-        Inst::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm, word: false }
-            if imm != 0 && (-512..512).contains(&imm) && imm % 16 == 0 =>
-        {
+        Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            imm,
+            word: false,
+        } if imm != 0 && (-512..512).contains(&imm) && imm % 16 == 0 => {
             // c.addi16sp
             let imm = imm as u32;
             0b01 | 0b011 << 13
@@ -125,16 +166,24 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                 | ((imm >> 4) & 1) << 6
                 | ((imm >> 9) & 1) << 12
         }
-        Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm, word: true }
-            if rv64 && rd == rs1 && rd != Reg::ZERO && (-32..32).contains(&imm) =>
-        {
+        Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+            word: true,
+        } if rv64 && rd == rs1 && rd != Reg::ZERO && (-32..32).contains(&imm) => {
             // c.addiw
             let imm = imm as u32;
             0b01 | 0b001 << 13 | (imm & 0x1f) << 2 | r5(rd) << 7 | ((imm >> 5) & 1) << 12
         }
-        Inst::AluImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm, word: false }
-            if rd != Reg::ZERO && (-32..32).contains(&imm) =>
-        {
+        Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: Reg::ZERO,
+            imm,
+            word: false,
+        } if rd != Reg::ZERO && (-32..32).contains(&imm) => {
             // c.li
             let imm = imm as u32;
             0b01 | 0b010 << 13 | (imm & 0x1f) << 2 | r5(rd) << 7 | ((imm >> 5) & 1) << 12
@@ -149,11 +198,16 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
             let v = (imm >> 12) as u32;
             0b01 | 0b011 << 13 | (v & 0x1f) << 2 | r5(rd) << 7 | ((v >> 5) & 1) << 12
         }
-        Inst::AluImm { op, rd, rs1, imm, word: false }
-            if rd == rs1
-                && creg(rd).is_some()
-                && matches!(op, AluImmOp::Srli | AluImmOp::Srai)
-                && (1..if rv64 { 64 } else { 32 }).contains(&imm) =>
+        Inst::AluImm {
+            op,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        } if rd == rs1
+            && creg(rd).is_some()
+            && matches!(op, AluImmOp::Srli | AluImmOp::Srai)
+            && (1..if rv64 { 64 } else { 32 }).contains(&imm) =>
         {
             let f2 = if op == AluImmOp::Srli { 0b00 } else { 0b01 };
             let imm = imm as u32;
@@ -163,9 +217,13 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                 | f2 << 10
                 | ((imm >> 5) & 1) << 12
         }
-        Inst::AluImm { op: AluImmOp::Andi, rd, rs1, imm, word: false }
-            if rd == rs1 && creg(rd).is_some() && (-32..32).contains(&imm) =>
-        {
+        Inst::AluImm {
+            op: AluImmOp::Andi,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        } if rd == rs1 && creg(rd).is_some() && (-32..32).contains(&imm) => {
             let imm = imm as u32;
             0b01 | 0b100 << 13
                 | (imm & 0x1f) << 2
@@ -173,19 +231,24 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                 | 0b10 << 10
                 | ((imm >> 5) & 1) << 12
         }
-        Inst::Alu { op, rd, rs1, rs2, word }
-            if rd == rs1
-                && creg(rd).is_some()
-                && creg(rs2).is_some()
-                && matches!(
-                    (op, word),
-                    (AluOp::Sub, false)
-                        | (AluOp::Xor, false)
-                        | (AluOp::Or, false)
-                        | (AluOp::And, false)
-                        | (AluOp::Sub, true)
-                        | (AluOp::Add, true)
-                ) =>
+        Inst::Alu {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } if rd == rs1
+            && creg(rd).is_some()
+            && creg(rs2).is_some()
+            && matches!(
+                (op, word),
+                (AluOp::Sub, false)
+                    | (AluOp::Xor, false)
+                    | (AluOp::Or, false)
+                    | (AluOp::And, false)
+                    | (AluOp::Sub, true)
+                    | (AluOp::Add, true)
+            ) =>
         {
             if word && !rv64 {
                 return None;
@@ -208,17 +271,23 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
         }
 
         // ---- quadrant 2 ----
-        Inst::AluImm { op: AluImmOp::Slli, rd, rs1, imm, word: false }
-            if rd == rs1
-                && rd != Reg::ZERO
-                && (1..if rv64 { 64 } else { 32 }).contains(&imm) =>
-        {
+        Inst::AluImm {
+            op: AluImmOp::Slli,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        } if rd == rs1 && rd != Reg::ZERO && (1..if rv64 { 64 } else { 32 }).contains(&imm) => {
             let imm = imm as u32;
             0b10 | (imm & 0x1f) << 2 | r5(rd) << 7 | ((imm >> 5) & 1) << 12
         }
-        Inst::Load { rd, rs1: Reg::SP, offset, width: MemWidth::W, unsigned: false }
-            if rd != Reg::ZERO && (0..256).contains(&offset) && offset % 4 == 0 =>
-        {
+        Inst::Load {
+            rd,
+            rs1: Reg::SP,
+            offset,
+            width: MemWidth::W,
+            unsigned: false,
+        } if rd != Reg::ZERO && (0..256).contains(&offset) && offset % 4 == 0 => {
             let imm = offset as u32;
             0b10 | 0b010 << 13
                 | ((imm >> 6) & 0x3) << 2
@@ -226,9 +295,13 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                 | r5(rd) << 7
                 | ((imm >> 5) & 1) << 12
         }
-        Inst::Load { rd, rs1: Reg::SP, offset, width: MemWidth::D, unsigned: false }
-            if rv64 && rd != Reg::ZERO && (0..512).contains(&offset) && offset % 8 == 0 =>
-        {
+        Inst::Load {
+            rd,
+            rs1: Reg::SP,
+            offset,
+            width: MemWidth::D,
+            unsigned: false,
+        } if rv64 && rd != Reg::ZERO && (0..512).contains(&offset) && offset % 8 == 0 => {
             let imm = offset as u32;
             0b10 | 0b011 << 13
                 | ((imm >> 6) & 0x7) << 2
@@ -236,41 +309,57 @@ pub fn try_compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                 | r5(rd) << 7
                 | ((imm >> 5) & 1) << 12
         }
-        Inst::Store { rs1: Reg::SP, rs2, offset, width: MemWidth::W }
-            if (0..256).contains(&offset) && offset % 4 == 0 =>
-        {
+        Inst::Store {
+            rs1: Reg::SP,
+            rs2,
+            offset,
+            width: MemWidth::W,
+        } if (0..256).contains(&offset) && offset % 4 == 0 => {
             let imm = offset as u32;
-            0b10 | 0b110 << 13
-                | r5(rs2) << 2
-                | ((imm >> 6) & 0x3) << 7
-                | ((imm >> 2) & 0xf) << 9
+            0b10 | 0b110 << 13 | r5(rs2) << 2 | ((imm >> 6) & 0x3) << 7 | ((imm >> 2) & 0xf) << 9
         }
-        Inst::Store { rs1: Reg::SP, rs2, offset, width: MemWidth::D }
-            if rv64 && (0..512).contains(&offset) && offset % 8 == 0 =>
-        {
+        Inst::Store {
+            rs1: Reg::SP,
+            rs2,
+            offset,
+            width: MemWidth::D,
+        } if rv64 && (0..512).contains(&offset) && offset % 8 == 0 => {
             let imm = offset as u32;
-            0b10 | 0b111 << 13
-                | r5(rs2) << 2
-                | ((imm >> 6) & 0x7) << 7
-                | ((imm >> 3) & 0x7) << 10
+            0b10 | 0b111 << 13 | r5(rs2) << 2 | ((imm >> 6) & 0x7) << 7 | ((imm >> 3) & 0x7) << 10
         }
-        Inst::Jalr { rd: Reg::ZERO, rs1, offset: 0 } if rs1 != Reg::ZERO => {
+        Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1,
+            offset: 0,
+        } if rs1 != Reg::ZERO => {
             // c.jr
             0b10 | 0b100 << 13 | r5(rs1) << 7
         }
-        Inst::Jalr { rd: Reg::RA, rs1, offset: 0 } if rs1 != Reg::ZERO => {
+        Inst::Jalr {
+            rd: Reg::RA,
+            rs1,
+            offset: 0,
+        } if rs1 != Reg::ZERO => {
             // c.jalr
             0b10 | 0b100 << 13 | 1 << 12 | r5(rs1) << 7
         }
-        Inst::Alu { op: AluOp::Add, rd, rs1: Reg::ZERO, rs2, word: false }
-            if rd != Reg::ZERO && rs2 != Reg::ZERO =>
-        {
+        Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::ZERO,
+            rs2,
+            word: false,
+        } if rd != Reg::ZERO && rs2 != Reg::ZERO => {
             // c.mv
             0b10 | 0b100 << 13 | r5(rs2) << 2 | r5(rd) << 7
         }
-        Inst::Alu { op: AluOp::Add, rd, rs1, rs2, word: false }
-            if rd == rs1 && rd != Reg::ZERO && rs2 != Reg::ZERO =>
-        {
+        Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        } if rd == rs1 && rd != Reg::ZERO && rs2 != Reg::ZERO => {
             // c.add
             0b10 | 0b100 << 13 | 1 << 12 | r5(rs2) << 2 | r5(rd) << 7
         }
@@ -286,8 +375,7 @@ mod tests {
     use riscv_isa::decode;
 
     fn roundtrip(inst: Inst, xlen: Xlen) {
-        let h = try_compress(&inst, xlen)
-            .unwrap_or_else(|| panic!("{inst} should compress"));
+        let h = try_compress(&inst, xlen).unwrap_or_else(|| panic!("{inst} should compress"));
         let d = decode(u32::from(h), xlen).unwrap_or_else(|e| panic!("{inst}: {e}"));
         assert_eq!(d.inst, inst, "halfword {h:#06x}");
         assert_eq!(d.len, 2);
@@ -296,22 +384,59 @@ mod tests {
     #[test]
     fn common_forms_roundtrip() {
         let rv64 = Xlen::Rv64;
-        roundtrip(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }, rv64); // ret
-        roundtrip(Inst::Jalr { rd: Reg::RA, rs1: Reg::A5, offset: 0 }, rv64);
         roundtrip(
-            Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, rs2: Reg::A1, word: false },
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            },
+            rv64,
+        ); // ret
+        roundtrip(
+            Inst::Jalr {
+                rd: Reg::RA,
+                rs1: Reg::A5,
+                offset: 0,
+            },
+            rv64,
+        );
+        roundtrip(
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                rs2: Reg::A1,
+                word: false,
+            },
             rv64,
         ); // mv
         roundtrip(
-            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm: -32, word: false },
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                imm: -32,
+                word: false,
+            },
             rv64,
         ); // addi16sp
         roundtrip(
-            Inst::Load { rd: Reg::A0, rs1: Reg::SP, offset: 16, width: MemWidth::D, unsigned: false },
+            Inst::Load {
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: 16,
+                width: MemWidth::D,
+                unsigned: false,
+            },
             rv64,
         ); // ldsp
         roundtrip(
-            Inst::Store { rs1: Reg::SP, rs2: Reg::RA, offset: 8, width: MemWidth::D },
+            Inst::Store {
+                rs1: Reg::SP,
+                rs2: Reg::RA,
+                offset: 8,
+                width: MemWidth::D,
+            },
             rv64,
         ); // sdsp
         roundtrip(Inst::Ebreak, rv64);
@@ -321,7 +446,14 @@ mod tests {
     #[test]
     fn uncompressible_forms_rejected() {
         // Jumps and branches are never compressed by this pass.
-        assert!(try_compress(&Inst::Jal { rd: Reg::ZERO, offset: 8 }, Xlen::Rv64).is_none());
+        assert!(try_compress(
+            &Inst::Jal {
+                rd: Reg::ZERO,
+                offset: 8
+            },
+            Xlen::Rv64
+        )
+        .is_none());
         assert!(try_compress(
             &Inst::Branch {
                 cond: riscv_isa::BranchCond::Eq,
@@ -334,13 +466,25 @@ mod tests {
         .is_none());
         // Large immediates.
         assert!(try_compress(
-            &Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm: 100, word: false },
+            &Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 100,
+                word: false
+            },
             Xlen::Rv64
         )
         .is_none());
         // RV64-only forms rejected on RV32.
         assert!(try_compress(
-            &Inst::Load { rd: Reg::A0, rs1: Reg::SP, offset: 16, width: MemWidth::D, unsigned: false },
+            &Inst::Load {
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: 16,
+                width: MemWidth::D,
+                unsigned: false
+            },
             Xlen::Rv32
         )
         .is_none());

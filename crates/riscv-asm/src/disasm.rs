@@ -29,31 +29,73 @@ pub struct DisasmLine {
 /// supplies the label to use for pc-relative operands.
 fn pretty(inst: &Inst, target_label: Option<&str>) -> String {
     match *inst {
-        Inst::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0, word: false } => {
-            "nop".to_string()
-        }
-        Inst::AluImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm, word: false }
-            if rd != Reg::ZERO =>
-        {
+        Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+            word: false,
+        } => "nop".to_string(),
+        Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: Reg::ZERO,
+            imm,
+            word: false,
+        } if rd != Reg::ZERO => {
             format!("li {rd}, {imm}")
         }
-        Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm: 0, word: false }
-            if rd != Reg::ZERO && rs1 != Reg::ZERO =>
-        {
+        Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm: 0,
+            word: false,
+        } if rd != Reg::ZERO && rs1 != Reg::ZERO => {
             format!("mv {rd}, {rs1}")
         }
-        Inst::AluImm { op: AluImmOp::Xori, rd, rs1, imm: -1, word: false } => {
+        Inst::AluImm {
+            op: AluImmOp::Xori,
+            rd,
+            rs1,
+            imm: -1,
+            word: false,
+        } => {
             format!("not {rd}, {rs1}")
         }
-        Inst::AluImm { op: AluImmOp::Sltiu, rd, rs1, imm: 1, word: false } => {
+        Inst::AluImm {
+            op: AluImmOp::Sltiu,
+            rd,
+            rs1,
+            imm: 1,
+            word: false,
+        } => {
             format!("seqz {rd}, {rs1}")
         }
-        Inst::Alu { op: AluOp::Sub, rd, rs1: Reg::ZERO, rs2, word: false } => {
+        Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1: Reg::ZERO,
+            rs2,
+            word: false,
+        } => {
             format!("neg {rd}, {rs2}")
         }
-        Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 } => "ret".to_string(),
-        Inst::Jalr { rd: Reg::ZERO, rs1, offset: 0 } => format!("jr {rs1}"),
-        Inst::Jalr { rd: Reg::RA, rs1, offset: 0 } => format!("jalr {rs1}"),
+        Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        } => "ret".to_string(),
+        Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1,
+            offset: 0,
+        } => format!("jr {rs1}"),
+        Inst::Jalr {
+            rd: Reg::RA,
+            rs1,
+            offset: 0,
+        } => format!("jalr {rs1}"),
         Inst::Jal { rd: Reg::ZERO, .. } => match target_label {
             Some(l) => format!("j {l}"),
             None => inst.to_string(),
@@ -87,7 +129,9 @@ pub fn disassemble(program: &Program, xlen: Xlen) -> Vec<DisasmLine> {
     let mut decoded = Vec::new();
     let mut pc = program.base;
     while pc < program.end() {
-        let Some(word) = fetch(program, pc) else { break };
+        let Some(word) = fetch(program, pc) else {
+            break;
+        };
         let Ok(d) = decode(word, xlen) else { break };
         let target = match d.inst {
             Inst::Jal { offset, .. } => Some(pc.wrapping_add(offset as u64)),
@@ -146,7 +190,8 @@ fn fetch(program: &Program, addr: u64) -> Option<u32> {
     if lo & 0b11 != 0b11 {
         return Some(lo);
     }
-    let hi = u32::from(*program.bytes.get(off + 2)?) | (u32::from(*program.bytes.get(off + 3)?) << 8);
+    let hi =
+        u32::from(*program.bytes.get(off + 2)?) | (u32::from(*program.bytes.get(off + 3)?) << 8);
     Some(lo | hi << 16)
 }
 
@@ -190,10 +235,7 @@ mod tests {
     fn labels_from_symbols() {
         let prog = assemble(SRC, Xlen::Rv64, 0x8000_0000).expect("assembles");
         let lines = disassemble(&prog, Xlen::Rv64);
-        let labelled: Vec<&str> = lines
-            .iter()
-            .filter_map(|l| l.label.as_deref())
-            .collect();
+        let labelled: Vec<&str> = lines.iter().filter_map(|l| l.label.as_deref()).collect();
         assert!(labelled.contains(&"_start"));
         assert!(labelled.contains(&"loop"));
         assert!(labelled.contains(&"helper"));

@@ -33,7 +33,10 @@ pub enum Stmt {
     /// `name:` — binds `name` to the current location counter.
     Label(String),
     /// An instruction or pseudo-instruction with operands.
-    Inst { mnemonic: String, operands: Vec<Operand> },
+    Inst {
+        mnemonic: String,
+        operands: Vec<Operand>,
+    },
     /// A directive such as `.word` with its raw arguments.
     Directive { name: String, args: Vec<Operand> },
 }
@@ -56,7 +59,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Strips comments (`#`, `//`) outside of any context we care about.
@@ -110,7 +116,10 @@ pub(crate) fn parse_int(s: &str) -> Option<i64> {
     } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
         u64::from_str_radix(&bin.replace('_', ""), 2).ok()? as i64
     } else {
-        body.replace('_', "").parse::<i64>().ok()?
+        // Parse the unsigned magnitude mod 2^64 (like the hex/binary
+        // branches) so `-9223372036854775808` round-trips: stripping the
+        // sign first would push i64::MIN's magnitude out of i64 range.
+        body.replace('_', "").parse::<u64>().ok()? as i64
     };
     Some(if neg { value.wrapping_neg() } else { value })
 }
@@ -124,11 +133,15 @@ fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
     // (otherwise `%lo(sym)(base)` must fall through to the memory form).
     if s.matches('(').count() == 1 {
         if let Some(rest) = s.strip_prefix("%hi(") {
-            let sym = rest.strip_suffix(')').ok_or_else(|| err(line, "unterminated %hi("))?;
+            let sym = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(line, "unterminated %hi("))?;
             return Ok(Operand::HiSym(sym.trim().to_string()));
         }
         if let Some(rest) = s.strip_prefix("%lo(") {
-            let sym = rest.strip_suffix(')').ok_or_else(|| err(line, "unterminated %lo("))?;
+            let sym = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(line, "unterminated %lo("))?;
             return Ok(Operand::LoSym(sym.trim().to_string()));
         }
     }
@@ -144,7 +157,10 @@ fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
             } else {
                 parse_operand(off_str, line)?
             };
-            return Ok(Operand::Mem { offset: Box::new(offset), base });
+            return Ok(Operand::Mem {
+                offset: Box::new(offset),
+                base,
+            });
         }
     }
     if let Some(reg) = Reg::parse(s) {
@@ -154,7 +170,9 @@ fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
         return Ok(Operand::Imm(v));
     }
     // symbol
-    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$') {
+    if s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+    {
         return Ok(Operand::Sym(s.to_string()));
     }
     Err(err(line, format!("cannot parse operand `{s}`")))
@@ -196,7 +214,13 @@ pub fn parse(source: &str) -> Result<Vec<(usize, Stmt)>, ParseError> {
                 .iter()
                 .map(|a| parse_operand(a, line))
                 .collect::<Result<Vec<_>, _>>()?;
-            stmts.push((line, Stmt::Directive { name: dname.to_ascii_lowercase(), args }));
+            stmts.push((
+                line,
+                Stmt::Directive {
+                    name: dname.to_ascii_lowercase(),
+                    args,
+                },
+            ));
         } else {
             let operands = split_operands(tail)
                 .iter()
@@ -204,7 +228,10 @@ pub fn parse(source: &str) -> Result<Vec<(usize, Stmt)>, ParseError> {
                 .collect::<Result<Vec<_>, _>>()?;
             stmts.push((
                 line,
-                Stmt::Inst { mnemonic: head.to_ascii_lowercase(), operands },
+                Stmt::Inst {
+                    mnemonic: head.to_ascii_lowercase(),
+                    operands,
+                },
             ));
         }
     }
@@ -238,7 +265,10 @@ mod tests {
             Stmt::Inst { operands, .. } => {
                 assert_eq!(
                     operands[1],
-                    Operand::Mem { offset: Box::new(Operand::Imm(8)), base: Reg::SP }
+                    Operand::Mem {
+                        offset: Box::new(Operand::Imm(8)),
+                        base: Reg::SP
+                    }
                 );
             }
             other => panic!("unexpected {other:?}"),
@@ -247,8 +277,8 @@ mod tests {
 
     #[test]
     fn parses_hi_lo_relocations() {
-        let stmts = parse("lui a0, %hi(buf)\naddi a0, a0, %lo(buf)\nlw a1, %lo(buf)(a0)")
-            .expect("parses");
+        let stmts =
+            parse("lui a0, %hi(buf)\naddi a0, a0, %lo(buf)\nlw a1, %lo(buf)(a0)").expect("parses");
         assert_eq!(stmts.len(), 3);
         match &stmts[2].1 {
             Stmt::Inst { operands, .. } => match &operands[1] {

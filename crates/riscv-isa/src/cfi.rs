@@ -45,7 +45,10 @@ impl CfClass {
     /// (calls, returns and indirect jumps — paper §IV-B1).
     #[must_use]
     pub fn is_cfi_relevant(self) -> bool {
-        matches!(self, CfClass::Call | CfClass::Return | CfClass::IndirectJump)
+        matches!(
+            self,
+            CfClass::Call | CfClass::Return | CfClass::IndirectJump
+        )
     }
 }
 
@@ -163,10 +166,34 @@ mod tests {
 
     #[test]
     fn jal_variants() {
-        assert_eq!(classify(&Inst::Jal { rd: Reg::RA, offset: 4 }), CfClass::Call);
-        assert_eq!(classify(&Inst::Jal { rd: Reg::T0, offset: 4 }), CfClass::Call);
-        assert_eq!(classify(&Inst::Jal { rd: Reg::ZERO, offset: 4 }), CfClass::DirectJump);
-        assert_eq!(classify(&Inst::Jal { rd: Reg::A0, offset: 4 }), CfClass::DirectJump);
+        assert_eq!(
+            classify(&Inst::Jal {
+                rd: Reg::RA,
+                offset: 4
+            }),
+            CfClass::Call
+        );
+        assert_eq!(
+            classify(&Inst::Jal {
+                rd: Reg::T0,
+                offset: 4
+            }),
+            CfClass::Call
+        );
+        assert_eq!(
+            classify(&Inst::Jal {
+                rd: Reg::ZERO,
+                offset: 4
+            }),
+            CfClass::DirectJump
+        );
+        assert_eq!(
+            classify(&Inst::Jal {
+                rd: Reg::A0,
+                offset: 4
+            }),
+            CfClass::DirectJump
+        );
     }
 
     #[test]
@@ -188,8 +215,14 @@ mod tests {
     #[test]
     fn raw_classifier_agrees_with_decoded() {
         let samples = [
-            Inst::Jal { rd: Reg::RA, offset: 2048 },
-            Inst::Jal { rd: Reg::ZERO, offset: -16 },
+            Inst::Jal {
+                rd: Reg::RA,
+                offset: 2048,
+            },
+            Inst::Jal {
+                rd: Reg::ZERO,
+                offset: -16,
+            },
             jalr(Reg::ZERO, Reg::RA),
             jalr(Reg::RA, Reg::A3),
             jalr(Reg::ZERO, Reg::A3),

@@ -32,7 +32,11 @@ pub struct DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "illegal {}-byte instruction {:#010x}", self.len, self.raw)
+        write!(
+            f,
+            "illegal {}-byte instruction {:#010x}",
+            self.len, self.raw
+        )
     }
 }
 
@@ -79,14 +83,21 @@ impl Decoded {
 /// instruction for the given `xlen`.
 pub fn decode(word: u32, xlen: Xlen) -> Result<Decoded, DecodeError> {
     if word & 0b11 == 0b11 {
-        decode32(word, xlen).map(|inst| Decoded { inst, len: 4, raw: word }).ok_or(DecodeError {
-            raw: word,
-            len: 4,
-        })
+        decode32(word, xlen)
+            .map(|inst| Decoded {
+                inst,
+                len: 4,
+                raw: word,
+            })
+            .ok_or(DecodeError { raw: word, len: 4 })
     } else {
         let half = word & 0xffff;
         decode16(half as u16, xlen)
-            .map(|inst| Decoded { inst, len: 2, raw: half })
+            .map(|inst| Decoded {
+                inst,
+                len: 2,
+                raw: half,
+            })
             .ok_or(DecodeError { raw: half, len: 2 })
     }
 }
@@ -128,7 +139,11 @@ fn decode32(w: u32, xlen: Xlen) -> Option<Inst> {
         0b011_0111 => Inst::Lui { rd, imm: u_imm },
         0b001_0111 => Inst::Auipc { rd, imm: u_imm },
         0b110_1111 => Inst::Jal { rd, offset: j_imm },
-        0b110_0111 if funct3 == 0 => Inst::Jalr { rd, rs1, offset: i_imm },
+        0b110_0111 if funct3 == 0 => Inst::Jalr {
+            rd,
+            rs1,
+            offset: i_imm,
+        },
         0b110_0011 => {
             let cond = match funct3 {
                 0b000 => BranchCond::Eq,
@@ -139,7 +154,12 @@ fn decode32(w: u32, xlen: Xlen) -> Option<Inst> {
                 0b111 => BranchCond::Geu,
                 _ => return None,
             };
-            Inst::Branch { cond, rs1, rs2, offset: b_imm }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: b_imm,
+            }
         }
         0b000_0011 => {
             let (width, unsigned) = match funct3 {
@@ -152,7 +172,13 @@ fn decode32(w: u32, xlen: Xlen) -> Option<Inst> {
                 0b011 if rv64 => (MemWidth::D, false),
                 _ => return None,
             };
-            Inst::Load { rd, rs1, offset: i_imm, width, unsigned }
+            Inst::Load {
+                rd,
+                rs1,
+                offset: i_imm,
+                width,
+                unsigned,
+            }
         }
         0b010_0011 => {
             let width = match funct3 {
@@ -162,48 +188,191 @@ fn decode32(w: u32, xlen: Xlen) -> Option<Inst> {
                 0b011 if rv64 => MemWidth::D,
                 _ => return None,
             };
-            Inst::Store { rs1, rs2, offset: s_imm, width }
+            Inst::Store {
+                rs1,
+                rs2,
+                offset: s_imm,
+                width,
+            }
         }
         0b001_0011 => {
             let shamt_bits = if rv64 { 6 } else { 5 };
             let shamt = i64::from(x(w, 20, shamt_bits));
             let shift_hi = x(w, 20 + shamt_bits, 12 - shamt_bits);
             let op = match funct3 {
-                0b000 => return Some(Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm: i_imm, word: false }),
-                0b010 => return Some(Inst::AluImm { op: AluImmOp::Slti, rd, rs1, imm: i_imm, word: false }),
-                0b011 => return Some(Inst::AluImm { op: AluImmOp::Sltiu, rd, rs1, imm: i_imm, word: false }),
-                0b100 => return Some(Inst::AluImm { op: AluImmOp::Xori, rd, rs1, imm: i_imm, word: false }),
-                0b110 => return Some(Inst::AluImm { op: AluImmOp::Ori, rd, rs1, imm: i_imm, word: false }),
-                0b111 => return Some(Inst::AluImm { op: AluImmOp::Andi, rd, rs1, imm: i_imm, word: false }),
+                0b000 => {
+                    return Some(Inst::AluImm {
+                        op: AluImmOp::Addi,
+                        rd,
+                        rs1,
+                        imm: i_imm,
+                        word: false,
+                    })
+                }
+                0b010 => {
+                    return Some(Inst::AluImm {
+                        op: AluImmOp::Slti,
+                        rd,
+                        rs1,
+                        imm: i_imm,
+                        word: false,
+                    })
+                }
+                0b011 => {
+                    return Some(Inst::AluImm {
+                        op: AluImmOp::Sltiu,
+                        rd,
+                        rs1,
+                        imm: i_imm,
+                        word: false,
+                    })
+                }
+                0b100 => {
+                    return Some(Inst::AluImm {
+                        op: AluImmOp::Xori,
+                        rd,
+                        rs1,
+                        imm: i_imm,
+                        word: false,
+                    })
+                }
+                0b110 => {
+                    return Some(Inst::AluImm {
+                        op: AluImmOp::Ori,
+                        rd,
+                        rs1,
+                        imm: i_imm,
+                        word: false,
+                    })
+                }
+                0b111 => {
+                    return Some(Inst::AluImm {
+                        op: AluImmOp::Andi,
+                        rd,
+                        rs1,
+                        imm: i_imm,
+                        word: false,
+                    })
+                }
                 0b001 if shift_hi == 0 => AluImmOp::Slli,
                 0b101 if shift_hi == 0 => AluImmOp::Srli,
                 0b101 if shift_hi == if rv64 { 0b01_0000 } else { 0b010_0000 } => AluImmOp::Srai,
                 _ => return None,
             };
-            Inst::AluImm { op, rd, rs1, imm: shamt, word: false }
+            Inst::AluImm {
+                op,
+                rd,
+                rs1,
+                imm: shamt,
+                word: false,
+            }
         }
         0b001_1011 if rv64 => {
             // OP-IMM-32
             let shamt = i64::from(x(w, 20, 5));
             match (funct3, funct7) {
-                (0b000, _) => Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm: i_imm, word: true },
-                (0b001, 0b000_0000) => Inst::AluImm { op: AluImmOp::Slli, rd, rs1, imm: shamt, word: true },
-                (0b101, 0b000_0000) => Inst::AluImm { op: AluImmOp::Srli, rd, rs1, imm: shamt, word: true },
-                (0b101, 0b010_0000) => Inst::AluImm { op: AluImmOp::Srai, rd, rs1, imm: shamt, word: true },
+                (0b000, _) => Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                    word: true,
+                },
+                (0b001, 0b000_0000) => Inst::AluImm {
+                    op: AluImmOp::Slli,
+                    rd,
+                    rs1,
+                    imm: shamt,
+                    word: true,
+                },
+                (0b101, 0b000_0000) => Inst::AluImm {
+                    op: AluImmOp::Srli,
+                    rd,
+                    rs1,
+                    imm: shamt,
+                    word: true,
+                },
+                (0b101, 0b010_0000) => Inst::AluImm {
+                    op: AluImmOp::Srai,
+                    rd,
+                    rs1,
+                    imm: shamt,
+                    word: true,
+                },
                 _ => return None,
             }
         }
         0b011_0011 => match (funct7, funct3) {
-            (0b000_0000, 0b000) => Inst::Alu { op: AluOp::Add, rd, rs1, rs2, word: false },
-            (0b010_0000, 0b000) => Inst::Alu { op: AluOp::Sub, rd, rs1, rs2, word: false },
-            (0b000_0000, 0b001) => Inst::Alu { op: AluOp::Sll, rd, rs1, rs2, word: false },
-            (0b000_0000, 0b010) => Inst::Alu { op: AluOp::Slt, rd, rs1, rs2, word: false },
-            (0b000_0000, 0b011) => Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2, word: false },
-            (0b000_0000, 0b100) => Inst::Alu { op: AluOp::Xor, rd, rs1, rs2, word: false },
-            (0b000_0000, 0b101) => Inst::Alu { op: AluOp::Srl, rd, rs1, rs2, word: false },
-            (0b010_0000, 0b101) => Inst::Alu { op: AluOp::Sra, rd, rs1, rs2, word: false },
-            (0b000_0000, 0b110) => Inst::Alu { op: AluOp::Or, rd, rs1, rs2, word: false },
-            (0b000_0000, 0b111) => Inst::Alu { op: AluOp::And, rd, rs1, rs2, word: false },
+            (0b000_0000, 0b000) => Inst::Alu {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
+            (0b010_0000, 0b000) => Inst::Alu {
+                op: AluOp::Sub,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
+            (0b000_0000, 0b001) => Inst::Alu {
+                op: AluOp::Sll,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
+            (0b000_0000, 0b010) => Inst::Alu {
+                op: AluOp::Slt,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
+            (0b000_0000, 0b011) => Inst::Alu {
+                op: AluOp::Sltu,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
+            (0b000_0000, 0b100) => Inst::Alu {
+                op: AluOp::Xor,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
+            (0b000_0000, 0b101) => Inst::Alu {
+                op: AluOp::Srl,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
+            (0b010_0000, 0b101) => Inst::Alu {
+                op: AluOp::Sra,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
+            (0b000_0000, 0b110) => Inst::Alu {
+                op: AluOp::Or,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
+            (0b000_0000, 0b111) => Inst::Alu {
+                op: AluOp::And,
+                rd,
+                rs1,
+                rs2,
+                word: false,
+            },
             (0b000_0001, f3) => {
                 let op = [
                     MulOp::Mul,
@@ -215,21 +384,87 @@ fn decode32(w: u32, xlen: Xlen) -> Option<Inst> {
                     MulOp::Rem,
                     MulOp::Remu,
                 ][f3 as usize];
-                Inst::Mul { op, rd, rs1, rs2, word: false }
+                Inst::Mul {
+                    op,
+                    rd,
+                    rs1,
+                    rs2,
+                    word: false,
+                }
             }
             _ => return None,
         },
         0b011_1011 if rv64 => match (funct7, funct3) {
-            (0b000_0000, 0b000) => Inst::Alu { op: AluOp::Add, rd, rs1, rs2, word: true },
-            (0b010_0000, 0b000) => Inst::Alu { op: AluOp::Sub, rd, rs1, rs2, word: true },
-            (0b000_0000, 0b001) => Inst::Alu { op: AluOp::Sll, rd, rs1, rs2, word: true },
-            (0b000_0000, 0b101) => Inst::Alu { op: AluOp::Srl, rd, rs1, rs2, word: true },
-            (0b010_0000, 0b101) => Inst::Alu { op: AluOp::Sra, rd, rs1, rs2, word: true },
-            (0b000_0001, 0b000) => Inst::Mul { op: MulOp::Mul, rd, rs1, rs2, word: true },
-            (0b000_0001, 0b100) => Inst::Mul { op: MulOp::Div, rd, rs1, rs2, word: true },
-            (0b000_0001, 0b101) => Inst::Mul { op: MulOp::Divu, rd, rs1, rs2, word: true },
-            (0b000_0001, 0b110) => Inst::Mul { op: MulOp::Rem, rd, rs1, rs2, word: true },
-            (0b000_0001, 0b111) => Inst::Mul { op: MulOp::Remu, rd, rs1, rs2, word: true },
+            (0b000_0000, 0b000) => Inst::Alu {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
+            (0b010_0000, 0b000) => Inst::Alu {
+                op: AluOp::Sub,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
+            (0b000_0000, 0b001) => Inst::Alu {
+                op: AluOp::Sll,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
+            (0b000_0000, 0b101) => Inst::Alu {
+                op: AluOp::Srl,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
+            (0b010_0000, 0b101) => Inst::Alu {
+                op: AluOp::Sra,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
+            (0b000_0001, 0b000) => Inst::Mul {
+                op: MulOp::Mul,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
+            (0b000_0001, 0b100) => Inst::Mul {
+                op: MulOp::Div,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
+            (0b000_0001, 0b101) => Inst::Mul {
+                op: MulOp::Divu,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
+            (0b000_0001, 0b110) => Inst::Mul {
+                op: MulOp::Rem,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
+            (0b000_0001, 0b111) => Inst::Mul {
+                op: MulOp::Remu,
+                rd,
+                rs1,
+                rs2,
+                word: true,
+            },
             _ => return None,
         },
         0b010_1111 => {
@@ -241,16 +476,75 @@ fn decode32(w: u32, xlen: Xlen) -> Option<Inst> {
             };
             match funct7 >> 2 {
                 0b00010 if rs2 == Reg::ZERO => Inst::LoadReserved { rd, rs1, width },
-                0b00011 => Inst::StoreConditional { rd, rs1, rs2, width },
-                0b00001 => Inst::Amo { op: AmoOp::Swap, rd, rs1, rs2, width },
-                0b00000 => Inst::Amo { op: AmoOp::Add, rd, rs1, rs2, width },
-                0b00100 => Inst::Amo { op: AmoOp::Xor, rd, rs1, rs2, width },
-                0b01100 => Inst::Amo { op: AmoOp::And, rd, rs1, rs2, width },
-                0b01000 => Inst::Amo { op: AmoOp::Or, rd, rs1, rs2, width },
-                0b10000 => Inst::Amo { op: AmoOp::Min, rd, rs1, rs2, width },
-                0b10100 => Inst::Amo { op: AmoOp::Max, rd, rs1, rs2, width },
-                0b11000 => Inst::Amo { op: AmoOp::Minu, rd, rs1, rs2, width },
-                0b11100 => Inst::Amo { op: AmoOp::Maxu, rd, rs1, rs2, width },
+                0b00011 => Inst::StoreConditional {
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
+                0b00001 => Inst::Amo {
+                    op: AmoOp::Swap,
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
+                0b00000 => Inst::Amo {
+                    op: AmoOp::Add,
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
+                0b00100 => Inst::Amo {
+                    op: AmoOp::Xor,
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
+                0b01100 => Inst::Amo {
+                    op: AmoOp::And,
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
+                0b01000 => Inst::Amo {
+                    op: AmoOp::Or,
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
+                0b10000 => Inst::Amo {
+                    op: AmoOp::Min,
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
+                0b10100 => Inst::Amo {
+                    op: AmoOp::Max,
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
+                0b11000 => Inst::Amo {
+                    op: AmoOp::Minu,
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
+                0b11100 => Inst::Amo {
+                    op: AmoOp::Maxu,
+                    rd,
+                    rs1,
+                    rs2,
+                    width,
+                },
                 _ => return None,
             }
         }
@@ -271,12 +565,42 @@ fn decode32(w: u32, xlen: Xlen) -> Option<Inst> {
                     0x1050_0073 => Inst::Wfi,
                     _ => return None,
                 },
-                0b001 => Inst::Csr { op: CsrOp::Rw, rd, rs1, csr },
-                0b010 => Inst::Csr { op: CsrOp::Rs, rd, rs1, csr },
-                0b011 => Inst::Csr { op: CsrOp::Rc, rd, rs1, csr },
-                0b101 => Inst::CsrImm { op: CsrOp::Rw, rd, zimm: rs1.index(), csr },
-                0b110 => Inst::CsrImm { op: CsrOp::Rs, rd, zimm: rs1.index(), csr },
-                0b111 => Inst::CsrImm { op: CsrOp::Rc, rd, zimm: rs1.index(), csr },
+                0b001 => Inst::Csr {
+                    op: CsrOp::Rw,
+                    rd,
+                    rs1,
+                    csr,
+                },
+                0b010 => Inst::Csr {
+                    op: CsrOp::Rs,
+                    rd,
+                    rs1,
+                    csr,
+                },
+                0b011 => Inst::Csr {
+                    op: CsrOp::Rc,
+                    rd,
+                    rs1,
+                    csr,
+                },
+                0b101 => Inst::CsrImm {
+                    op: CsrOp::Rw,
+                    rd,
+                    zimm: rs1.index(),
+                    csr,
+                },
+                0b110 => Inst::CsrImm {
+                    op: CsrOp::Rs,
+                    rd,
+                    zimm: rs1.index(),
+                    csr,
+                },
+                0b111 => Inst::CsrImm {
+                    op: CsrOp::Rc,
+                    rd,
+                    zimm: rs1.index(),
+                    csr,
+                },
                 _ => return None,
             }
         }
@@ -357,7 +681,13 @@ fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
         (0b01, 0b000) => {
             // c.addi (c.nop when rd==x0)
             let imm = sext(x(h, 12, 1) << 5 | x(h, 2, 5), 6);
-            Inst::AluImm { op: AluImmOp::Addi, rd: reg(h, 7), rs1: reg(h, 7), imm, word: false }
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: reg(h, 7),
+                rs1: reg(h, 7),
+                imm,
+                word: false,
+            }
         }
         (0b01, 0b001) => {
             if rv64 {
@@ -367,30 +697,54 @@ fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
                     return None;
                 }
                 let imm = sext(x(h, 12, 1) << 5 | x(h, 2, 5), 6);
-                Inst::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm, word: true }
+                Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs1: rd,
+                    imm,
+                    word: true,
+                }
             } else {
                 // c.jal (RV32 only)
-                Inst::Jal { rd: Reg::RA, offset: cj_offset(h) }
+                Inst::Jal {
+                    rd: Reg::RA,
+                    offset: cj_offset(h),
+                }
             }
         }
         (0b01, 0b010) => {
             // c.li
             let imm = sext(x(h, 12, 1) << 5 | x(h, 2, 5), 6);
-            Inst::AluImm { op: AluImmOp::Addi, rd: reg(h, 7), rs1: Reg::ZERO, imm, word: false }
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: reg(h, 7),
+                rs1: Reg::ZERO,
+                imm,
+                word: false,
+            }
         }
         (0b01, 0b011) => {
             let rd = reg(h, 7);
             if rd == Reg::SP {
                 // c.addi16sp
                 let imm = sext(
-                    x(h, 12, 1) << 9 | x(h, 3, 2) << 7 | x(h, 5, 1) << 6 | x(h, 2, 1) << 5
+                    x(h, 12, 1) << 9
+                        | x(h, 3, 2) << 7
+                        | x(h, 5, 1) << 6
+                        | x(h, 2, 1) << 5
                         | x(h, 6, 1) << 4,
                     10,
                 );
                 if imm == 0 {
                     return None;
                 }
-                Inst::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm, word: false }
+                Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::SP,
+                    rs1: Reg::SP,
+                    imm,
+                    word: false,
+                }
             } else {
                 // c.lui
                 let imm = sext(x(h, 12, 1) << 17 | x(h, 2, 5) << 12, 18);
@@ -408,18 +762,36 @@ fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
                         return None; // RV32: shamt >= 32 reserved
                     }
                     let shamt = i64::from(x(h, 12, 1) << 5 | x(h, 2, 5));
-                    Inst::AluImm { op: AluImmOp::Srli, rd, rs1: rd, imm: shamt, word: false }
+                    Inst::AluImm {
+                        op: AluImmOp::Srli,
+                        rd,
+                        rs1: rd,
+                        imm: shamt,
+                        word: false,
+                    }
                 }
                 0b01 => {
                     if !rv64 && x(h, 12, 1) == 1 {
                         return None; // RV32: shamt >= 32 reserved
                     }
                     let shamt = i64::from(x(h, 12, 1) << 5 | x(h, 2, 5));
-                    Inst::AluImm { op: AluImmOp::Srai, rd, rs1: rd, imm: shamt, word: false }
+                    Inst::AluImm {
+                        op: AluImmOp::Srai,
+                        rd,
+                        rs1: rd,
+                        imm: shamt,
+                        word: false,
+                    }
                 }
                 0b10 => {
                     let imm = sext(x(h, 12, 1) << 5 | x(h, 2, 5), 6);
-                    Inst::AluImm { op: AluImmOp::Andi, rd, rs1: rd, imm, word: false }
+                    Inst::AluImm {
+                        op: AluImmOp::Andi,
+                        rd,
+                        rs1: rd,
+                        imm,
+                        word: false,
+                    }
                 }
                 _ => {
                     let rs2 = creg(x(h, 2, 3));
@@ -435,19 +807,40 @@ fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
                     if word && !rv64 {
                         return None;
                     }
-                    Inst::Alu { op: aop, rd, rs1: rd, rs2, word }
+                    Inst::Alu {
+                        op: aop,
+                        rd,
+                        rs1: rd,
+                        rs2,
+                        word,
+                    }
                 }
             }
         }
-        (0b01, 0b101) => Inst::Jal { rd: Reg::ZERO, offset: cj_offset(h) },
+        (0b01, 0b101) => Inst::Jal {
+            rd: Reg::ZERO,
+            offset: cj_offset(h),
+        },
         (0b01, 0b110) | (0b01, 0b111) => {
             let offset = sext(
-                x(h, 12, 1) << 8 | x(h, 5, 2) << 6 | x(h, 2, 1) << 5 | x(h, 10, 2) << 3
+                x(h, 12, 1) << 8
+                    | x(h, 5, 2) << 6
+                    | x(h, 2, 1) << 5
+                    | x(h, 10, 2) << 3
                     | x(h, 3, 2) << 1,
                 9,
             );
-            let cond = if funct3 == 0b110 { BranchCond::Eq } else { BranchCond::Ne };
-            Inst::Branch { cond, rs1: creg(x(h, 7, 3)), rs2: Reg::ZERO, offset }
+            let cond = if funct3 == 0b110 {
+                BranchCond::Eq
+            } else {
+                BranchCond::Ne
+            };
+            Inst::Branch {
+                cond,
+                rs1: creg(x(h, 7, 3)),
+                rs2: Reg::ZERO,
+                offset,
+            }
         }
         (0b10, 0b000) => {
             // c.slli
@@ -456,7 +849,13 @@ fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
             }
             let rd = reg(h, 7);
             let shamt = i64::from(x(h, 12, 1) << 5 | x(h, 2, 5));
-            Inst::AluImm { op: AluImmOp::Slli, rd, rs1: rd, imm: shamt, word: false }
+            Inst::AluImm {
+                op: AluImmOp::Slli,
+                rd,
+                rs1: rd,
+                imm: shamt,
+                word: false,
+            }
         }
         (0b10, 0b010) => {
             // c.lwsp
@@ -465,7 +864,13 @@ fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
                 return None;
             }
             let imm = x(h, 12, 1) << 5 | x(h, 4, 3) << 2 | x(h, 2, 2) << 6;
-            Inst::Load { rd, rs1: Reg::SP, offset: i64::from(imm), width: MemWidth::W, unsigned: false }
+            Inst::Load {
+                rd,
+                rs1: Reg::SP,
+                offset: i64::from(imm),
+                width: MemWidth::W,
+                unsigned: false,
+            }
         }
         (0b10, 0b011) if rv64 => {
             // c.ldsp
@@ -474,7 +879,13 @@ fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
                 return None;
             }
             let imm = x(h, 12, 1) << 5 | x(h, 5, 2) << 3 | x(h, 2, 3) << 6;
-            Inst::Load { rd, rs1: Reg::SP, offset: i64::from(imm), width: MemWidth::D, unsigned: false }
+            Inst::Load {
+                rd,
+                rs1: Reg::SP,
+                offset: i64::from(imm),
+                width: MemWidth::D,
+                unsigned: false,
+            }
         }
         (0b10, 0b100) => {
             let rs1 = reg(h, 7);
@@ -485,32 +896,62 @@ fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
                     if rs1 == Reg::ZERO {
                         return None;
                     }
-                    Inst::Jalr { rd: Reg::ZERO, rs1, offset: 0 }
+                    Inst::Jalr {
+                        rd: Reg::ZERO,
+                        rs1,
+                        offset: 0,
+                    }
                 } else {
                     // c.mv
-                    Inst::Alu { op: AluOp::Add, rd: rs1, rs1: Reg::ZERO, rs2, word: false }
+                    Inst::Alu {
+                        op: AluOp::Add,
+                        rd: rs1,
+                        rs1: Reg::ZERO,
+                        rs2,
+                        word: false,
+                    }
                 }
             } else if rs2 == Reg::ZERO {
                 if rs1 == Reg::ZERO {
                     Inst::Ebreak
                 } else {
                     // c.jalr
-                    Inst::Jalr { rd: Reg::RA, rs1, offset: 0 }
+                    Inst::Jalr {
+                        rd: Reg::RA,
+                        rs1,
+                        offset: 0,
+                    }
                 }
             } else {
                 // c.add
-                Inst::Alu { op: AluOp::Add, rd: rs1, rs1, rs2, word: false }
+                Inst::Alu {
+                    op: AluOp::Add,
+                    rd: rs1,
+                    rs1,
+                    rs2,
+                    word: false,
+                }
             }
         }
         (0b10, 0b110) => {
             // c.swsp
             let imm = x(h, 9, 4) << 2 | x(h, 7, 2) << 6;
-            Inst::Store { rs1: Reg::SP, rs2: reg(h, 2), offset: i64::from(imm), width: MemWidth::W }
+            Inst::Store {
+                rs1: Reg::SP,
+                rs2: reg(h, 2),
+                offset: i64::from(imm),
+                width: MemWidth::W,
+            }
         }
         (0b10, 0b111) if rv64 => {
             // c.sdsp
             let imm = x(h, 10, 3) << 3 | x(h, 7, 3) << 6;
-            Inst::Store { rs1: Reg::SP, rs2: reg(h, 2), offset: i64::from(imm), width: MemWidth::D }
+            Inst::Store {
+                rs1: Reg::SP,
+                rs2: reg(h, 2),
+                offset: i64::from(imm),
+                width: MemWidth::D,
+            }
         }
         _ => return None,
     })
@@ -518,8 +959,14 @@ fn decode16(h: u16, xlen: Xlen) -> Option<Inst> {
 
 fn cj_offset(h: u32) -> i64 {
     sext(
-        x(h, 12, 1) << 11 | x(h, 8, 1) << 10 | x(h, 9, 2) << 8 | x(h, 6, 1) << 7 | x(h, 7, 1) << 6
-            | x(h, 2, 1) << 5 | x(h, 11, 1) << 4 | x(h, 3, 3) << 1,
+        x(h, 12, 1) << 11
+            | x(h, 8, 1) << 10
+            | x(h, 9, 2) << 8
+            | x(h, 6, 1) << 7
+            | x(h, 7, 1) << 6
+            | x(h, 2, 1) << 5
+            | x(h, 11, 1) << 4
+            | x(h, 3, 3) << 1,
         12,
     )
 }
@@ -541,28 +988,65 @@ mod tests {
         // addi a0, a0, 1  => 0x00150513
         assert_eq!(
             d64(0x0015_0513),
-            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm: 1, word: false }
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1,
+                word: false
+            }
         );
         // add a0, a1, a2 => 0x00c58533
         assert_eq!(
             d64(0x00c5_8533),
-            Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word: false }
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                word: false
+            }
         );
         // sub t0, t1, t2 => 0x407302b3
         assert_eq!(
             d64(0x4073_02b3),
-            Inst::Alu { op: AluOp::Sub, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2, word: false }
+            Inst::Alu {
+                op: AluOp::Sub,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+                word: false
+            }
         );
     }
 
     #[test]
     fn decodes_jal_jalr() {
         // jal ra, 8 => 0x008000ef
-        assert_eq!(d64(0x0080_00ef), Inst::Jal { rd: Reg::RA, offset: 8 });
+        assert_eq!(
+            d64(0x0080_00ef),
+            Inst::Jal {
+                rd: Reg::RA,
+                offset: 8
+            }
+        );
         // jalr zero, 0(ra) => ret => 0x00008067
-        assert_eq!(d64(0x0000_8067), Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        assert_eq!(
+            d64(0x0000_8067),
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0
+            }
+        );
         // negative jal offset: jal zero, -4 => 0xffdff06f
-        assert_eq!(d64(0xffdf_f06f), Inst::Jal { rd: Reg::ZERO, offset: -4 });
+        assert_eq!(
+            d64(0xffdf_f06f),
+            Inst::Jal {
+                rd: Reg::ZERO,
+                offset: -4
+            }
+        );
     }
 
     #[test]
@@ -570,12 +1054,22 @@ mod tests {
         // beq a0, a1, 16 => 0x00b50863
         assert_eq!(
             d64(0x00b5_0863),
-            Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 16 }
+            Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: 16
+            }
         );
         // bne a0, zero, -8 => 0xfe051ce3
         assert_eq!(
             d64(0xfe05_1ce3),
-            Inst::Branch { cond: BranchCond::Ne, rs1: Reg::A0, rs2: Reg::ZERO, offset: -8 }
+            Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                offset: -8
+            }
         );
     }
 
@@ -584,12 +1078,23 @@ mod tests {
         // ld a0, 16(sp) => 0x01013503
         assert_eq!(
             d64(0x0101_3503),
-            Inst::Load { rd: Reg::A0, rs1: Reg::SP, offset: 16, width: MemWidth::D, unsigned: false }
+            Inst::Load {
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: 16,
+                width: MemWidth::D,
+                unsigned: false
+            }
         );
         // sd ra, 8(sp) => 0x00113423
         assert_eq!(
             d64(0x0011_3423),
-            Inst::Store { rs1: Reg::SP, rs2: Reg::RA, offset: 8, width: MemWidth::D }
+            Inst::Store {
+                rs1: Reg::SP,
+                rs2: Reg::RA,
+                offset: 8,
+                width: MemWidth::D
+            }
         );
         // lw on rv32 fine, ld rejected on rv32
         assert!(decode(0x0101_3503, Xlen::Rv32).is_err());
@@ -604,7 +1109,12 @@ mod tests {
         // csrrw t0, mepc(0x341), t1 => 0x341312f3
         assert_eq!(
             d64(0x3413_12f3),
-            Inst::Csr { op: CsrOp::Rw, rd: Reg::T0, rs1: Reg::T1, csr: 0x341 }
+            Inst::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                csr: 0x341
+            }
         );
     }
 
@@ -613,12 +1123,24 @@ mod tests {
         // mul a0, a1, a2 => 0x02c58533
         assert_eq!(
             d64(0x02c5_8533),
-            Inst::Mul { op: MulOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word: false }
+            Inst::Mul {
+                op: MulOp::Mul,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                word: false
+            }
         );
         // divw a0, a1, a2 => 0x02c5c53b (RV64 only)
         assert_eq!(
             d64(0x02c5_c53b),
-            Inst::Mul { op: MulOp::Div, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word: true }
+            Inst::Mul {
+                op: MulOp::Div,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                word: true
+            }
         );
         assert!(decode(0x02c5_c53b, Xlen::Rv32).is_err());
     }
@@ -630,19 +1152,45 @@ mod tests {
         assert_eq!(d.len, 2);
         assert_eq!(
             d.inst,
-            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm: -16, word: false }
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                imm: -16,
+                word: false
+            }
         );
         // c.jr ra (ret) => 0x8082
         let d = decode(0x8082, Xlen::Rv64).expect("c.jr");
-        assert_eq!(d.inst, Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        assert_eq!(
+            d.inst,
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0
+            }
+        );
         // c.jalr a5 => 0x9782
         let d = decode(0x9782, Xlen::Rv64).expect("c.jalr");
-        assert_eq!(d.inst, Inst::Jalr { rd: Reg::RA, rs1: Reg::A5, offset: 0 });
+        assert_eq!(
+            d.inst,
+            Inst::Jalr {
+                rd: Reg::RA,
+                rs1: Reg::A5,
+                offset: 0
+            }
+        );
         // c.mv a0, a1 => 0x852e
         let d = decode(0x852e, Xlen::Rv64).expect("c.mv");
         assert_eq!(
             d.inst,
-            Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, rs2: Reg::A1, word: false }
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                rs2: Reg::A1,
+                word: false
+            }
         );
     }
 
@@ -650,7 +1198,13 @@ mod tests {
     fn compressed_jal_is_rv32_only() {
         // 0x2001: RV32 c.jal 0 ; RV64 c.addiw -> but rd=x0 invalid
         let rv32 = decode(0x2001, Xlen::Rv32).expect("c.jal on rv32");
-        assert_eq!(rv32.inst, Inst::Jal { rd: Reg::RA, offset: 0 });
+        assert_eq!(
+            rv32.inst,
+            Inst::Jal {
+                rd: Reg::RA,
+                offset: 0
+            }
+        );
         assert!(decode(0x2001, Xlen::Rv64).is_err());
     }
 
@@ -672,17 +1226,32 @@ mod tests {
         // lr.w a0, (a1) => 0x1005a52f
         assert_eq!(
             d64(0x1005_a52f),
-            Inst::LoadReserved { rd: Reg::A0, rs1: Reg::A1, width: MemWidth::W }
+            Inst::LoadReserved {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                width: MemWidth::W
+            }
         );
         // sc.w a0, a2, (a1) => 0x18c5a52f
         assert_eq!(
             d64(0x18c5_a52f),
-            Inst::StoreConditional { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, width: MemWidth::W }
+            Inst::StoreConditional {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                width: MemWidth::W
+            }
         );
         // amoadd.w a0, a2, (a1) => 0x00c5a52f
         assert_eq!(
             d64(0x00c5_a52f),
-            Inst::Amo { op: AmoOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, width: MemWidth::W }
+            Inst::Amo {
+                op: AmoOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                width: MemWidth::W
+            }
         );
         // amoswap.d valid only on RV64
         assert!(decode(0x08c5_b52f, Xlen::Rv32).is_err());
@@ -693,20 +1262,38 @@ mod tests {
         // slli a0, a0, 32 is legal RV64 (0x02051513), illegal RV32
         assert_eq!(
             d64(0x0205_1513),
-            Inst::AluImm { op: AluImmOp::Slli, rd: Reg::A0, rs1: Reg::A0, imm: 32, word: false }
+            Inst::AluImm {
+                op: AluImmOp::Slli,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 32,
+                word: false
+            }
         );
         assert!(decode(0x0205_1513, Xlen::Rv32).is_err());
         // slli a0, a0, 3 fine on both
         assert_eq!(
             d32(0x0035_1513),
-            Inst::AluImm { op: AluImmOp::Slli, rd: Reg::A0, rs1: Reg::A0, imm: 3, word: false }
+            Inst::AluImm {
+                op: AluImmOp::Slli,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 3,
+                word: false
+            }
         );
     }
 
     #[test]
     fn srai_decodes_on_both_xlens() {
         // srai a0, a0, 3 => 0x40355513
-        let want = Inst::AluImm { op: AluImmOp::Srai, rd: Reg::A0, rs1: Reg::A0, imm: 3, word: false };
+        let want = Inst::AluImm {
+            op: AluImmOp::Srai,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 3,
+            word: false,
+        };
         assert_eq!(d64(0x4035_5513), want);
         assert_eq!(d32(0x4035_5513), want);
     }

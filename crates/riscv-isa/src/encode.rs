@@ -73,7 +73,12 @@ pub fn encode(inst: &Inst) -> u32 {
         Inst::Auipc { rd, imm } => u_type(0b001_0111, rd, imm),
         Inst::Jal { rd, offset } => j_type(0b110_1111, rd, offset),
         Inst::Jalr { rd, rs1, offset } => i_type(0b110_0111, rd, 0, rs1, offset),
-        Inst::Branch { cond, rs1, rs2, offset } => {
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let f3 = match cond {
                 BranchCond::Eq => 0b000,
                 BranchCond::Ne => 0b001,
@@ -84,7 +89,13 @@ pub fn encode(inst: &Inst) -> u32 {
             };
             b_type(0b110_0011, f3, rs1, rs2, offset)
         }
-        Inst::Load { rd, rs1, offset, width, unsigned } => {
+        Inst::Load {
+            rd,
+            rs1,
+            offset,
+            width,
+            unsigned,
+        } => {
             let f3 = match (width, unsigned) {
                 (MemWidth::B, false) => 0b000,
                 (MemWidth::H, false) => 0b001,
@@ -96,7 +107,12 @@ pub fn encode(inst: &Inst) -> u32 {
             };
             i_type(0b000_0011, rd, f3, rs1, offset)
         }
-        Inst::Store { rs1, rs2, offset, width } => {
+        Inst::Store {
+            rs1,
+            rs2,
+            offset,
+            width,
+        } => {
             let f3 = match width {
                 MemWidth::B => 0b000,
                 MemWidth::H => 0b001,
@@ -105,7 +121,13 @@ pub fn encode(inst: &Inst) -> u32 {
             };
             s_type(0b010_0011, f3, rs1, rs2, offset)
         }
-        Inst::AluImm { op, rd, rs1, imm, word } => {
+        Inst::AluImm {
+            op,
+            rd,
+            rs1,
+            imm,
+            word,
+        } => {
             let opcode = if word { 0b001_1011 } else { 0b001_0011 };
             match op {
                 AluImmOp::Addi => i_type(opcode, rd, 0b000, rs1, imm),
@@ -119,7 +141,13 @@ pub fn encode(inst: &Inst) -> u32 {
                 AluImmOp::Srai => i_type(opcode, rd, 0b101, rs1, (imm & 0x3f) | 0x400),
             }
         }
-        Inst::Alu { op, rd, rs1, rs2, word } => {
+        Inst::Alu {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
             let opcode = if word { 0b011_1011 } else { 0b011_0011 };
             let (f3, f7) = match op {
                 AluOp::Add => (0b000, 0b000_0000),
@@ -135,7 +163,13 @@ pub fn encode(inst: &Inst) -> u32 {
             };
             r_type(opcode, rd, f3, rs1, rs2, f7)
         }
-        Inst::Mul { op, rd, rs1, rs2, word } => {
+        Inst::Mul {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
             let opcode = if word { 0b011_1011 } else { 0b011_0011 };
             let f3 = match op {
                 MulOp::Mul => 0b000,
@@ -153,11 +187,22 @@ pub fn encode(inst: &Inst) -> u32 {
             let f3 = if width == MemWidth::D { 0b011 } else { 0b010 };
             r_type(0b010_1111, rd, f3, rs1, Reg::ZERO, 0b00010 << 2)
         }
-        Inst::StoreConditional { rd, rs1, rs2, width } => {
+        Inst::StoreConditional {
+            rd,
+            rs1,
+            rs2,
+            width,
+        } => {
             let f3 = if width == MemWidth::D { 0b011 } else { 0b010 };
             r_type(0b010_1111, rd, f3, rs1, rs2, 0b00011 << 2)
         }
-        Inst::Amo { op, rd, rs1, rs2, width } => {
+        Inst::Amo {
+            op,
+            rd,
+            rs1,
+            rs2,
+            width,
+        } => {
             let f3 = if width == MemWidth::D { 0b011 } else { 0b010 };
             let f5 = match op {
                 AmoOp::Add => 0b00000,
@@ -204,10 +249,28 @@ mod tests {
 
     #[test]
     fn encode_known_words() {
-        assert_eq!(encode(&Inst::Jal { rd: Reg::RA, offset: 8 }), 0x0080_00ef);
-        assert_eq!(encode(&Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }), 0x0000_8067);
         assert_eq!(
-            encode(&Inst::Store { rs1: Reg::SP, rs2: Reg::RA, offset: 8, width: MemWidth::D }),
+            encode(&Inst::Jal {
+                rd: Reg::RA,
+                offset: 8
+            }),
+            0x0080_00ef
+        );
+        assert_eq!(
+            encode(&Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0
+            }),
+            0x0000_8067
+        );
+        assert_eq!(
+            encode(&Inst::Store {
+                rs1: Reg::SP,
+                rs2: Reg::RA,
+                offset: 8,
+                width: MemWidth::D
+            }),
             0x0011_3423
         );
         assert_eq!(encode(&Inst::Ecall), 0x0000_0073);
@@ -216,20 +279,89 @@ mod tests {
     #[test]
     fn roundtrip_handpicked() {
         let cases = [
-            Inst::Lui { rd: Reg::A0, imm: 0x12345 << 12 },
-            Inst::Auipc { rd: Reg::T0, imm: -4096 },
-            Inst::Jal { rd: Reg::ZERO, offset: -1048576 },
-            Inst::Jalr { rd: Reg::RA, rs1: Reg::A5, offset: -2048 },
-            Inst::Branch { cond: BranchCond::Geu, rs1: Reg::S0, rs2: Reg::S1, offset: 4094 },
-            Inst::Load { rd: Reg::A0, rs1: Reg::GP, offset: 2047, width: MemWidth::H, unsigned: true },
-            Inst::Store { rs1: Reg::TP, rs2: Reg::T6, offset: -2048, width: MemWidth::B },
-            Inst::AluImm { op: AluImmOp::Srai, rd: Reg::A3, rs1: Reg::A4, imm: 63, word: false },
-            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A3, rs1: Reg::A4, imm: -1, word: true },
-            Inst::Alu { op: AluOp::Sra, rd: Reg::S2, rs1: Reg::S3, rs2: Reg::S4, word: true },
-            Inst::Mul { op: MulOp::Remu, rd: Reg::T1, rs1: Reg::T2, rs2: Reg::T3, word: false },
-            Inst::Amo { op: AmoOp::Maxu, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, width: MemWidth::D },
-            Inst::Csr { op: CsrOp::Rs, rd: Reg::A0, rs1: Reg::ZERO, csr: 0x342 },
-            Inst::CsrImm { op: CsrOp::Rc, rd: Reg::ZERO, zimm: 8, csr: 0x300 },
+            Inst::Lui {
+                rd: Reg::A0,
+                imm: 0x12345 << 12,
+            },
+            Inst::Auipc {
+                rd: Reg::T0,
+                imm: -4096,
+            },
+            Inst::Jal {
+                rd: Reg::ZERO,
+                offset: -1048576,
+            },
+            Inst::Jalr {
+                rd: Reg::RA,
+                rs1: Reg::A5,
+                offset: -2048,
+            },
+            Inst::Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::S0,
+                rs2: Reg::S1,
+                offset: 4094,
+            },
+            Inst::Load {
+                rd: Reg::A0,
+                rs1: Reg::GP,
+                offset: 2047,
+                width: MemWidth::H,
+                unsigned: true,
+            },
+            Inst::Store {
+                rs1: Reg::TP,
+                rs2: Reg::T6,
+                offset: -2048,
+                width: MemWidth::B,
+            },
+            Inst::AluImm {
+                op: AluImmOp::Srai,
+                rd: Reg::A3,
+                rs1: Reg::A4,
+                imm: 63,
+                word: false,
+            },
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A3,
+                rs1: Reg::A4,
+                imm: -1,
+                word: true,
+            },
+            Inst::Alu {
+                op: AluOp::Sra,
+                rd: Reg::S2,
+                rs1: Reg::S3,
+                rs2: Reg::S4,
+                word: true,
+            },
+            Inst::Mul {
+                op: MulOp::Remu,
+                rd: Reg::T1,
+                rs1: Reg::T2,
+                rs2: Reg::T3,
+                word: false,
+            },
+            Inst::Amo {
+                op: AmoOp::Maxu,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                width: MemWidth::D,
+            },
+            Inst::Csr {
+                op: CsrOp::Rs,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                csr: 0x342,
+            },
+            Inst::CsrImm {
+                op: CsrOp::Rc,
+                rd: Reg::ZERO,
+                zimm: 8,
+                csr: 0x300,
+            },
             Inst::Mret,
             Inst::Wfi,
         ];

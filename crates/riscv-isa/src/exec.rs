@@ -65,7 +65,10 @@ pub trait Bus {
     fn fetch(&mut self, addr: u64) -> Result<u32, MemFault> {
         self.read(addr, MemWidth::W)
             .map(|v| v as u32)
-            .map_err(|f| MemFault { addr: f.addr, store: false })
+            .map_err(|f| MemFault {
+                addr: f.addr,
+                store: false,
+            })
     }
 }
 
@@ -203,7 +206,13 @@ impl Hart {
     /// A hart reset to `pc` with cleared registers.
     #[must_use]
     pub fn new(xlen: Xlen, pc: u64) -> Hart {
-        Hart { regs: [0; 32], pc, xlen, csrs: CsrFile::default(), reservation: None }
+        Hart {
+            regs: [0; 32],
+            pc,
+            xlen,
+            csrs: CsrFile::default(),
+            reservation: None,
+        }
     }
 
     /// Reads an integer register.
@@ -304,12 +313,23 @@ impl Hart {
                 target = self.mask_addr(self.reg(rs1).wrapping_add(offset as u64)) & !1;
                 self.set_reg(rd, next);
             }
-            Inst::Branch { cond, rs1, rs2, offset } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 if cond.eval(self.reg(rs1), self.reg(rs2)) {
                     target = pc.wrapping_add(offset as u64);
                 }
             }
-            Inst::Load { rd, rs1, offset, width, unsigned } => {
+            Inst::Load {
+                rd,
+                rs1,
+                offset,
+                width,
+                unsigned,
+            } => {
                 memory_access = true;
                 let addr = self.mask_addr(self.reg(rs1).wrapping_add(offset as u64));
                 mem_addr = Some(addr);
@@ -326,22 +346,46 @@ impl Hart {
                 };
                 self.set_reg(rd, value);
             }
-            Inst::Store { rs1, rs2, offset, width } => {
+            Inst::Store {
+                rs1,
+                rs2,
+                offset,
+                width,
+            } => {
                 memory_access = true;
                 let addr = self.mask_addr(self.reg(rs1).wrapping_add(offset as u64));
                 mem_addr = Some(addr);
-                bus.write(addr, width, self.reg(rs2)).map_err(Trap::MemFault)?;
+                bus.write(addr, width, self.reg(rs2))
+                    .map_err(Trap::MemFault)?;
             }
-            Inst::AluImm { op, rd, rs1, imm, word } => {
+            Inst::AluImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
                 let a = self.reg(rs1);
                 let v = alu_imm(op, a, imm, word, self.xlen);
                 self.set_reg(rd, v);
             }
-            Inst::Alu { op, rd, rs1, rs2, word } => {
+            Inst::Alu {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let v = alu(op, self.reg(rs1), self.reg(rs2), word, self.xlen);
                 self.set_reg(rd, v);
             }
-            Inst::Mul { op, rd, rs1, rs2, word } => {
+            Inst::Mul {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let v = mul(op, self.reg(rs1), self.reg(rs2), word, self.xlen);
                 self.set_reg(rd, v);
             }
@@ -350,34 +394,59 @@ impl Hart {
                 let addr = self.mask_addr(self.reg(rs1));
                 mem_addr = Some(addr);
                 let raw = bus.read(addr, width).map_err(Trap::MemFault)?;
-                let value = if width == MemWidth::W { i64::from(raw as i32) as u64 } else { raw };
+                let value = if width == MemWidth::W {
+                    i64::from(raw as i32) as u64
+                } else {
+                    raw
+                };
                 self.reservation = Some(addr);
                 self.set_reg(rd, value);
             }
-            Inst::StoreConditional { rd, rs1, rs2, width } => {
+            Inst::StoreConditional {
+                rd,
+                rs1,
+                rs2,
+                width,
+            } => {
                 memory_access = true;
                 let addr = self.mask_addr(self.reg(rs1));
                 mem_addr = Some(addr);
                 if self.reservation == Some(addr) {
-                    bus.write(addr, width, self.reg(rs2)).map_err(Trap::MemFault)?;
+                    bus.write(addr, width, self.reg(rs2))
+                        .map_err(Trap::MemFault)?;
                     self.set_reg(rd, 0);
                 } else {
                     self.set_reg(rd, 1);
                 }
                 self.reservation = None;
             }
-            Inst::Amo { op, rd, rs1, rs2, width } => {
+            Inst::Amo {
+                op,
+                rd,
+                rs1,
+                rs2,
+                width,
+            } => {
                 memory_access = true;
                 let addr = self.mask_addr(self.reg(rs1));
                 mem_addr = Some(addr);
                 let raw = bus.read(addr, width).map_err(Trap::MemFault)?;
-                let old = if width == MemWidth::W { i64::from(raw as i32) as u64 } else { raw };
+                let old = if width == MemWidth::W {
+                    i64::from(raw as i32) as u64
+                } else {
+                    raw
+                };
                 let rhs = self.reg(rs2);
                 let new = amo(op, old, rhs, width);
                 bus.write(addr, width, new).map_err(Trap::MemFault)?;
                 self.set_reg(rd, old);
             }
-            Inst::Csr { op, rd, rs1, csr: addr } => {
+            Inst::Csr {
+                op,
+                rd,
+                rs1,
+                csr: addr,
+            } => {
                 let old = self.csrs.read(addr);
                 let src = self.reg(rs1);
                 let new = match op {
@@ -390,7 +459,12 @@ impl Hart {
                 }
                 self.set_reg(rd, old);
             }
-            Inst::CsrImm { op, rd, zimm, csr: addr } => {
+            Inst::CsrImm {
+                op,
+                rd,
+                zimm,
+                csr: addr,
+            } => {
                 let old = self.csrs.read(addr);
                 let src = u64::from(zimm);
                 let new = match op {
@@ -421,7 +495,15 @@ impl Hart {
 
         self.pc = target;
         self.csrs.minstret = self.csrs.minstret.wrapping_add(1);
-        Ok(Retired { pc, decoded, next, target, memory_access, mem_addr, wfi })
+        Ok(Retired {
+            pc,
+            decoded,
+            next,
+            target,
+            memory_access,
+            mem_addr,
+            wfi,
+        })
     }
 }
 
@@ -643,7 +725,10 @@ impl FlatMemory {
     /// A zero-filled RAM of `size` bytes mapped at `base`.
     #[must_use]
     pub fn new(base: u64, size: usize) -> FlatMemory {
-        FlatMemory { base, data: vec![0; size] }
+        FlatMemory {
+            base,
+            data: vec![0; size],
+        }
     }
 
     /// Copies `bytes` into memory starting at absolute address `addr`.
@@ -677,7 +762,9 @@ impl FlatMemory {
 impl Bus for FlatMemory {
     fn read(&mut self, addr: u64, width: MemWidth) -> Result<u64, MemFault> {
         let n = width.bytes();
-        let off = self.offset(addr, n).ok_or(MemFault { addr, store: false })?;
+        let off = self
+            .offset(addr, n)
+            .ok_or(MemFault { addr, store: false })?;
         let mut v = 0u64;
         for i in (0..n as usize).rev() {
             v = v << 8 | u64::from(self.data[off + i]);
@@ -711,9 +798,27 @@ mod tests {
     fn executes_straight_line_alu() {
         let (mut hart, mut mem) = hart_with(
             &[
-                Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 5, word: false },
-                Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A1, rs1: Reg::A0, imm: 7, word: false },
-                Inst::Alu { op: AluOp::Add, rd: Reg::A2, rs1: Reg::A0, rs2: Reg::A1, word: false },
+                Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::A0,
+                    rs1: Reg::ZERO,
+                    imm: 5,
+                    word: false,
+                },
+                Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::A1,
+                    rs1: Reg::A0,
+                    imm: 7,
+                    word: false,
+                },
+                Inst::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::A2,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                    word: false,
+                },
             ],
             Xlen::Rv64,
         );
@@ -729,9 +834,16 @@ mod tests {
     fn call_and_return_flow() {
         let (mut hart, mut mem) = hart_with(
             &[
-                Inst::Jal { rd: Reg::RA, offset: 8 },  // 0x1000: call 0x1008
-                Inst::Ebreak,                          // 0x1004
-                Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }, // 0x1008: ret
+                Inst::Jal {
+                    rd: Reg::RA,
+                    offset: 8,
+                }, // 0x1000: call 0x1008
+                Inst::Ebreak, // 0x1004
+                Inst::Jalr {
+                    rd: Reg::ZERO,
+                    rs1: Reg::RA,
+                    offset: 0,
+                }, // 0x1008: ret
             ],
             Xlen::Rv64,
         );
@@ -749,8 +861,20 @@ mod tests {
     fn loads_sign_extend() {
         let (mut hart, mut mem) = hart_with(
             &[
-                Inst::Load { rd: Reg::A0, rs1: Reg::A1, offset: 0, width: MemWidth::B, unsigned: false },
-                Inst::Load { rd: Reg::A2, rs1: Reg::A1, offset: 0, width: MemWidth::B, unsigned: true },
+                Inst::Load {
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    offset: 0,
+                    width: MemWidth::B,
+                    unsigned: false,
+                },
+                Inst::Load {
+                    rd: Reg::A2,
+                    rs1: Reg::A1,
+                    offset: 0,
+                    width: MemWidth::B,
+                    unsigned: true,
+                },
             ],
             Xlen::Rv64,
         );
@@ -766,8 +890,19 @@ mod tests {
     fn store_then_load_roundtrip() {
         let (mut hart, mut mem) = hart_with(
             &[
-                Inst::Store { rs1: Reg::SP, rs2: Reg::A0, offset: -8, width: MemWidth::D },
-                Inst::Load { rd: Reg::A1, rs1: Reg::SP, offset: -8, width: MemWidth::D, unsigned: false },
+                Inst::Store {
+                    rs1: Reg::SP,
+                    rs2: Reg::A0,
+                    offset: -8,
+                    width: MemWidth::D,
+                },
+                Inst::Load {
+                    rd: Reg::A1,
+                    rs1: Reg::SP,
+                    offset: -8,
+                    width: MemWidth::D,
+                    unsigned: false,
+                },
             ],
             Xlen::Rv64,
         );
@@ -782,7 +917,13 @@ mod tests {
     #[test]
     fn rv32_truncates_to_32_bits() {
         let (mut hart, mut mem) = hart_with(
-            &[Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm: 1, word: false }],
+            &[Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1,
+                word: false,
+            }],
             Xlen::Rv32,
         );
         hart.set_reg(Reg::A0, 0xffff_ffff);
@@ -800,16 +941,19 @@ mod tests {
             mul(MulOp::Div, i64::MIN as u64, u64::MAX, false, Xlen::Rv64),
             i64::MIN as u64
         );
-        assert_eq!(mul(MulOp::Rem, i64::MIN as u64, u64::MAX, false, Xlen::Rv64), 0);
-        assert_eq!(mul(MulOp::Mulhu, u64::MAX, u64::MAX, false, Xlen::Rv64), u64::MAX - 1);
+        assert_eq!(
+            mul(MulOp::Rem, i64::MIN as u64, u64::MAX, false, Xlen::Rv64),
+            0
+        );
+        assert_eq!(
+            mul(MulOp::Mulhu, u64::MAX, u64::MAX, false, Xlen::Rv64),
+            u64::MAX - 1
+        );
     }
 
     #[test]
     fn interrupt_entry_and_mret() {
-        let (mut hart, mut mem) = hart_with(
-            &[Inst::Mret],
-            Xlen::Rv32,
-        );
+        let (mut hart, mut mem) = hart_with(&[Inst::Mret], Xlen::Rv32);
         // Handler at 0x1000 (the mret).
         hart.csrs.mtvec = 0x1000;
         hart.csrs.mstatus = csr::MSTATUS_MIE;
@@ -840,7 +984,10 @@ mod tests {
     fn amo_semantics() {
         assert_eq!(amo(AmoOp::Add, 5, 7, MemWidth::D), 12);
         assert_eq!(amo(AmoOp::Swap, 5, 7, MemWidth::D), 7);
-        assert_eq!(amo(AmoOp::Min, (-1i64) as u64, 3, MemWidth::D), (-1i64) as u64);
+        assert_eq!(
+            amo(AmoOp::Min, (-1i64) as u64, 3, MemWidth::D),
+            (-1i64) as u64
+        );
         assert_eq!(amo(AmoOp::Minu, (-1i64) as u64, 3, MemWidth::D), 3);
         assert_eq!(amo(AmoOp::Max, (-1i64) as u64, 3, MemWidth::D), 3);
     }
@@ -849,9 +996,23 @@ mod tests {
     fn lr_sc_pairing() {
         let (mut hart, mut mem) = hart_with(
             &[
-                Inst::LoadReserved { rd: Reg::A0, rs1: Reg::A1, width: MemWidth::W },
-                Inst::StoreConditional { rd: Reg::A2, rs1: Reg::A1, rs2: Reg::A3, width: MemWidth::W },
-                Inst::StoreConditional { rd: Reg::A4, rs1: Reg::A1, rs2: Reg::A3, width: MemWidth::W },
+                Inst::LoadReserved {
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    width: MemWidth::W,
+                },
+                Inst::StoreConditional {
+                    rd: Reg::A2,
+                    rs1: Reg::A1,
+                    rs2: Reg::A3,
+                    width: MemWidth::W,
+                },
+                Inst::StoreConditional {
+                    rd: Reg::A4,
+                    rs1: Reg::A1,
+                    rs2: Reg::A3,
+                    width: MemWidth::W,
+                },
             ],
             Xlen::Rv64,
         );

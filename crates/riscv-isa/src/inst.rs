@@ -273,27 +273,82 @@ pub enum Inst {
     /// `jalr rd, offset(rs1)` — indirect jump and link.
     Jalr { rd: Reg, rs1: Reg, offset: i64 },
     /// Conditional branch.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, offset: i64 },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i64,
+    },
     /// Load; `unsigned` selects `lbu`/`lhu`/`lwu`.
-    Load { rd: Reg, rs1: Reg, offset: i64, width: MemWidth, unsigned: bool },
+    Load {
+        rd: Reg,
+        rs1: Reg,
+        offset: i64,
+        width: MemWidth,
+        unsigned: bool,
+    },
     /// Store.
-    Store { rs1: Reg, rs2: Reg, offset: i64, width: MemWidth },
+    Store {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i64,
+        width: MemWidth,
+    },
     /// Register-immediate ALU; `word` selects the RV64 `*w` form.
-    AluImm { op: AluImmOp, rd: Reg, rs1: Reg, imm: i64, word: bool },
+    AluImm {
+        op: AluImmOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i64,
+        word: bool,
+    },
     /// Register-register ALU; `word` selects the RV64 `*w` form.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        word: bool,
+    },
     /// M extension; `word` selects the RV64 `*w` form.
-    Mul { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg, word: bool },
+    Mul {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        word: bool,
+    },
     /// `lr.w` / `lr.d`.
     LoadReserved { rd: Reg, rs1: Reg, width: MemWidth },
     /// `sc.w` / `sc.d`.
-    StoreConditional { rd: Reg, rs1: Reg, rs2: Reg, width: MemWidth },
+    StoreConditional {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        width: MemWidth,
+    },
     /// AMO read-modify-write.
-    Amo { op: AmoOp, rd: Reg, rs1: Reg, rs2: Reg, width: MemWidth },
+    Amo {
+        op: AmoOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        width: MemWidth,
+    },
     /// CSR access with register operand; `rs1` is the source.
-    Csr { op: CsrOp, rd: Reg, rs1: Reg, csr: u16 },
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        rs1: Reg,
+        csr: u16,
+    },
     /// CSR access with 5-bit zero-extended immediate operand.
-    CsrImm { op: CsrOp, rd: Reg, zimm: u8, csr: u16 },
+    CsrImm {
+        op: CsrOp,
+        rd: Reg,
+        zimm: u8,
+        csr: u16,
+    },
     /// `fence` (treated as a full fence by the models).
     Fence,
     /// `fence.i`.
@@ -399,10 +454,21 @@ impl fmt::Display for Inst {
             Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm >> 12) & 0xf_ffff),
             Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
             Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
-            Inst::Branch { cond, rs1, rs2, offset } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, {offset}", cond.mnemonic())
             }
-            Inst::Load { rd, rs1, offset, width, unsigned } => {
+            Inst::Load {
+                rd,
+                rs1,
+                offset,
+                width,
+                unsigned,
+            } => {
                 let m = match (width, unsigned) {
                     (MemWidth::B, false) => "lb",
                     (MemWidth::B, true) => "lbu",
@@ -414,7 +480,12 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{m} {rd}, {offset}({rs1})")
             }
-            Inst::Store { rs1, rs2, offset, width } => {
+            Inst::Store {
+                rs1,
+                rs2,
+                offset,
+                width,
+            } => {
                 let m = match width {
                     MemWidth::B => "sb",
                     MemWidth::H => "sh",
@@ -423,24 +494,53 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{m} {rs2}, {offset}({rs1})")
             }
-            Inst::AluImm { op, rd, rs1, imm, word } => {
+            Inst::AluImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
                 write!(f, "{}{} {rd}, {rs1}, {imm}", op.mnemonic(), w(word))
             }
-            Inst::Alu { op, rd, rs1, rs2, word } => {
+            Inst::Alu {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 write!(f, "{}{} {rd}, {rs1}, {rs2}", op.mnemonic(), w(word))
             }
-            Inst::Mul { op, rd, rs1, rs2, word } => {
+            Inst::Mul {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 write!(f, "{}{} {rd}, {rs1}, {rs2}", op.mnemonic(), w(word))
             }
             Inst::LoadReserved { rd, rs1, width } => {
                 let s = if width == MemWidth::D { "d" } else { "w" };
                 write!(f, "lr.{s} {rd}, ({rs1})")
             }
-            Inst::StoreConditional { rd, rs1, rs2, width } => {
+            Inst::StoreConditional {
+                rd,
+                rs1,
+                rs2,
+                width,
+            } => {
                 let s = if width == MemWidth::D { "d" } else { "w" };
                 write!(f, "sc.{s} {rd}, {rs2}, ({rs1})")
             }
-            Inst::Amo { op, rd, rs1, rs2, width } => {
+            Inst::Amo {
+                op,
+                rd,
+                rs1,
+                rs2,
+                width,
+            } => {
                 let s = if width == MemWidth::D { "d" } else { "w" };
                 write!(f, "{}.{s} {rd}, {rs2}, ({rs1})", op.mnemonic())
             }
@@ -483,9 +583,21 @@ mod tests {
 
     #[test]
     fn control_flow_detection() {
-        let call = Inst::Jal { rd: Reg::RA, offset: 16 };
-        let ret = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
-        let br = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: -8 };
+        let call = Inst::Jal {
+            rd: Reg::RA,
+            offset: 16,
+        };
+        let ret = Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        };
+        let br = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: -8,
+        };
         assert!(call.is_control_flow());
         assert!(ret.is_control_flow());
         assert!(br.is_control_flow());
@@ -494,7 +606,12 @@ mod tests {
 
     #[test]
     fn sources_of_store() {
-        let st = Inst::Store { rs1: Reg::SP, rs2: Reg::RA, offset: 8, width: MemWidth::D };
+        let st = Inst::Store {
+            rs1: Reg::SP,
+            rs2: Reg::RA,
+            offset: 8,
+            width: MemWidth::D,
+        };
         assert_eq!(st.sources(), [Some(Reg::SP), Some(Reg::RA)]);
         assert_eq!(st.rd(), None);
     }
@@ -511,9 +628,21 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let ld = Inst::Load { rd: Reg::A0, rs1: Reg::SP, offset: 16, width: MemWidth::D, unsigned: false };
+        let ld = Inst::Load {
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: 16,
+            width: MemWidth::D,
+            unsigned: false,
+        };
         assert_eq!(ld.to_string(), "ld a0, 16(sp)");
-        let addw = Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word: true };
+        let addw = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+            word: true,
+        };
         assert_eq!(addw.to_string(), "addw a0, a1, a2");
     }
 

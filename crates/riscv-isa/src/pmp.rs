@@ -57,7 +57,15 @@ impl PmpEntry {
     /// A disabled entry.
     #[must_use]
     pub fn off() -> PmpEntry {
-        PmpEntry { mode: PmpMode::Off, addr: 0, size: 0, r: false, w: false, x: false, locked: false }
+        PmpEntry {
+            mode: PmpMode::Off,
+            addr: 0,
+            size: 0,
+            r: false,
+            w: false,
+            x: false,
+            locked: false,
+        }
     }
 
     /// A locked NAPOT entry covering `[base, base + size)`.
@@ -68,9 +76,20 @@ impl PmpEntry {
     /// size-aligned.
     #[must_use]
     pub fn napot(base: u64, size: u64, r: bool, w: bool, x: bool) -> PmpEntry {
-        assert!(size.is_power_of_two() && size >= 8, "NAPOT size must be a power of two >= 8");
+        assert!(
+            size.is_power_of_two() && size >= 8,
+            "NAPOT size must be a power of two >= 8"
+        );
         assert_eq!(base % size, 0, "NAPOT base must be size-aligned");
-        PmpEntry { mode: PmpMode::Napot, addr: base, size, r, w, x, locked: true }
+        PmpEntry {
+            mode: PmpMode::Napot,
+            addr: base,
+            size,
+            r,
+            w,
+            x,
+            locked: true,
+        }
     }
 
     fn matches(&self, prev_top: u64, addr: u64) -> bool {
@@ -142,7 +161,11 @@ impl<B> PmpBus<B> {
     /// Wraps `inner` with `pmp`.
     #[must_use]
     pub fn new(inner: B, pmp: Pmp) -> PmpBus<B> {
-        PmpBus { inner, pmp, denials: 0 }
+        PmpBus {
+            inner,
+            pmp,
+            denials: 0,
+        }
     }
 
     /// The wrapped bus.
@@ -200,7 +223,10 @@ mod tests {
         pmp.add(PmpEntry::napot(0x1000, 0x10, false, false, false));
         pmp.add(PmpEntry::napot(0x1000, 0x1000, true, true, false));
         assert!(!pmp.check(0x1008, AccessKind::Read), "inner entry wins");
-        assert!(pmp.check(0x1800, AccessKind::Read), "outer entry applies elsewhere");
+        assert!(
+            pmp.check(0x1800, AccessKind::Read),
+            "outer entry applies elsewhere"
+        );
     }
 
     #[test]
@@ -215,8 +241,14 @@ mod tests {
             x: false,
             locked: true,
         });
-        assert!(!pmp.check(0x3fff, AccessKind::Write), "below TOR top matched");
-        assert!(pmp.check(0x4000, AccessKind::Write), "at/above top not matched");
+        assert!(
+            !pmp.check(0x3fff, AccessKind::Write),
+            "below TOR top matched"
+        );
+        assert!(
+            pmp.check(0x4000, AccessKind::Write),
+            "at/above top not matched"
+        );
     }
 
     #[test]
@@ -225,7 +257,10 @@ mod tests {
         let mut e = PmpEntry::napot(0x1000, 0x100, false, false, false);
         e.locked = false;
         pmp.add(e);
-        assert!(pmp.check(0x1010, AccessKind::Write), "unlocked: M-mode may access");
+        assert!(
+            pmp.check(0x1010, AccessKind::Write),
+            "unlocked: M-mode may access"
+        );
     }
 
     #[test]

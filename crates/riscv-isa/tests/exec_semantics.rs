@@ -3,10 +3,10 @@
 //! including the word-variant sign-extension subtleties RV64 is infamous
 //! for.
 
-use proptest::prelude::*;
-use riscv_isa::{
-    encode, AluImmOp, AluOp, FlatMemory, Hart, Inst, MulOp, Reg, Xlen,
-};
+use riscv_isa::{encode, AluImmOp, AluOp, FlatMemory, Hart, Inst, MulOp, Reg, Xlen};
+use titancfi_harness::Xoshiro256;
+
+const CASES: usize = 2048;
 
 /// Executes a single instruction with `rs1 = a`, `rs2 = b` and returns the
 /// destination register value.
@@ -21,11 +21,23 @@ fn exec_one(inst: Inst, a: u64, b: u64, xlen: Xlen) -> u64 {
 }
 
 fn alu(op: AluOp, word: bool) -> Inst {
-    Inst::Alu { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word }
+    Inst::Alu {
+        op,
+        rd: Reg::A0,
+        rs1: Reg::A1,
+        rs2: Reg::A2,
+        word,
+    }
 }
 
 fn mul(op: MulOp, word: bool) -> Inst {
-    Inst::Mul { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, word }
+    Inst::Mul {
+        op,
+        rd: Reg::A0,
+        rs1: Reg::A1,
+        rs2: Reg::A2,
+        word,
+    }
 }
 
 /// Rust reference for the RV64 base ALU semantics.
@@ -75,13 +87,7 @@ fn ref_mul64(op: MulOp, a: u64, b: u64) -> u64 {
                 (sa / sb) as u64
             }
         }
-        MulOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         MulOp::Rem => {
             if sb == 0 {
                 a
@@ -91,65 +97,114 @@ fn ref_mul64(op: MulOp, a: u64, b: u64) -> u64 {
                 (sa % sb) as u64
             }
         }
-        MulOp::Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
+        MulOp::Remu => a.checked_rem(b).unwrap_or(a),
+    }
+}
+
+/// Operand pairs worth hitting every run: boundary values first, then the
+/// seeded random stream.
+fn operand_pairs(seed: u64) -> impl Iterator<Item = (u64, u64)> {
+    const EDGES: [u64; 8] = [
+        0,
+        1,
+        u64::MAX,
+        i64::MAX as u64,
+        i64::MIN as u64,
+        63,
+        64,
+        0xffff_ffff,
+    ];
+    let fixed: Vec<(u64, u64)> = EDGES
+        .iter()
+        .flat_map(|&a| EDGES.iter().map(move |&b| (a, b)))
+        .collect();
+    let mut rng = Xoshiro256::new(seed);
+    fixed
+        .into_iter()
+        .chain((0..CASES).map(move |_| (rng.next_u64(), rng.next_u64())))
+}
+
+#[test]
+fn alu64_matches_reference() {
+    for (a, b) in operand_pairs(0x1001) {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+        ] {
+            assert_eq!(
+                exec_one(alu(op, false), a, b, Xlen::Rv64),
+                ref_alu64(op, a, b),
+                "op {op:?} a {a:#x} b {b:#x}"
+            );
         }
     }
 }
 
-proptest! {
-    #[test]
-    fn alu64_matches_reference(a in any::<u64>(), b in any::<u64>()) {
-        for op in [
-            AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Slt, AluOp::Sltu,
-            AluOp::Xor, AluOp::Srl, AluOp::Sra, AluOp::Or, AluOp::And,
-        ] {
-            prop_assert_eq!(
-                exec_one(alu(op, false), a, b, Xlen::Rv64),
-                ref_alu64(op, a, b),
-                "op {:?}", op
-            );
-        }
-    }
-
-    #[test]
-    fn alu_word_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn alu_word_matches_reference() {
+    for (a, b) in operand_pairs(0x1002) {
         for op in [AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Srl, AluOp::Sra] {
-            prop_assert_eq!(
+            assert_eq!(
                 exec_one(alu(op, true), a, b, Xlen::Rv64),
                 ref_alu_w(op, a, b),
-                "op {:?}w", op
+                "op {op:?}w a {a:#x} b {b:#x}"
             );
         }
     }
+}
 
-    #[test]
-    fn mul64_matches_reference(a in any::<u64>(), b in any::<u64>()) {
-        for op in [MulOp::Mul, MulOp::Mulh, MulOp::Mulhu, MulOp::Div, MulOp::Divu, MulOp::Rem, MulOp::Remu] {
-            prop_assert_eq!(
+#[test]
+fn mul64_matches_reference() {
+    for (a, b) in operand_pairs(0x1003) {
+        for op in [
+            MulOp::Mul,
+            MulOp::Mulh,
+            MulOp::Mulhu,
+            MulOp::Div,
+            MulOp::Divu,
+            MulOp::Rem,
+            MulOp::Remu,
+        ] {
+            assert_eq!(
                 exec_one(mul(op, false), a, b, Xlen::Rv64),
                 ref_mul64(op, a, b),
-                "op {:?}", op
+                "op {op:?} a {a:#x} b {b:#x}"
             );
         }
     }
+}
 
-    #[test]
-    fn mulhsu_matches_wide_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn mulhsu_matches_wide_arithmetic() {
+    for (a, b) in operand_pairs(0x1004) {
         // mulhsu: signed a x unsigned b, upper 64 bits.
         let want = ((i128::from(a as i64) * i128::from(b)) >> 64) as u64;
-        prop_assert_eq!(exec_one(mul(MulOp::Mulhsu, false), a, b, Xlen::Rv64), want);
+        assert_eq!(exec_one(mul(MulOp::Mulhsu, false), a, b, Xlen::Rv64), want);
     }
+}
 
-    #[test]
-    fn rv32_alu_is_sign_extended_32_bit(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn rv32_alu_is_sign_extended_32_bit() {
+    for (a, b) in operand_pairs(0x1005) {
+        let (a, b) = (a as u32, b as u32);
         let a64 = u64::from(a);
         let b64 = u64::from(b);
-        for op in [AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Xor] {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Xor,
+        ] {
             let got = exec_one(alu(op, false), a64, b64, Xlen::Rv32);
             let want32 = match op {
                 AluOp::Add => a.wrapping_add(b),
@@ -159,37 +214,75 @@ proptest! {
                 AluOp::Sra => ((a as i32) >> (b & 31)) as u32,
                 _ => a ^ b,
             };
-            prop_assert_eq!(got, i64::from(want32 as i32) as u64, "op {:?}", op);
+            assert_eq!(got, i64::from(want32 as i32) as u64, "op {op:?}");
         }
     }
+}
 
-    #[test]
-    fn word_div_edge_cases_hold(a in any::<u32>()) {
+#[test]
+fn word_div_edge_cases_hold() {
+    for (a, _) in operand_pairs(0x1006) {
         // divw by zero -> -1; remw by zero -> dividend (sign-extended).
+        let a = a as u32;
         let a64 = u64::from(a);
-        prop_assert_eq!(exec_one(mul(MulOp::Div, true), a64, 0, Xlen::Rv64), u64::MAX);
-        prop_assert_eq!(
+        assert_eq!(
+            exec_one(mul(MulOp::Div, true), a64, 0, Xlen::Rv64),
+            u64::MAX
+        );
+        assert_eq!(
             exec_one(mul(MulOp::Rem, true), a64, 0, Xlen::Rv64),
             i64::from(a as i32) as u64
         );
     }
+}
 
-    #[test]
-    fn slti_and_immediates(a in any::<u64>(), imm in -2048i64..2048) {
-        let slti = Inst::AluImm { op: AluImmOp::Slti, rd: Reg::A0, rs1: Reg::A1, imm, word: false };
-        prop_assert_eq!(exec_one(slti, a, 0, Xlen::Rv64), u64::from((a as i64) < imm));
-        let sltiu = Inst::AluImm { op: AluImmOp::Sltiu, rd: Reg::A0, rs1: Reg::A1, imm, word: false };
-        prop_assert_eq!(exec_one(sltiu, a, 0, Xlen::Rv64), u64::from(a < imm as u64));
+#[test]
+fn slti_and_immediates() {
+    let mut rng = Xoshiro256::new(0x1007);
+    for _ in 0..CASES {
+        let a = rng.next_u64();
+        let imm = rng.range_i64(-2048, 2048);
+        let slti = Inst::AluImm {
+            op: AluImmOp::Slti,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm,
+            word: false,
+        };
+        assert_eq!(
+            exec_one(slti, a, 0, Xlen::Rv64),
+            u64::from((a as i64) < imm)
+        );
+        let sltiu = Inst::AluImm {
+            op: AluImmOp::Sltiu,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm,
+            word: false,
+        };
+        assert_eq!(exec_one(sltiu, a, 0, Xlen::Rv64), u64::from(a < imm as u64));
     }
 }
 
 #[test]
 fn int_min_division_overflow() {
     let min = i64::MIN as u64;
-    assert_eq!(exec_one(mul(MulOp::Div, false), min, u64::MAX, Xlen::Rv64), min);
-    assert_eq!(exec_one(mul(MulOp::Rem, false), min, u64::MAX, Xlen::Rv64), 0);
+    assert_eq!(
+        exec_one(mul(MulOp::Div, false), min, u64::MAX, Xlen::Rv64),
+        min
+    );
+    assert_eq!(
+        exec_one(mul(MulOp::Rem, false), min, u64::MAX, Xlen::Rv64),
+        0
+    );
     // Word variant.
     let min32 = i64::from(i32::MIN) as u64;
-    assert_eq!(exec_one(mul(MulOp::Div, true), min32, u64::MAX, Xlen::Rv64), min32);
-    assert_eq!(exec_one(mul(MulOp::Rem, true), min32, u64::MAX, Xlen::Rv64), 0);
+    assert_eq!(
+        exec_one(mul(MulOp::Div, true), min32, u64::MAX, Xlen::Rv64),
+        min32
+    );
+    assert_eq!(
+        exec_one(mul(MulOp::Rem, true), min32, u64::MAX, Xlen::Rv64),
+        0
+    );
 }

@@ -1,212 +1,283 @@
-//! Property tests: encode/decode inverses and classifier agreement.
+//! Randomized property tests: encode/decode inverses and classifier
+//! agreement, driven by the workspace's seeded PRNG (titancfi-harness)
+//! instead of proptest so the test suite builds dependency-free.
 
-use proptest::prelude::*;
 use riscv_isa::{
     classify, classify_raw, decode, encode, AluImmOp, AluOp, AmoOp, BranchCond, CsrOp, Inst,
     MemWidth, MulOp, Reg, Xlen,
 };
+use titancfi_harness::Xoshiro256;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+const CASES: usize = 2048;
+
+fn reg(rng: &mut Xoshiro256) -> Reg {
+    Reg::new(rng.below(32) as u8)
 }
 
-fn arb_width_rv64() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![
-        Just(MemWidth::B),
-        Just(MemWidth::H),
-        Just(MemWidth::W),
-        Just(MemWidth::D)
-    ]
+fn width_rv64(rng: &mut Xoshiro256) -> MemWidth {
+    *rng.pick(&[MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D])
 }
 
-fn arb_branch_cond() -> impl Strategy<Value = BranchCond> {
-    prop_oneof![
-        Just(BranchCond::Eq),
-        Just(BranchCond::Ne),
-        Just(BranchCond::Lt),
-        Just(BranchCond::Ge),
-        Just(BranchCond::Ltu),
-        Just(BranchCond::Geu)
-    ]
+fn branch_cond(rng: &mut Xoshiro256) -> BranchCond {
+    *rng.pick(&[
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ])
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And)
-    ]
+fn alu_op(rng: &mut Xoshiro256) -> AluOp {
+    *rng.pick(&[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ])
 }
 
-fn arb_mul_op() -> impl Strategy<Value = MulOp> {
-    prop_oneof![
-        Just(MulOp::Mul),
-        Just(MulOp::Mulh),
-        Just(MulOp::Mulhsu),
-        Just(MulOp::Mulhu),
-        Just(MulOp::Div),
-        Just(MulOp::Divu),
-        Just(MulOp::Rem),
-        Just(MulOp::Remu)
-    ]
+fn mul_op(rng: &mut Xoshiro256) -> MulOp {
+    *rng.pick(&[
+        MulOp::Mul,
+        MulOp::Mulh,
+        MulOp::Mulhsu,
+        MulOp::Mulhu,
+        MulOp::Div,
+        MulOp::Divu,
+        MulOp::Rem,
+        MulOp::Remu,
+    ])
 }
 
-fn arb_amo_op() -> impl Strategy<Value = AmoOp> {
-    prop_oneof![
-        Just(AmoOp::Swap),
-        Just(AmoOp::Add),
-        Just(AmoOp::Xor),
-        Just(AmoOp::And),
-        Just(AmoOp::Or),
-        Just(AmoOp::Min),
-        Just(AmoOp::Max),
-        Just(AmoOp::Minu),
-        Just(AmoOp::Maxu)
-    ]
+fn amo_op(rng: &mut Xoshiro256) -> AmoOp {
+    *rng.pick(&[
+        AmoOp::Swap,
+        AmoOp::Add,
+        AmoOp::Xor,
+        AmoOp::And,
+        AmoOp::Or,
+        AmoOp::Min,
+        AmoOp::Max,
+        AmoOp::Minu,
+        AmoOp::Maxu,
+    ])
 }
 
-fn arb_csr_op() -> impl Strategy<Value = CsrOp> {
-    prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)]
+fn csr_op(rng: &mut Xoshiro256) -> CsrOp {
+    *rng.pick(&[CsrOp::Rw, CsrOp::Rs, CsrOp::Rc])
 }
 
 /// Any instruction legal on RV64 (the superset ISA).
-fn arb_inst_rv64() -> impl Strategy<Value = Inst> {
-    let i12 = -2048i64..2048;
-    let u20 = (-(1i64 << 31)..(1i64 << 31)).prop_map(|v| v & !0xfff);
-    let b13 = (-4096i64..4096).prop_map(|v| v & !1);
-    let j21 = (-(1i64 << 20)..(1i64 << 20)).prop_map(|v| v & !1);
-    prop_oneof![
-        (arb_reg(), u20.clone()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
-        (arb_reg(), u20).prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
-        (arb_reg(), j21).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-        (arb_reg(), arb_reg(), i12.clone())
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-        (arb_branch_cond(), arb_reg(), arb_reg(), b13)
-            .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch { cond, rs1, rs2, offset }),
-        (arb_reg(), arb_reg(), i12.clone(), arb_width_rv64(), any::<bool>()).prop_map(
-            |(rd, rs1, offset, width, unsigned)| {
-                // lwu exists, but ldu/unsigned-D does not; normalise
-                let unsigned = unsigned && width != MemWidth::D;
-                Inst::Load { rd, rs1, offset, width, unsigned }
+fn inst_rv64(rng: &mut Xoshiro256) -> Inst {
+    let i12 = |rng: &mut Xoshiro256| rng.range_i64(-2048, 2048);
+    let u20 = |rng: &mut Xoshiro256| rng.range_i64(-(1i64 << 31), 1i64 << 31) & !0xfff;
+    match rng.below(18) {
+        0 => Inst::Lui {
+            rd: reg(rng),
+            imm: u20(rng),
+        },
+        1 => Inst::Auipc {
+            rd: reg(rng),
+            imm: u20(rng),
+        },
+        2 => Inst::Jal {
+            rd: reg(rng),
+            offset: rng.range_i64(-(1i64 << 20), 1i64 << 20) & !1,
+        },
+        3 => Inst::Jalr {
+            rd: reg(rng),
+            rs1: reg(rng),
+            offset: i12(rng),
+        },
+        4 => Inst::Branch {
+            cond: branch_cond(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            offset: rng.range_i64(-4096, 4096) & !1,
+        },
+        5 => {
+            let width = width_rv64(rng);
+            // lwu exists, but ldu/unsigned-D does not; normalise.
+            let unsigned = rng.chance() && width != MemWidth::D;
+            Inst::Load {
+                rd: reg(rng),
+                rs1: reg(rng),
+                offset: i12(rng),
+                width,
+                unsigned,
             }
-        ),
-        (arb_reg(), arb_reg(), i12.clone(), arb_width_rv64())
-            .prop_map(|(rs1, rs2, offset, width)| Inst::Store { rs1, rs2, offset, width }),
-        (arb_reg(), arb_reg(), i12).prop_map(|(rd, rs1, imm)| Inst::AluImm {
+        }
+        6 => Inst::Store {
+            rs1: reg(rng),
+            rs2: reg(rng),
+            offset: i12(rng),
+            width: width_rv64(rng),
+        },
+        7 => Inst::AluImm {
             op: AluImmOp::Addi,
-            rd,
-            rs1,
-            imm,
-            word: false
-        }),
-        (arb_reg(), arb_reg(), 0i64..64).prop_map(|(rd, rs1, imm)| Inst::AluImm {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: i12(rng),
+            word: false,
+        },
+        8 => Inst::AluImm {
             op: AluImmOp::Srai,
-            rd,
-            rs1,
-            imm,
-            word: false
-        }),
-        (arb_reg(), arb_reg(), 0i64..32).prop_map(|(rd, rs1, imm)| Inst::AluImm {
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: rng.range_i64(0, 64),
+            word: false,
+        },
+        9 => Inst::AluImm {
             op: AluImmOp::Slli,
-            rd,
-            rs1,
-            imm,
-            word: true
-        }),
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2, word: false }),
-        (arb_mul_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Mul { op, rd, rs1, rs2, word: false }),
-        (arb_amo_op(), arb_reg(), arb_reg(), arb_reg(), prop_oneof![
-            Just(MemWidth::W),
-            Just(MemWidth::D)
-        ])
-        .prop_map(|(op, rd, rs1, rs2, width)| Inst::Amo { op, rd, rs1, rs2, width }),
-        (arb_csr_op(), arb_reg(), arb_reg(), 0u16..4096)
-            .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
-        (arb_csr_op(), arb_reg(), 0u8..32, 0u16..4096)
-            .prop_map(|(op, rd, zimm, csr)| Inst::CsrImm { op, rd, zimm, csr }),
-        Just(Inst::Ecall),
-        Just(Inst::Ebreak),
-        Just(Inst::Mret),
-        Just(Inst::Wfi),
-    ]
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: rng.range_i64(0, 32),
+            word: true,
+        },
+        10 => Inst::Alu {
+            op: alu_op(rng),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            word: false,
+        },
+        11 => Inst::Mul {
+            op: mul_op(rng),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            word: false,
+        },
+        12 => Inst::Amo {
+            op: amo_op(rng),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            width: *rng.pick(&[MemWidth::W, MemWidth::D]),
+        },
+        13 => Inst::Csr {
+            op: csr_op(rng),
+            rd: reg(rng),
+            rs1: reg(rng),
+            csr: rng.below(4096) as u16,
+        },
+        14 => Inst::CsrImm {
+            op: csr_op(rng),
+            rd: reg(rng),
+            zimm: rng.below(32) as u8,
+            csr: rng.below(4096) as u16,
+        },
+        15 => Inst::Ecall,
+        16 => Inst::Ebreak,
+        _ => *rng.pick(&[Inst::Mret, Inst::Wfi]),
+    }
 }
 
-proptest! {
-    /// decode(encode(i)) == i for every representable RV64 instruction.
-    #[test]
-    fn encode_decode_roundtrip(inst in arb_inst_rv64()) {
+/// decode(encode(i)) == i for every representable RV64 instruction.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Xoshiro256::new(0x0001);
+    for _ in 0..CASES {
+        let inst = inst_rv64(&mut rng);
         let word = encode(&inst);
         let back = decode(word, Xlen::Rv64).expect("encoded instruction must decode");
-        prop_assert_eq!(back.inst, inst);
-        prop_assert_eq!(back.len, 4);
-        prop_assert_eq!(back.raw, word);
-        prop_assert_eq!(back.uncompressed(), word);
+        assert_eq!(back.inst, inst, "word {word:#010x}");
+        assert_eq!(back.len, 4);
+        assert_eq!(back.raw, word);
+        assert_eq!(back.uncompressed(), word);
     }
+}
 
-    /// The raw-bit classifier agrees with the structural classifier on every
-    /// encodable instruction — the hardware filter and the RoT firmware must
-    /// never disagree about what is a call or a return.
-    #[test]
-    fn classifiers_agree(inst in arb_inst_rv64()) {
-        prop_assert_eq!(classify_raw(encode(&inst)), classify(&inst));
+/// The raw-bit classifier agrees with the structural classifier on every
+/// encodable instruction — the hardware filter and the RoT firmware must
+/// never disagree about what is a call or a return.
+#[test]
+fn classifiers_agree() {
+    let mut rng = Xoshiro256::new(0x0002);
+    for _ in 0..CASES {
+        let inst = inst_rv64(&mut rng);
+        assert_eq!(classify_raw(encode(&inst)), classify(&inst), "{inst:?}");
     }
+}
 
-    /// Random 16-bit halfwords either fail to decode or expand to an
-    /// instruction whose re-encoded 32-bit form decodes back to itself
-    /// (the expansion is internally consistent).
-    #[test]
-    fn compressed_expansion_consistent(half in 0u32..0x1_0000) {
+/// Every 16-bit halfword either fails to decode or expands to an
+/// instruction whose re-encoded 32-bit form decodes back to itself (the
+/// expansion is internally consistent). Exhaustive over all halfwords.
+#[test]
+fn compressed_expansion_consistent() {
+    for half in 0u32..0x1_0000 {
         if half & 0b11 == 0b11 {
-            return Ok(()); // not a compressed encoding
+            continue; // not a compressed encoding
         }
         if let Ok(d) = decode(half, Xlen::Rv64) {
-            prop_assert_eq!(d.len, 2);
+            assert_eq!(d.len, 2, "halfword {half:#06x}");
             let expanded = d.uncompressed();
             let back = decode(expanded, Xlen::Rv64)
                 .expect("expansion of a legal compressed inst must be legal");
-            prop_assert_eq!(back.inst, d.inst);
+            assert_eq!(back.inst, d.inst, "halfword {half:#06x}");
         }
     }
+}
 
-    /// Same property on RV32 (c.jal exists there, wide ops do not).
-    #[test]
-    fn compressed_expansion_consistent_rv32(half in 0u32..0x1_0000) {
+/// Same property on RV32 (c.jal exists there, wide ops do not).
+/// Exhaustive over all halfwords.
+#[test]
+fn compressed_expansion_consistent_rv32() {
+    for half in 0u32..0x1_0000 {
         if half & 0b11 == 0b11 {
-            return Ok(());
+            continue;
         }
         if let Ok(d) = decode(half, Xlen::Rv32) {
             let expanded = d.uncompressed();
             let back = decode(expanded, Xlen::Rv32)
                 .expect("expansion of a legal RV32 compressed inst must be legal on RV32");
-            prop_assert_eq!(back.inst, d.inst);
+            assert_eq!(back.inst, d.inst, "halfword {half:#06x}");
         }
     }
+}
 
-    /// Decoding never panics on arbitrary 32-bit words.
-    #[test]
-    fn decode_total(word in any::<u32>()) {
+/// Decoding never panics on arbitrary 32-bit words.
+#[test]
+fn decode_total() {
+    let mut rng = Xoshiro256::new(0x0003);
+    for _ in 0..CASES * 8 {
+        let word = rng.next_u64() as u32;
         let _ = decode(word, Xlen::Rv64);
         let _ = decode(word, Xlen::Rv32);
     }
+}
 
-    /// Every instruction legal on RV32 is also legal on RV64 with the same
-    /// meaning (the 32-bit encodings; RV64 is a superset there except for
-    /// shamt reinterpretation, which keeps the same fields).
-    #[test]
-    fn rv32_subset_of_rv64(word in any::<u32>()) {
-        prop_assume!(word & 0b11 == 0b11);
+/// Every instruction legal on RV32 is also legal on RV64 with the same
+/// meaning (the 32-bit encodings; RV64 is a superset there except for
+/// shamt reinterpretation, which keeps the same fields).
+#[test]
+fn rv32_subset_of_rv64() {
+    let mut rng = Xoshiro256::new(0x0004);
+    let mut checked = 0;
+    while checked < CASES {
+        let word = (rng.next_u64() as u32) | 0b11;
         if let Ok(d32) = decode(word, Xlen::Rv32) {
             let d64 = decode(word, Xlen::Rv64).expect("RV32-legal word must be RV64-legal");
-            prop_assert_eq!(d32.inst, d64.inst);
+            assert_eq!(d32.inst, d64.inst, "word {word:#010x}");
+            checked += 1;
+        } else {
+            // Random words rarely decode; also sweep encodings of known-
+            // good instructions to keep the property meaningful.
+            let inst = inst_rv64(&mut rng);
+            let word = encode(&inst);
+            if let Ok(d32) = decode(word, Xlen::Rv32) {
+                let d64 = decode(word, Xlen::Rv64).expect("decodes");
+                assert_eq!(d32.inst, d64.inst, "word {word:#010x}");
+                checked += 1;
+            }
         }
     }
 }

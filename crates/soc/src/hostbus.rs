@@ -66,7 +66,13 @@ impl HostBus {
     /// Programs the locked PMP entry that inhibits all software access to
     /// the mailbox window — the configuration the paper assumes.
     pub fn protect_mailbox(&mut self) {
-        self.pmp.add(PmpEntry::napot(MAILBOX_BASE, MAILBOX_SIZE, false, false, false));
+        self.pmp.add(PmpEntry::napot(
+            MAILBOX_BASE,
+            MAILBOX_SIZE,
+            false,
+            false,
+            false,
+        ));
     }
 
     /// Loads bytes into RAM (program loading).
@@ -91,9 +97,7 @@ impl HostBus {
     }
 
     fn in_mailbox(&self, addr: u64, len: u64) -> bool {
-        self.mailbox.is_some()
-            && addr >= MAILBOX_BASE
-            && addr + len <= MAILBOX_BASE + MAILBOX_SIZE
+        self.mailbox.is_some() && addr >= MAILBOX_BASE && addr + len <= MAILBOX_BASE + MAILBOX_SIZE
     }
 
     fn in_scmi(&self, addr: u64, len: u64) -> bool {
@@ -159,9 +163,11 @@ mod tests {
         let mut bus = HostBus::new(0x8000_0000, 0x1000);
         let mb = CfiMailbox::new();
         bus.map_mailbox(mb.clone());
-        bus.write(MAILBOX_BASE, MemWidth::W, 0xdead).expect("writable without PMP");
+        bus.write(MAILBOX_BASE, MemWidth::W, 0xdead)
+            .expect("writable without PMP");
         assert_eq!(mb.host_read_data(0), 0xdead);
-        bus.write(MAILBOX_BASE + 0x20, MemWidth::W, 1).expect("doorbell");
+        bus.write(MAILBOX_BASE + 0x20, MemWidth::W, 1)
+            .expect("doorbell");
         assert!(mb.doorbell_pending());
     }
 

@@ -13,9 +13,9 @@ use cva6_model::{Cva6Core, Halt, TimingConfig};
 use opentitan_model::rot::LatencyProfile;
 use opentitan_model::{CfiMailbox, OpenTitan};
 use riscv_asm::Program;
+use std::collections::VecDeque;
 use titancfi::firmware::build_multicore_firmware;
 use titancfi::{AxiTiming, CfiFilter, CommitLog};
-use std::collections::VecDeque;
 
 /// Number of host cores.
 pub const CORES: usize = 2;
@@ -59,7 +59,12 @@ struct TaggedWriter {
 
 impl TaggedWriter {
     fn new(timing: AxiTiming) -> TaggedWriter {
-        TaggedWriter { state: WriterState::Idle, timing, current: None, logs_written: 0 }
+        TaggedWriter {
+            state: WriterState::Idle,
+            timing,
+            current: None,
+            logs_written: 0,
+        }
     }
 
     fn busy(&self) -> bool {
@@ -76,8 +81,10 @@ impl TaggedWriter {
             WriterState::Idle => {
                 if let Some(tagged) = queue.pop_front() {
                     self.current = Some(tagged);
-                    self.state =
-                        WriterState::Writing { beat: 0, done_at: now + self.timing.write_beat };
+                    self.state = WriterState::Writing {
+                        beat: 0,
+                        done_at: now + self.timing.write_beat,
+                    };
                 }
                 None
             }
@@ -106,7 +113,9 @@ impl TaggedWriter {
             }
             WriterState::WaitCompletion => {
                 if mailbox.host_completion() {
-                    self.state = WriterState::ReadResult { done_at: now + self.timing.read };
+                    self.state = WriterState::ReadResult {
+                        done_at: now + self.timing.read,
+                    };
                 }
                 None
             }
@@ -189,7 +198,10 @@ impl DualHostSoc {
             }
         }
         let cores = programs.map(|program| {
-            assert!(program.bytes.len() <= mem_size, "program larger than memory");
+            assert!(
+                program.bytes.len() <= mem_size,
+                "program larger than memory"
+            );
             let mut bus = HostBus::new(program.base, mem_size);
             bus.load(program.base, &program.bytes);
             bus.map_mailbox(rot.mailbox.clone());
@@ -215,7 +227,10 @@ impl DualHostSoc {
     }
 
     fn tick_once(&mut self) {
-        if let Some(v) = self.writer.tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox) {
+        if let Some(v) = self
+            .writer
+            .tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox)
+        {
             self.violations.push(v);
         }
         self.rot.sync_irq();
@@ -231,9 +246,7 @@ impl DualHostSoc {
 
     fn advance_background(&mut self, until: u64) {
         while self.bg_cycle < until {
-            if self.queue.is_empty()
-                && !self.writer.busy()
-                && !self.rot.mailbox.doorbell_pending()
+            if self.queue.is_empty() && !self.writer.busy() && !self.rot.mailbox.doorbell_pending()
             {
                 self.bg_cycle = until;
                 self.rot.core.advance_to(until);
@@ -274,9 +287,7 @@ impl DualHostSoc {
         }
         // Drain in-flight checks.
         let mut guard = 0u64;
-        while (!self.queue.is_empty()
-            || self.writer.busy()
-            || self.rot.mailbox.doorbell_pending())
+        while (!self.queue.is_empty() || self.writer.busy() || self.rot.mailbox.doorbell_pending())
             && guard < 10_000_000
         {
             self.tick_once();

@@ -143,8 +143,7 @@ impl SystemOnChip {
         // remote-attestation services, attesting the booted CFI firmware.
         let scmi = ScmiWire::new();
         bus.map_scmi(scmi.clone());
-        let scmi_service =
-            ScmiWireService::new(scmi, b"titancfi-attestation-key", &fw.bytes);
+        let scmi_service = ScmiWireService::new(scmi, b"titancfi-attestation-key", &fw.bytes);
         let mut core = Cva6Core::with_bus(bus, program.entry, config.timing);
         core.hart_mut().set_reg(
             riscv_isa::Reg::SP,
@@ -154,7 +153,11 @@ impl SystemOnChip {
         match config.firmware {
             FirmwareKind::Irq => {
                 let (_, ev) = rot.core.run_until_idle(1_000_000);
-                assert_eq!(ev, Some(ibex_model::IbexEvent::Asleep), "firmware must park");
+                assert_eq!(
+                    ev,
+                    Some(ibex_model::IbexEvent::Asleep),
+                    "firmware must park"
+                );
             }
             _ => {
                 let poll_loop = fw.symbol("poll_loop").expect("poll_loop symbol");
@@ -193,9 +196,7 @@ impl SystemOnChip {
     fn advance_background(&mut self, until: u64) {
         while self.bg_cycle < until {
             // Fast-forward across true idleness.
-            if self.queue.is_empty()
-                && !self.writer.busy()
-                && !self.rot.mailbox.doorbell_pending()
+            if self.queue.is_empty() && !self.writer.busy() && !self.rot.mailbox.doorbell_pending()
             {
                 self.scmi_service.poll();
                 self.bg_cycle = until;
@@ -207,7 +208,10 @@ impl SystemOnChip {
     }
 
     fn tick_once(&mut self) {
-        if let Some(v) = self.writer.tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox) {
+        if let Some(v) = self
+            .writer
+            .tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox)
+        {
             self.violations.push(v);
         }
         self.scmi_service.poll();
@@ -244,7 +248,8 @@ impl SystemOnChip {
                     {
                         let v = self.violations[self.trapped_violations];
                         self.trapped_violations = self.violations.len();
-                        self.core.inject_exception(CFI_VIOLATION_CAUSE, v.log.target);
+                        self.core
+                            .inject_exception(CFI_VIOLATION_CAUSE, v.log.target);
                     }
                     if let Some(log) = self.filter.scan(&commit.retired) {
                         // Dual-CF conflict: two CF logs in the same commit
@@ -273,9 +278,7 @@ impl SystemOnChip {
 
         // Drain in-flight checks so counters are final.
         let mut guard = 0u64;
-        while (!self.queue.is_empty()
-            || self.writer.busy()
-            || self.rot.mailbox.doorbell_pending())
+        while (!self.queue.is_empty() || self.writer.busy() || self.rot.mailbox.doorbell_pending())
             && guard < 10_000_000
         {
             self.tick_once();

@@ -37,7 +37,10 @@ pub struct DexieModel {
 
 impl Default for DexieModel {
     fn default() -> DexieModel {
-        DexieModel { check_latency: 1, clock_factor: 1.47 }
+        DexieModel {
+            check_latency: 1,
+            clock_factor: 1.47,
+        }
     }
 }
 
@@ -65,7 +68,10 @@ pub struct FixerModel {
 
 impl Default for FixerModel {
     fn default() -> FixerModel {
-        FixerModel { extra_instructions_per_edge: 3.0, cycles_per_instruction: 1.0 }
+        FixerModel {
+            extra_instructions_per_edge: 3.0,
+            cycles_per_instruction: 1.0,
+        }
     }
 }
 
@@ -125,12 +131,15 @@ mod tests {
         // hundred-kilocycle run, dhrystone excluded as the outlier).
         let f = FixerModel::default();
         let mut total = 0.0;
-        let profiles = [(11u64, 332_000u64), (11, 25_300), (11, 268_000), (9, 37_200)];
+        let profiles = [
+            (11u64, 332_000u64),
+            (11, 25_300),
+            (11, 268_000),
+            (9, 37_200),
+        ];
         for (cf, cycles) in profiles {
-            let t = Trace::from_cf_cycles(
-                (1..=cf).map(|i| i * (cycles / (cf + 1))).collect(),
-                cycles,
-            );
+            let t =
+                Trace::from_cf_cycles((1..=cf).map(|i| i * (cycles / (cf + 1))).collect(), cycles);
             total += f.slowdown_percent(&t);
         }
         let mean = total / 4.0;

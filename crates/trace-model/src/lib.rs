@@ -40,7 +40,10 @@ impl Trace {
             .filter(|c| c.cf_class.is_cfi_relevant())
             .map(|c| c.cycle)
             .collect();
-        Trace { total_cycles, cf_cycles }
+        Trace {
+            total_cycles,
+            cf_cycles,
+        }
     }
 
     /// Builds a trace directly from control-flow commit cycles.
@@ -50,11 +53,17 @@ impl Trace {
     /// Panics if `cf_cycles` is not sorted or exceeds `total_cycles`.
     #[must_use]
     pub fn from_cf_cycles(cf_cycles: Vec<u64>, total_cycles: u64) -> Trace {
-        assert!(cf_cycles.windows(2).all(|w| w[0] <= w[1]), "cf cycles must be sorted");
+        assert!(
+            cf_cycles.windows(2).all(|w| w[0] <= w[1]),
+            "cf cycles must be sorted"
+        );
         if let Some(&last) = cf_cycles.last() {
             assert!(last <= total_cycles, "cf cycle beyond end of trace");
         }
-        Trace { total_cycles, cf_cycles }
+        Trace {
+            total_cycles,
+            cf_cycles,
+        }
     }
 
     /// Number of checked control-flow instructions.
@@ -186,8 +195,17 @@ mod tests {
         let t = uniform_trace(1000, 1);
         let out = simulate(&t, 100, 1);
         let bound = service_bound(&t, 100);
-        assert!(out.slowdown >= bound * 0.95, "{} vs bound {}", out.slowdown, bound);
-        assert!(out.slowdown > 90.0 && out.slowdown < 110.0, "{}", out.slowdown);
+        assert!(
+            out.slowdown >= bound * 0.95,
+            "{} vs bound {}",
+            out.slowdown,
+            bound
+        );
+        assert!(
+            out.slowdown > 90.0 && out.slowdown < 110.0,
+            "{}",
+            out.slowdown
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Property tests for the trace-driven queue model, including differential
 //! testing against an independent brute-force cycle-stepped simulator.
 
-use proptest::prelude::*;
+use titancfi_harness::Xoshiro256;
 use titancfi_trace::{service_bound, simulate, Trace};
+
+const CASES: usize = 512;
 
 /// An independent reference implementation: advance cycle by cycle with an
 /// explicit queue and writer state. O(total_cycles) — only usable for
@@ -34,7 +36,7 @@ fn brute_force_stall(trace: &Trace, latency: u64, depth: usize) -> u64 {
             break;
         }
         // If the queue is full, the core stalls until the writer pops.
-        while queue.len() == depth {
+        if queue.len() == depth {
             // Next pop happens when the writer goes idle.
             let idle_at = writer_busy_until.max(now);
             stall += idle_at - now;
@@ -43,7 +45,6 @@ fn brute_force_stall(trace: &Trace, latency: u64, depth: usize) -> u64 {
             let start = head_enq.max(writer_busy_until);
             writer_active = true;
             writer_busy_until = start.max(now) + latency;
-            break;
         }
         queue.push(now);
         // Writer picks it up immediately if idle.
@@ -56,55 +57,77 @@ fn brute_force_stall(trace: &Trace, latency: u64, depth: usize) -> u64 {
     stall
 }
 
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    (1usize..40, 1u64..30).prop_flat_map(|(n, max_gap)| {
-        proptest::collection::vec(0u64..max_gap, n).prop_map(|gaps| {
-            let mut cycles = Vec::with_capacity(gaps.len());
-            let mut t = 0;
-            for g in gaps {
-                t += g + 1;
-                cycles.push(t);
-            }
-            let total = t + 100;
-            Trace::from_cf_cycles(cycles, total)
-        })
-    })
+fn arb_trace(rng: &mut Xoshiro256) -> Trace {
+    let n = rng.range_u64(1, 40) as usize;
+    let max_gap = rng.range_u64(1, 30);
+    let mut cycles = Vec::with_capacity(n);
+    let mut t = 0;
+    for _ in 0..n {
+        t += rng.below(max_gap) + 1;
+        cycles.push(t);
+    }
+    let total = t + 100;
+    Trace::from_cf_cycles(cycles, total)
 }
 
-proptest! {
-    /// The closed-form model agrees with the brute-force cycle stepper.
-    #[test]
-    fn matches_brute_force(trace in arb_trace(), latency in 1u64..40, depth in 1usize..6) {
+/// The closed-form model agrees with the brute-force cycle stepper.
+#[test]
+fn matches_brute_force() {
+    let mut rng = Xoshiro256::new(0x4001);
+    for _ in 0..CASES {
+        let trace = arb_trace(&mut rng);
+        let latency = rng.range_u64(1, 40);
+        let depth = rng.range_u64(1, 6) as usize;
         let fast = simulate(&trace, latency, depth).stall_cycles;
         let slow = brute_force_stall(&trace, latency, depth);
-        prop_assert_eq!(fast, slow, "latency {} depth {}", latency, depth);
+        assert_eq!(
+            fast, slow,
+            "latency {latency} depth {depth} trace {:?}",
+            trace.cf_cycles
+        );
     }
+}
 
-    /// Deeper queues never increase stalls.
-    #[test]
-    fn monotone_in_depth(trace in arb_trace(), latency in 1u64..60) {
+/// Deeper queues never increase stalls.
+#[test]
+fn monotone_in_depth() {
+    let mut rng = Xoshiro256::new(0x4002);
+    for _ in 0..CASES {
+        let trace = arb_trace(&mut rng);
+        let latency = rng.range_u64(1, 60);
         let mut prev = u64::MAX;
         for depth in 1..8 {
             let s = simulate(&trace, latency, depth).stall_cycles;
-            prop_assert!(s <= prev);
+            assert!(s <= prev, "depth {depth} latency {latency}");
             prev = s;
         }
     }
+}
 
-    /// Higher check latency never decreases stalls.
-    #[test]
-    fn monotone_in_latency(trace in arb_trace(), depth in 1usize..6) {
+/// Higher check latency never decreases stalls.
+#[test]
+fn monotone_in_latency() {
+    let mut rng = Xoshiro256::new(0x4003);
+    for _ in 0..CASES {
+        let trace = arb_trace(&mut rng);
+        let depth = rng.range_u64(1, 6) as usize;
         let mut prev = 0u64;
         for latency in [1u64, 5, 20, 60, 150] {
             let s = simulate(&trace, latency, depth).stall_cycles;
-            prop_assert!(s >= prev);
+            assert!(s >= prev, "latency {latency} depth {depth}");
             prev = s;
         }
     }
+}
 
-    /// The service-rate bound is a true lower bound on the simulated run.
-    #[test]
-    fn service_bound_is_lower_bound(trace in arb_trace(), latency in 1u64..80, depth in 1usize..6) {
+/// The service-rate bound is a true lower bound on the simulated run.
+#[test]
+fn service_bound_is_lower_bound() {
+    let mut rng = Xoshiro256::new(0x4004);
+    for _ in 0..CASES {
+        let trace = arb_trace(&mut rng);
+        let latency = rng.range_u64(1, 80);
+        let depth = rng.range_u64(1, 6) as usize;
         let out = simulate(&trace, latency, depth);
         let bound = service_bound(&trace, latency);
         // Compare total runtimes (bound is on the whole run). The host may
@@ -114,27 +137,40 @@ proptest! {
         let simulated = out.cycles_with_cfi as f64;
         let bound_cycles = trace.total_cycles as f64 * (1.0 + bound);
         let in_flight_slack = ((depth as u64 + 1) * latency) as f64;
-        prop_assert!(simulated + in_flight_slack >= bound_cycles,
-            "simulated {} vs bound {}", simulated, bound_cycles);
+        assert!(
+            simulated + in_flight_slack >= bound_cycles,
+            "simulated {simulated} vs bound {bound_cycles}"
+        );
     }
+}
 
-    /// Time-shifting the whole trace does not change the stall count.
-    #[test]
-    fn shift_invariant(trace in arb_trace(), latency in 1u64..40, shift in 0u64..1000) {
+/// Time-shifting the whole trace does not change the stall count.
+#[test]
+fn shift_invariant() {
+    let mut rng = Xoshiro256::new(0x4005);
+    for _ in 0..CASES {
+        let trace = arb_trace(&mut rng);
+        let latency = rng.range_u64(1, 40);
+        let shift = rng.below(1000);
         let shifted = Trace::from_cf_cycles(
             trace.cf_cycles.iter().map(|c| c + shift).collect(),
             trace.total_cycles + shift,
         );
-        prop_assert_eq!(
+        assert_eq!(
             simulate(&trace, latency, 2).stall_cycles,
-            simulate(&shifted, latency, 2).stall_cycles
+            simulate(&shifted, latency, 2).stall_cycles,
+            "shift {shift} latency {latency}"
         );
     }
+}
 
-    /// With a latency no larger than every gap, even a depth-1 queue never
-    /// stalls.
-    #[test]
-    fn fast_rot_never_stalls(trace in arb_trace()) {
+/// With a latency no larger than every gap, even a depth-1 queue never
+/// stalls.
+#[test]
+fn fast_rot_never_stalls() {
+    let mut rng = Xoshiro256::new(0x4006);
+    for _ in 0..CASES {
+        let trace = arb_trace(&mut rng);
         let min_gap = trace
             .cf_cycles
             .windows(2)
@@ -142,8 +178,9 @@ proptest! {
             .min()
             .unwrap_or(u64::MAX)
             .min(trace.cf_cycles.first().copied().unwrap_or(u64::MAX));
-        prop_assume!(min_gap >= 1);
+        // arb_trace spaces events by at least 1 cycle.
+        assert!(min_gap >= 1);
         let out = simulate(&trace, min_gap.min(50), 1);
-        prop_assert_eq!(out.stall_cycles, 0);
+        assert_eq!(out.stall_cycles, 0, "min gap {min_gap}");
     }
 }

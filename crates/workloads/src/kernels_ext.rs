@@ -788,19 +788,79 @@ pos: .zero 64
 
 /// All extended kernels.
 pub const EXT_KERNELS: [Kernel; 15] = [
-    Kernel { name: "nbody", source: NBODY_SRC, expected: None },
-    Kernel { name: "nsichneu", source: NSICHNEU_SRC, expected: None },
-    Kernel { name: "statemate", source: STATEMATE_SRC, expected: None },
-    Kernel { name: "median", source: MEDIAN_SRC, expected: None },
-    Kernel { name: "vvadd", source: VVADD_SRC, expected: None },
-    Kernel { name: "spmv", source: SPMV_SRC, expected: None },
-    Kernel { name: "cubic", source: CUBIC_SRC, expected: None },
-    Kernel { name: "st", source: ST_SRC, expected: None },
-    Kernel { name: "wikisort", source: WIKISORT_SRC, expected: None },
-    Kernel { name: "huffbench", source: HUFF_SRC, expected: None },
-    Kernel { name: "nettle-aes", source: AES_PROF_SRC, expected: None },
-    Kernel { name: "slre", source: SLRE_SRC, expected: None },
-    Kernel { name: "qrduino", source: QRDUINO_SRC, expected: None },
-    Kernel { name: "picojpeg", source: PICOJPEG_SRC, expected: None },
-    Kernel { name: "minver", source: MINVER_SRC, expected: None },
+    Kernel {
+        name: "nbody",
+        source: NBODY_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "nsichneu",
+        source: NSICHNEU_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "statemate",
+        source: STATEMATE_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "median",
+        source: MEDIAN_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "vvadd",
+        source: VVADD_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "spmv",
+        source: SPMV_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "cubic",
+        source: CUBIC_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "st",
+        source: ST_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "wikisort",
+        source: WIKISORT_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "huffbench",
+        source: HUFF_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "nettle-aes",
+        source: AES_PROF_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "slre",
+        source: SLRE_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "qrduino",
+        source: QRDUINO_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "picojpeg",
+        source: PICOJPEG_SRC,
+        expected: None,
+    },
+    Kernel {
+        name: "minver",
+        source: MINVER_SRC,
+        expected: None,
+    },
 ];

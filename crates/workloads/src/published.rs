@@ -83,28 +83,116 @@ const fn row(
 pub const TABLE3: [PublishedRow; 32] = [
     row("aha-mont64", Suite::EmBench, 2_510_000, 15, 0.0, 0.0, 0.0),
     row("crc32", Suite::EmBench, 3_490_000, 15, 0.0, 0.0, 0.0),
-    row("cubic", Suite::EmBench, 1_100_000, 20_100, 46.0, 107.0, 390.0),
+    row(
+        "cubic",
+        Suite::EmBench,
+        1_100_000,
+        20_100,
+        46.0,
+        107.0,
+        390.0,
+    ),
     row("edn", Suite::EmBench, 4_230_000, 367, 0.0, 0.0, 0.0),
-    row("huffbench", Suite::EmBench, 3_490_000, 2_280, 1.0, 3.0, 11.0),
+    row(
+        "huffbench",
+        Suite::EmBench,
+        3_490_000,
+        2_280,
+        1.0,
+        3.0,
+        11.0,
+    ),
     row("matmult-int", Suite::EmBench, 4_690_000, 205, 0.0, 0.0, 0.0),
     row("minver", Suite::EmBench, 475_000, 4_500, 0.0, 7.0, 153.0),
     row("nbody", Suite::EmBench, 121_000, 4_290, 163.0, 301.0, 849.0),
     row("nettle-aes", Suite::EmBench, 5_200_000, 795, 0.0, 0.0, 0.0),
-    row("nettle-sha256", Suite::EmBench, 4_730_000, 8_570, 1.0, 2.0, 11.0),
+    row(
+        "nettle-sha256",
+        Suite::EmBench,
+        4_730_000,
+        8_570,
+        1.0,
+        2.0,
+        11.0,
+    ),
     row("nsichneu", Suite::EmBench, 5_240_000, 17, 0.0, 0.0, 0.0),
-    row("picojpeg", Suite::EmBench, 4_970_000, 21_400, 5.0, 15.0, 58.0),
+    row(
+        "picojpeg",
+        Suite::EmBench,
+        4_970_000,
+        21_400,
+        5.0,
+        15.0,
+        58.0,
+    ),
     row("qrduino", Suite::EmBench, 4_610_000, 4_350, 0.0, 0.0, 0.0),
-    row("sglib-combined", Suite::EmBench, 3_670_000, 26_200, 9.0, 32.0, 142.0),
-    row("slre", Suite::EmBench, 3_570_000, 66_900, 38.0, 110.0, 401.0),
+    row(
+        "sglib-combined",
+        Suite::EmBench,
+        3_670_000,
+        26_200,
+        9.0,
+        32.0,
+        142.0,
+    ),
+    row(
+        "slre",
+        Suite::EmBench,
+        3_570_000,
+        66_900,
+        38.0,
+        110.0,
+        401.0,
+    ),
     row("st", Suite::EmBench, 147_000, 231, 0.0, 0.0, 2.0),
-    row("statemate", Suite::EmBench, 3_220_000, 27_500, 0.0, 0.0, 129.0),
+    row(
+        "statemate",
+        Suite::EmBench,
+        3_220_000,
+        27_500,
+        0.0,
+        0.0,
+        129.0,
+    ),
     row("ud", Suite::EmBench, 1_870_000, 2_980, 0.0, 0.0, 0.0),
-    row("wikisort", Suite::EmBench, 438_000, 7_690, 94.0, 158.0, 418.0),
-    row("dhrystone", Suite::RiscvTests, 457_000, 22_500, 260.0, 452.0, 1215.0),
+    row(
+        "wikisort",
+        Suite::EmBench,
+        438_000,
+        7_690,
+        94.0,
+        158.0,
+        418.0,
+    ),
+    row(
+        "dhrystone",
+        Suite::RiscvTests,
+        457_000,
+        22_500,
+        260.0,
+        452.0,
+        1215.0,
+    ),
     row("median", Suite::RiscvTests, 25_300, 11, 0.0, 0.0, 0.0),
     row("memcpy", Suite::RiscvTests, 120_000, 11, 0.0, 0.0, 0.0),
-    row("mm", Suite::RiscvTests, 1_410_000, 233_000, 1108.0, 1752.0, 4311.0),
-    row("mt-matmul", Suite::RiscvTests, 57_600, 238, 11.0, 22.0, 65.0),
+    row(
+        "mm",
+        Suite::RiscvTests,
+        1_410_000,
+        233_000,
+        1108.0,
+        1752.0,
+        4311.0,
+    ),
+    row(
+        "mt-matmul",
+        Suite::RiscvTests,
+        57_600,
+        238,
+        11.0,
+        22.0,
+        65.0,
+    ),
     row("mt-memcpy", Suite::RiscvTests, 408_000, 18, 0.0, 0.0, 0.0),
     row("mt-vvadd", Suite::RiscvTests, 148_000, 33, 0.0, 0.0, 0.0),
     row("multiply", Suite::RiscvTests, 37_200, 9, 0.0, 0.0, 0.0),
@@ -135,15 +223,60 @@ pub struct ComparisonRow {
 /// configuration; FIXER reports only a 1.5 % aggregate, which the paper
 /// quotes without a per-benchmark breakdown.
 pub const TABLE2: [ComparisonRow; 9] = [
-    ComparisonRow { name: "aha-mont64", competitor: Some(48.0), competitor_name: "DExIE", titancfi: [0.0, 0.0, 0.0] },
-    ComparisonRow { name: "edn", competitor: Some(47.0), competitor_name: "DExIE", titancfi: [1.0, 1.0, 2.0] },
-    ComparisonRow { name: "matmult-int", competitor: Some(48.0), competitor_name: "DExIE", titancfi: [0.0, 0.0, 1.0] },
-    ComparisonRow { name: "ud", competitor: Some(48.0), competitor_name: "DExIE", titancfi: [12.0, 18.0, 43.0] },
-    ComparisonRow { name: "rsort", competitor: None, competitor_name: "FIXER", titancfi: [0.0, 0.0, 1.0] },
-    ComparisonRow { name: "median", competitor: None, competitor_name: "FIXER", titancfi: [3.0, 5.0, 12.0] },
-    ComparisonRow { name: "qsort", competitor: None, competitor_name: "FIXER", titancfi: [0.0, 0.0, 1.0] },
-    ComparisonRow { name: "multiply", competitor: Some(2.0), competitor_name: "FIXER", titancfi: [2.0, 3.0, 6.0] },
-    ComparisonRow { name: "dhrystone", competitor: None, competitor_name: "FIXER", titancfi: [360.0, 553.0, 1318.0] },
+    ComparisonRow {
+        name: "aha-mont64",
+        competitor: Some(48.0),
+        competitor_name: "DExIE",
+        titancfi: [0.0, 0.0, 0.0],
+    },
+    ComparisonRow {
+        name: "edn",
+        competitor: Some(47.0),
+        competitor_name: "DExIE",
+        titancfi: [1.0, 1.0, 2.0],
+    },
+    ComparisonRow {
+        name: "matmult-int",
+        competitor: Some(48.0),
+        competitor_name: "DExIE",
+        titancfi: [0.0, 0.0, 1.0],
+    },
+    ComparisonRow {
+        name: "ud",
+        competitor: Some(48.0),
+        competitor_name: "DExIE",
+        titancfi: [12.0, 18.0, 43.0],
+    },
+    ComparisonRow {
+        name: "rsort",
+        competitor: None,
+        competitor_name: "FIXER",
+        titancfi: [0.0, 0.0, 1.0],
+    },
+    ComparisonRow {
+        name: "median",
+        competitor: None,
+        competitor_name: "FIXER",
+        titancfi: [3.0, 5.0, 12.0],
+    },
+    ComparisonRow {
+        name: "qsort",
+        competitor: None,
+        competitor_name: "FIXER",
+        titancfi: [0.0, 0.0, 1.0],
+    },
+    ComparisonRow {
+        name: "multiply",
+        competitor: Some(2.0),
+        competitor_name: "FIXER",
+        titancfi: [2.0, 3.0, 6.0],
+    },
+    ComparisonRow {
+        name: "dhrystone",
+        competitor: None,
+        competitor_name: "FIXER",
+        titancfi: [360.0, 553.0, 1318.0],
+    },
 ];
 
 /// FIXER's published aggregate runtime overhead (its paper reports no

@@ -19,9 +19,58 @@
 //! must match the paper's for one `(n1, n2, g2)` to satisfy all three.
 
 use crate::published::{PublishedRow, LATENCY_IRQ, LATENCY_OPT, LATENCY_POLL};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use titancfi_trace::Trace;
+
+/// In-repo xoshiro256** seeded through SplitMix64 — the jitter source for
+/// the uniform component. Replaces the `rand` crate so the core library
+/// DAG builds dependency-free; seeds stay explicit and streams are
+/// identical on every platform.
+#[derive(Debug, Clone)]
+struct Jitter {
+    s: [u64; 4],
+}
+
+impl Jitter {
+    /// Expands a 64-bit seed into xoshiro state with SplitMix64.
+    fn new(seed: u64) -> Jitter {
+        let mut state = seed;
+        let mut split = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Jitter {
+            s: [split(), split(), split(), split()],
+        }
+    }
+
+    /// xoshiro256** step.
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform value in `[0, n)` (rejection-sampled, no modulo bias).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+}
 
 /// Cycles between control-flow instructions inside a very dense run (a
 /// tight call-ret loop retires a handful of instructions per edge).
@@ -59,8 +108,7 @@ impl TraceSpec {
     #[must_use]
     pub fn from_published(row: &PublishedRow, seed: u64) -> TraceSpec {
         let t = row.cycles as f64;
-        let (l_opt, l_poll, l_irq) =
-            (LATENCY_OPT as f64, LATENCY_POLL as f64, LATENCY_IRQ as f64);
+        let (l_opt, l_poll, l_irq) = (LATENCY_OPT as f64, LATENCY_POLL as f64, LATENCY_IRQ as f64);
         // Stall targets in cycles.
         let s_opt = row.slowdown_opt / 100.0 * t;
         let s_poll = row.slowdown_poll / 100.0 * t;
@@ -101,7 +149,7 @@ impl TraceSpec {
     /// Generates the trace.
     #[must_use]
     pub fn generate(&self) -> Trace {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Jitter::new(self.seed);
         let n_uniform = self.cf_count - self.n_dense - self.n_moderate;
         let mut cycles = Vec::with_capacity(self.cf_count as usize);
 
@@ -126,11 +174,18 @@ impl TraceSpec {
         if n_uniform > 0 {
             let bursts = n_uniform.div_ceil(UNIFORM_BURST);
             let start = pos as u64 + 1;
-            let span = self.total_cycles.saturating_sub(start).max(n_uniform * UNIFORM_INTRA_GAP);
+            let span = self
+                .total_cycles
+                .saturating_sub(start)
+                .max(n_uniform * UNIFORM_INTRA_GAP);
             let burst_gap = span / (bursts + 1);
             let mut emitted = 0;
             for b in 0..bursts {
-                let jitter = if burst_gap > 2 { rng.gen_range(0..burst_gap / 2) } else { 0 };
+                let jitter = if burst_gap > 2 {
+                    rng.below(burst_gap / 2)
+                } else {
+                    0
+                };
                 let burst_start = start + (b + 1) * burst_gap + jitter;
                 for i in 0..UNIFORM_BURST.min(n_uniform - emitted) {
                     cycles.push(burst_start + i * UNIFORM_INTRA_GAP);

@@ -10,7 +10,11 @@ fn kernels_compress_meaningfully() {
     for kernel in all_kernels() {
         let plain = kernel.program().expect("plain").bytes.len();
         let comp = kernel.program_compressed().expect("compressed").bytes.len();
-        assert!(comp <= plain, "{}: compression must never grow", kernel.name);
+        assert!(
+            comp <= plain,
+            "{}: compression must never grow",
+            kernel.name
+        );
         total_plain += plain;
         total_comp += comp;
     }
@@ -37,8 +41,18 @@ fn compressed_kernels_all_execute_correctly() {
         let comp = kernel.program_compressed().expect("compressed");
         let mut a = Cva6Core::new(&plain, KERNEL_MEM, TimingConfig::default());
         let mut b = Cva6Core::new(&comp, KERNEL_MEM, TimingConfig::default());
-        assert_eq!(a.run_silent(500_000_000), Halt::Breakpoint, "{}", kernel.name);
-        assert_eq!(b.run_silent(500_000_000), Halt::Breakpoint, "{}", kernel.name);
+        assert_eq!(
+            a.run_silent(500_000_000),
+            Halt::Breakpoint,
+            "{}",
+            kernel.name
+        );
+        assert_eq!(
+            b.run_silent(500_000_000),
+            Halt::Breakpoint,
+            "{}",
+            kernel.name
+        );
         assert_eq!(
             a.reg(Reg::A0),
             b.reg(Reg::A0),

@@ -7,10 +7,17 @@ use riscv_isa::{CfClass, Reg};
 use titancfi_workloads::kernels::{all_kernels, Kernel, KERNEL_MEM};
 
 fn run_kernel(kernel: &Kernel) -> (u64, Vec<cva6_model::Commit>, cva6_model::CoreStats) {
-    let prog = kernel.program().unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+    let prog = kernel
+        .program()
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
     let mut core = Cva6Core::new(&prog, KERNEL_MEM, TimingConfig::default());
     let (trace, halt) = core.run(200_000_000);
-    assert_eq!(halt, Halt::Breakpoint, "{} must run to completion", kernel.name);
+    assert_eq!(
+        halt,
+        Halt::Breakpoint,
+        "{} must run to completion",
+        kernel.name
+    );
     (core.reg(Reg::A0), trace, core.stats())
 }
 
@@ -207,7 +214,10 @@ fn control_flow_profiles_differ() {
     let density = |name: &str| {
         let kernel = all_kernels().find(|k| k.name == name).expect(name);
         let (_, trace, stats) = run_kernel(kernel);
-        let cf = trace.iter().filter(|c| c.cf_class.is_cfi_relevant()).count();
+        let cf = trace
+            .iter()
+            .filter(|c| c.cf_class.is_cfi_relevant())
+            .count();
         cf as f64 * 1000.0 / stats.cycles as f64
     };
     let dhry = density("dhry-calls");
@@ -220,8 +230,13 @@ fn control_flow_profiles_differ() {
 
 #[test]
 fn dispatch_kernel_emits_indirect_jumps() {
-    let kernel = all_kernels().find(|k| k.name == "dispatch").expect("dispatch");
+    let kernel = all_kernels()
+        .find(|k| k.name == "dispatch")
+        .expect("dispatch");
     let (_, trace, _) = run_kernel(kernel);
-    let ijumps = trace.iter().filter(|c| c.cf_class == CfClass::IndirectJump).count();
+    let ijumps = trace
+        .iter()
+        .filter(|c| c.cf_class == CfClass::IndirectJump)
+        .count();
     assert_eq!(ijumps, 100, "one indirect jump per iteration");
 }

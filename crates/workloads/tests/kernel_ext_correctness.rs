@@ -5,11 +5,17 @@ use riscv_isa::Reg;
 use titancfi_workloads::kernels::{all_kernels, KERNEL_MEM};
 
 fn run(name: &str) -> u64 {
-    let kernel = all_kernels().find(|k| k.name == name).unwrap_or_else(|| panic!("{name}?"));
+    let kernel = all_kernels()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("{name}?"));
     let prog = kernel.program().unwrap_or_else(|e| panic!("{name}: {e}"));
     let mut core = Cva6Core::new(&prog, KERNEL_MEM, TimingConfig::default());
     let halt = core.run_silent(500_000_000);
-    assert_eq!(halt, Halt::Breakpoint, "{name} must halt cleanly, got {halt:?}");
+    assert_eq!(
+        halt,
+        Halt::Breakpoint,
+        "{name} must halt cleanly, got {halt:?}"
+    );
     core.reg(Reg::A0)
 }
 

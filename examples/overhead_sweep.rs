@@ -11,13 +11,24 @@ use titancfi_workloads::kernels::{all_kernels, KERNEL_MEM};
 use titancfi_workloads::published::{LATENCY_IRQ, LATENCY_OPT, LATENCY_POLL};
 
 fn main() {
-    let kernel = all_kernels().find(|k| k.name == "dhry-calls").expect("kernel");
+    let kernel = all_kernels()
+        .find(|k| k.name == "dhry-calls")
+        .expect("kernel");
     let program = kernel.program().expect("assembles");
-    let base_config = SocConfig { mem_size: KERNEL_MEM, ..SocConfig::default() };
+    let base_config = SocConfig {
+        mem_size: KERNEL_MEM,
+        ..SocConfig::default()
+    };
     let (_, baseline) = run_baseline(&program, &base_config);
 
-    println!("Full-system sweep on `{}` (baseline {baseline} cycles)\n", kernel.name);
-    println!("{:<12} {:>6} {:>12} {:>10}", "Firmware", "Depth", "Cycles", "Slowdown");
+    println!(
+        "Full-system sweep on `{}` (baseline {baseline} cycles)\n",
+        kernel.name
+    );
+    println!(
+        "{:<12} {:>6} {:>12} {:>10}",
+        "Firmware", "Depth", "Cycles", "Slowdown"
+    );
     println!("{}", "-".repeat(44));
     for fw in FirmwareKind::ALL {
         for depth in [1usize, 2, 4, 8, 16] {
@@ -50,7 +61,11 @@ fn main() {
     );
     println!("{:<12} {:>6} {:>10}", "Latency", "Depth", "Slowdown");
     println!("{}", "-".repeat(30));
-    for (name, latency) in [("IRQ", LATENCY_IRQ), ("Polling", LATENCY_POLL), ("Optimized", LATENCY_OPT)] {
+    for (name, latency) in [
+        ("IRQ", LATENCY_IRQ),
+        ("Polling", LATENCY_POLL),
+        ("Optimized", LATENCY_OPT),
+    ] {
         for depth in [1usize, 8] {
             let out = simulate(&trace, latency, depth);
             println!("{name:<12} {depth:>6} {:>9.1}%", out.slowdown_percent());

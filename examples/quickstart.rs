@@ -47,16 +47,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("TitanCFI quickstart");
     println!("===================");
-    println!("program result (a0):        {}", soc.host_reg(riscv_isa::Reg::A0));
+    println!(
+        "program result (a0):        {}",
+        soc.host_reg(riscv_isa::Reg::A0)
+    );
     println!("halt:                       {:?}", report.halt);
     println!("baseline cycles:            {baseline_cycles}");
     println!("cycles with CFI:            {}", report.cycles);
-    println!("slowdown:                   {:+.2} %", report.slowdown_percent(baseline_cycles));
+    println!(
+        "slowdown:                   {:+.2} %",
+        report.slowdown_percent(baseline_cycles)
+    );
     println!("instructions retired:       {}", report.core.instret);
     println!("control-flow insns checked: {}", report.logs_checked);
     println!("  calls:                    {}", report.filter.calls);
     println!("  returns:                  {}", report.filter.returns);
-    println!("  indirect jumps:           {}", report.filter.indirect_jumps);
+    println!(
+        "  indirect jumps:           {}",
+        report.filter.indirect_jumps
+    );
     println!("CFI queue high-water mark:  {}", report.queue_high_water);
     println!("violations:                 {}", report.violations.len());
     assert!(report.violations.is_empty(), "clean program must pass");

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = assemble(VICTIM, Xlen::Rv64, 0x8000_0000)?;
     let gadget = program.symbol("gadget").expect("gadget symbol");
 
-    let config = SocConfig { halt_on_violation: true, ..SocConfig::default() };
+    let config = SocConfig {
+        halt_on_violation: true,
+        ..SocConfig::default()
+    };
     let mut soc = SystemOnChip::new(&program, config);
     let report = soc.run(1_000_000);
 
@@ -55,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("benign calls passed: {}", report.filter.calls - 1);
     println!("violations raised:   {}", report.violations.len());
 
-    let v = report.violations.first().expect("the hijack must be detected");
+    let v = report
+        .violations
+        .first()
+        .expect("the hijack must be detected");
     println!("\nVIOLATION");
     println!("  offending pc:      {:#x}", v.log.pc);
     println!("  instruction:       {:#010x} (ret)", v.log.insn);

@@ -69,13 +69,20 @@ fn stack_smash_detected_by_rot() {
     let v = &report.violations[0];
     let gadget = prog.symbol("gadget").expect("gadget symbol");
     assert_eq!(v.log.target, gadget, "violation names the gadget address");
-    assert_eq!(v.log.insn, 0x0000_8067, "the offending instruction is the ret");
+    assert_eq!(
+        v.log.insn, 0x0000_8067,
+        "the offending instruction is the ret"
+    );
 }
 
 #[test]
 fn benign_twin_passes() {
     let prog = assemble(BENIGN_SRC);
-    let config = SocConfig { mem_size: KERNEL_MEM, halt_on_violation: true, ..SocConfig::default() };
+    let config = SocConfig {
+        mem_size: KERNEL_MEM,
+        halt_on_violation: true,
+        ..SocConfig::default()
+    };
     let mut soc = SystemOnChip::new(&prog, config);
     let report = soc.run(1_000_000);
     assert_eq!(report.halt, Halt::Breakpoint);

@@ -37,8 +37,8 @@ wait:
 
 #[test]
 fn host_driven_attestation_verifies() {
-    let prog = riscv_asm::assemble(ATTEST_CLIENT, riscv_isa::Xlen::Rv64, 0x8000_0000)
-        .expect("assembles");
+    let prog =
+        riscv_asm::assemble(ATTEST_CLIENT, riscv_isa::Xlen::Rv64, 0x8000_0000).expect("assembles");
     let mut soc = SystemOnChip::new(&prog, SocConfig::default());
     let expected_measurement = soc.firmware_measurement();
     let report = soc.run(1_000_000);
@@ -51,25 +51,40 @@ fn host_driven_attestation_verifies() {
     let att = read_report(&wire);
     let challenge = Challenge { nonce: [0x5a; 16] };
     assert!(
-        verify_report(&att, &challenge, b"titancfi-attestation-key", &expected_measurement),
+        verify_report(
+            &att,
+            &challenge,
+            b"titancfi-attestation-key",
+            &expected_measurement
+        ),
         "signed report must verify against the booted firmware measurement"
     );
     // And it must NOT verify against a different image's measurement.
     let wrong = opentitan_model::sha256::sha256(b"some other firmware");
-    assert!(!verify_report(&att, &challenge, b"titancfi-attestation-key", &wrong));
+    assert!(!verify_report(
+        &att,
+        &challenge,
+        b"titancfi-attestation-key",
+        &wrong
+    ));
 }
 
 #[test]
 fn stale_nonce_rejected_by_verifier() {
-    let prog = riscv_asm::assemble(ATTEST_CLIENT, riscv_isa::Xlen::Rv64, 0x8000_0000)
-        .expect("assembles");
+    let prog =
+        riscv_asm::assemble(ATTEST_CLIENT, riscv_isa::Xlen::Rv64, 0x8000_0000).expect("assembles");
     let mut soc = SystemOnChip::new(&prog, SocConfig::default());
     let measurement = soc.firmware_measurement();
     let _ = soc.run(1_000_000);
     let att = read_report(&read_wire_from_soc(&mut soc));
     // Fresh challenge with a different nonce: the old report is a replay.
     let fresh = Challenge { nonce: [0x77; 16] };
-    assert!(!verify_report(&att, &fresh, b"titancfi-attestation-key", &measurement));
+    assert!(!verify_report(
+        &att,
+        &fresh,
+        b"titancfi-attestation-key",
+        &measurement
+    ));
 }
 
 /// Reads the SCMI response area back through the host bus (what the host

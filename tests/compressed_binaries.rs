@@ -27,12 +27,19 @@ fn compressed_kernels_verify_under_full_cfi() {
         let want = bare.reg(Reg::A0);
 
         // Compressed binary under full CFI.
-        let config = SocConfig { mem_size: KERNEL_MEM, ..SocConfig::default() };
+        let config = SocConfig {
+            mem_size: KERNEL_MEM,
+            ..SocConfig::default()
+        };
         let mut soc = SystemOnChip::new(&compressed, config);
         let report = soc.run(500_000_000);
         assert_eq!(report.halt, Halt::Breakpoint, "{name}");
         assert_eq!(soc.host_reg(Reg::A0), want, "{name}: identical result");
-        assert!(report.violations.is_empty(), "{name}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "{name}: {:?}",
+            report.violations
+        );
         assert!(report.logs_checked > 0, "{name}: logs must flow");
         assert_eq!(report.filter.emitted, report.logs_checked, "{name}");
     }
@@ -45,13 +52,16 @@ fn compressed_stream_contains_rvc_retirements() {
     let mut core = Cva6Core::new(&compressed, KERNEL_MEM, TimingConfig::default());
     let (commits, halt) = core.run(500_000_000);
     assert_eq!(halt, Halt::Breakpoint);
-    let rvc = commits.iter().filter(|c| c.retired.decoded.is_compressed()).count();
+    let rvc = commits
+        .iter()
+        .filter(|c| c.retired.decoded.is_compressed())
+        .count();
     assert!(rvc > 0, "compressed binary must retire RVC encodings");
     // Compressed returns still classify as returns and expand to the
     // canonical 32-bit ret.
-    let c_ret = commits.iter().find(|c| {
-        c.retired.decoded.is_compressed() && c.cf_class == riscv_isa::CfClass::Return
-    });
+    let c_ret = commits
+        .iter()
+        .find(|c| c.retired.decoded.is_compressed() && c.cf_class == riscv_isa::CfClass::Return);
     let c_ret = c_ret.expect("a compressed ret must exist (the `ret` pseudo)");
     assert_eq!(c_ret.retired.decoded.uncompressed(), 0x0000_8067);
 }
@@ -78,9 +88,18 @@ fn compressed_rop_still_detected() {
         .compressed()
         .assemble(victim)
         .expect("assembles");
-    let config = SocConfig { halt_on_violation: true, ..SocConfig::default() };
+    let config = SocConfig {
+        halt_on_violation: true,
+        ..SocConfig::default()
+    };
     let mut soc = SystemOnChip::new(&prog, config);
     let report = soc.run(1_000_000);
-    assert!(!report.violations.is_empty(), "hijack must be detected in RVC code too");
-    assert_eq!(report.violations[0].log.insn, 0x0000_8067, "uncompressed encoding streamed");
+    assert!(
+        !report.violations.is_empty(),
+        "hijack must be detected in RVC code too"
+    );
+    assert_eq!(
+        report.violations[0].log.insn, 0x0000_8067,
+        "uncompressed encoding streamed"
+    );
 }

@@ -12,10 +12,17 @@ use titancfi_soc::{run_baseline, SocConfig, SocReport, SystemOnChip};
 use titancfi_workloads::kernels::{all_kernels, Kernel, KERNEL_MEM};
 
 fn run_under_cfi(kernel: &Kernel, config: SocConfig) -> (SocReport, u64) {
-    let prog = kernel.program().unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+    let prog = kernel
+        .program()
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
     let mut soc = SystemOnChip::new(&prog, config);
     let report = soc.run(500_000_000);
-    assert_eq!(report.halt, Halt::Breakpoint, "{} halts cleanly", kernel.name);
+    assert_eq!(
+        report.halt,
+        Halt::Breakpoint,
+        "{} halts cleanly",
+        kernel.name
+    );
     (report, soc.host_reg(Reg::A0))
 }
 
@@ -24,7 +31,10 @@ fn kernels_run_correctly_under_full_cfi() {
     // A representative mix; the full sweep lives in the bench harness.
     for name in ["fib", "dhry-calls", "dispatch", "memcpy", "towers"] {
         let kernel = all_kernels().find(|k| k.name == name).expect(name);
-        let config = SocConfig { mem_size: KERNEL_MEM, ..SocConfig::default() };
+        let config = SocConfig {
+            mem_size: KERNEL_MEM,
+            ..SocConfig::default()
+        };
         let (report, a0) = run_under_cfi(kernel, config);
         // Functional result identical to the bare run.
         let prog = kernel.program().expect("assembles");
@@ -32,7 +42,11 @@ fn kernels_run_correctly_under_full_cfi() {
         let _ = bare.run_silent(500_000_000);
         assert_eq!(a0, bare.reg(Reg::A0), "{name}: CFI must not change results");
         // No false positives.
-        assert!(report.violations.is_empty(), "{name}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "{name}: {:?}",
+            report.violations
+        );
         // Every filtered log was eventually checked.
         assert_eq!(report.filter.emitted, report.logs_checked, "{name}");
     }
@@ -40,7 +54,10 @@ fn kernels_run_correctly_under_full_cfi() {
 
 #[test]
 fn cfi_slowdown_grows_with_cf_density() {
-    let config = SocConfig { mem_size: KERNEL_MEM, ..SocConfig::default() };
+    let config = SocConfig {
+        mem_size: KERNEL_MEM,
+        ..SocConfig::default()
+    };
     let slowdown = |name: &str| {
         let kernel = all_kernels().find(|k| k.name == name).expect(name);
         let prog = kernel.program().expect("assembles");
@@ -82,7 +99,9 @@ fn deeper_queue_reduces_slowdown_on_call_dense_code() {
 
 #[test]
 fn firmware_variants_ordered_by_speed() {
-    let kernel = all_kernels().find(|k| k.name == "dhry-calls").expect("kernel");
+    let kernel = all_kernels()
+        .find(|k| k.name == "dhry-calls")
+        .expect("kernel");
     let prog = kernel.program().expect("assembles");
     let mut totals = Vec::new();
     for fw in FirmwareKind::ALL {
@@ -98,13 +117,21 @@ fn firmware_variants_ordered_by_speed() {
     }
     // IRQ slowest, Optimized fastest.
     assert!(totals[0].1 >= totals[1].1, "IRQ >= Polling: {totals:?}");
-    assert!(totals[1].1 >= totals[2].1, "Polling >= Optimized: {totals:?}");
+    assert!(
+        totals[1].1 >= totals[2].1,
+        "Polling >= Optimized: {totals:?}"
+    );
 }
 
 #[test]
 fn indirect_dispatch_checked_but_clean() {
-    let kernel = all_kernels().find(|k| k.name == "dispatch").expect("dispatch");
-    let config = SocConfig { mem_size: KERNEL_MEM, ..SocConfig::default() };
+    let kernel = all_kernels()
+        .find(|k| k.name == "dispatch")
+        .expect("dispatch");
+    let config = SocConfig {
+        mem_size: KERNEL_MEM,
+        ..SocConfig::default()
+    };
     let (report, _) = run_under_cfi(kernel, config);
     // 100 indirect jumps were streamed and checked.
     assert!(report.filter.indirect_jumps >= 100);
@@ -134,7 +161,10 @@ fn queue_high_water_bounded_by_depth() {
 #[test]
 fn report_counters_consistent() {
     let kernel = all_kernels().find(|k| k.name == "towers").expect("towers");
-    let config = SocConfig { mem_size: KERNEL_MEM, ..SocConfig::default() };
+    let config = SocConfig {
+        mem_size: KERNEL_MEM,
+        ..SocConfig::default()
+    };
     let (report, _) = run_under_cfi(kernel, config);
     assert_eq!(
         report.filter.calls + report.filter.returns + report.filter.indirect_jumps,
@@ -152,7 +182,10 @@ fn dual_control_flow_commits_are_rare() {
     // stay a small fraction of the checked instructions.
     for name in ["fib", "dhry-calls", "towers"] {
         let kernel = all_kernels().find(|k| k.name == name).expect(name);
-        let config = SocConfig { mem_size: KERNEL_MEM, ..SocConfig::default() };
+        let config = SocConfig {
+            mem_size: KERNEL_MEM,
+            ..SocConfig::default()
+        };
         let (report, _) = run_under_cfi(kernel, config);
         let rate = report.stalls_dual_cf as f64 / report.filter.emitted.max(1) as f64;
         assert!(

@@ -2,9 +2,9 @@
 //! agree verdict-for-verdict on the same commit-log streams — the classic
 //! golden-model-vs-implementation check, including property-based streams.
 
-use proptest::prelude::*;
 use titancfi::firmware::{FirmwareKind, FirmwareRunner};
 use titancfi::CommitLog;
+use titancfi_harness::Xoshiro256;
 use titancfi_policies::{attacks, CfiPolicy, ShadowStackPolicy};
 
 fn firmware_verdicts(stream: &[CommitLog]) -> Vec<bool> {
@@ -42,15 +42,23 @@ fn agree_on_rop_attack() {
 
 #[test]
 fn agree_on_underflow() {
-    let ret = CommitLog { pc: 0x9000, insn: 0x0000_8067, next: 0x9004, target: 0x1234 };
+    let ret = CommitLog {
+        pc: 0x9000,
+        insn: 0x0000_8067,
+        next: 0x9004,
+        target: 0x1234,
+    };
     assert_eq!(firmware_verdicts(&[ret]), golden_verdicts(&[ret]));
     assert_eq!(firmware_verdicts(&[ret]), vec![true]);
 }
 
 /// Generates plausible commit-log streams: a random walk of calls, matched
 /// or mismatched returns, and indirect jumps.
-fn arb_stream() -> impl Strategy<Value = Vec<CommitLog>> {
-    proptest::collection::vec((0u8..4, any::<u16>()), 1..60).prop_map(|ops| {
+fn arb_stream(rng: &mut Xoshiro256) -> Vec<CommitLog> {
+    let ops: Vec<(u8, u16)> = (0..rng.range_u64(1, 60))
+        .map(|_| (rng.below(4) as u8, rng.next_u64() as u16))
+        .collect();
+    {
         let mut stack: Vec<u64> = Vec::new();
         let mut stream = Vec::new();
         let mut pc = 0x8000_0000u64;
@@ -59,7 +67,12 @@ fn arb_stream() -> impl Strategy<Value = Vec<CommitLog>> {
                 // call
                 0 | 1 => {
                     let target = pc + 0x100 + u64::from(r) * 4;
-                    stream.push(CommitLog { pc, insn: 0x0080_00ef, next: pc + 4, target });
+                    stream.push(CommitLog {
+                        pc,
+                        insn: 0x0080_00ef,
+                        next: pc + 4,
+                        target,
+                    });
                     stack.push(pc + 4);
                     pc = target;
                 }
@@ -72,33 +85,48 @@ fn arb_stream() -> impl Strategy<Value = Vec<CommitLog>> {
                         (Some(t), true) => t ^ 0x40,
                         (None, _) => 0xdead_0000 + u64::from(r),
                     };
-                    stream.push(CommitLog { pc, insn: 0x0000_8067, next: pc + 4, target });
+                    stream.push(CommitLog {
+                        pc,
+                        insn: 0x0000_8067,
+                        next: pc + 4,
+                        target,
+                    });
                     pc = target;
                 }
                 // indirect jump
                 _ => {
                     let target = 0x8000_4000 + u64::from(r) * 4;
-                    stream.push(CommitLog { pc, insn: 0x0007_8067, next: pc + 4, target });
+                    stream.push(CommitLog {
+                        pc,
+                        insn: 0x0007_8067,
+                        next: pc + 4,
+                        target,
+                    });
                     pc = target;
                 }
             }
             pc &= 0xffff_ffff; // stay in the 32-bit space the firmware compares
         }
         stream
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    /// Verdict-for-verdict agreement on arbitrary streams. NOTE: after the
-    /// first violation the firmware and golden model may diverge (a real
-    /// deployment traps on the first violation), so agreement is only
-    /// required up to and including the first flagged event.
-    #[test]
-    fn golden_model_matches_firmware(stream in arb_stream()) {
+/// Verdict-for-verdict agreement on arbitrary streams. NOTE: after the
+/// first violation the firmware and golden model may diverge (a real
+/// deployment traps on the first violation), so agreement is only
+/// required up to and including the first flagged event.
+#[test]
+fn golden_model_matches_firmware() {
+    let mut rng = Xoshiro256::new(0x6001);
+    for case in 0..16 {
+        let stream = arb_stream(&mut rng);
         let fw = firmware_verdicts(&stream);
         let gold = golden_verdicts(&stream);
         let first_violation = gold.iter().position(|&v| v).map_or(gold.len(), |i| i + 1);
-        prop_assert_eq!(&fw[..first_violation], &gold[..first_violation]);
+        assert_eq!(
+            &fw[..first_violation],
+            &gold[..first_violation],
+            "case {case}"
+        );
     }
 }

@@ -43,7 +43,10 @@ fn trace_model_tracks_full_system() {
     let [irq_lat, poll_lat, _] = measured_latencies();
     for name in ["fib", "dispatch", "statemate", "memcpy"] {
         let kernel = all_kernels().find(|k| k.name == name).expect(name);
-        for (fw, lat) in [(FirmwareKind::Irq, irq_lat), (FirmwareKind::Polling, poll_lat)] {
+        for (fw, lat) in [
+            (FirmwareKind::Irq, irq_lat),
+            (FirmwareKind::Polling, poll_lat),
+        ] {
             let sys = system_slowdown(kernel, fw, 8);
             let model = model_slowdown(kernel, lat, 8);
             // Both near zero, or within 40 % of each other: the model lacks

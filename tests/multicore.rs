@@ -71,8 +71,7 @@ fn shadow_stacks_are_isolated_per_core() {
     let mut soc = DualHostSoc::new([&core0, &core1], 1 << 20, 8);
     let report = soc.run(10_000_000);
 
-    let core1_violations: Vec<_> =
-        report.violations.iter().filter(|v| v.core == 1).collect();
+    let core1_violations: Vec<_> = report.violations.iter().filter(|v| v.core == 1).collect();
     assert!(
         !core1_violations.is_empty(),
         "core 1's bare return must underflow its own bank: {:?}",

@@ -41,14 +41,25 @@ fn violation_delivers_exception_to_host() {
     let prog = riscv_asm::assemble(VICTIM_WITH_HANDLER, riscv_isa::Xlen::Rv64, 0x8000_0000)
         .expect("assembles");
     let gadget = prog.symbol("gadget").expect("gadget");
-    let config = SocConfig { trap_host_on_violation: true, ..SocConfig::default() };
+    let config = SocConfig {
+        trap_host_on_violation: true,
+        ..SocConfig::default()
+    };
     let mut soc = SystemOnChip::new(&prog, config);
     let report = soc.run(1_000_000);
 
     assert_eq!(report.halt, Halt::Breakpoint, "handler's ebreak reached");
     assert_eq!(soc.host_reg(Reg::A0), 0x5afe, "containment code ran");
-    assert_eq!(soc.host_reg(Reg::S10), CFI_VIOLATION_CAUSE, "mcause identifies CFI");
-    assert_eq!(soc.host_reg(Reg::S11), gadget, "mtval names the gadget target");
+    assert_eq!(
+        soc.host_reg(Reg::S10),
+        CFI_VIOLATION_CAUSE,
+        "mcause identifies CFI"
+    );
+    assert_eq!(
+        soc.host_reg(Reg::S11),
+        gadget,
+        "mtval names the gadget target"
+    );
     assert!(!report.violations.is_empty());
 }
 
@@ -58,12 +69,18 @@ fn without_trap_config_payload_keeps_running() {
     // cycle budget — demonstrating why the exception line matters.
     let prog = riscv_asm::assemble(VICTIM_WITH_HANDLER, riscv_isa::Xlen::Rv64, 0x8000_0000)
         .expect("assembles");
-    let config = SocConfig { trap_host_on_violation: false, ..SocConfig::default() };
+    let config = SocConfig {
+        trap_host_on_violation: false,
+        ..SocConfig::default()
+    };
     let mut soc = SystemOnChip::new(&prog, config);
     let report = soc.run(100_000);
     assert_eq!(report.halt, Halt::Budget, "payload spins forever");
     assert_eq!(soc.host_reg(Reg::A0), 0x666, "attacker code ran unchecked");
-    assert!(!report.violations.is_empty(), "...though the RoT did flag it");
+    assert!(
+        !report.violations.is_empty(),
+        "...though the RoT did flag it"
+    );
 }
 
 #[test]
@@ -81,7 +98,10 @@ fn clean_program_never_traps() {
         ebreak
     ";
     let prog = riscv_asm::assemble(clean, riscv_isa::Xlen::Rv64, 0x8000_0000).expect("ok");
-    let config = SocConfig { trap_host_on_violation: true, ..SocConfig::default() };
+    let config = SocConfig {
+        trap_host_on_violation: true,
+        ..SocConfig::default()
+    };
     let mut soc = SystemOnChip::new(&prog, config);
     let report = soc.run(1_000_000);
     assert_eq!(report.halt, Halt::Breakpoint);
