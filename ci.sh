@@ -16,4 +16,16 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> trace smoke (instrumented run + Perfetto export)"
+trace_dir=$(mktemp -d)
+cargo run --release -p titancfi-bench --bin trace -- \
+    --kernel fib --firmware polling --depth 8 \
+    --trace "$trace_dir/trace.json" \
+    --collapsed "$trace_dir/trace.folded" \
+    --metrics "$trace_dir/metrics.json"
+for f in trace.json trace.folded metrics.json; do
+    test -s "$trace_dir/$f" || { echo "trace smoke: $f missing/empty"; exit 1; }
+done
+rm -rf "$trace_dir"
+
 echo "==> ci.sh: all green"

@@ -9,6 +9,7 @@
 use std::hint::black_box;
 use titancfi::{CfiQueue, CommitLog};
 use titancfi_harness::timing::{bench, bench_throughput};
+use titancfi_obs::{NoProbe, Probe, Recorder};
 use titancfi_trace::{simulate, Trace};
 
 fn bench_decode() {
@@ -67,6 +68,41 @@ fn bench_queue() {
     });
 }
 
+fn bench_probe_overhead() {
+    // The observability contract: the `_probed` hot-path variants driven by
+    // `NoProbe` (instrumentation disabled — the default simulation path)
+    // must cost the same as the plain calls. Compare the two queue loops
+    // directly; a live `Recorder` shows what enabling instrumentation adds.
+    let log = CommitLog {
+        pc: 0,
+        insn: 0x0000_8067,
+        next: 4,
+        target: 8,
+    };
+    let mut q = CfiQueue::new(8);
+    let mut noprobe = NoProbe;
+    bench("probe/queue_depth8_noprobe", || {
+        for cycle in 0..8 {
+            q.push_probed(black_box(log), cycle, &mut noprobe);
+        }
+        for cycle in 0..8 {
+            black_box(q.pop_probed(cycle, &mut noprobe));
+        }
+    });
+    let mut recorder = Recorder::new();
+    bench("probe/queue_depth8_recording", || {
+        for cycle in 0..8 {
+            q.push_probed(black_box(log), cycle, &mut recorder);
+        }
+        for cycle in 0..8 {
+            black_box(q.pop_probed(cycle, &mut recorder));
+        }
+    });
+    bench_throughput("probe/counter_add_recording", 1, || {
+        recorder.counter_add("bench.counter", black_box(1));
+    });
+}
+
 fn bench_trace_model() {
     // A 100k-event bursty trace, similar to the `mm` benchmark's density.
     let mut cf = Vec::with_capacity(100_000);
@@ -108,6 +144,7 @@ fn main() {
     bench_decode();
     bench_commit_log();
     bench_queue();
+    bench_probe_overhead();
     bench_trace_model();
     bench_crypto();
     bench_cva6_throughput();

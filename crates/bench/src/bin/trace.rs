@@ -1,0 +1,232 @@
+//! Cycle-level instrumented run: Perfetto trace export, stall attribution,
+//! and the exact firmware hot-spot profile for one kernel.
+//!
+//! ```text
+//! cargo run --release -p titancfi-bench --bin trace -- \
+//!     --kernel fib --firmware polling --trace out.json --collapsed out.folded
+//! ```
+//!
+//! The `--trace` file is Chrome/Perfetto `trace_event` JSON — open it at
+//! `ui.perfetto.dev`. The `--collapsed` file is flamegraph-collapsed stack
+//! lines (`flamegraph.pl out.folded > out.svg`).
+
+use std::process::ExitCode;
+use titancfi::firmware::FirmwareKind;
+use titancfi_obs::Timeline;
+use titancfi_soc::{run_baseline, SocConfig, SystemOnChip};
+use titancfi_workloads::kernels::{all_kernels, Kernel, KERNEL_MEM};
+
+const USAGE: &str = "\
+usage: trace [options]
+
+  -k, --kernel NAME   kernel to run (default: fib); --list shows all
+      --firmware V    firmware variant: irq | polling | optimized (default: polling)
+      --depth N       CFI queue depth (default: 8)
+      --max-cycles N  cycle budget (default: 10000000)
+      --trace PATH    write Perfetto trace_event JSON to PATH ('-' for stdout)
+      --collapsed P   write flamegraph-collapsed stacks to P
+      --metrics P     write the metric registry as JSON to P
+      --top N         hot-spot rows to print (default: 10)
+      --list          list available kernels and exit
+  -h, --help          this text
+";
+
+struct Options {
+    kernel: String,
+    firmware: FirmwareKind,
+    depth: usize,
+    max_cycles: u64,
+    trace: Option<String>,
+    collapsed: Option<String>,
+    metrics: Option<String>,
+    top: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        kernel: "fib".to_string(),
+        firmware: FirmwareKind::Polling,
+        depth: 8,
+        max_cycles: 10_000_000,
+        trace: None,
+        collapsed: None,
+        metrics: None,
+        top: 10,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-k" | "--kernel" => {
+                opts.kernel = args.next().ok_or("missing value for --kernel")?;
+            }
+            "--firmware" => {
+                let v = args.next().ok_or("missing value for --firmware")?;
+                opts.firmware = match v.as_str() {
+                    "irq" => FirmwareKind::Irq,
+                    "polling" => FirmwareKind::Polling,
+                    "optimized" => FirmwareKind::Optimized,
+                    other => return Err(format!("unknown firmware `{other}`")),
+                };
+            }
+            "--depth" => {
+                let v = args.next().ok_or("missing value for --depth")?;
+                opts.depth = v.parse().map_err(|_| format!("bad depth `{v}`"))?;
+            }
+            "--max-cycles" => {
+                let v = args.next().ok_or("missing value for --max-cycles")?;
+                opts.max_cycles = v.parse().map_err(|_| format!("bad cycle count `{v}`"))?;
+            }
+            "--trace" => opts.trace = Some(args.next().ok_or("missing value for --trace")?),
+            "--collapsed" => {
+                opts.collapsed = Some(args.next().ok_or("missing value for --collapsed")?);
+            }
+            "--metrics" => opts.metrics = Some(args.next().ok_or("missing value for --metrics")?),
+            "--top" => {
+                let v = args.next().ok_or("missing value for --top")?;
+                opts.top = v.parse().map_err(|_| format!("bad row count `{v}`"))?;
+            }
+            "--list" => {
+                for k in all_kernels() {
+                    println!("{}", k.name);
+                }
+                std::process::exit(0);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn write_output(path: &str, content: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("trace: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let Some(kernel) = Kernel::by_name(&opts.kernel) else {
+        eprintln!("trace: unknown kernel `{}` (try --list)", opts.kernel);
+        return ExitCode::from(2);
+    };
+    let program = match kernel.program() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("trace: kernel `{}` failed to assemble: {e}", opts.kernel);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = SocConfig {
+        queue_depth: opts.depth,
+        firmware: opts.firmware,
+        mem_size: KERNEL_MEM,
+        ..SocConfig::default()
+    };
+    let (_, baseline_cycles) = run_baseline(&program, &config);
+    let mut soc = SystemOnChip::new(&program, config);
+    soc.attach_recorder();
+    let report = soc.run(opts.max_cycles);
+    let recorder = soc.take_recorder().expect("recorder was attached");
+
+    println!(
+        "kernel {} · firmware {:?} · queue depth {}",
+        opts.kernel, opts.firmware, opts.depth
+    );
+    println!(
+        "cycles {} (baseline {baseline_cycles}, {:+.2} %) · logs checked {} · halt {:?}",
+        report.cycles,
+        report.slowdown_percent(baseline_cycles),
+        report.logs_checked,
+        report.halt
+    );
+    println!();
+
+    // Stall attribution: the probe counters must re-derive the report.
+    let m = &recorder.metrics;
+    let attributed = m.counter("stall.dual_cf") + m.counter("stall.queue_full");
+    println!("stall attribution:");
+    println!(
+        "  dual-CF commits        {:>10}",
+        m.counter("stall.dual_cf")
+    );
+    println!(
+        "  queue full             {:>10}  (AXI beats in flight {}, RoT check {})",
+        m.counter("stall.queue_full"),
+        m.counter("stall.axi_busy"),
+        m.counter("stall.fw_wait"),
+    );
+    println!(
+        "  total                  {:>10}  (report: {})",
+        attributed,
+        report.stalls_queue_full + report.stalls_dual_cf
+    );
+    println!();
+    print!("{}", m.render());
+    println!();
+    if let Some(profiler) = recorder.profiler.as_ref() {
+        print!("{}", profiler.report(opts.top));
+    }
+
+    if let Some(path) = opts.trace.as_deref() {
+        let json = recorder.timeline.to_perfetto_json().encode();
+        if let Err(e) = Timeline::validate(&json) {
+            eprintln!("trace: exported trace failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(msg) = write_output(path, &json) {
+            eprintln!("trace: {msg}");
+            return ExitCode::FAILURE;
+        }
+        if recorder.timeline.dropped() > 0 {
+            eprintln!(
+                "trace: event cap hit, {} events dropped",
+                recorder.timeline.dropped()
+            );
+        }
+        eprintln!(
+            "trace: wrote {} events to {path} (open at ui.perfetto.dev)",
+            recorder.timeline.len()
+        );
+    }
+    if let Some(path) = opts.collapsed.as_deref() {
+        let folded = recorder
+            .profiler
+            .as_ref()
+            .map(titancfi_obs::FirmwareProfiler::collapsed)
+            .unwrap_or_default();
+        if let Err(msg) = write_output(path, &folded) {
+            eprintln!("trace: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = opts.metrics.as_deref() {
+        if let Err(msg) = write_output(path, &m.to_json().encode()) {
+            eprintln!("trace: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if attributed != report.stalls_queue_full + report.stalls_dual_cf {
+        eprintln!(
+            "trace: stall attribution mismatch: counters {attributed} vs report {}",
+            report.stalls_queue_full + report.stalls_dual_cf
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

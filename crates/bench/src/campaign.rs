@@ -30,7 +30,7 @@ use titancfi_workloads::{ComparisonRow, Kernel, PublishedRow};
 /// Bumped whenever a fragment's rendering or an underlying model changes
 /// in a way that alters output for the same parameters — it is part of
 /// every descriptor, so bumping it invalidates all cached results at once.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 fn latency_field() -> (&'static str, String) {
     (
@@ -136,9 +136,21 @@ impl Job for Table3RowJob {
     }
 
     fn run(&self) -> Result<JobOutput, String> {
+        // Stall attribution at the table's queue depth and the depth-1
+        // counterfactual, so the campaign report can total why rows stall.
+        let trace =
+            titancfi_workloads::synthetic::trace_for(self.row, crate::xtitan_seed(self.row.name));
+        let d8 = titancfi_trace::simulate(&trace, LATENCY_IRQ, TABLE3_QUEUE_DEPTH);
+        let d1 = titancfi_trace::simulate(&trace, LATENCY_IRQ, 1);
         Ok(JobOutput {
             artifact: crate::table3_row_line(self.row),
-            metrics: vec![("sim_cycles".to_string(), self.row.cycles as f64 * 3.0)],
+            metrics: vec![
+                ("sim_cycles".to_string(), self.row.cycles as f64 * 3.0),
+                ("stall.cycles.d8".to_string(), d8.stall_cycles as f64),
+                ("stall.events.d8".to_string(), d8.stall_events as f64),
+                ("stall.cycles.d1".to_string(), d1.stall_cycles as f64),
+                ("stall.events.d1".to_string(), d1.stall_events as f64),
+            ],
         })
     }
 }

@@ -61,6 +61,43 @@ fn parallel_campaign_matches_serial_output() {
     );
 }
 
+/// Aggregated metric totals — including the stall-attribution counters the
+/// Table III jobs emit — are identical at `-j1` and `-j8`: instrumentation
+/// is as deterministic as the artifacts.
+#[test]
+fn metric_totals_deterministic_across_worker_counts() {
+    let plan = CampaignPlan::build(PlanSpec {
+        tables: true,
+        sweep: false,
+        native: false,
+    });
+    let serial = run(&plan, 1, None);
+    let wide = run(&plan, 8, None);
+    assert_eq!(serial.report.failed, 0);
+    assert_eq!(wide.report.failed, 0);
+    assert_eq!(
+        serial.report.metric_totals, wide.report.metric_totals,
+        "metric totals must not depend on worker count"
+    );
+    for key in [
+        "sim_cycles",
+        "stall.cycles.d1",
+        "stall.cycles.d8",
+        "stall.events.d1",
+        "stall.events.d8",
+    ] {
+        assert!(
+            serial.report.metric_totals.contains_key(key),
+            "missing metric total `{key}`"
+        );
+    }
+    // Depth 8 can only help: the aggregate confirms Table III's premise.
+    assert!(
+        serial.report.metric_totals["stall.cycles.d8"]
+            <= serial.report.metric_totals["stall.cycles.d1"]
+    );
+}
+
 /// A second run over the same cache executes nothing, reports every job as
 /// a cache hit, and still assembles identical bytes.
 #[test]

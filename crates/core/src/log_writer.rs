@@ -10,6 +10,7 @@
 use crate::commit_log::{CommitLog, BEATS};
 use crate::queue::CfiQueue;
 use opentitan_model::CfiMailbox;
+use titancfi_obs::{NoProbe, Probe, Track};
 
 /// AXI timing for the Log Writer's master port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +67,8 @@ pub struct LogWriter {
     state: WriterState,
     timing: AxiTiming,
     current: Option<CommitLog>,
+    /// Cycle the doorbell for the in-flight log was rung (latency probe).
+    doorbell_rung_at: u64,
     /// Logs fully processed (checked by the RoT).
     pub logs_written: u64,
     /// Violations raised.
@@ -80,6 +83,7 @@ impl LogWriter {
             state: WriterState::Idle,
             timing,
             current: None,
+            doorbell_rung_at: 0,
             logs_written: 0,
             violations: 0,
         }
@@ -107,14 +111,28 @@ impl LogWriter {
         queue: &mut CfiQueue,
         mailbox: &CfiMailbox,
     ) -> Option<Violation> {
+        self.tick_probed(now, queue, mailbox, &mut NoProbe)
+    }
+
+    /// Like [`LogWriter::tick`], narrating the FSM on the probe: a
+    /// `drain-log` span covers pop-to-verdict, AXI beats and the
+    /// doorbell-to-completion latency land in counters/histograms.
+    pub fn tick_probed(
+        &mut self,
+        now: u64,
+        queue: &mut CfiQueue,
+        mailbox: &CfiMailbox,
+        probe: &mut dyn Probe,
+    ) -> Option<Violation> {
         match self.state {
             WriterState::Idle => {
-                if let Some(log) = queue.pop() {
+                if let Some(log) = queue.pop_probed(now, probe) {
                     self.current = Some(log);
                     self.state = WriterState::Writing {
                         beat: 0,
                         done_at: now + self.timing.write_beat,
                     };
+                    probe.span_begin(Track::LogWriter, "drain-log", now);
                 }
                 None
             }
@@ -130,9 +148,11 @@ impl LogWriter {
                 if 2 * beat + 1 < crate::commit_log::WORDS {
                     mailbox.host_write_data(2 * beat + 1, words[1]);
                 }
+                probe.counter_add("writer.axi_beats", 1);
                 if beat + 1 == BEATS {
                     // Final transaction: ring the doorbell.
-                    mailbox.host_ring_doorbell();
+                    mailbox.host_ring_doorbell_probed(now, probe);
+                    self.doorbell_rung_at = now;
                     self.state = WriterState::WaitCompletion;
                 } else {
                     self.state = WriterState::Writing {
@@ -143,7 +163,11 @@ impl LogWriter {
                 None
             }
             WriterState::WaitCompletion => {
-                if mailbox.host_completion() {
+                if mailbox.host_completion_probed(now, probe) {
+                    probe.histogram_record(
+                        "mailbox.doorbell_to_completion",
+                        now - self.doorbell_rung_at,
+                    );
                     self.state = WriterState::ReadResult {
                         done_at: now + self.timing.read,
                     };
@@ -162,8 +186,11 @@ impl LogWriter {
                     .expect("read state implies a current log");
                 self.logs_written += 1;
                 self.state = WriterState::Idle;
+                probe.counter_add("writer.logs_checked", 1);
+                probe.span_end(Track::LogWriter, now);
                 if verdict != 0 {
                     self.violations += 1;
+                    probe.instant(Track::LogWriter, "violation", now);
                     return Some(Violation { log, cycle: now });
                 }
                 None
@@ -275,6 +302,46 @@ mod tests {
             .collect();
         let got = CommitLog::from_words(&words.try_into().expect("7 words"));
         assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn probed_tick_records_spans_and_latency() {
+        let mut queue = CfiQueue::new(4);
+        let mailbox = CfiMailbox::new();
+        let mut writer = LogWriter::new(AxiTiming::default());
+        let mut rec = titancfi_obs::Recorder::new();
+        queue.push(log(0x8000_0000));
+        for now in 0..10_000u64 {
+            if mailbox.doorbell_pending() {
+                let mut dev = mailbox.device();
+                dev.write(
+                    opentitan_model::mailbox::regs::DATA0,
+                    riscv_isa::MemWidth::W,
+                    0,
+                );
+                dev.write(
+                    opentitan_model::mailbox::regs::COMPLETION,
+                    riscv_isa::MemWidth::W,
+                    1,
+                );
+            }
+            writer.tick_probed(now, &mut queue, &mailbox, &mut rec);
+            if writer.logs_written == 1 {
+                break;
+            }
+        }
+        assert_eq!(rec.metrics.counter("writer.logs_checked"), 1);
+        assert_eq!(rec.metrics.counter("writer.axi_beats"), BEATS as u64);
+        assert_eq!(rec.metrics.counter("mailbox.doorbells"), 1);
+        let latency = rec
+            .metrics
+            .histogram("mailbox.doorbell_to_completion")
+            .expect("latency histogram");
+        assert_eq!(latency.count, 1);
+        let trace = rec.timeline.to_perfetto_json().encode();
+        titancfi_obs::Timeline::validate(&trace).expect("balanced trace");
+        assert!(trace.contains("drain-log"));
+        assert!(trace.contains("check-pending"));
     }
 
     #[test]

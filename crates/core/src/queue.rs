@@ -9,6 +9,7 @@
 
 use crate::commit_log::CommitLog;
 use std::collections::VecDeque;
+use titancfi_obs::{NoProbe, Probe, Track};
 
 /// The commit-log FIFO.
 #[derive(Debug, Clone)]
@@ -73,9 +74,36 @@ impl CfiQueue {
         true
     }
 
+    /// Like [`CfiQueue::push`], marking the push on the queue timeline
+    /// track and sampling the resulting occupancy.
+    pub fn push_probed(&mut self, log: CommitLog, cycle: u64, probe: &mut dyn Probe) -> bool {
+        let pushed = self.push(log);
+        if probe.enabled() {
+            if pushed {
+                probe.counter_add("queue.pushes", 1);
+                probe.instant(Track::Queue, "push", cycle);
+                probe.counter_sample("queue.occupancy", cycle, self.len() as u64);
+            } else {
+                probe.counter_add("queue.rejects", 1);
+            }
+        }
+        pushed
+    }
+
     /// Pops the oldest log.
     pub fn pop(&mut self) -> Option<CommitLog> {
         self.entries.pop_front()
+    }
+
+    /// Like [`CfiQueue::pop`], marking the pop on the queue timeline track
+    /// and sampling the resulting occupancy.
+    pub fn pop_probed(&mut self, cycle: u64, probe: &mut dyn Probe) -> Option<CommitLog> {
+        let log = self.pop();
+        if log.is_some() && probe.enabled() {
+            probe.instant(Track::Queue, "pop", cycle);
+            probe.counter_sample("queue.occupancy", cycle, self.len() as u64);
+        }
+        log
     }
 
     /// Peeks at the oldest log without removing it.
@@ -116,12 +144,25 @@ impl QueueController {
     /// Evaluates the stall condition for a cycle in which `cf_this_cycle`
     /// control-flow logs want to enter the queue.
     pub fn evaluate(&mut self, queue: &CfiQueue, cf_this_cycle: usize) -> StallReason {
+        self.evaluate_probed(queue, cf_this_cycle, &mut NoProbe)
+    }
+
+    /// Like [`QueueController::evaluate`], attributing the stall decision
+    /// to the `stall.*` probe counters.
+    pub fn evaluate_probed(
+        &mut self,
+        queue: &CfiQueue,
+        cf_this_cycle: usize,
+        probe: &mut dyn Probe,
+    ) -> StallReason {
         if cf_this_cycle > 1 {
             self.stalls_dual_cf += 1;
+            probe.counter_add("stall.dual_cf", 1);
             return StallReason::DualControlFlow;
         }
         if cf_this_cycle == 1 && queue.is_full() {
             self.stalls_queue_full += 1;
+            probe.counter_add("stall.queue_full", 1);
             return StallReason::QueueFull;
         }
         StallReason::None

@@ -136,7 +136,20 @@ pub fn run_campaign(
             ),
             ("wall_ms", Json::Num(wall_ms)),
             ("sim_cycles", Json::Num(report.sim_cycles)),
-            ("cycles_per_sec", Json::Num(report.cycles_per_second())),
+            (
+                "cycles_per_sec",
+                report.cycles_per_second().map_or(Json::Null, Json::Num),
+            ),
+            (
+                "metrics",
+                Json::obj(
+                    report
+                        .metric_totals
+                        .iter()
+                        .map(|(name, total)| (name.as_str(), Json::Num(*total)))
+                        .collect(),
+                ),
+            ),
         ],
     );
     CampaignOutcome { records, report }
@@ -259,8 +272,10 @@ fn run_one(
                 ("cached", Json::Bool(false)),
                 ("duration_ms", Json::Num(duration_ms)),
             ];
+            for (name, value) in &output.metrics {
+                fields.push((name.as_str(), Json::Num(*value)));
+            }
             if let Some(cycles) = output.metric("sim_cycles") {
-                fields.push(("sim_cycles", Json::Num(cycles)));
                 if duration_ms > 0.0 {
                     fields.push(("cycles_per_sec", Json::Num(cycles / (duration_ms / 1000.0))));
                 }

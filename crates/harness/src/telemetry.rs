@@ -7,6 +7,7 @@
 //! cycles, and end-to-end simulation throughput.
 
 use crate::json::Json;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::sync::Mutex;
@@ -55,7 +56,12 @@ impl Telemetry {
             ),
         ];
         pairs.extend(fields);
-        let line = Json::obj(pairs).encode();
+        // Build the complete line (terminator included) before touching the
+        // sink, then hand it over in ONE write_all: a concurrent worker on a
+        // shared fd (stderr redirected to a file, or a dup'd handle) can then
+        // never splice its bytes into the middle of ours.
+        let mut line = Json::obj(pairs).encode();
+        line.push('\n');
         let mut sink = self
             .sink
             .lock()
@@ -63,10 +69,10 @@ impl Telemetry {
         match &mut *sink {
             TelemetrySink::Null => {}
             TelemetrySink::Stderr => {
-                let _ = writeln!(std::io::stderr(), "{line}");
+                let _ = std::io::stderr().write_all(line.as_bytes());
             }
             TelemetrySink::File(f) => {
-                let _ = writeln!(f, "{line}");
+                let _ = f.write_all(line.as_bytes());
             }
         }
     }
@@ -138,6 +144,10 @@ pub struct CampaignReport {
     pub wall_ms: f64,
     /// Sum of every completed job's `sim_cycles` metric.
     pub sim_cycles: f64,
+    /// Sum of every completed job's metrics, by metric name. Includes
+    /// `sim_cycles` alongside any instrumentation counters the jobs emit
+    /// (e.g. `stall.queue_full` from a recorder-attached simulation).
+    pub metric_totals: BTreeMap<String, f64>,
     /// Labels and errors of failed/timed-out jobs, in submission order.
     pub failures: Vec<(String, String)>,
 }
@@ -155,6 +165,7 @@ impl CampaignReport {
             workers,
             wall_ms,
             sim_cycles: 0.0,
+            metric_totals: BTreeMap::new(),
             failures: Vec::new(),
         };
         for rec in records {
@@ -167,6 +178,9 @@ impl CampaignReport {
                     }
                     if let Some(out) = &rec.output {
                         report.sim_cycles += out.metric("sim_cycles").unwrap_or(0.0);
+                        for (name, value) in &out.metrics {
+                            *report.metric_totals.entry(name.clone()).or_insert(0.0) += value;
+                        }
                     }
                 }
                 JobStatus::Failed { error, .. } => {
@@ -186,13 +200,16 @@ impl CampaignReport {
     }
 
     /// Simulated cycles per wall-clock second — the campaign's end-to-end
-    /// simulation throughput.
+    /// simulation throughput. `None` when the wall time is zero or too close
+    /// to it to divide by meaningfully (an all-cache-hit campaign on a fast
+    /// clock): a throughput of `inf`/`1e15` would only mislead, so callers
+    /// render it as `n/a` / JSON `null` instead.
     #[must_use]
-    pub fn cycles_per_second(&self) -> f64 {
-        if self.wall_ms <= 0.0 {
-            0.0
+    pub fn cycles_per_second(&self) -> Option<f64> {
+        if self.wall_ms.is_finite() && self.wall_ms >= 1e-3 {
+            Some(self.sim_cycles / (self.wall_ms / 1000.0))
         } else {
-            self.sim_cycles / (self.wall_ms / 1000.0)
+            None
         }
     }
 
@@ -214,13 +231,21 @@ impl CampaignReport {
             self.failed,
             self.timed_out,
         );
+        let throughput = match self.cycles_per_second() {
+            Some(cps) => format!("{cps:.2e} cycles/s"),
+            None => "throughput n/a".to_string(),
+        };
         let _ = writeln!(
             out,
-            "  wall {:.2} s, {:.2e} simulated cycles, {:.2e} cycles/s",
+            "  wall {:.2} s, {:.2e} simulated cycles, {throughput}",
             self.wall_ms / 1000.0,
             self.sim_cycles,
-            self.cycles_per_second(),
         );
+        for (name, total) in &self.metric_totals {
+            if name != "sim_cycles" {
+                let _ = writeln!(out, "  total {name}: {total}");
+            }
+        }
         for (label, error) in &self.failures {
             let _ = writeln!(out, "  FAILED {label}: {error}");
         }
@@ -269,10 +294,54 @@ mod tests {
         assert_eq!(report.failed, 1);
         assert_eq!(report.timed_out, 1);
         assert!((report.sim_cycles - 1500.0).abs() < f64::EPSILON);
-        assert!((report.cycles_per_second() - 750.0).abs() < 1e-9);
+        assert!((report.cycles_per_second().unwrap() - 750.0).abs() < 1e-9);
         let text = report.render();
         assert!(text.contains("FAILED job2: boom"));
         assert!(text.contains("watchdog timeout"));
+    }
+
+    #[test]
+    fn near_zero_wall_time_yields_no_throughput() {
+        let records = vec![rec(0, JobStatus::Completed { cached: true }, Some(1e9))];
+        for wall_ms in [0.0, 1e-9, 1e-4, -1.0, f64::NAN, f64::INFINITY] {
+            let report = CampaignReport::from_records(&records, 1, wall_ms);
+            assert_eq!(
+                report.cycles_per_second(),
+                None,
+                "wall_ms = {wall_ms} must not claim a throughput"
+            );
+            assert!(report.render().contains("throughput n/a"));
+        }
+        let report = CampaignReport::from_records(&records, 1, 1.0);
+        assert!(report.cycles_per_second().is_some(), "1 ms wall is real");
+    }
+
+    #[test]
+    fn metric_totals_merge_across_jobs() {
+        let mut a = rec(0, JobStatus::Completed { cached: false }, Some(1000.0));
+        a.output
+            .as_mut()
+            .unwrap()
+            .metrics
+            .push(("stall.queue_full".to_string(), 40.0));
+        let mut b = rec(1, JobStatus::Completed { cached: true }, Some(500.0));
+        b.output
+            .as_mut()
+            .unwrap()
+            .metrics
+            .push(("stall.queue_full".to_string(), 2.0));
+        let failed = rec(
+            2,
+            JobStatus::Failed {
+                error: "x".to_string(),
+                attempts: 1,
+            },
+            None,
+        );
+        let report = CampaignReport::from_records(&[a, b, failed], 2, 100.0);
+        assert_eq!(report.metric_totals["sim_cycles"], 1500.0);
+        assert_eq!(report.metric_totals["stall.queue_full"], 42.0);
+        assert!(report.render().contains("total stall.queue_full: 42"));
     }
 
     #[test]
@@ -280,5 +349,46 @@ mod tests {
         let t = Telemetry::new(TelemetrySink::Null);
         t.emit("job_start", vec![("label", Json::Str("x".to_string()))]);
         assert!(t.elapsed_ms() >= 0.0);
+    }
+
+    #[test]
+    fn concurrent_emits_never_interleave_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "titancfi-telemetry-interleave-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let file = std::fs::File::create(&path).expect("create telemetry file");
+        let telemetry = Telemetry::new(TelemetrySink::File(file));
+        // Long payloads make a torn write (two lines spliced) overwhelmingly
+        // likely to corrupt the JSON if emit ever issues more than one write.
+        let payload = "x".repeat(4096);
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let telemetry = &telemetry;
+                let payload = payload.as_str();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        telemetry.emit(
+                            "job_finish",
+                            vec![
+                                ("worker", Json::Num(f64::from(worker))),
+                                ("i", Json::Num(f64::from(i))),
+                                ("pad", Json::Str(payload.to_string())),
+                            ],
+                        );
+                    }
+                });
+            }
+        });
+        drop(telemetry); // close the file
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 400, "every emit produced exactly one line");
+        for line in lines {
+            let json = Json::parse(line).expect("intact JSONL line");
+            assert_eq!(json.get("event").and_then(Json::as_str), Some("job_finish"));
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

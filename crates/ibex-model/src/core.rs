@@ -12,6 +12,7 @@
 
 use crate::bus::{RegionKind, SystemBus};
 use riscv_isa::{classify, CfClass, Hart, Inst, MulOp, Retired, Trap, Xlen};
+use titancfi_obs::{Probe, RetireSample};
 
 /// Ibex timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +182,27 @@ impl IbexCore {
         })
     }
 
+    /// Like [`IbexCore::step`], but reports the retirement to `probe` —
+    /// this is what feeds the exact firmware profiler in `titancfi-obs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IbexCore::step`].
+    pub fn step_probed(&mut self, probe: &mut dyn Probe) -> Result<IbexCommit, IbexEvent> {
+        let commit = self.step()?;
+        if probe.enabled() {
+            probe.retire(RetireSample {
+                pc: commit.retired.pc,
+                cost: commit.cost,
+                cycle: commit.cycle,
+                is_call: commit.cf_class == CfClass::Call,
+                is_ret: commit.cf_class == CfClass::Return,
+                target: commit.retired.target,
+            });
+        }
+        Ok(commit)
+    }
+
     /// Runs until the core goes to sleep, traps, or `max_cycles` elapse.
     ///
     /// Returns the retired instructions of this burst and the stopping event.
@@ -329,6 +351,34 @@ mod tests {
         }
         assert!(div_cost > 30, "divide should be iterative, got {div_cost}");
         assert_eq!(core.hart.reg(Reg::A2), 14);
+    }
+
+    #[test]
+    fn step_probed_attributes_every_cycle() {
+        let mut core = system(
+            r"
+            _start:
+                jal ra, leaf
+                ebreak
+            leaf:
+                li a0, 7
+                ret
+            ",
+        );
+        let mut symbols = std::collections::BTreeMap::new();
+        symbols.insert("_start".to_string(), 0x10000);
+        let mut rec = titancfi_obs::Recorder::new().with_profiler(&symbols);
+        let mut cycles = 0;
+        loop {
+            match core.step_probed(&mut rec) {
+                Ok(c) => cycles += c.cost,
+                Err(IbexEvent::Trapped(Trap::Breakpoint)) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        let profiler = rec.profiler.as_ref().expect("profiler attached");
+        assert_eq!(profiler.total_cycles(), cycles);
+        assert!(profiler.total_insts() >= 3, "jal + li + ret must retire");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use ibex_model::Device;
 use riscv_isa::MemWidth;
 use std::sync::{Arc, Mutex};
+use titancfi_obs::{Probe, Track};
 
 /// Number of 32-bit data registers (256 bits ≥ one 224-bit commit log).
 pub const DATA_WORDS: usize = 8;
@@ -88,10 +89,34 @@ impl CfiMailbox {
         s.doorbells_rung += 1;
     }
 
+    /// Like [`CfiMailbox::host_ring_doorbell`], marking the ring on the
+    /// mailbox timeline track: an instant plus an open `check-pending`
+    /// span that [`CfiMailbox::host_completion_probed`] closes.
+    pub fn host_ring_doorbell_probed(&self, cycle: u64, probe: &mut dyn Probe) {
+        self.host_ring_doorbell();
+        if probe.enabled() {
+            probe.counter_add("mailbox.doorbells", 1);
+            probe.instant(Track::Mailbox, "doorbell", cycle);
+            probe.span_begin(Track::Mailbox, "check-pending", cycle);
+        }
+    }
+
     /// Host polls the completion flag.
     #[must_use]
     pub fn host_completion(&self) -> bool {
         self.shared.lock().expect("mailbox lock").completion
+    }
+
+    /// Like [`CfiMailbox::host_completion`], closing the `check-pending`
+    /// span when completion is first observed.
+    pub fn host_completion_probed(&self, cycle: u64, probe: &mut dyn Probe) -> bool {
+        let completion = self.host_completion();
+        if completion && probe.enabled() {
+            probe.counter_add("mailbox.completions", 1);
+            probe.instant(Track::Mailbox, "completion", cycle);
+            probe.span_end(Track::Mailbox, cycle);
+        }
+        completion
     }
 
     /// Host acknowledges (clears) completion.

@@ -15,7 +15,11 @@ use opentitan_model::rot::LatencyProfile;
 use opentitan_model::{OpenTitan, ScmiWire, ScmiWireService};
 use riscv_asm::Program;
 use titancfi::firmware::{build_firmware, FirmwareKind};
-use titancfi::{AxiTiming, CfiFilter, CfiQueue, LogWriter, QueueController, Violation};
+use titancfi::{
+    AxiTiming, Category, CfiFilter, CfiQueue, LogWriter, Phase, QueueController, Violation,
+    WriterState,
+};
+use titancfi_obs::{Histogram, NoProbe, Probe, Recorder, Track};
 
 /// SoC configuration.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +111,24 @@ pub struct SystemOnChip {
     violations: Vec<Violation>,
     trapped_violations: usize,
     scmi_service: ScmiWireService,
+    recorder: Option<Recorder>,
+    /// `[cfi_begin, cfi_end)` of the booted firmware, for phase attribution.
+    cfi_range: (u64, u64),
+    /// Whether a firmware `cfi-check` span is currently open.
+    fw_checking: bool,
+}
+
+/// Static counter name for one (phase, category) firmware cycle cell —
+/// the probe-facing mirror of [`titancfi::Breakdown`]'s 2×3 matrix.
+fn fw_counter_name(phase: Phase, category: Category) -> &'static str {
+    match (phase, category) {
+        (Phase::Irq, Category::Logic) => "fw.cycles.irq.logic",
+        (Phase::Irq, Category::MemRot) => "fw.cycles.irq.mem_rot",
+        (Phase::Irq, Category::MemSoc) => "fw.cycles.irq.mem_soc",
+        (Phase::Cfi, Category::Logic) => "fw.cycles.cfi.logic",
+        (Phase::Cfi, Category::MemRot) => "fw.cycles.cfi.mem_rot",
+        (Phase::Cfi, Category::MemSoc) => "fw.cycles.cfi.mem_soc",
+    }
 }
 
 impl SystemOnChip {
@@ -169,6 +191,10 @@ impl SystemOnChip {
                 }
             }
         }
+        let cfi_range = (
+            fw.symbol("cfi_begin").expect("cfi_begin symbol"),
+            fw.symbol("cfi_end").expect("cfi_end symbol"),
+        );
         SystemOnChip {
             core,
             filter: CfiFilter::new(),
@@ -182,7 +208,33 @@ impl SystemOnChip {
             violations: Vec::new(),
             trapped_violations: 0,
             scmi_service,
+            recorder: None,
+            cfi_range,
+            fw_checking: false,
         }
+    }
+
+    /// Attaches a full [`Recorder`] (metrics + timeline + firmware
+    /// profiler); subsequent [`SystemOnChip::run`] cycles are instrumented.
+    /// Without this call the simulation takes the uninstrumented path.
+    pub fn attach_recorder(&mut self) {
+        let fw = build_firmware(self.config.firmware);
+        let mut recorder = Recorder::new().with_profiler(&fw.symbols);
+        recorder
+            .metrics
+            .declare_histogram("queue.occupancy", Histogram::occupancy());
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches and returns the recorder (for export / reporting).
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
+    }
+
+    /// Read access to the attached recorder, when one is present.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
     }
 
     /// The SHA-256 measurement of the booted CFI firmware — what a remote
@@ -199,6 +251,13 @@ impl SystemOnChip {
             if self.queue.is_empty() && !self.writer.busy() && !self.rot.mailbox.doorbell_pending()
             {
                 self.scmi_service.poll();
+                if let Some(rec) = self.recorder.as_mut() {
+                    // The skipped cycles all see an empty queue; record them
+                    // in bulk so the occupancy histogram stays per-cycle.
+                    let skipped = until - self.bg_cycle;
+                    rec.metrics.record_n("queue.occupancy", 0, skipped);
+                    rec.metrics.add("soc.idle_fast_forward_cycles", skipped);
+                }
                 self.bg_cycle = until;
                 self.rot.core.advance_to(until);
                 return;
@@ -208,20 +267,49 @@ impl SystemOnChip {
     }
 
     fn tick_once(&mut self) {
-        if let Some(v) = self
-            .writer
-            .tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox)
+        let mut noprobe = NoProbe;
+        let probe: &mut dyn Probe = match self.recorder.as_mut() {
+            Some(rec) => rec,
+            None => &mut noprobe,
+        };
+        // Firmware check span: opens when the doorbell is rung, closes
+        // when the firmware's completion write auto-clears it.
+        let doorbell = self.rot.mailbox.doorbell_pending();
+        if doorbell && !self.fw_checking {
+            probe.span_begin(Track::Firmware, "cfi-check", self.bg_cycle);
+            self.fw_checking = true;
+        } else if !doorbell && self.fw_checking {
+            probe.span_end(Track::Firmware, self.bg_cycle);
+            self.fw_checking = false;
+        }
+        if let Some(v) =
+            self.writer
+                .tick_probed(self.bg_cycle, &mut self.queue, &self.rot.mailbox, probe)
         {
             self.violations.push(v);
         }
+        probe.histogram_record("queue.occupancy", self.queue.len() as u64);
         self.scmi_service.poll();
         self.rot.sync_irq();
         let runnable = self.rot.core.state() == ibex_model::IbexState::Running
             || self.rot.mailbox.doorbell_pending();
         if runnable && self.rot.core.cycle() <= self.bg_cycle {
             // The firmware only traps on bugs; surface them loudly.
-            if let Err(ibex_model::IbexEvent::Trapped(t)) = self.rot.core.step() {
-                panic!("RoT firmware trapped: {t}");
+            match self.rot.core.step_probed(probe) {
+                Ok(commit) => {
+                    if probe.enabled() {
+                        let pc = commit.retired.pc;
+                        let phase = if (self.cfi_range.0..self.cfi_range.1).contains(&pc) {
+                            Phase::Cfi
+                        } else {
+                            Phase::Irq
+                        };
+                        let category = Category::from_access(commit.mem_kind);
+                        probe.counter_add(fw_counter_name(phase, category), commit.cost);
+                    }
+                }
+                Err(ibex_model::IbexEvent::Trapped(t)) => panic!("RoT firmware trapped: {t}"),
+                Err(_) => {}
             }
         }
         self.bg_cycle += 1;
@@ -257,18 +345,59 @@ impl SystemOnChip {
                         if self.last_cf_cycle == Some(commit.cycle) {
                             self.controller.stalls_dual_cf += 1;
                             self.core.stall(1);
+                            if let Some(rec) = self.recorder.as_mut() {
+                                rec.metrics.add("stall.dual_cf", 1);
+                                rec.timeline.instant(
+                                    Track::HostCommit,
+                                    "stall.dual_cf",
+                                    self.bg_cycle,
+                                );
+                            }
                         }
                         self.last_cf_cycle = Some(commit.cycle);
                         // Queue full: stall the commit stage until the Log
                         // Writer frees a slot.
-                        while self.queue.is_full() {
-                            let before = self.bg_cycle;
-                            self.tick_once();
-                            let waited = self.bg_cycle - before;
-                            self.controller.stalls_queue_full += waited;
-                            self.core.stall(waited);
+                        if self.queue.is_full() {
+                            if let Some(rec) = self.recorder.as_mut() {
+                                rec.timeline.span_begin(
+                                    Track::HostCommit,
+                                    "stall.queue_full",
+                                    self.bg_cycle,
+                                );
+                            }
+                            while self.queue.is_full() {
+                                // Sub-attribute the stalled cycle by what the
+                                // pipeline is waiting on: the Log Writer's AXI
+                                // beats, or the RoT still checking.
+                                let axi_busy =
+                                    matches!(self.writer.state(), WriterState::Writing { .. });
+                                let before = self.bg_cycle;
+                                self.tick_once();
+                                let waited = self.bg_cycle - before;
+                                self.controller.stalls_queue_full += waited;
+                                self.core.stall(waited);
+                                if let Some(rec) = self.recorder.as_mut() {
+                                    rec.metrics.add("stall.queue_full", waited);
+                                    rec.metrics.add(
+                                        if axi_busy {
+                                            "stall.axi_busy"
+                                        } else {
+                                            "stall.fw_wait"
+                                        },
+                                        waited,
+                                    );
+                                }
+                            }
+                            if let Some(rec) = self.recorder.as_mut() {
+                                rec.timeline.span_end(Track::HostCommit, self.bg_cycle);
+                            }
                         }
-                        let pushed = self.queue.push(log);
+                        let mut noprobe = NoProbe;
+                        let probe: &mut dyn Probe = match self.recorder.as_mut() {
+                            Some(rec) => rec,
+                            None => &mut noprobe,
+                        };
+                        let pushed = self.queue.push_probed(log, self.bg_cycle, probe);
                         debug_assert!(pushed, "push after full-wait must succeed");
                     }
                 }
@@ -283,6 +412,14 @@ impl SystemOnChip {
         {
             self.tick_once();
             guard += 1;
+        }
+        // The drain loop exits on the doorbell-clearing tick, before the
+        // next tick would notice the transition — close the span here.
+        if self.fw_checking {
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.timeline.span_end(Track::Firmware, self.bg_cycle);
+            }
+            self.fw_checking = false;
         }
 
         SocReport {

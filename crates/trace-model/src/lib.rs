@@ -82,6 +82,9 @@ pub struct SimOutcome {
     pub cycles_baseline: u64,
     /// Core stall cycles injected by queue back-pressure.
     pub stall_cycles: u64,
+    /// Control-flow retirements that hit a full queue and stalled the core
+    /// (each contributes ≥1 cycle to [`SimOutcome::stall_cycles`]).
+    pub stall_events: u64,
     /// Maximum queue occupancy observed.
     pub max_occupancy: usize,
     /// Slowdown as a fraction (0.10 = +10 %).
@@ -115,6 +118,7 @@ pub fn simulate(trace: &Trace, latency: u64, depth: usize) -> SimOutcome {
     let n = trace.cf_cycles.len();
     let mut pop = vec![0u64; n]; // service-start (= queue-pop) time of log i
     let mut stall_total = 0u64;
+    let mut stall_events = 0u64;
     let mut max_occupancy = 0usize;
 
     for i in 0..n {
@@ -124,6 +128,7 @@ pub fn simulate(trace: &Trace, latency: u64, depth: usize) -> SimOutcome {
             let frees_at = pop[i - depth];
             if frees_at > t {
                 stall_total += frees_at - t;
+                stall_events += 1;
                 t = frees_at;
             }
         }
@@ -151,6 +156,7 @@ pub fn simulate(trace: &Trace, latency: u64, depth: usize) -> SimOutcome {
         cycles_with_cfi,
         cycles_baseline: trace.total_cycles,
         stall_cycles: stall_total,
+        stall_events,
         max_occupancy,
         slowdown,
     }
@@ -186,8 +192,26 @@ mod tests {
         let t = uniform_trace(100, 1000);
         let out = simulate(&t, 100, 1);
         assert_eq!(out.stall_cycles, 0);
+        assert_eq!(out.stall_events, 0);
         assert!(out.slowdown.abs() < f64::EPSILON);
         assert_eq!(out.max_occupancy, 1);
+    }
+
+    #[test]
+    fn stall_events_count_stalling_retirements() {
+        // Back-to-back CF at depth 1: every log after the first two queues
+        // behind a busy server, so almost all retirements stall.
+        let t = uniform_trace(100, 1);
+        let out = simulate(&t, 50, 1);
+        assert!(out.stall_events > 0);
+        assert!(
+            out.stall_events <= t.cf_count() as u64,
+            "at most one stall event per CF retirement"
+        );
+        assert!(
+            out.stall_cycles >= out.stall_events,
+            "each stall event costs at least one cycle"
+        );
     }
 
     #[test]
