@@ -28,4 +28,13 @@ for f in trace.json trace.folded metrics.json; do
 done
 rm -rf "$trace_dir"
 
+echo "==> fault-campaign smoke (every class detected or recovered, no hangs)"
+# The faults binary exits nonzero if any injected fault was neither
+# detected nor recovered, or any scenario exhausted its cycle budget.
+fault_dir=$(mktemp -d)
+cargo run --release -p titancfi-bench --bin faults -- \
+    --smoke --verbose --out "$fault_dir/fault-matrix.txt"
+test -s "$fault_dir/fault-matrix.txt" || { echo "fault smoke: matrix missing/empty"; exit 1; }
+rm -rf "$fault_dir"
+
 echo "==> ci.sh: all green"

@@ -19,6 +19,7 @@
 //! same fragments, so their outputs are byte-identical by construction.
 
 pub mod campaign;
+pub mod fault_campaign;
 
 use std::fmt::Write as _;
 use titancfi::firmware::{CheckMeasurement, FirmwareKind, FirmwareRunner};

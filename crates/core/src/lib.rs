@@ -48,5 +48,5 @@ pub mod queue;
 pub use accounting::{Breakdown, Category, Cost, Phase};
 pub use commit_log::CommitLog;
 pub use filter::{CfiFilter, FilterStats};
-pub use log_writer::{AxiTiming, LogWriter, Violation, WriterState};
+pub use log_writer::{AxiTiming, FailPolicy, LogWriter, ResilienceConfig, Violation, WriterState};
 pub use queue::{CfiQueue, QueueController, StallReason};

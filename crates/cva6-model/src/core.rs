@@ -57,6 +57,11 @@ pub enum Halt {
     Fault(Trap),
     /// The cycle budget given to `run` was exhausted.
     Budget,
+    /// The RoT firmware trapped while a CFI check was in flight and the
+    /// fail-closed policy halted the host (co-sim outcome, not a CVA6
+    /// architectural event — surfaced here so reports stay structured
+    /// instead of panicking the simulation).
+    FirmwareTrap(Trap),
 }
 
 /// The CVA6-like core model over a bus (flat RAM by default; the SoC layer

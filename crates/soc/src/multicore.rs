@@ -161,6 +161,10 @@ pub struct DualReport {
     pub violations: Vec<TaggedViolation>,
     /// Total logs checked by the RoT.
     pub logs_checked: u64,
+    /// The RoT firmware trap, if one occurred. When set, both live cores
+    /// halt with [`Halt::FirmwareTrap`] (the shared checker is gone; the
+    /// dual-core SoC fails closed).
+    pub firmware_trap: Option<riscv_isa::Trap>,
 }
 
 /// The dual-core SoC.
@@ -175,6 +179,7 @@ pub struct DualHostSoc {
     rot: OpenTitan,
     bg_cycle: u64,
     violations: Vec<TaggedViolation>,
+    firmware_trap: Option<riscv_isa::Trap>,
 }
 
 impl DualHostSoc {
@@ -223,6 +228,7 @@ impl DualHostSoc {
             rot,
             bg_cycle: 0,
             violations: Vec::new(),
+            firmware_trap: None,
         }
     }
 
@@ -234,11 +240,16 @@ impl DualHostSoc {
             self.violations.push(v);
         }
         self.rot.sync_irq();
-        let runnable = self.rot.core.state() == ibex_model::IbexState::Running
-            || self.rot.mailbox.doorbell_pending();
+        let runnable = self.firmware_trap.is_none()
+            && (self.rot.core.state() == ibex_model::IbexState::Running
+                || self.rot.mailbox.doorbell_pending());
         if runnable && self.rot.core.cycle() <= self.bg_cycle {
             if let Err(ibex_model::IbexEvent::Trapped(t)) = self.rot.core.step() {
-                panic!("RoT firmware trapped: {t}");
+                // The shared checker died: record it structurally, free the
+                // mailbox so nothing spins, and let `run` fail both cores
+                // closed instead of panicking the process.
+                self.firmware_trap = Some(t);
+                self.rot.mailbox.host_abort();
             }
         }
         self.bg_cycle += 1;
@@ -260,6 +271,15 @@ impl DualHostSoc {
     #[must_use]
     pub fn run(&mut self, max_cycles: u64) -> DualReport {
         loop {
+            // A dead shared checker fails both live cores closed: nothing
+            // can check their control flow any more.
+            if let Some(t) = self.firmware_trap {
+                for h in &mut self.halted {
+                    if h.is_none() {
+                        *h = Some(Halt::FirmwareTrap(t));
+                    }
+                }
+            }
             // Pick the live core that is furthest behind — lock-step-ish
             // interleaving by local cycle count.
             let next = (0..CORES)
@@ -274,20 +294,23 @@ impl DualHostSoc {
                 Ok(commit) => {
                     self.advance_background(commit.cycle);
                     if let Some(log) = self.filters[i].scan(&commit.retired) {
-                        while self.queue.len() >= self.queue_depth {
+                        while self.queue.len() >= self.queue_depth && self.firmware_trap.is_none() {
                             let before = self.bg_cycle;
                             self.tick_once();
                             self.cores[i].stall(self.bg_cycle - before);
                         }
-                        self.queue.push_back(TaggedLog { core: i as u8, log });
+                        if self.queue.len() < self.queue_depth {
+                            self.queue.push_back(TaggedLog { core: i as u8, log });
+                        }
                     }
                 }
                 Err(halt) => self.halted[i] = Some(halt),
             }
         }
-        // Drain in-flight checks.
+        // Drain in-flight checks (pointless once the checker is dead).
         let mut guard = 0u64;
-        while (!self.queue.is_empty() || self.writer.busy() || self.rot.mailbox.doorbell_pending())
+        while self.firmware_trap.is_none()
+            && (!self.queue.is_empty() || self.writer.busy() || self.rot.mailbox.doorbell_pending())
             && guard < 10_000_000
         {
             self.tick_once();
@@ -301,6 +324,7 @@ impl DualHostSoc {
             }),
             violations: self.violations.clone(),
             logs_checked: self.writer.logs_written,
+            firmware_trap: self.firmware_trap,
         }
     }
 

@@ -16,9 +16,10 @@ use opentitan_model::{OpenTitan, ScmiWire, ScmiWireService};
 use riscv_asm::Program;
 use titancfi::firmware::{build_firmware, FirmwareKind};
 use titancfi::{
-    AxiTiming, Category, CfiFilter, CfiQueue, LogWriter, Phase, QueueController, Violation,
-    WriterState,
+    AxiTiming, Category, CfiFilter, CfiQueue, FailPolicy, LogWriter, Phase, QueueController,
+    ResilienceConfig, Violation, WriterState,
 };
+use titancfi_faults::{CheckFault, FaultClass, FaultConfig, FaultInjector, FaultReport};
 use titancfi_obs::{Histogram, NoProbe, Probe, Recorder, Track};
 
 /// SoC configuration.
@@ -42,6 +43,13 @@ pub struct SocConfig {
     /// handler then runs — cause [`CFI_VIOLATION_CAUSE`], `mtval` holding
     /// the offending target address.
     pub trap_host_on_violation: bool,
+    /// Log Writer watchdog / retry / escalation parameters. The default is
+    /// inert on a fault-free transport (the watchdog only fires after 100k
+    /// silent cycles, orders of magnitude beyond any legitimate check).
+    pub resilience: ResilienceConfig,
+    /// Fault-injection schedule for the CFI transport; `None` (or an
+    /// all-zero-rate config) leaves the transport pristine.
+    pub faults: Option<FaultConfig>,
 }
 
 /// The `mcause` value delivered for a CFI violation (a custom exception
@@ -58,8 +66,21 @@ impl Default for SocConfig {
             axi: AxiTiming::default(),
             halt_on_violation: false,
             trap_host_on_violation: false,
+            resilience: ResilienceConfig::default(),
+            faults: None,
         }
     }
+}
+
+/// Health of the RoT core as seen by the co-simulation scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RotHealth {
+    /// Stepping normally.
+    Healthy,
+    /// Wedged by an injected hang; never steps again.
+    Hung,
+    /// Trapped (real firmware bug or injected fault); never steps again.
+    Trapped(riscv_isa::Trap),
 }
 
 /// Aggregate results of a co-simulated run.
@@ -83,6 +104,20 @@ pub struct SocReport {
     pub stalls_queue_full: u64,
     /// Core stall events from dual control-flow commits.
     pub stalls_dual_cf: u64,
+    /// Log Writer watchdog firings (completion waits that timed out).
+    pub watchdog_timeouts: u64,
+    /// Log Writer delivery retries.
+    pub writer_retries: u64,
+    /// Logs abandoned under [`FailPolicy::FailOpen`] escalation.
+    pub logs_dropped: u64,
+    /// Violations synthesized by [`FailPolicy::FailClosed`] escalation.
+    pub forced_violations: u64,
+    /// The RoT firmware trap, if one occurred (always populated when `halt`
+    /// is [`Halt::FirmwareTrap`]; also populated under fail-open, where the
+    /// run continues past the trap).
+    pub firmware_trap: Option<riscv_isa::Trap>,
+    /// Fault-injection ledger, when a fault schedule was configured.
+    pub faults: Option<FaultReport>,
 }
 
 impl SocReport {
@@ -116,6 +151,13 @@ pub struct SystemOnChip {
     cfi_range: (u64, u64),
     /// Whether a firmware `cfi-check` span is currently open.
     fw_checking: bool,
+    /// Fault source, when a schedule is configured.
+    injector: Option<FaultInjector>,
+    /// RoT health (injected hangs/traps stop the core from stepping).
+    rot_health: RotHealth,
+    /// `poll_loop` address of polling firmwares (glitch recovery point);
+    /// zero for IRQ firmware.
+    poll_pc: u64,
 }
 
 /// Static counter name for one (phase, category) firmware cycle cell —
@@ -195,12 +237,28 @@ impl SystemOnChip {
             fw.symbol("cfi_begin").expect("cfi_begin symbol"),
             fw.symbol("cfi_end").expect("cfi_end symbol"),
         );
+        let poll_pc = match config.firmware {
+            FirmwareKind::Irq => 0,
+            _ => fw.symbol("poll_loop").expect("poll_loop symbol"),
+        };
+        let injector = config
+            .faults
+            .filter(FaultConfig::enabled)
+            .map(FaultInjector::new);
+        let mut writer = LogWriter::with_resilience(config.axi, config.resilience);
+        if let Some(inj) = &injector {
+            writer.attach_injector(inj.clone());
+        }
+        // The transport always runs with word-7 integrity on: it costs no
+        // cycles (the word rides the final AXI beat) and catches in-flight
+        // corruption before the RoT ever sees it.
+        rot.mailbox.enable_integrity();
         SystemOnChip {
             core,
             filter: CfiFilter::new(),
             queue: CfiQueue::new(config.queue_depth),
             controller: QueueController::new(),
-            writer: LogWriter::new(config.axi),
+            writer,
             rot,
             config,
             bg_cycle: 0,
@@ -211,6 +269,9 @@ impl SystemOnChip {
             recorder: None,
             cfi_range,
             fw_checking: false,
+            injector,
+            rot_health: RotHealth::Healthy,
+            poll_pc,
         }
     }
 
@@ -274,10 +335,37 @@ impl SystemOnChip {
         };
         // Firmware check span: opens when the doorbell is rung, closes
         // when the firmware's completion write auto-clears it.
+        let mut pending_trap: Option<riscv_isa::Trap> = None;
         let doorbell = self.rot.mailbox.doorbell_pending();
         if doorbell && !self.fw_checking {
             probe.span_begin(Track::Firmware, "cfi-check", self.bg_cycle);
             self.fw_checking = true;
+            // Check-entry fault window: the firmware has not touched policy
+            // state yet, so a glitch here restarts the check idempotently.
+            if self.rot_health == RotHealth::Healthy {
+                let fault = self
+                    .injector
+                    .as_ref()
+                    .map_or(CheckFault::None, FaultInjector::check_fault);
+                match fault {
+                    CheckFault::None => {}
+                    CheckFault::Glitch => {
+                        probe.instant(Track::Firmware, "fault.glitch", self.bg_cycle);
+                        if self.poll_pc != 0 {
+                            // Transient PC upset: the core restarts from the
+                            // poll loop and re-enters the pending check.
+                            self.rot.core.hart.pc = self.poll_pc;
+                        }
+                    }
+                    CheckFault::Hang => {
+                        probe.instant(Track::Firmware, "fault.hang", self.bg_cycle);
+                        self.rot_health = RotHealth::Hung;
+                    }
+                    CheckFault::Trap => {
+                        pending_trap = Some(riscv_isa::Trap::IllegalInstruction(0xdead_c0de));
+                    }
+                }
+            }
         } else if !doorbell && self.fw_checking {
             probe.span_end(Track::Firmware, self.bg_cycle);
             self.fw_checking = false;
@@ -291,10 +379,10 @@ impl SystemOnChip {
         probe.histogram_record("queue.occupancy", self.queue.len() as u64);
         self.scmi_service.poll();
         self.rot.sync_irq();
-        let runnable = self.rot.core.state() == ibex_model::IbexState::Running
-            || self.rot.mailbox.doorbell_pending();
+        let runnable = self.rot_health == RotHealth::Healthy
+            && (self.rot.core.state() == ibex_model::IbexState::Running
+                || self.rot.mailbox.doorbell_pending());
         if runnable && self.rot.core.cycle() <= self.bg_cycle {
-            // The firmware only traps on bugs; surface them loudly.
             match self.rot.core.step_probed(probe) {
                 Ok(commit) => {
                     if probe.enabled() {
@@ -308,11 +396,49 @@ impl SystemOnChip {
                         probe.counter_add(fw_counter_name(phase, category), commit.cost);
                     }
                 }
-                Err(ibex_model::IbexEvent::Trapped(t)) => panic!("RoT firmware trapped: {t}"),
+                Err(ibex_model::IbexEvent::Trapped(t)) => {
+                    // A real firmware bug: report it structurally instead of
+                    // panicking the whole campaign worker.
+                    pending_trap = Some(t);
+                }
                 Err(_) => {}
             }
         }
+        if let Some(t) = pending_trap {
+            self.record_firmware_trap(t);
+        }
         self.bg_cycle += 1;
+    }
+
+    /// Records a RoT firmware trap (injected or genuine) as a structured
+    /// outcome: the core stops stepping, the mailbox transaction is torn
+    /// down so the host side cannot wedge, and the run loop surfaces
+    /// [`Halt::FirmwareTrap`] (fail-closed) or keeps going with the trap
+    /// noted in the report (fail-open).
+    fn record_firmware_trap(&mut self, trap: riscv_isa::Trap) {
+        if matches!(self.rot_health, RotHealth::Trapped(_)) {
+            return;
+        }
+        self.rot_health = RotHealth::Trapped(trap);
+        let cycle = self.bg_cycle;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.counter_add("fw.traps", 1);
+            rec.instant(Track::Firmware, "fault.trap", cycle);
+        }
+        if let Some(inj) = &self.injector {
+            inj.note_detected(FaultClass::FirmwareTrap);
+            inj.note_escalated();
+        }
+        // Clear the interface so neither side spins on a dead exchange.
+        self.rot.mailbox.host_abort();
+    }
+
+    /// The recorded firmware trap, if any.
+    fn firmware_trap(&self) -> Option<riscv_isa::Trap> {
+        match self.rot_health {
+            RotHealth::Trapped(t) => Some(t),
+            _ => None,
+        }
     }
 
     /// Runs the host program to completion (or `max_cycles`), co-simulating
@@ -322,6 +448,13 @@ impl SystemOnChip {
         let halt = loop {
             if self.core.cycle() >= max_cycles {
                 break Halt::Budget;
+            }
+            if let Some(t) = self.firmware_trap() {
+                if self.config.resilience.policy == FailPolicy::FailClosed {
+                    // Fail closed: a dead checker means an unchecked host;
+                    // stop the run and surface the trap structurally.
+                    break Halt::FirmwareTrap(t);
+                }
             }
             if self.config.halt_on_violation && !self.violations.is_empty() {
                 break Halt::Breakpoint;
@@ -405,9 +538,14 @@ impl SystemOnChip {
             }
         };
 
-        // Drain in-flight checks so counters are final.
+        // Drain in-flight checks so counters are final. With a trapped RoT
+        // under fail-closed there is nothing left to drain (the writer can
+        // only watchdog against a dead checker); fail-open drains normally,
+        // escalation dropping whatever the RoT can no longer check.
         let mut guard = 0u64;
-        while (!self.queue.is_empty() || self.writer.busy() || self.rot.mailbox.doorbell_pending())
+        while !(self.firmware_trap().is_some()
+            && self.config.resilience.policy == FailPolicy::FailClosed)
+            && (!self.queue.is_empty() || self.writer.busy() || self.rot.mailbox.doorbell_pending())
             && guard < 10_000_000
         {
             self.tick_once();
@@ -432,6 +570,12 @@ impl SystemOnChip {
             queue_high_water: self.queue.max_occupancy,
             stalls_queue_full: self.controller.stalls_queue_full,
             stalls_dual_cf: self.controller.stalls_dual_cf,
+            watchdog_timeouts: self.writer.watchdog_timeouts,
+            writer_retries: self.writer.retries,
+            logs_dropped: self.writer.dropped_logs,
+            forced_violations: self.writer.forced_violations,
+            firmware_trap: self.firmware_trap(),
+            faults: self.injector.as_ref().map(FaultInjector::report),
         }
     }
 

@@ -1,0 +1,288 @@
+//! Fault-injection & resilience: the co-sim must degrade gracefully, not
+//! panic or hang.
+//!
+//! Three properties are pinned here:
+//!   1. **Inertness** — with no faults injected, the watchdog/retry/seq
+//!      machinery costs exactly zero cycles (regression-pin against the
+//!      plain paper FSM via `ResilienceConfig::off()`).
+//!   2. **Liveness** — a firmware that never completes (hang, trap, dropped
+//!      doorbell, erroring bus) produces a structured timeout/escalation
+//!      outcome within the configured bound; no run ever exhausts
+//!      `max_cycles`.
+//!   3. **Accountability** — every injected fault ends up detected,
+//!      recovered, or escalated in the [`FaultReport`] ledger; none are
+//!      silently lost.
+
+use cva6_model::Halt;
+use titancfi::{FailPolicy, ResilienceConfig};
+use titancfi_faults::{FaultClass, FaultConfig};
+use titancfi_soc::{SocConfig, SocReport, SystemOnChip};
+use titancfi_workloads::kernels::{Kernel, KERNEL_MEM};
+
+const MAX_CYCLES: u64 = 200_000_000;
+
+fn tight_resilience(policy: FailPolicy) -> ResilienceConfig {
+    ResilienceConfig {
+        watchdog_timeout: 2_000,
+        max_attempts: 3,
+        backoff: 128,
+        policy,
+    }
+}
+
+fn run_kernel(name: &str, config: SocConfig) -> SocReport {
+    let kernel = Kernel::by_name(name).expect(name);
+    let prog = kernel.program().expect("kernel assembles");
+    let mut soc = SystemOnChip::new(&prog, config);
+    soc.run(MAX_CYCLES)
+}
+
+/// The fields that must not move when the resilience machinery is armed but
+/// no fault fires.
+fn fingerprint(r: &SocReport) -> (Halt, u64, u64, usize, u64, u64, usize) {
+    (
+        r.halt,
+        r.cycles,
+        r.logs_checked,
+        r.queue_high_water,
+        r.stalls_queue_full,
+        r.stalls_dual_cf,
+        r.violations.len(),
+    )
+}
+
+#[test]
+fn fault_free_run_cycle_identical_with_resilience_armed() {
+    let base = SocConfig {
+        mem_size: KERNEL_MEM,
+        ..SocConfig::default()
+    };
+    for name in ["fib", "dispatch"] {
+        // The paper FSM verbatim: no watchdog at all.
+        let plain = run_kernel(
+            name,
+            SocConfig {
+                resilience: ResilienceConfig::off(),
+                ..base
+            },
+        );
+        // Default config: watchdog armed (100k cycles), no injector.
+        let armed = run_kernel(name, base);
+        // Injector attached but every rate zero.
+        let inert_injector = run_kernel(
+            name,
+            SocConfig {
+                faults: Some(FaultConfig::none(0xA5A5)),
+                ..base
+            },
+        );
+        assert_eq!(plain.halt, Halt::Breakpoint, "{name} completes");
+        assert_eq!(
+            fingerprint(&plain),
+            fingerprint(&armed),
+            "{name}: armed watchdog must be cycle-inert"
+        );
+        assert_eq!(
+            fingerprint(&plain),
+            fingerprint(&inert_injector),
+            "{name}: zero-rate injector must be cycle-inert"
+        );
+        assert_eq!(armed.watchdog_timeouts, 0);
+        assert_eq!(armed.writer_retries, 0);
+        assert_eq!(armed.forced_violations, 0);
+        assert_eq!(armed.logs_dropped, 0);
+        assert!(armed.firmware_trap.is_none());
+        assert!(
+            inert_injector.faults.is_none(),
+            "a zero-rate config must not even spawn an injector"
+        );
+    }
+}
+
+#[test]
+fn hung_firmware_times_out_within_bound_fail_closed() {
+    // Every check-entry hangs the RoT: the very first log can never
+    // complete. The watchdog must fire within its bound, retries must
+    // exhaust, and fail-closed must turn the undeliverable log into a
+    // violation — with the run terminating far inside `max_cycles`.
+    let report = run_kernel(
+        "fib",
+        SocConfig {
+            mem_size: KERNEL_MEM,
+            resilience: tight_resilience(FailPolicy::FailClosed),
+            faults: Some(FaultConfig::only(FaultClass::FirmwareHang, 1, 1)),
+            ..SocConfig::default()
+        },
+    );
+    assert_eq!(report.halt, Halt::Breakpoint, "run terminates, no hang");
+    assert!(report.watchdog_timeouts > 0, "watchdog must fire");
+    assert!(report.writer_retries > 0, "retries must be attempted");
+    assert!(
+        report.forced_violations > 0,
+        "fail-closed synthesizes violations"
+    );
+    assert_eq!(report.logs_checked, 0, "a hung RoT checks nothing");
+    assert_eq!(
+        report.violations.len() as u64,
+        report.forced_violations,
+        "every violation is a forced one"
+    );
+    let ledger = report.faults.expect("ledger present");
+    let hangs = ledger.class(FaultClass::FirmwareHang);
+    assert_eq!(hangs.injected, 1, "one hang wedges the RoT for good");
+    assert_eq!(hangs.detected, 1, "the watchdog detected it");
+    assert!(ledger.all_resolved(), "{ledger:?}");
+}
+
+#[test]
+fn watchdog_timeout_is_within_configured_bound() {
+    // Pin the latency of the timeout outcome itself: with a 2k-cycle
+    // watchdog and 3 attempts, the first forced violation must land within
+    // a small multiple of the configured budget.
+    let kernel = Kernel::by_name("fib").expect("fib");
+    let prog = kernel.program().expect("assembles");
+    let resilience = tight_resilience(FailPolicy::FailClosed);
+    let mut soc = SystemOnChip::new(
+        &prog,
+        SocConfig {
+            mem_size: KERNEL_MEM,
+            resilience,
+            halt_on_violation: true,
+            faults: Some(FaultConfig::only(FaultClass::FirmwareHang, 1, 7)),
+            ..SocConfig::default()
+        },
+    );
+    let report = soc.run(MAX_CYCLES);
+    // 3 attempts x (timeout + 4 beats) + backoff 128+256, plus the cycles
+    // the program ran before its first control-flow log: bound generously.
+    let per_log_bound = 3 * (resilience.watchdog_timeout + 16) + 128 + 256;
+    let first = report.violations.first().expect("escalation violation");
+    assert!(
+        first.cycle <= per_log_bound + 10_000,
+        "first timeout outcome at cycle {} exceeds bound {}",
+        first.cycle,
+        per_log_bound + 10_000
+    );
+    // The first log burns exactly `max_attempts` watchdogs before escalating;
+    // the post-halt drain of the remaining queue may add more.
+    assert!(report.watchdog_timeouts >= 3);
+}
+
+#[test]
+fn firmware_trap_fails_closed_with_structured_halt() {
+    let report = run_kernel(
+        "fib",
+        SocConfig {
+            mem_size: KERNEL_MEM,
+            resilience: tight_resilience(FailPolicy::FailClosed),
+            faults: Some(FaultConfig::only(FaultClass::FirmwareTrap, 1, 2)),
+            ..SocConfig::default()
+        },
+    );
+    let Halt::FirmwareTrap(trap) = report.halt else {
+        panic!("expected FirmwareTrap halt, got {:?}", report.halt);
+    };
+    assert_eq!(trap, riscv_isa::Trap::IllegalInstruction(0xdead_c0de));
+    assert_eq!(report.firmware_trap, Some(trap));
+    let ledger = report.faults.expect("ledger present");
+    let traps = ledger.class(FaultClass::FirmwareTrap);
+    assert_eq!(traps.injected, 1);
+    assert_eq!(traps.detected, 1);
+    assert_eq!(traps.escalated, 1);
+    assert!(ledger.all_resolved());
+}
+
+#[test]
+fn firmware_trap_fail_open_keeps_host_running() {
+    let report = run_kernel(
+        "fib",
+        SocConfig {
+            mem_size: KERNEL_MEM,
+            resilience: tight_resilience(FailPolicy::FailOpen),
+            faults: Some(FaultConfig::only(FaultClass::FirmwareTrap, 1, 2)),
+            ..SocConfig::default()
+        },
+    );
+    assert_eq!(
+        report.halt,
+        Halt::Breakpoint,
+        "fail-open rides out the dead checker"
+    );
+    assert!(report.firmware_trap.is_some(), "the trap is still reported");
+    assert!(
+        report.logs_dropped > 0,
+        "unchecked logs are counted, not lost"
+    );
+    assert!(
+        report.violations.is_empty(),
+        "fail-open never forces violations"
+    );
+    assert!(report.faults.expect("ledger").all_resolved());
+}
+
+#[test]
+fn every_fault_class_detected_or_recovered() {
+    // The acceptance matrix in miniature: for each class, a seeded run must
+    // terminate within budget with every injected fault accounted for.
+    let rates: [(FaultClass, u32); 8] = [
+        (FaultClass::AxiBeatError, 5),
+        (FaultClass::AxiExtraLatency, 3),
+        (FaultClass::DoorbellDrop, 3),
+        (FaultClass::DoorbellDelay, 3),
+        (FaultClass::BitFlip, 5),
+        (FaultClass::FirmwareGlitch, 2),
+        (FaultClass::FirmwareHang, 1),
+        (FaultClass::FirmwareTrap, 1),
+    ];
+    for (class, one_in) in rates {
+        for seed in [11u64, 12] {
+            let report = run_kernel(
+                "fib",
+                SocConfig {
+                    mem_size: KERNEL_MEM,
+                    resilience: tight_resilience(FailPolicy::FailClosed),
+                    faults: Some(FaultConfig::only(class, one_in, seed)),
+                    ..SocConfig::default()
+                },
+            );
+            assert_ne!(
+                report.halt,
+                Halt::Budget,
+                "{class} seed {seed}: run must terminate"
+            );
+            let ledger = report.faults.expect("ledger present");
+            let stats = ledger.class(class);
+            assert!(
+                stats.injected > 0,
+                "{class} seed {seed}: schedule must inject at least one fault"
+            );
+            assert!(
+                ledger.all_resolved(),
+                "{class} seed {seed}: unresolved faults in {ledger:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_runs_are_deterministic_per_seed() {
+    let config = SocConfig {
+        mem_size: KERNEL_MEM,
+        resilience: tight_resilience(FailPolicy::FailClosed),
+        faults: Some(FaultConfig {
+            axi_beat_error: 9,
+            bit_flip: 9,
+            doorbell_drop: 7,
+            doorbell_delay: 7,
+            firmware_glitch: 11,
+            ..FaultConfig::none(0xDECAF)
+        }),
+        ..SocConfig::default()
+    };
+    let a = run_kernel("fib", config);
+    let b = run_kernel("fib", config);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.watchdog_timeouts, b.watchdog_timeouts);
+    assert_eq!(a.writer_retries, b.writer_retries);
+    assert_eq!(a.faults, b.faults);
+}
