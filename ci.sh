@@ -37,4 +37,13 @@ cargo run --release -p titancfi-bench --bin faults -- \
 test -s "$fault_dir/fault-matrix.txt" || { echo "fault smoke: matrix missing/empty"; exit 1; }
 rm -rf "$fault_dir"
 
+echo "==> throughput smoke (fast-path fingerprints + speedup regression gate)"
+# Regenerates BENCH_throughput.json in place. The binary exits nonzero if
+# the fast path's result fingerprints diverge from strict stepping, or if
+# any scenario's off/on speedup drops below 80% of the committed baseline
+# (gate skipped when no baseline exists yet).
+cargo run --release -p titancfi-bench --bin throughput -- \
+    --smoke --out BENCH_throughput.json --baseline BENCH_throughput.json
+test -s BENCH_throughput.json || { echo "throughput smoke: report missing/empty"; exit 1; }
+
 echo "==> ci.sh: all green"

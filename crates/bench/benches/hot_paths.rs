@@ -127,16 +127,62 @@ fn bench_crypto() {
 }
 
 fn bench_cva6_throughput() {
-    // Simulated instructions per second on a numeric kernel.
+    // Simulated instructions per second on a numeric kernel, with and
+    // without the predecoded-instruction cache (the fast path's headline
+    // win: decode once per pc, execute from the cache thereafter).
     let kernel = titancfi_workloads::Kernel::by_name("matmult-int").expect("kernel");
     let prog = kernel.program().expect("assembles");
-    bench("cva6_sim_matmult", || {
-        let mut core = cva6_model::Cva6Core::new(
-            black_box(&prog),
-            titancfi_workloads::KERNEL_MEM,
-            cva6_model::TimingConfig::default(),
-        );
-        black_box(core.run_silent(100_000_000))
+    for (name, predecode) in [
+        ("cva6_sim_matmult_predecode", true),
+        ("cva6_sim_matmult_rawdecode", false),
+    ] {
+        bench(name, || {
+            let mut core = cva6_model::Cva6Core::new(
+                black_box(&prog),
+                titancfi_workloads::KERNEL_MEM,
+                cva6_model::TimingConfig::default(),
+            );
+            core.set_predecode(predecode);
+            black_box(core.run_silent(100_000_000))
+        });
+    }
+}
+
+fn bench_bus_dispatch() {
+    // The ibex-model bus resolves each access by scanning its region list;
+    // a single-entry last-hit memo makes the common same-region streak a
+    // one-compare dispatch. Pin both shapes: a streak that always hits the
+    // memo, and a ping-pong between two regions that always misses it.
+    use ibex_model::{RegionKind, RegionLatency, SystemBus};
+    use riscv_isa::{Bus, MemWidth};
+    let mut bus = SystemBus::new();
+    bus.add_ram(
+        0x1000_0000,
+        0x1000,
+        RegionKind::RotPrivate,
+        RegionLatency::symmetric(1),
+    );
+    bus.add_ram(
+        0x2000_0000,
+        0x1000,
+        RegionKind::Soc,
+        RegionLatency::symmetric(1),
+    );
+    bench_throughput("bus/dispatch_same_region_streak", 64, || {
+        for i in 0..64u64 {
+            black_box(
+                bus.read(0x1000_0000 + (i % 0x100) * 8, MemWidth::D)
+                    .unwrap(),
+            );
+            bus.take_access();
+        }
+    });
+    bench_throughput("bus/dispatch_alternating_regions", 64, || {
+        for i in 0..64u64 {
+            let base = if i % 2 == 0 { 0x1000_0000 } else { 0x2000_0000 };
+            black_box(bus.read(base + (i % 0x100) * 8, MemWidth::D).unwrap());
+            bus.take_access();
+        }
     });
 }
 
@@ -148,4 +194,5 @@ fn main() {
     bench_trace_model();
     bench_crypto();
     bench_cva6_throughput();
+    bench_bus_dispatch();
 }

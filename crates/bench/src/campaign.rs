@@ -30,7 +30,7 @@ use titancfi_workloads::{ComparisonRow, Kernel, PublishedRow};
 /// Bumped whenever a fragment's rendering or an underlying model changes
 /// in a way that alters output for the same parameters — it is part of
 /// every descriptor, so bumping it invalidates all cached results at once.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 fn latency_field() -> (&'static str, String) {
     (

@@ -41,8 +41,15 @@ impl CfiFilter {
     /// Scans one retired instruction; returns the commit log when the
     /// instruction is CFI-relevant.
     pub fn scan(&mut self, retired: &Retired) -> Option<CommitLog> {
+        self.scan_classified(retired, riscv_isa::classify(&retired.decoded.inst))
+    }
+
+    /// [`CfiFilter::scan`] for an instruction whose control-flow class the
+    /// core model already computed (the predecode cache carries it), sparing
+    /// a second `classify` on the commit path.
+    #[inline]
+    pub fn scan_classified(&mut self, retired: &Retired, class: CfClass) -> Option<CommitLog> {
         self.stats.scanned += 1;
-        let class = riscv_isa::classify(&retired.decoded.inst);
         match class {
             CfClass::Call => self.stats.calls += 1,
             CfClass::Return => self.stats.returns += 1,
@@ -51,6 +58,15 @@ impl CfiFilter {
         }
         self.stats.emitted += 1;
         Some(CommitLog::from_retired(retired))
+    }
+
+    /// Accounts a batch of straight-line (non-CFI-relevant) retirements that
+    /// the commit-stage hardware scanned during a fast-forwarded quantum.
+    /// Identical counter effect to calling [`CfiFilter::scan`] `count` times
+    /// on non-control-flow instructions.
+    #[inline]
+    pub fn note_straightline(&mut self, count: u64) {
+        self.stats.scanned += count;
     }
 
     /// Counters accumulated so far.
@@ -128,6 +144,49 @@ mod tests {
         }]);
         assert_eq!(filter.stats().indirect_jumps, 1);
         assert_eq!(logs[0].cf_class(), riscv_isa::CfClass::IndirectJump);
+    }
+
+    #[test]
+    fn classified_and_bulk_paths_match_scan() {
+        let insts = [
+            Inst::NOP,
+            Inst::Jal {
+                rd: Reg::RA,
+                offset: 8,
+            },
+            Inst::NOP,
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            },
+        ];
+        let (reference, _) = filter_program(&insts);
+        // Same stream through the fast-path methods: non-CF retirements as a
+        // bulk note, CF ones via scan_classified.
+        let mut mem = FlatMemory::new(0x1000, 0x1000);
+        for (i, inst) in insts.iter().enumerate() {
+            mem.load(
+                0x1000 + 4 * i as u64,
+                &riscv_isa::encode(inst).to_le_bytes(),
+            );
+        }
+        let mut hart = Hart::new(Xlen::Rv64, 0x1000);
+        hart.set_reg(Reg::RA, 0x1008);
+        hart.set_reg(Reg::A5, 0x1004);
+        let mut fast = CfiFilter::new();
+        let mut straightline = 0;
+        for _ in insts {
+            let r = hart.step(&mut mem).expect("steps");
+            let class = riscv_isa::classify(&r.decoded.inst);
+            if class.is_cfi_relevant() {
+                fast.scan_classified(&r, class);
+            } else {
+                straightline += 1;
+            }
+        }
+        fast.note_straightline(straightline);
+        assert_eq!(fast.stats(), reference.stats());
     }
 
     #[test]

@@ -452,6 +452,12 @@ impl FirmwareRunner {
         &self.rot
     }
 
+    /// Enables or disables the RoT core's predecode fast path. Either
+    /// setting yields identical check latencies and verdicts.
+    pub fn set_predecode(&mut self, enabled: bool) {
+        self.rot.core.set_predecode(enabled);
+    }
+
     /// Submits one commit log to the mailbox and runs the firmware until it
     /// is ready for the next one, measuring cost and verdict.
     ///

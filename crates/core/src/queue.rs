@@ -47,23 +47,27 @@ impl CfiQueue {
 
     /// Current occupancy.
     #[must_use]
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether the queue holds no logs.
     #[must_use]
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Whether a push would be refused.
     #[must_use]
+    #[inline]
     pub fn is_full(&self) -> bool {
         self.entries.len() == self.depth
     }
 
     /// Pushes a log; returns `false` (and drops nothing) when full.
+    #[inline]
     pub fn push(&mut self, log: CommitLog) -> bool {
         if self.is_full() {
             return false;
@@ -91,6 +95,7 @@ impl CfiQueue {
     }
 
     /// Pops the oldest log.
+    #[inline]
     pub fn pop(&mut self) -> Option<CommitLog> {
         self.entries.pop_front()
     }
@@ -108,6 +113,7 @@ impl CfiQueue {
 
     /// Peeks at the oldest log without removing it.
     #[must_use]
+    #[inline]
     pub fn front(&self) -> Option<&CommitLog> {
         self.entries.front()
     }

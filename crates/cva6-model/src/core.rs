@@ -11,7 +11,10 @@
 
 use crate::timing::{TimingConfig, TimingModel};
 use riscv_asm::Program;
-use riscv_isa::{classify, Bus, CfClass, FlatMemory, Hart, Retired, Trap, Xlen};
+use riscv_isa::{
+    classify, predecode, Bus, CfClass, DecodeCache, DecodeCacheStats, FlatMemory, Hart, Retired,
+    Trap, Xlen,
+};
 
 /// One instruction leaving the commit stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +80,9 @@ pub struct Cva6Core<B: Bus = FlatMemory> {
     /// port can use to pair a following single-cycle instruction.
     commit_slack: u64,
     last_commit_cycle: u64,
+    /// Predecoded instruction cache (fast path; architecturally invisible).
+    decode_cache: DecodeCache,
+    predecode: bool,
 }
 
 impl Cva6Core<FlatMemory> {
@@ -109,6 +115,8 @@ impl Cva6Core<FlatMemory> {
             stats: CoreStats::default(),
             commit_slack: 0,
             last_commit_cycle: 0,
+            decode_cache: DecodeCache::default(),
+            predecode: predecode::fast_path_default(),
         }
     }
 }
@@ -127,12 +135,44 @@ impl<B: Bus> Cva6Core<B> {
             stats: CoreStats::default(),
             commit_slack: 0,
             last_commit_cycle: 0,
+            decode_cache: DecodeCache::default(),
+            predecode: predecode::fast_path_default(),
         }
     }
 
     /// Mutable access to the underlying bus.
+    ///
+    /// Callers that mutate *instruction* bytes through this handle must call
+    /// [`Cva6Core::invalidate_decode_cache`] afterwards; stores executed by
+    /// the hart itself are tracked automatically.
     pub fn bus_mut(&mut self) -> &mut B {
         &mut self.mem
+    }
+
+    /// Enables or disables the predecoded-instruction fast path. Disabling
+    /// (or re-enabling) drops all cached entries; both settings retire the
+    /// exact same architectural and cycle-level stream.
+    pub fn set_predecode(&mut self, enabled: bool) {
+        self.predecode = enabled;
+        self.decode_cache.invalidate_all();
+    }
+
+    /// Whether the predecode fast path is active.
+    #[must_use]
+    pub fn predecode_enabled(&self) -> bool {
+        self.predecode
+    }
+
+    /// Drops every predecoded entry (required after mutating instruction
+    /// memory behind the hart's back, e.g. via [`Cva6Core::bus_mut`]).
+    pub fn invalidate_decode_cache(&mut self) {
+        self.decode_cache.invalidate_all();
+    }
+
+    /// Hit/miss/eviction counters of the predecode cache.
+    #[must_use]
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.decode_cache.stats()
     }
 
     /// Mutable access to the architectural hart (register setup).
@@ -209,13 +249,23 @@ impl<B: Bus> Cva6Core<B> {
     ///
     /// Returns [`Halt`] when the program ends (`ebreak`/`ecall`) or faults.
     pub fn step(&mut self) -> Result<Commit, Halt> {
-        let retired = match self.hart.step(&mut self.mem) {
-            Ok(r) => r,
-            Err(Trap::Breakpoint) => return Err(Halt::Breakpoint),
-            Err(Trap::Ecall) => return Err(Halt::Ecall),
-            Err(t) => return Err(Halt::Fault(t)),
+        let (retired, cf_class) = if self.predecode {
+            match self
+                .hart
+                .step_predecoded(&mut self.mem, &mut self.decode_cache)
+            {
+                Ok(rc) => rc,
+                Err(t) => return Err(halt_of(t)),
+            }
+        } else {
+            match self.hart.step(&mut self.mem) {
+                Ok(r) => {
+                    let class = classify(&r.decoded.inst);
+                    (r, class)
+                }
+                Err(t) => return Err(halt_of(t)),
+            }
         };
-        let cf_class = classify(&retired.decoded.inst);
         let cost = self.timing.cost(
             &retired.decoded.inst,
             cf_class,
@@ -286,6 +336,14 @@ impl<B: Bus> Cva6Core<B> {
                 return halt;
             }
         }
+    }
+}
+
+fn halt_of(trap: Trap) -> Halt {
+    match trap {
+        Trap::Breakpoint => Halt::Breakpoint,
+        Trap::Ecall => Halt::Ecall,
+        t => Halt::Fault(t),
     }
 }
 
@@ -392,6 +450,37 @@ mod tests {
             trace.iter().any(|c| c.port == 1),
             "expected at least one dual commit after divides"
         );
+    }
+
+    #[test]
+    fn predecode_on_and_off_produce_identical_traces() {
+        let src = r"
+            _start:
+                li a0, 10
+                li a1, 0
+            loop:
+                add a1, a1, a0
+                addi a0, a0, -1
+                bnez a0, loop
+                call f
+                ebreak
+            f:  ret
+            ";
+        let mut fast = core_for(src);
+        fast.set_predecode(true);
+        let mut slow = core_for(src);
+        slow.set_predecode(false);
+        let (fast_trace, fast_halt) = fast.run(1_000_000);
+        let (slow_trace, slow_halt) = slow.run(1_000_000);
+        assert_eq!(fast_halt, slow_halt);
+        assert_eq!(fast_trace, slow_trace, "commit streams must be identical");
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.reg(Reg::A1), slow.reg(Reg::A1));
+        assert!(
+            fast.decode_cache_stats().hits > fast.decode_cache_stats().misses,
+            "loop body must be served from the cache"
+        );
+        assert_eq!(slow.decode_cache_stats().hits, 0);
     }
 
     #[test]

@@ -200,10 +200,14 @@ fn run_one(
     if let Some(cache) = &cfg.cache {
         if let Some(output) = cache.get(&desc) {
             let duration_ms = started.elapsed().as_secs_f64() * 1000.0;
+            // `job_finish` (schema 3) identifies the job by content hash
+            // only — the `job_start` line already carries the label, and
+            // full metrics live in the job record / campaign report, so
+            // repeating them per line tripled the stream for no reader.
             telemetry.emit(
                 "job_finish",
                 vec![
-                    ("label", Json::Str(label.clone())),
+                    ("schema", Json::Num(3.0)),
                     ("hash", hash_json()),
                     ("cached", Json::Bool(true)),
                     ("duration_ms", Json::Num(duration_ms)),
@@ -266,21 +270,15 @@ fn run_one(
             if let Some(cache) = &cfg.cache {
                 let _ = cache.put(&desc, &output);
             }
-            let mut fields = vec![
-                ("label", Json::Str(label.clone())),
-                ("hash", hash_json()),
-                ("cached", Json::Bool(false)),
-                ("duration_ms", Json::Num(duration_ms)),
-            ];
-            for (name, value) in &output.metrics {
-                fields.push((name.as_str(), Json::Num(*value)));
-            }
-            if let Some(cycles) = output.metric("sim_cycles") {
-                if duration_ms > 0.0 {
-                    fields.push(("cycles_per_sec", Json::Num(cycles / (duration_ms / 1000.0))));
-                }
-            }
-            telemetry.emit("job_finish", fields);
+            telemetry.emit(
+                "job_finish",
+                vec![
+                    ("schema", Json::Num(3.0)),
+                    ("hash", hash_json()),
+                    ("cached", Json::Bool(false)),
+                    ("duration_ms", Json::Num(duration_ms)),
+                ],
+            );
             JobRecord {
                 index,
                 label,
@@ -507,6 +505,46 @@ mod tests {
         );
         assert_eq!(two.output(0).unwrap().artifact, "expensive");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_finish_lines_are_schema3_hash_only() {
+        let path = std::env::temp_dir().join(format!(
+            "titancfi-pool-telemetry-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let file = std::fs::File::create(&path).expect("create telemetry file");
+        let telemetry = Telemetry::new(TelemetrySink::File(file));
+        let (ok, _) = job("ok", |_| {
+            let mut out = JobOutput::text("done".to_string());
+            out.metrics.push(("sim_cycles".to_string(), 1234.0));
+            Ok(out)
+        });
+        let _ = run_campaign(vec![ok], &CampaignConfig::default(), &telemetry);
+        drop(telemetry);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let finishes: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("intact JSONL"))
+            .filter(|j| j.get("event").and_then(Json::as_str) == Some("job_finish"))
+            .collect();
+        assert_eq!(finishes.len(), 1);
+        let line = &finishes[0];
+        assert_eq!(line.get("schema").and_then(Json::as_num), Some(3.0));
+        let hash = line.get("hash").and_then(Json::as_str).expect("hash field");
+        assert_eq!(hash.len(), 16, "FNV-64 hash as 16 hex chars: {hash}");
+        assert_eq!(line.get("cached"), Some(&Json::Bool(false)));
+        assert!(line.get("duration_ms").is_some());
+        assert!(
+            line.get("label").is_none(),
+            "label rides on job_start only in schema 3"
+        );
+        assert!(
+            line.get("sim_cycles").is_none() && line.get("cycles_per_sec").is_none(),
+            "metrics live in the job record, not the finish line"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -101,6 +101,11 @@ pub struct AccessInfo {
 pub struct SystemBus {
     regions: Vec<Region>,
     last_access: Option<AccessInfo>,
+    /// Single-entry dispatch memo: index of the region that served the last
+    /// access. Firmware locality makes consecutive accesses hit the same
+    /// region almost always, turning the per-access range scan into one
+    /// bounds check. Region indices are stable (regions are only appended).
+    last_hit: Option<usize>,
 }
 
 impl SystemBus {
@@ -201,10 +206,20 @@ impl SystemBus {
         None
     }
 
+    #[inline]
     fn region_for(&mut self, addr: u64, len: u64) -> Option<&mut Region> {
-        self.regions
-            .iter_mut()
-            .find(|r| addr >= r.base && addr + len <= r.base + r.size)
+        if let Some(i) = self.last_hit {
+            let r = &self.regions[i];
+            if addr >= r.base && addr + len <= r.base + r.size {
+                return Some(&mut self.regions[i]);
+            }
+        }
+        let i = self
+            .regions
+            .iter()
+            .position(|r| addr >= r.base && addr + len <= r.base + r.size)?;
+        self.last_hit = Some(i);
+        Some(&mut self.regions[i])
     }
 }
 
@@ -335,6 +350,33 @@ mod tests {
         bus.write(0x2000, MemWidth::W, 7).expect("write");
         // Downcast-free check via behaviour: writes recorded in device.
         assert!(bus.device_at(0x2000).is_some());
+    }
+
+    #[test]
+    fn last_hit_memo_tracks_alternating_regions() {
+        let mut bus = SystemBus::new();
+        bus.add_ram(
+            0x1000,
+            0x100,
+            RegionKind::RotPrivate,
+            RegionLatency::symmetric(5),
+        );
+        bus.add_ram(0x2000, 0x100, RegionKind::Soc, RegionLatency::symmetric(12));
+        // Ping-pong between regions: every access must resolve to the right
+        // region (latency tag) and value, memo notwithstanding.
+        for round in 0..4u64 {
+            bus.write(0x1008, MemWidth::W, round).expect("rot write");
+            assert_eq!(bus.take_access().expect("tag").cycles, 5);
+            bus.write(0x2008, MemWidth::W, round + 100)
+                .expect("soc write");
+            assert_eq!(bus.take_access().expect("tag").cycles, 12);
+            assert_eq!(bus.read(0x1008, MemWidth::W).expect("read"), round);
+            assert_eq!(bus.take_access().expect("tag").kind, RegionKind::RotPrivate);
+            assert_eq!(bus.read(0x2008, MemWidth::W).expect("read"), round + 100);
+            assert_eq!(bus.take_access().expect("tag").kind, RegionKind::Soc);
+        }
+        // Unmapped accesses still fault after the memo is warm.
+        assert!(bus.read(0x5000, MemWidth::W).is_err());
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * taken branches/jumps cost an extra fetch bubble, divides are iterative.
 
 use crate::bus::{RegionKind, SystemBus};
-use riscv_isa::{classify, CfClass, Hart, Inst, MulOp, Retired, Trap, Xlen};
+use riscv_isa::{
+    classify, predecode, CfClass, DecodeCache, DecodeCacheStats, Hart, Inst, MulOp, Retired, Trap,
+    Xlen,
+};
 use titancfi_obs::{Probe, RetireSample};
 
 /// Ibex timing parameters.
@@ -82,6 +85,9 @@ pub struct IbexCore {
     state: IbexState,
     /// Count of interrupts taken.
     pub irqs_taken: u64,
+    /// Predecoded instruction cache (fast path; architecturally invisible).
+    decode_cache: DecodeCache,
+    predecode: bool,
 }
 
 impl IbexCore {
@@ -95,7 +101,37 @@ impl IbexCore {
             cycle: 0,
             state: IbexState::Running,
             irqs_taken: 0,
+            decode_cache: DecodeCache::default(),
+            predecode: predecode::fast_path_default(),
         }
+    }
+
+    /// Enables or disables the predecoded-instruction fast path. Disabling
+    /// (or re-enabling) drops all cached entries; both settings retire the
+    /// exact same architectural and cycle-level stream.
+    pub fn set_predecode(&mut self, enabled: bool) {
+        self.predecode = enabled;
+        self.decode_cache.invalidate_all();
+    }
+
+    /// Whether the predecode fast path is active.
+    #[must_use]
+    pub fn predecode_enabled(&self) -> bool {
+        self.predecode
+    }
+
+    /// Drops every predecoded entry. Required after mutating instruction
+    /// memory behind the hart's back (e.g. loading an image through
+    /// `self.bus` directly); stores executed by the hart are tracked
+    /// automatically.
+    pub fn invalidate_decode_cache(&mut self) {
+        self.decode_cache.invalidate_all();
+    }
+
+    /// Hit/miss/eviction counters of the predecode cache.
+    #[must_use]
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.decode_cache.stats()
     }
 
     /// Current cycle.
@@ -151,9 +187,24 @@ impl IbexCore {
             self.cycle += self.timing.taken_bubble;
         }
 
-        let retired = self.hart.step(&mut self.bus).map_err(IbexEvent::Trapped)?;
+        let step_result = if self.predecode {
+            self.hart
+                .step_predecoded(&mut self.bus, &mut self.decode_cache)
+        } else {
+            self.hart
+                .step(&mut self.bus)
+                .map(|r| (r, classify(&r.decoded.inst)))
+        };
+        let (retired, cf_class) = match step_result {
+            Ok(rc) => rc,
+            Err(trap) => {
+                // A trapped instruction charges nothing; drop any partial
+                // access record so it cannot leak into a later retirement.
+                self.bus.take_access();
+                return Err(IbexEvent::Trapped(trap));
+            }
+        };
         let access = self.bus.take_access();
-        let cf_class = classify(&retired.decoded.inst);
 
         let mut cost = 1;
         if let Some(info) = access {

@@ -12,9 +12,11 @@
 //! (and uncompressed) encoding, the sequential next address and the actual
 //! target address.
 
+use crate::cfi::CfClass;
 use crate::csr;
 use crate::decode::{decode, Decoded, Xlen};
 use crate::inst::{AluImmOp, AluOp, AmoOp, CsrOp, Inst, MemWidth, MulOp};
+use crate::predecode::DecodeCache;
 use crate::reg::Reg;
 use core::fmt;
 
@@ -216,6 +218,7 @@ impl Hart {
     }
 
     /// Reads an integer register.
+    #[inline]
     #[must_use]
     pub fn reg(&self, r: Reg) -> u64 {
         if r == Reg::ZERO {
@@ -226,12 +229,14 @@ impl Hart {
     }
 
     /// Writes an integer register (`x0` writes are discarded).
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u64) {
         if r != Reg::ZERO {
             self.regs[usize::from(r)] = self.truncate(value);
         }
     }
 
+    #[inline]
     fn truncate(&self, v: u64) -> u64 {
         match self.xlen {
             Xlen::Rv64 => v,
@@ -241,6 +246,7 @@ impl Hart {
 
     /// Masks an effective address to the physical address width (RV32
     /// registers are held sign-extended; addresses are 32-bit there).
+    #[inline]
     fn mask_addr(&self, v: u64) -> u64 {
         match self.xlen {
             Xlen::Rv64 => v,
@@ -290,11 +296,59 @@ impl Hart {
     /// Returns a [`Trap`] on `ecall`/`ebreak`, memory faults, or illegal
     /// instructions. The pc is *not* advanced on a trap, so the embedder can
     /// inspect the faulting state.
-    #[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
     pub fn step<B: Bus>(&mut self, bus: &mut B) -> Result<Retired, Trap> {
-        let pc = self.pc;
-        let word = bus.fetch(pc).map_err(Trap::FetchFault)?;
+        let word = bus.fetch(self.pc).map_err(Trap::FetchFault)?;
         let decoded = decode(word, self.xlen).map_err(|e| Trap::IllegalInstruction(e.raw))?;
+        self.execute(bus, decoded)
+    }
+
+    /// Executes one instruction through a [`DecodeCache`]: the fetch+decode
+    /// half of [`Hart::step`] is served from the cache when possible, and
+    /// any store retired through this path invalidates overlapping entries,
+    /// so self-modifying code behaves exactly as with [`Hart::step`].
+    ///
+    /// Returns the retired record together with its precomputed
+    /// control-flow class (sparing the embedder a second `classify`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Hart::step`].
+    #[inline]
+    pub fn step_predecoded<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        cache: &mut DecodeCache,
+    ) -> Result<(Retired, CfClass), Trap> {
+        let pc = self.pc;
+        let op = match cache.lookup(pc) {
+            Some(op) => op,
+            None => {
+                let word = bus.fetch(pc).map_err(Trap::FetchFault)?;
+                let decoded =
+                    decode(word, self.xlen).map_err(|e| Trap::IllegalInstruction(e.raw))?;
+                cache.insert(pc, decoded)
+            }
+        };
+        let retired = self.execute(bus, op.decoded)?;
+        if op.store_bytes != 0 {
+            if let Some(addr) = retired.mem_addr {
+                cache.invalidate_store(addr, u64::from(op.store_bytes));
+            }
+        }
+        Ok((retired, op.cf_class))
+    }
+
+    /// Executes an already-decoded instruction at the current pc — the
+    /// execute half of [`Hart::step`]. `decoded` must be what the bytes at
+    /// `self.pc` decode to; [`Hart::step_predecoded`] guarantees that via
+    /// the cache invalidation contract.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Hart::step`].
+    #[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
+    pub fn execute<B: Bus>(&mut self, bus: &mut B, decoded: Decoded) -> Result<Retired, Trap> {
+        let pc = self.pc;
         let len = u64::from(decoded.len);
         let next = pc.wrapping_add(len);
         let mut target = next;
@@ -753,6 +807,7 @@ impl FlatMemory {
         self.data.len()
     }
 
+    #[inline]
     fn offset(&self, addr: u64, len: u64) -> Option<usize> {
         let off = addr.checked_sub(self.base)?;
         (off + len <= self.data.len() as u64).then_some(off as usize)
@@ -760,24 +815,24 @@ impl FlatMemory {
 }
 
 impl Bus for FlatMemory {
+    #[inline]
     fn read(&mut self, addr: u64, width: MemWidth) -> Result<u64, MemFault> {
         let n = width.bytes();
         let off = self
             .offset(addr, n)
             .ok_or(MemFault { addr, store: false })?;
-        let mut v = 0u64;
-        for i in (0..n as usize).rev() {
-            v = v << 8 | u64::from(self.data[off + i]);
-        }
-        Ok(v)
+        let mut buf = [0u8; 8];
+        buf[..n as usize].copy_from_slice(&self.data[off..off + n as usize]);
+        Ok(u64::from_le_bytes(buf))
     }
 
+    #[inline]
     fn write(&mut self, addr: u64, width: MemWidth, value: u64) -> Result<(), MemFault> {
-        let n = width.bytes();
-        let off = self.offset(addr, n).ok_or(MemFault { addr, store: true })?;
-        for i in 0..n as usize {
-            self.data[off + i] = (value >> (8 * i)) as u8;
-        }
+        let n = width.bytes() as usize;
+        let off = self
+            .offset(addr, n as u64)
+            .ok_or(MemFault { addr, store: true })?;
+        self.data[off..off + n].copy_from_slice(&value.to_le_bytes()[..n]);
         Ok(())
     }
 }
@@ -1031,6 +1086,113 @@ mod tests {
         let mut hart = Hart::new(Xlen::Rv64, 0xdead_0000);
         let mut mem = FlatMemory::new(0x1000, 0x100);
         assert!(matches!(hart.step(&mut mem), Err(Trap::FetchFault(_))));
+    }
+
+    #[test]
+    fn step_predecoded_matches_step() {
+        use crate::predecode::DecodeCache;
+        let program = [
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1,
+                word: false,
+            }, // 0x1000: loop body
+            Inst::Branch {
+                cond: crate::inst::BranchCond::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::A2,
+                offset: -4,
+            }, // 0x1004: loop 5 times
+            Inst::Jal {
+                rd: Reg::RA,
+                offset: 8,
+            }, // 0x1008: call 0x1010
+            Inst::Ebreak, // 0x100c
+            Inst::Store {
+                rs1: Reg::SP,
+                rs2: Reg::A0,
+                offset: 0,
+                width: MemWidth::D,
+            }, // 0x1010
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            }, // 0x1014: ret to the ebreak
+        ];
+        let (mut plain, mut plain_mem) = hart_with(&program, Xlen::Rv64);
+        let (mut cached, mut cached_mem) = hart_with(&program, Xlen::Rv64);
+        for hart in [&mut plain, &mut cached] {
+            hart.set_reg(Reg::SP, 0x1800);
+            hart.set_reg(Reg::A2, 5);
+        }
+        let mut cache = DecodeCache::new(64);
+        loop {
+            let a = plain.step(&mut plain_mem);
+            let b = cached.step_predecoded(&mut cached_mem, &mut cache);
+            match (a, b) {
+                (Ok(r), Ok((rc, class))) => {
+                    assert_eq!(r, rc);
+                    assert_eq!(class, crate::cfi::classify(&r.decoded.inst));
+                }
+                (Err(e), Err(ec)) => {
+                    assert_eq!(e, ec);
+                    break;
+                }
+                (a, b) => panic!("diverged: {a:?} vs {b:?}"),
+            }
+            assert_eq!(plain.regs, cached.regs);
+            assert_eq!(plain.pc, cached.pc);
+        }
+        assert!(cache.stats().hits > 0, "loop body re-executed from cache");
+    }
+
+    #[test]
+    fn step_predecoded_sees_self_modifying_store() {
+        // addi a0, a0, 1 at `slot`, executed, overwritten with
+        // addi a0, a0, 2 via a store, then executed again.
+        let slot_inst = Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+            word: false,
+        };
+        let patch = Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 2,
+            word: false,
+        };
+        let (mut hart, mut mem) = hart_with(
+            &[
+                slot_inst, // 0x1000: the slot
+                Inst::Store {
+                    rs1: Reg::SP,
+                    rs2: Reg::A1,
+                    offset: 0,
+                    width: MemWidth::W,
+                }, // 0x1004: patch the slot
+                Inst::Jal {
+                    rd: Reg::ZERO,
+                    offset: -8,
+                }, // 0x1008: jump back to the slot
+                Inst::Ebreak,
+            ],
+            Xlen::Rv64,
+        );
+        hart.set_reg(Reg::SP, 0x1000); // store target = the slot itself
+        hart.set_reg(Reg::A1, u64::from(crate::encode(&patch)));
+        let mut cache = DecodeCache::new(64);
+        for _ in 0..4 {
+            // slot, store, jump back, patched slot
+            hart.step_predecoded(&mut mem, &mut cache).expect("steps");
+        }
+        assert_eq!(hart.reg(Reg::A0), 3, "1 + 2: stale cache would give 2");
+        assert!(cache.stats().invalidated >= 1);
     }
 
     #[test]

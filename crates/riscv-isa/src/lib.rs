@@ -36,6 +36,7 @@ pub mod encode;
 pub mod exec;
 pub mod inst;
 pub mod pmp;
+pub mod predecode;
 pub mod reg;
 
 pub use cfi::{classify, classify_raw, CfClass};
@@ -43,4 +44,5 @@ pub use decode::{decode, DecodeError, Decoded, Xlen};
 pub use encode::encode;
 pub use exec::{Bus, FlatMemory, Hart, MemFault, Retired, Trap};
 pub use inst::{AluImmOp, AluOp, AmoOp, BranchCond, CsrOp, Inst, MemWidth, MulOp};
+pub use predecode::{DecodeCache, DecodeCacheStats, Predecoded};
 pub use reg::Reg;

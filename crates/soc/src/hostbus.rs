@@ -36,6 +36,10 @@ pub struct HostBus {
     pmp: Pmp,
     /// Accesses blocked by PMP (tamper attempts).
     pub pmp_denials: u64,
+    /// Sticky flag: the host touched a device window (mailbox/SCMI) or was
+    /// denied by PMP since the last [`HostBus::take_io_access`]. The quantum
+    /// batcher breaks on it so device-visible timing matches strict stepping.
+    io_access: bool,
 }
 
 impl HostBus {
@@ -49,7 +53,14 @@ impl HostBus {
             scmi: None,
             pmp: Pmp::new(),
             pmp_denials: 0,
+            io_access: false,
         }
+    }
+
+    /// Takes (and clears) the device-window access flag.
+    #[inline]
+    pub fn take_io_access(&mut self) -> bool {
+        std::mem::take(&mut self.io_access)
     }
 
     /// Maps the CFI mailbox at [`MAILBOX_BASE`] (host-visible, as on the
@@ -109,9 +120,11 @@ impl Bus for HostBus {
     fn read(&mut self, addr: u64, width: MemWidth) -> Result<u64, MemFault> {
         if !self.pmp.check(addr, AccessKind::Read) {
             self.pmp_denials += 1;
+            self.io_access = true;
             return Err(MemFault { addr, store: false });
         }
         if self.in_mailbox(addr, width.bytes()) {
+            self.io_access = true;
             let mailbox = self.mailbox.as_ref().expect("in_mailbox implies Some");
             let off = addr - MAILBOX_BASE;
             let v = match off {
@@ -122,6 +135,7 @@ impl Bus for HostBus {
             return Ok(v);
         }
         if self.in_scmi(addr, width.bytes()) {
+            self.io_access = true;
             let scmi = self.scmi.as_ref().expect("in_scmi implies Some");
             return Ok(scmi.host_read(addr - SCMI_BASE, width.bytes()));
         }
@@ -131,9 +145,11 @@ impl Bus for HostBus {
     fn write(&mut self, addr: u64, width: MemWidth, value: u64) -> Result<(), MemFault> {
         if !self.pmp.check(addr, AccessKind::Write) {
             self.pmp_denials += 1;
+            self.io_access = true;
             return Err(MemFault { addr, store: true });
         }
         if self.in_mailbox(addr, width.bytes()) {
+            self.io_access = true;
             let mailbox = self.mailbox.as_ref().expect("in_mailbox implies Some");
             let off = addr - MAILBOX_BASE;
             match off {
@@ -144,6 +160,7 @@ impl Bus for HostBus {
             return Ok(());
         }
         if self.in_scmi(addr, width.bytes()) {
+            self.io_access = true;
             let scmi = self.scmi.as_ref().expect("in_scmi implies Some");
             scmi.host_write(addr - SCMI_BASE, width.bytes(), value);
             return Ok(());

@@ -180,6 +180,9 @@ pub struct DualHostSoc {
     bg_cycle: u64,
     violations: Vec<TaggedViolation>,
     firmware_trap: Option<riscv_isa::Trap>,
+    /// Quantum-batch straight-line stretches when the transport is idle.
+    /// Cycle-exact either way; pinned by `tests/decode_cache.rs`.
+    fast_path: bool,
 }
 
 impl DualHostSoc {
@@ -229,7 +232,25 @@ impl DualHostSoc {
             bg_cycle: 0,
             violations: Vec::new(),
             firmware_trap: None,
+            fast_path: riscv_isa::predecode::fast_path_default(),
         }
+    }
+
+    /// Enables or disables both the predecode caches and the quantum-batched
+    /// scheduler fast path. Both settings produce identical reports.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+        for core in &mut self.cores {
+            core.set_predecode(on);
+        }
+    }
+
+    /// The live core that is furthest behind (ties go to the lower index) —
+    /// the one the interleaving scheduler steps next.
+    fn next_core(&self) -> Option<usize> {
+        (0..CORES)
+            .filter(|&i| self.halted[i].is_none())
+            .min_by_key(|&i| self.cores[i].cycle())
     }
 
     fn tick_once(&mut self) {
@@ -282,18 +303,53 @@ impl DualHostSoc {
             }
             // Pick the live core that is furthest behind — lock-step-ish
             // interleaving by local cycle count.
-            let next = (0..CORES)
-                .filter(|&i| self.halted[i].is_none())
-                .min_by_key(|&i| self.cores[i].cycle());
-            let Some(i) = next else { break };
+            let Some(i) = self.next_core() else { break };
             if self.cores[i].cycle() >= max_cycles {
                 self.halted[i] = Some(Halt::Budget);
                 continue;
             }
             match self.cores[i].step() {
                 Ok(commit) => {
+                    let mut commit = commit;
+                    let mut batch_halt = None;
+                    // Quantum batching: with the transport idle nothing can
+                    // observe the skipped boundaries, so keep stepping core
+                    // `i` while the scheduler would pick it anyway and its
+                    // commits stay straight-line. Pushes happen only on CF
+                    // commits, so the idle check at entry holds throughout.
+                    if self.fast_path
+                        && self.queue.is_empty()
+                        && !self.writer.busy()
+                        && !self.rot.mailbox.doorbell_pending()
+                    {
+                        loop {
+                            if commit.cf_class.is_cfi_relevant()
+                                || self.cores[i].bus_mut().take_io_access()
+                                || self.cores[i].cycle() >= max_cycles
+                                || self.next_core() != Some(i)
+                            {
+                                break;
+                            }
+                            self.filters[i].note_straightline(1);
+                            match self.cores[i].step() {
+                                Ok(c) => commit = c,
+                                Err(h) => {
+                                    batch_halt = Some(h);
+                                    break;
+                                }
+                            }
+                        }
+                    }
                     self.advance_background(commit.cycle);
-                    if let Some(log) = self.filters[i].scan(&commit.retired) {
+                    if let Some(h) = batch_halt {
+                        // The halting instruction retired nothing; the last
+                        // commit was straight-line and already accounted.
+                        self.halted[i] = Some(h);
+                        continue;
+                    }
+                    if let Some(log) =
+                        self.filters[i].scan_classified(&commit.retired, commit.cf_class)
+                    {
                         while self.queue.len() >= self.queue_depth && self.firmware_trap.is_none() {
                             let before = self.bg_cycle;
                             self.tick_once();

@@ -50,6 +50,13 @@ pub struct SocConfig {
     /// Fault-injection schedule for the CFI transport; `None` (or an
     /// all-zero-rate config) leaves the transport pristine.
     pub faults: Option<FaultConfig>,
+    /// Simulator fast path: predecoded instruction caches on both cores and
+    /// quantum-batched stepping between CFI events. Cycle-exact either way —
+    /// every report field is identical with the flag on or off (pinned by
+    /// `tests/decode_cache.rs`); off exists for A/B verification and as the
+    /// reference semantics. Defaults to the process-wide
+    /// [`riscv_isa::predecode::fast_path_default`].
+    pub fast_path: bool,
 }
 
 /// The `mcause` value delivered for a CFI violation (a custom exception
@@ -68,6 +75,7 @@ impl Default for SocConfig {
             trap_host_on_violation: false,
             resilience: ResilienceConfig::default(),
             faults: None,
+            fast_path: riscv_isa::predecode::fast_path_default(),
         }
     }
 }
@@ -233,6 +241,11 @@ impl SystemOnChip {
                 }
             }
         }
+        // Predecode is a per-core property of this SoC instance; pin it to
+        // the config rather than the global default so A/B runs in one
+        // process stay independent.
+        core.set_predecode(config.fast_path);
+        rot.core.set_predecode(config.fast_path);
         let cfi_range = (
             fw.symbol("cfi_begin").expect("cfi_begin symbol"),
             fw.symbol("cfi_end").expect("cfi_end symbol"),
@@ -445,6 +458,10 @@ impl SystemOnChip {
     /// the CFI pipeline.
     #[must_use]
     pub fn run(&mut self, max_cycles: u64) -> SocReport {
+        // Quantum batching is legal only when nothing can observe the
+        // skipped per-commit boundaries: no probe recording per-cycle
+        // samples, no fault schedule waiting on transport events.
+        let fast = self.config.fast_path && self.recorder.is_none() && self.injector.is_none();
         let halt = loop {
             if self.core.cycle() >= max_cycles {
                 break Halt::Budget;
@@ -461,7 +478,48 @@ impl SystemOnChip {
             }
             match self.core.step() {
                 Ok(commit) => {
+                    let mut commit = commit;
+                    let mut batch_halt = None;
+                    // Quantum batching: with the transport fully idle (empty
+                    // queue, idle writer, no doorbell, no undelivered
+                    // violation) the background cannot make progress, so
+                    // straight-line commits are retired in a tight loop up
+                    // to the next CFI-relevant commit, host device access,
+                    // budget boundary, or halt. `advance_background` then
+                    // jumps once — its idle fast-forward makes chunked and
+                    // per-commit advancement equivalent.
+                    if fast
+                        && self.queue.is_empty()
+                        && !self.writer.busy()
+                        && !self.rot.mailbox.doorbell_pending()
+                        && (!self.config.trap_host_on_violation
+                            || self.violations.len() == self.trapped_violations)
+                    {
+                        loop {
+                            if commit.cf_class.is_cfi_relevant()
+                                || self.core.bus_mut().take_io_access()
+                                || self.core.cycle() >= max_cycles
+                            {
+                                break;
+                            }
+                            // The filter hardware scans every retirement;
+                            // account the skipped straight-line ones.
+                            self.filter.note_straightline(1);
+                            match self.core.step() {
+                                Ok(c) => commit = c,
+                                Err(h) => {
+                                    batch_halt = Some(h);
+                                    break;
+                                }
+                            }
+                        }
+                    }
                     self.advance_background(commit.cycle);
+                    if let Some(h) = batch_halt {
+                        // The halting instruction retired nothing; the last
+                        // commit was straight-line and already accounted.
+                        break h;
+                    }
                     // Deliver any violation the background machinery found
                     // while this instruction was in flight.
                     if self.config.trap_host_on_violation
@@ -472,7 +530,10 @@ impl SystemOnChip {
                         self.core
                             .inject_exception(CFI_VIOLATION_CAUSE, v.log.target);
                     }
-                    if let Some(log) = self.filter.scan(&commit.retired) {
+                    if let Some(log) = self
+                        .filter
+                        .scan_classified(&commit.retired, commit.cf_class)
+                    {
                         // Dual-CF conflict: two CF logs in the same commit
                         // cycle cannot both be pushed (paper §IV-B2).
                         if self.last_cf_cycle == Some(commit.cycle) {

@@ -1,0 +1,228 @@
+//! The predecoded-instruction cache must be architecturally invisible:
+//! stale entries are impossible (stores into executable ranges evict),
+//! and the fast path (predecode + quantum batching) retires the exact
+//! same instruction stream, cycle counts, and CFI verdicts as strict
+//! per-cycle stepping — pinned here for the bare cores, the full SoC,
+//! the multi-core SoC, the scrambled secure-boot flash path, and every
+//! table binary of the evaluation harness.
+//!
+//! All tests except `tables_byte_identical_with_fast_path_default_flipped`
+//! set predecode/fast-path explicitly per instance, so they are immune to
+//! the global-default flip that test performs (tests share one process).
+
+use cva6_model::{Cva6Core, Halt, TimingConfig};
+use ibex_model::{IbexCore, IbexTiming, RegionKind, RegionLatency, SystemBus};
+use opentitan_model::hmac::HmacEngine;
+use opentitan_model::secure_boot::{boot, provision, IMAGE_BASE_WORD};
+use opentitan_model::Flash;
+use riscv_asm::assemble;
+use riscv_isa::{Reg, Xlen};
+use titancfi_soc::{DualHostSoc, SocConfig, SystemOnChip};
+use titancfi_workloads::kernels::{all_kernels, KERNEL_MEM};
+
+/// A program that patches one of its own instructions: the first call of
+/// `patch` must execute the original `li a0, 1`, the second call the
+/// stored-over `li a0, 2`. A decode cache that failed to invalidate on
+/// the store would replay the stale `li a0, 1` and end with a0 == 2.
+const SELF_MODIFYING: &str = r"
+_start:
+    la   t0, patch
+    li   t1, 0x00200513      # encoding of `li a0, 2`
+    jal  ra, patch           # a0 = 1 (and the site is now cached)
+    mv   s0, a0
+    sw   t1, 0(t0)           # overwrite the cached instruction
+    jal  ra, patch           # must fetch the new encoding: a0 = 2
+    add  a0, a0, s0          # 3
+    ebreak
+patch:
+    li   a0, 1
+    ret
+";
+
+#[test]
+fn cva6_store_to_cached_instruction_invalidates() {
+    let prog = assemble(SELF_MODIFYING, Xlen::Rv64, 0x8000_0000).expect("assembles");
+    let mut runs = Vec::new();
+    for predecode in [false, true] {
+        let mut core = Cva6Core::new(&prog, 0x1_0000, TimingConfig::default());
+        core.set_predecode(predecode);
+        let halt = core.run_silent(100_000);
+        assert_eq!(halt, Halt::Breakpoint, "predecode={predecode}");
+        assert_eq!(
+            core.reg(Reg::A0),
+            3,
+            "predecode={predecode}: stale decode-cache entry executed"
+        );
+        if predecode {
+            let stats = core.decode_cache_stats();
+            assert!(stats.hits > 0, "fast path must actually hit the cache");
+            assert!(
+                stats.invalidated > 0,
+                "the self-modifying store must evict its slot"
+            );
+        }
+        runs.push((core.cycle(), core.stats()));
+    }
+    assert_eq!(runs[0], runs[1], "fast path must be cycle-invisible");
+}
+
+fn ibex_system(src: &str) -> IbexCore {
+    let prog = assemble(src, Xlen::Rv32, 0x1_0000).expect("assembles");
+    let mut bus = SystemBus::new();
+    bus.add_ram(
+        0x1_0000,
+        0x1_0000,
+        RegionKind::RotPrivate,
+        RegionLatency::symmetric(1),
+    );
+    bus.load(prog.base, &prog.bytes);
+    IbexCore::new(bus, prog.entry, IbexTiming::default())
+}
+
+#[test]
+fn ibex_store_to_cached_instruction_invalidates() {
+    let mut runs = Vec::new();
+    for predecode in [false, true] {
+        let mut core = ibex_system(SELF_MODIFYING);
+        core.set_predecode(predecode);
+        let (burst, event) = core.run_until_idle(100_000);
+        assert!(
+            matches!(event, Some(ibex_model::IbexEvent::Trapped(_))),
+            "predecode={predecode}: expected the ebreak trap, got {event:?}"
+        );
+        assert_eq!(
+            core.hart.reg(Reg::A0),
+            3,
+            "predecode={predecode}: stale decode-cache entry executed"
+        );
+        if predecode {
+            assert!(core.decode_cache_stats().invalidated > 0);
+        }
+        runs.push((core.cycle(), burst.len()));
+    }
+    assert_eq!(runs[0], runs[1], "fast path must be cycle-invisible");
+}
+
+/// An image delivered through the scrambled + SECDED + HMAC boot path must
+/// run identically with the fast path on and off — the descrambled bytes
+/// are loaded at a different base than they were assembled for nothing:
+/// the cache keys on the PCs the core actually fetches from.
+#[test]
+fn scrambled_secure_boot_image_runs_identically() {
+    let src = r"
+_start:
+    li   a0, 0
+    li   a1, 24
+loop:
+    addi a0, a0, 3
+    addi a1, a1, -1
+    bnez a1, loop
+    ebreak
+";
+    let prog = assemble(src, Xlen::Rv32, 0x1_0000).expect("assembles");
+
+    let mut flash = Flash::new(512, 0x5eed_0123_4567_89ab);
+    let engine = HmacEngine::new(b"decode-cache-test-key");
+    provision(&mut flash, &engine, &prog.bytes);
+    // The image really is scrambled at rest.
+    assert_ne!(
+        flash.raw(IMAGE_BASE_WORD + 1) as u32,
+        u32::from_le_bytes(prog.bytes[0..4].try_into().expect("4 bytes")),
+        "flash stores the scrambled encoding"
+    );
+    let (image, report) = boot(&flash, &engine).expect("authenticated boot");
+    assert_eq!(image, prog.bytes, "boot must descramble back to plaintext");
+    assert!(report.words_read > 0);
+
+    let mut runs = Vec::new();
+    for predecode in [false, true] {
+        let mut bus = SystemBus::new();
+        bus.add_ram(
+            0x1_0000,
+            0x1_0000,
+            RegionKind::RotPrivate,
+            RegionLatency::symmetric(1),
+        );
+        bus.load(prog.base, &image);
+        let mut core = IbexCore::new(bus, prog.entry, IbexTiming::default());
+        core.set_predecode(predecode);
+        let (burst, event) = core.run_until_idle(100_000);
+        assert!(matches!(event, Some(ibex_model::IbexEvent::Trapped(_))));
+        assert_eq!(core.hart.reg(Reg::A0), 72, "predecode={predecode}");
+        runs.push((core.cycle(), burst.len(), core.hart.pc));
+    }
+    assert_eq!(runs[0], runs[1], "booted image must run cycle-identically");
+}
+
+/// Full-SoC fingerprints: host + CFI transport + RoT firmware with quantum
+/// batching on vs off, over kernels covering calls, branches, and memory.
+#[test]
+fn soc_reports_identical_fast_path_on_vs_off() {
+    for name in ["fib", "towers", "crc32", "dhry-calls"] {
+        let kernel = all_kernels().find(|k| k.name == name).expect(name);
+        let prog = kernel.program().expect("assembles");
+        let mut fingerprints = Vec::new();
+        for fast in [false, true] {
+            let config = SocConfig {
+                mem_size: KERNEL_MEM,
+                fast_path: fast,
+                ..SocConfig::default()
+            };
+            let mut soc = SystemOnChip::new(&prog, config);
+            let report = soc.run(500_000_000);
+            assert_eq!(report.halt, Halt::Breakpoint, "{name} fast={fast}");
+            fingerprints.push(format!("{report:?}|a0={:#x}", soc.host_reg(Reg::A0)));
+        }
+        assert_eq!(
+            fingerprints[0], fingerprints[1],
+            "{name}: quantum batching changed the SoC report"
+        );
+    }
+}
+
+#[test]
+fn multicore_report_identical_fast_path_on_vs_off() {
+    let a = all_kernels().find(|k| k.name == "fib").expect("fib");
+    let b = all_kernels().find(|k| k.name == "towers").expect("towers");
+    let (a, b) = (a.program().expect("a"), b.program().expect("b"));
+    let mut fingerprints = Vec::new();
+    for fast in [false, true] {
+        let mut soc = DualHostSoc::new([&a, &b], KERNEL_MEM, 8);
+        soc.set_fast_path(fast);
+        let report = soc.run(500_000_000);
+        fingerprints.push(format!("{report:?}"));
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "quantum batching changed the multicore report"
+    );
+}
+
+/// Every table of the evaluation harness must render byte-identically with
+/// the fast path globally off and globally on — the paper's numbers cannot
+/// depend on a simulator optimisation. This is the one test that flips the
+/// process-wide default; all other tests here pin predecode per instance.
+#[test]
+fn tables_byte_identical_with_fast_path_default_flipped() {
+    use riscv_isa::predecode::{fast_path_default, set_fast_path_default};
+    let render = || {
+        let mut out = String::new();
+        out.push_str(&titancfi_bench::table1());
+        out.push_str(&titancfi_bench::table2());
+        out.push_str(&titancfi_bench::table3());
+        out.push_str(&titancfi_bench::table4());
+        for name in ["fib", "crc32"] {
+            let kernel = all_kernels().find(|k| k.name == name).expect(name);
+            let (line, _) = titancfi_bench::native_kernel_line(kernel).expect(name);
+            out.push_str(&line);
+        }
+        out
+    };
+    let prev = fast_path_default();
+    set_fast_path_default(false);
+    let slow = render();
+    set_fast_path_default(true);
+    let fast = render();
+    set_fast_path_default(prev);
+    assert_eq!(slow, fast, "tables must not depend on the fast path");
+}
