@@ -37,6 +37,22 @@ cargo run --release -p titancfi-bench --bin faults -- \
 test -s "$fault_dir/fault-matrix.txt" || { echo "fault smoke: matrix missing/empty"; exit 1; }
 rm -rf "$fault_dir"
 
+echo "==> fuzz smoke (differential oracle over a seed slice + planted-bug self-test)"
+# The fuzz binary exits nonzero if any seed's program behaves differently
+# across the execution-mode/firmware/resilience/multicore matrix. The second
+# invocation arms a deliberately planted decode-cache bug and exits nonzero
+# unless the oracle catches it, shrinks it, and writes a reproducer — a
+# mutation test of the fuzzer itself.
+fuzz_dir=$(mktemp -d)
+cargo run --release -p titancfi-bench --bin fuzz -- \
+    --smoke --time-box 300 --cache-dir "$fuzz_dir/cache"
+cargo run --release -p titancfi-bench --bin fuzz -- \
+    --smoke --time-box 300 --mutate-decode-cache --no-cache \
+    --repro-dir "$fuzz_dir/repros"
+ls "$fuzz_dir"/repros/*.repro.rs >/dev/null 2>&1 \
+    || { echo "fuzz smoke: no reproducer written for the planted bug"; exit 1; }
+rm -rf "$fuzz_dir"
+
 echo "==> throughput smoke (fast-path fingerprints + speedup regression gate)"
 # Regenerates BENCH_throughput.json in place. The binary exits nonzero if
 # the fast path's result fingerprints diverge from strict stepping, or if

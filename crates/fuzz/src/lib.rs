@@ -1,0 +1,40 @@
+//! Differential fuzzing for the TitanCFI co-simulation.
+//!
+//! The simulator has four execution strategies that must be observationally
+//! identical (strict per-cycle stepping, predecoded instruction caches,
+//! quantum-batched fast-forwarding, and the dual-core scheduler) plus a
+//! resilience layer that must be provably inert on a fault-free transport.
+//! Until now every equivalence claim was pinned by hand-picked kernels;
+//! this crate replaces that with *generated* coverage:
+//!
+//! * [`gen`] — a seeded random program generator producing structured
+//!   control flow (call trees, bounded recursion, counted loops, indirect
+//!   jumps through data-dependent jump tables, self-modifying patch sites,
+//!   compressed and uncompressed encodings) that always terminates, emitted
+//!   as `riscv-asm` source.
+//! * [`oracle`] — runs one program under the full configuration matrix
+//!   (strict vs predecode vs fast-forward × IRQ vs polling firmware ×
+//!   resilience armed vs [`titancfi::ResilienceConfig::off`], plus the
+//!   dual-core SoC) and demands byte-identical commit-log streams,
+//!   shadow-stack verdicts, and report fingerprints. Corruption variants
+//!   (a seeded return-address hijack) must make the policy fire in *every*
+//!   configuration.
+//! * [`shrink`] — on divergence, delta-debugs the program (function-level
+//!   removal, then instruction-level chunk removal) down to a minimal
+//!   reproducer, re-running the oracle at every step.
+//! * [`repro`] — writes the shrunk case as a self-contained
+//!   `.repro.rs`-style file into `tests/repros/`.
+//!
+//! The `titancfi-bench --bin fuzz` binary fans seeds through the
+//! `titancfi-harness` pool with the content-addressed result cache and is
+//! wired into CI as a time-boxed smoke.
+
+pub mod gen;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+
+pub use gen::{Corruption, FuzzProgram, GenOptions, GENERATOR_VERSION};
+pub use oracle::{check, check_source, CaseOutcome, Divergence, ExecMode, MatrixConfig, OracleOk};
+pub use repro::{write_repro, ReproContext};
+pub use shrink::{instruction_count, shrink};

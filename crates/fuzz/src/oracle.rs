@@ -1,0 +1,447 @@
+//! Cross-configuration differential oracle.
+//!
+//! One generated program is run under the full configuration matrix:
+//!
+//! * **Execution strategy** — strict per-cycle stepping, predecoded
+//!   instruction caches without batching, and the full fast-forward path
+//!   (predecode + quantum batching). All three must agree on *everything*,
+//!   including cycle counts.
+//! * **Firmware** — IRQ vs polling RoT firmware. Check latencies differ,
+//!   so only the timing-independent ("portable") fingerprint must agree:
+//!   halt reason, retired instruction count, filter counters, the full
+//!   commit-log byte stream, verdicts, and the final checksum.
+//! * **Resilience** — the armed default vs [`ResilienceConfig::off`]. On a
+//!   fault-free transport the layer must be provably inert: the *entire*
+//!   report, cycles included, must be identical.
+//! * **Topology** — the dual-core SoC running the same program on both
+//!   cores, strict vs fast path. Both cores' tagged streams must equal the
+//!   single-core strict stream log for log.
+//!
+//! Corruption variants invert the final check: the shadow stack must flag
+//! at least one violation in *every* configuration.
+
+use crate::gen::{FuzzProgram, FUZZ_BASE, FUZZ_MEM};
+use cva6_model::Halt;
+use riscv_asm::{AsmError, Assembler, Program};
+use riscv_isa::{Reg, Xlen};
+use titancfi::firmware::FirmwareKind;
+use titancfi::{CommitLog, FilterStats, ResilienceConfig};
+use titancfi_soc::{DualHostSoc, SocConfig, SystemOnChip, CORES};
+
+/// Single-core execution strategy under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Reference semantics: per-cycle stepping, raw decode.
+    Strict,
+    /// Predecoded instruction caches, no quantum batching.
+    Predecode,
+    /// Predecode + quantum-batched stepping (`SocConfig::fast_path`).
+    FastForward,
+}
+
+impl ExecMode {
+    /// All three rungs, reference first.
+    pub const ALL: [ExecMode; 3] = [ExecMode::Strict, ExecMode::Predecode, ExecMode::FastForward];
+}
+
+/// The oracle's run matrix parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixConfig {
+    /// Host cycle budget per run (generated programs finish far below it).
+    pub budget: u64,
+    /// Also run the dual-core SoC (strict vs fast + single-core cross
+    /// check).
+    pub multicore: bool,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> MatrixConfig {
+        MatrixConfig {
+            budget: 4_000_000,
+            multicore: true,
+        }
+    }
+}
+
+/// Everything observable from one single-core run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseOutcome {
+    /// Configuration label (for divergence messages).
+    pub label: String,
+    /// Why the host stopped (`Debug`-rendered, `Halt` is not `Eq`).
+    pub halt: String,
+    /// Total cycles including CFI stalls.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instret: u64,
+    /// CFI filter counters.
+    pub filter: FilterStats,
+    /// Logs fully checked by the RoT.
+    pub logs_checked: u64,
+    /// The commit-log stream pushed into the CFI queue, in order.
+    pub stream: Vec<CommitLog>,
+    /// Logs the RoT flagged (violation verdicts), in order.
+    pub violation_logs: Vec<CommitLog>,
+    /// Resilience counters (must stay zero on a clean transport).
+    pub watchdog_timeouts: u64,
+    /// Logs dropped under fail-open escalation.
+    pub logs_dropped: u64,
+    /// Final checksum (`a0` at `ebreak`).
+    pub checksum: u64,
+}
+
+impl CaseOutcome {
+    /// The 28-byte-per-log wire rendering of the commit stream — the
+    /// "byte-identical streams" the oracle compares.
+    #[must_use]
+    pub fn stream_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.stream.len() * 28);
+        for log in &self.stream {
+            for w in log.to_words() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Timing-independent fingerprint: agrees across firmware variants.
+    #[must_use]
+    pub fn portable_fingerprint(&self) -> String {
+        format!(
+            "halt={} instret={} filter={:?} checked={} stream={} violations={:?} wd={} dropped={} a0={:#x}",
+            self.halt,
+            self.instret,
+            self.filter,
+            self.logs_checked,
+            hex(&self.stream_bytes()),
+            self.violation_logs,
+            self.watchdog_timeouts,
+            self.logs_dropped,
+            self.checksum,
+        )
+    }
+
+    /// Full fingerprint: portable plus cycle-exact timing. Agrees across
+    /// execution strategies and across the resilience on/off pair.
+    #[must_use]
+    pub fn full_fingerprint(&self) -> String {
+        format!("{} cycles={}", self.portable_fingerprint(), self.cycles)
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// A divergence found by the oracle — two configurations disagreed, or the
+/// policy expectation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// What disagreed with what, and how.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+/// Successful oracle verdict plus observations the caller may assert on.
+#[derive(Debug, Clone)]
+pub struct OracleOk {
+    /// Outcome of the reference case (strict, polling, resilience armed).
+    pub reference: CaseOutcome,
+    /// Total violations observed in the reference case.
+    pub violations: usize,
+}
+
+/// Assembles a generated program's source.
+///
+/// # Errors
+///
+/// Returns the assembler diagnostic when the source does not assemble —
+/// always a generator bug, surfaced as data so fuzz jobs report it.
+pub fn assemble_fuzz(source: &str, compressed: bool) -> Result<Program, AsmError> {
+    let asm = Assembler::new(Xlen::Rv64, FUZZ_BASE);
+    let asm = if compressed { asm.compressed() } else { asm };
+    asm.assemble(source)
+}
+
+fn soc_config(fw: FirmwareKind, resilience: ResilienceConfig, mode: ExecMode) -> SocConfig {
+    SocConfig {
+        firmware: fw,
+        mem_size: FUZZ_MEM,
+        resilience,
+        fast_path: matches!(mode, ExecMode::FastForward),
+        ..SocConfig::default()
+    }
+}
+
+fn run_single(
+    prog: &Program,
+    fw: FirmwareKind,
+    resilience: ResilienceConfig,
+    mode: ExecMode,
+    budget: u64,
+) -> CaseOutcome {
+    let mut soc = SystemOnChip::new(prog, soc_config(fw, resilience, mode));
+    soc.set_predecode(!matches!(mode, ExecMode::Strict));
+    soc.enable_log_tap();
+    let report = soc.run(budget);
+    let stream = soc.take_log_tap().expect("tap was enabled");
+    CaseOutcome {
+        label: format!(
+            "{mode:?}/{fw:?}/{}",
+            if resilience == ResilienceConfig::off() {
+                "res-off"
+            } else {
+                "res-armed"
+            }
+        ),
+        halt: format!("{:?}", report.halt),
+        cycles: report.cycles,
+        instret: report.core.instret,
+        filter: report.filter,
+        logs_checked: report.logs_checked,
+        stream,
+        violation_logs: report.violations.iter().map(|v| v.log).collect(),
+        watchdog_timeouts: report.watchdog_timeouts,
+        logs_dropped: report.logs_dropped,
+        checksum: soc.host_reg(Reg::A0),
+    }
+}
+
+/// Observations from one dual-core run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DualOutcome {
+    label: String,
+    halts: [String; CORES],
+    cycles: [u64; CORES],
+    cf_streamed: [u64; CORES],
+    logs_checked: u64,
+    per_core_streams: [Vec<CommitLog>; CORES],
+    per_core_violations: [Vec<CommitLog>; CORES],
+}
+
+fn run_dual(prog: &Program, fast: bool, budget: u64) -> DualOutcome {
+    let mut soc = DualHostSoc::new([prog, prog], FUZZ_MEM, 8);
+    if fast {
+        soc.set_fast_path(true);
+    } else {
+        soc.set_predecode_only(false);
+    }
+    soc.enable_log_tap();
+    let report = soc.run(budget);
+    let tagged = soc.take_log_tap().expect("tap was enabled");
+    let mut streams: [Vec<CommitLog>; CORES] = [Vec::new(), Vec::new()];
+    for t in &tagged {
+        streams[t.core as usize].push(t.log);
+    }
+    let mut violations: [Vec<CommitLog>; CORES] = [Vec::new(), Vec::new()];
+    for v in &report.violations {
+        violations[v.core as usize].push(v.log);
+    }
+    DualOutcome {
+        label: format!("dual/{}", if fast { "fast" } else { "strict" }),
+        halts: [0, 1].map(|i| format!("{:?}", report.cores[i].halt)),
+        cycles: [0, 1].map(|i| report.cores[i].cycles),
+        cf_streamed: [0, 1].map(|i| report.cores[i].cf_streamed),
+        logs_checked: report.logs_checked,
+        per_core_streams: streams,
+        per_core_violations: violations,
+    }
+}
+
+fn diverge(detail: String) -> Divergence {
+    Divergence { detail }
+}
+
+fn compare_streams(a: &CaseOutcome, b: &CaseOutcome) -> Result<(), Divergence> {
+    if a.stream == b.stream {
+        return Ok(());
+    }
+    let idx = a
+        .stream
+        .iter()
+        .zip(&b.stream)
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.stream.len().min(b.stream.len()));
+    Err(diverge(format!(
+        "commit streams differ between [{}] ({} logs) and [{}] ({} logs) at index {}: {:?} vs {:?}",
+        a.label,
+        a.stream.len(),
+        b.label,
+        b.stream.len(),
+        idx,
+        a.stream.get(idx),
+        b.stream.get(idx),
+    )))
+}
+
+/// Runs the full matrix over already-assembled source and checks every
+/// cross-configuration equality. This is the replayable core used by
+/// written reproducers; policy expectations (corruption must fire) live in
+/// [`check`].
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn check_source(
+    source: &str,
+    compressed: bool,
+    matrix: &MatrixConfig,
+) -> Result<OracleOk, Divergence> {
+    let prog = assemble_fuzz(source, compressed)
+        .map_err(|e| diverge(format!("generator bug: source does not assemble: {e}")))?;
+
+    let firmwares = [FirmwareKind::Polling, FirmwareKind::Irq];
+    let resiliences = [ResilienceConfig::default(), ResilienceConfig::off()];
+    let mut cases: Vec<CaseOutcome> = Vec::new();
+    for fw in firmwares {
+        for res in resiliences {
+            for mode in ExecMode::ALL {
+                cases.push(run_single(&prog, fw, res, mode, matrix.budget));
+            }
+        }
+    }
+    let reference = cases[0].clone();
+    if reference.halt == format!("{:?}", Halt::Budget) {
+        return Err(diverge(format!(
+            "generator bug: [{}] exhausted the {}-cycle budget (program must self-terminate)",
+            reference.label, matrix.budget
+        )));
+    }
+
+    // Within one (firmware, resilience) cell the three execution strategies
+    // must agree on everything, cycles included.
+    for cell in cases.chunks(ExecMode::ALL.len()) {
+        let base = &cell[0];
+        for other in &cell[1..] {
+            compare_streams(base, other)?;
+            if base.full_fingerprint() != other.full_fingerprint() {
+                return Err(diverge(format!(
+                    "full fingerprints differ between [{}] and [{}]:\n  {}\n  {}",
+                    base.label,
+                    other.label,
+                    base.full_fingerprint(),
+                    other.full_fingerprint()
+                )));
+            }
+        }
+    }
+    // Resilience armed vs off must be fully inert per firmware (compare the
+    // strict rung of each pair; the rungs were just proven identical).
+    let per_res = ExecMode::ALL.len();
+    for fw_block in cases.chunks(2 * per_res) {
+        let armed = &fw_block[0];
+        let off = &fw_block[per_res];
+        if armed.full_fingerprint() != off.full_fingerprint() {
+            return Err(diverge(format!(
+                "resilience layer is not inert: [{}] vs [{}]:\n  {}\n  {}",
+                armed.label,
+                off.label,
+                armed.full_fingerprint(),
+                off.full_fingerprint()
+            )));
+        }
+    }
+    // Across firmwares the portable fingerprint must agree.
+    let irq_ref = &cases[2 * per_res];
+    compare_streams(&reference, irq_ref)?;
+    if reference.portable_fingerprint() != irq_ref.portable_fingerprint() {
+        return Err(diverge(format!(
+            "portable fingerprints differ between [{}] and [{}]:\n  {}\n  {}",
+            reference.label,
+            irq_ref.label,
+            reference.portable_fingerprint(),
+            irq_ref.portable_fingerprint()
+        )));
+    }
+
+    if matrix.multicore {
+        let strict = run_dual(&prog, false, matrix.budget);
+        let fast = run_dual(&prog, true, matrix.budget);
+        let mut fast_relabel = fast.clone();
+        fast_relabel.label = strict.label.clone();
+        if strict != fast_relabel {
+            return Err(diverge(format!(
+                "dual-core strict vs fast diverge:\n  {strict:?}\n  {fast:?}"
+            )));
+        }
+        for core in 0..CORES {
+            if strict.per_core_streams[core] != reference.stream {
+                let idx = strict.per_core_streams[core]
+                    .iter()
+                    .zip(&reference.stream)
+                    .position(|(x, y)| x != y)
+                    .unwrap_or_else(|| {
+                        strict.per_core_streams[core]
+                            .len()
+                            .min(reference.stream.len())
+                    });
+                return Err(diverge(format!(
+                    "dual-core core {core} stream ({} logs) differs from single-core strict ({} logs) at index {idx}",
+                    strict.per_core_streams[core].len(),
+                    reference.stream.len(),
+                )));
+            }
+            if strict.per_core_violations[core] != reference.violation_logs {
+                return Err(diverge(format!(
+                    "dual-core core {core} violations {:?} differ from single-core {:?}",
+                    strict.per_core_violations[core], reference.violation_logs
+                )));
+            }
+            if strict.cf_streamed[core] != reference.filter.emitted {
+                return Err(diverge(format!(
+                    "dual-core core {core} cf_streamed {} != single-core emitted {}",
+                    strict.cf_streamed[core], reference.filter.emitted
+                )));
+            }
+        }
+    }
+
+    let violations = reference.violation_logs.len();
+    // Policy verdicts must agree everywhere (already fingerprint-compared
+    // pairwise above; this is the belt-and-braces global check).
+    for case in &cases {
+        if case.violation_logs.len() != violations {
+            return Err(diverge(format!(
+                "violation counts differ: [{}] saw {}, [{}] saw {}",
+                reference.label,
+                violations,
+                case.label,
+                case.violation_logs.len()
+            )));
+        }
+    }
+    Ok(OracleOk {
+        reference,
+        violations,
+    })
+}
+
+/// Runs the full differential matrix over a generated program, including
+/// the policy expectation: benign programs must produce zero violations,
+/// corrupted ones at least one in every configuration.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn check(prog: &FuzzProgram, matrix: &MatrixConfig) -> Result<OracleOk, Divergence> {
+    let ok = check_source(&prog.emit(), prog.compressed, matrix)?;
+    match (&prog.corruption, ok.violations) {
+        (None, 0) => Ok(ok),
+        (None, n) => Err(diverge(format!(
+            "benign program flagged {n} violations (false positive)"
+        ))),
+        (Some(c), 0) => Err(diverge(format!(
+            "corruption {c:?} raised no violation — the policy failed to fire"
+        ))),
+        (Some(_), _) => Ok(ok),
+    }
+}

@@ -1,0 +1,204 @@
+//! Delta-debugging shrinker for diverging programs.
+//!
+//! Shrinking works on the [`FuzzProgram`] AST, not on bytes: every
+//! candidate is re-rendered and re-run through the full oracle, so a kept
+//! reduction is *guaranteed* to still diverge. Three passes run to a fixed
+//! point:
+//!
+//! 1. **Function removal** — drop whole functions (highest index first),
+//!    dropping call sites that referenced them and re-indexing the rest.
+//! 2. **Operation-chunk removal** — ddmin-style: per function, try deleting
+//!    chunks of the body at halving granularity down to single operations.
+//! 3. **Operation simplification** — unwrap loops to a single iteration of
+//!    their body, reduce jump tables to two arms, clamp recursion depth.
+//!
+//! The oracle is the expensive part (a full matrix per candidate), so the
+//! passes are greedy: any successful reduction restarts its pass.
+
+use crate::gen::{Corruption, FuzzProgram, Op};
+use crate::oracle::{check, MatrixConfig};
+
+/// Whether `prog` still diverges (the shrinking predicate).
+fn diverges(prog: &FuzzProgram, matrix: &MatrixConfig) -> bool {
+    check(prog, matrix).is_err()
+}
+
+/// Rewrites a body after function `k` was removed: ops calling `k` are
+/// dropped, indices above `k` shift down.
+fn remap_body(body: &[Op], k: usize) -> Vec<Op> {
+    let mut out = Vec::with_capacity(body.len());
+    for op in body {
+        match op {
+            Op::Call { callee } | Op::IndirectCall { callee } if *callee == k => {}
+            Op::RecursiveCall { callee, .. } | Op::PatchedCall { callee } if *callee == k => {}
+            Op::Call { callee } => out.push(Op::Call {
+                callee: callee - usize::from(*callee > k),
+            }),
+            Op::IndirectCall { callee } => out.push(Op::IndirectCall {
+                callee: callee - usize::from(*callee > k),
+            }),
+            Op::RecursiveCall { callee, depth } => out.push(Op::RecursiveCall {
+                callee: callee - usize::from(*callee > k),
+                depth: *depth,
+            }),
+            Op::PatchedCall { callee } => out.push(Op::PatchedCall {
+                callee: callee - usize::from(*callee > k),
+            }),
+            Op::Loop { count, body } => out.push(Op::Loop {
+                count: *count,
+                body: remap_body(body, k),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// The program with function `k` removed, or `None` when `k` must stay
+/// (last function, or the corruption target).
+fn remove_func(prog: &FuzzProgram, k: usize) -> Option<FuzzProgram> {
+    if prog.funcs.len() <= 1 {
+        return None;
+    }
+    if let Some(Corruption::ReturnHijack { func }) = prog.corruption {
+        if func == k {
+            return None;
+        }
+    }
+    let mut p = prog.clone();
+    p.funcs.remove(k);
+    for f in &mut p.funcs {
+        f.body = remap_body(&f.body, k);
+    }
+    if let Some(Corruption::ReturnHijack { func }) = &mut p.corruption {
+        if *func > k {
+            *func -= 1;
+        }
+    }
+    Some(p)
+}
+
+fn shrink_functions(cur: &mut FuzzProgram, matrix: &MatrixConfig) -> bool {
+    let mut progressed = false;
+    'restart: loop {
+        for k in (0..cur.funcs.len()).rev() {
+            if let Some(cand) = remove_func(cur, k) {
+                if diverges(&cand, matrix) {
+                    *cur = cand;
+                    progressed = true;
+                    continue 'restart;
+                }
+            }
+        }
+        return progressed;
+    }
+}
+
+fn shrink_ops(cur: &mut FuzzProgram, matrix: &MatrixConfig) -> bool {
+    let mut progressed = false;
+    for i in 0..cur.funcs.len() {
+        let mut chunk = cur.funcs[i].body.len().max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < cur.funcs[i].body.len() {
+                let end = (start + chunk).min(cur.funcs[i].body.len());
+                let mut cand = cur.clone();
+                cand.funcs[i].body.drain(start..end);
+                if diverges(&cand, matrix) {
+                    *cur = cand;
+                    progressed = true;
+                    // Re-test from the same start — the body shifted left.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    progressed
+}
+
+/// One-step simplifications of a single op; returns candidate replacements
+/// ordered most-aggressive first.
+fn simplify(op: &Op) -> Vec<Vec<Op>> {
+    match op {
+        Op::Loop { count, body } => {
+            let mut cands = vec![body.clone()];
+            if *count > 1 {
+                cands.push(vec![Op::Loop {
+                    count: 1,
+                    body: body.clone(),
+                }]);
+            }
+            cands
+        }
+        Op::TableSwitch { arms } if *arms > 2 => vec![vec![Op::TableSwitch { arms: 2 }]],
+        Op::RecursiveCall { callee, depth } if *depth > 1 => vec![vec![Op::RecursiveCall {
+            callee: *callee,
+            depth: 1,
+        }]],
+        Op::IndirectCall { callee } => vec![vec![Op::Call { callee: *callee }]],
+        _ => Vec::new(),
+    }
+}
+
+fn shrink_simplify(cur: &mut FuzzProgram, matrix: &MatrixConfig) -> bool {
+    let mut progressed = false;
+    for i in 0..cur.funcs.len() {
+        let mut j = 0;
+        while j < cur.funcs[i].body.len() {
+            let mut replaced = false;
+            for replacement in simplify(&cur.funcs[i].body[j]) {
+                let mut cand = cur.clone();
+                cand.funcs[i].body.splice(j..=j, replacement);
+                if diverges(&cand, matrix) {
+                    *cur = cand;
+                    progressed = true;
+                    replaced = true;
+                    break;
+                }
+            }
+            if !replaced {
+                j += 1;
+            }
+        }
+    }
+    progressed
+}
+
+/// Shrinks a diverging program to a (locally) minimal one that still
+/// diverges under the same matrix. If `prog` does not actually diverge it
+/// is returned unchanged.
+#[must_use]
+pub fn shrink(prog: &FuzzProgram, matrix: &MatrixConfig) -> FuzzProgram {
+    if !diverges(prog, matrix) {
+        return prog.clone();
+    }
+    let mut cur = prog.clone();
+    loop {
+        let mut progressed = false;
+        progressed |= shrink_functions(&mut cur, matrix);
+        progressed |= shrink_ops(&mut cur, matrix);
+        progressed |= shrink_simplify(&mut cur, matrix);
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// Number of instruction statements in rendered assembly source (labels,
+/// directives, comments, and blank lines excluded). Pseudo-instructions
+/// count as one statement each — the granularity the shrinker works at.
+#[must_use]
+pub fn instruction_count(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with('#') && !l.starts_with('.') && !l.ends_with(':')
+        })
+        .count()
+}

@@ -1,0 +1,73 @@
+//! Mutation test for the differential oracle: arm the deliberately planted
+//! decode-cache bug (`invalidate_store` silently skipping eviction) and
+//! prove the fuzzer (a) catches it, (b) shrinks it to a small reproducer,
+//! and (c) writes a self-contained repro file.
+//!
+//! The hook is process-global, so this file contains exactly one test and
+//! lives in its own integration-test binary (its own process) — it must
+//! never share a process with other simulator tests.
+
+use titancfi_fuzz::{
+    check, instruction_count, shrink, write_repro, FuzzProgram, GenOptions, MatrixConfig,
+    ReproContext,
+};
+
+/// Seeds probed for an armed-hook divergence. Self-modifying programs are
+/// forced by `GenOptions`, but the patched call still has to execute on a
+/// path where the stale decode changes the jump-table arm, so a few seeds
+/// may be needed.
+const PROBE_SEEDS: std::ops::Range<u64> = 0..32;
+
+#[test]
+fn planted_decode_cache_bug_is_caught_and_shrunk() {
+    let matrix = MatrixConfig::default();
+    let opts = GenOptions {
+        force_self_modify: true,
+    };
+
+    riscv_isa::predecode::set_mutate_skip_store_invalidation(true);
+    let found = PROBE_SEEDS.clone().find_map(|seed| {
+        let prog = FuzzProgram::generate_opts(seed, opts);
+        check(&prog, &matrix).err().map(|d| (seed, prog, d))
+    });
+    let (seed, prog, _divergence) = found.unwrap_or_else(|| {
+        riscv_isa::predecode::set_mutate_skip_store_invalidation(false);
+        panic!("no probe seed exposed the armed decode-cache bug")
+    });
+
+    let shrunk = shrink(&prog, &matrix);
+    let shrunk_divergence = check(&shrunk, &matrix).expect_err("shrunk program still diverges");
+    let count = instruction_count(&shrunk.emit());
+
+    let repro_dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("repros");
+    let path = write_repro(
+        &repro_dir,
+        &shrunk,
+        &ReproContext {
+            seed,
+            divergence: &shrunk_divergence,
+            mutation_hook: true,
+        },
+    )
+    .expect("repro file writes");
+
+    riscv_isa::predecode::set_mutate_skip_store_invalidation(false);
+
+    assert!(
+        count <= 32,
+        "shrunk reproducer has {count} instruction statements (> 32):\n{}",
+        shrunk.emit()
+    );
+    let written = std::fs::read_to_string(&path).expect("repro file readable");
+    assert!(written.contains("set_mutate_skip_store_invalidation(true)"));
+    assert!(written.contains("check_source"));
+    assert!(
+        written.contains(&format!("Seed: {seed}")),
+        "repro header names the seed"
+    );
+
+    // Disarmed, the very same programs must sail through the matrix — the
+    // divergence is the mutation, not the generator.
+    check(&prog, &matrix).expect("disarmed original passes");
+    check(&shrunk, &matrix).expect("disarmed shrunk program passes");
+}

@@ -49,6 +49,26 @@ pub fn set_fast_path_default(on: bool) {
     FAST_PATH_DEFAULT.store(on, Ordering::SeqCst);
 }
 
+/// Mutation-testing switch: when set, [`DecodeCache::invalidate_store`]
+/// silently skips eviction — a deliberately plantable cache-coherence bug.
+/// It exists so the differential fuzzer (`titancfi-fuzz`) can prove its
+/// oracle catches exactly this class of defect (stale decoded instructions
+/// after self-modifying stores). Never enabled by any production code path;
+/// tests that flip it must run in their own process.
+static MUTATE_SKIP_STORE_INVALIDATION: AtomicBool = AtomicBool::new(false);
+
+/// Whether the planted store-invalidation bug is active.
+#[must_use]
+pub fn mutate_skip_store_invalidation() -> bool {
+    MUTATE_SKIP_STORE_INVALIDATION.load(Ordering::Relaxed)
+}
+
+/// Arms or disarms the planted store-invalidation bug (mutation testing
+/// only — see [`mutate_skip_store_invalidation`]).
+pub fn set_mutate_skip_store_invalidation(on: bool) {
+    MUTATE_SKIP_STORE_INVALIDATION.store(on, Ordering::Relaxed);
+}
+
 /// A decoded instruction plus everything the hot loop needs precomputed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Predecoded {
@@ -179,6 +199,9 @@ impl DecodeCache {
     #[inline]
     pub fn invalidate_store(&mut self, addr: u64, bytes: u64) {
         if self.lo > self.hi {
+            return;
+        }
+        if mutate_skip_store_invalidation() {
             return;
         }
         let end = addr.saturating_add(bytes);
@@ -344,6 +367,87 @@ mod tests {
         let op = c.lookup(0x1020).expect("newer entry present");
         assert_eq!(op.decoded.inst, Inst::Ecall);
     }
+
+    #[test]
+    fn store_straddling_two_entries_evicts_exactly_the_overlapped() {
+        // Three consecutive 4-byte entries; a 4-byte store at 0x1006
+        // straddles the boundary between the second and third — it must
+        // evict both of those and leave the first untouched.
+        let mut c = DecodeCache::new(64);
+        entry(0x1000, &Inst::NOP, &mut c); // [0x1000, 0x1004)
+        entry(0x1004, &Inst::NOP, &mut c); // [0x1004, 0x1008)
+        entry(0x1008, &Inst::NOP, &mut c); // [0x1008, 0x100c)
+        c.invalidate_store(0x1006, 4); // [0x1006, 0x100a)
+        assert!(
+            c.lookup(0x1000).is_some(),
+            "entry before the store survives"
+        );
+        assert!(c.lookup(0x1004).is_none(), "first straddled entry evicted");
+        assert!(c.lookup(0x1008).is_none(), "second straddled entry evicted");
+        assert_eq!(c.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn store_exactly_at_watermark_boundaries() {
+        // Single entry ⇒ lo = hi = 0x1000, span [0x1000, 0x1004).
+        // Low edge: a store *ending* exactly at `lo` must not evict; one
+        // byte further must.
+        let mut c = DecodeCache::new(64);
+        entry(0x1000, &Inst::NOP, &mut c);
+        c.invalidate_store(0xffc, 4); // end == lo: rejected by watermark
+        assert!(c.lookup(0x1000).is_some());
+        assert_eq!(c.stats().invalidated, 0);
+        c.invalidate_store(0xffd, 4); // end == lo + 1: overlaps first byte
+        assert!(c.lookup(0x1000).is_none());
+        assert_eq!(c.stats().invalidated, 1);
+
+        // High edge: the watermark keeps a 3-byte overhang past `hi`
+        // because `hi` is a *start* address. A store at hi+3 (last byte of
+        // the instruction) must evict; at hi+4 (one past the span) must be
+        // rejected without probing.
+        let mut c = DecodeCache::new(64);
+        entry(0x2000, &Inst::NOP, &mut c); // span [0x2000, 0x2004)
+        c.invalidate_store(0x2004, 8); // addr == hi + 4: outside the span
+        assert!(c.lookup(0x2000).is_some());
+        assert_eq!(c.stats().invalidated, 0);
+        c.invalidate_store(0x2003, 1); // addr == hi + 3: last encoded byte
+        assert!(c.lookup(0x2000).is_none());
+        assert_eq!(c.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn compressed_instruction_at_span_edge() {
+        // A 2-byte instruction sitting at the high watermark: its span ends
+        // at hi+2, so the generic hi+3 overhang over-approximates by one
+        // byte — the probe loop must still decline to evict for a store at
+        // hi+2 or hi+3 (outside the 2-byte span) while the watermark lets
+        // those stores through to probing.
+        let mut c = DecodeCache::new(64);
+        entry(0x3000, &Inst::NOP, &mut c); // [0x3000, 0x3004)
+        let d = decode(0x0001, Xlen::Rv64).expect("c.nop decodes");
+        assert_eq!(d.len, 2);
+        c.insert(0x3004, d); // [0x3004, 0x3006), hi = 0x3004
+        c.invalidate_store(0x3006, 2); // inside watermark overhang, outside span
+        assert!(
+            c.lookup(0x3004).is_some(),
+            "hi+2 store keeps compressed entry"
+        );
+        c.invalidate_store(0x3007, 1); // hi + 3: watermark admits, span rejects
+        assert!(
+            c.lookup(0x3004).is_some(),
+            "hi+3 store keeps compressed entry"
+        );
+        assert_eq!(c.stats().invalidated, 0);
+        c.invalidate_store(0x3005, 1); // last byte of the compressed span
+        assert!(c.lookup(0x3004).is_none(), "in-span store evicts");
+        assert!(c.lookup(0x3000).is_some(), "neighbour entry untouched");
+        assert_eq!(c.stats().invalidated, 1);
+    }
+
+    // The mutation hook (`set_mutate_skip_store_invalidation`) is
+    // process-global, so its behavioural test lives in the fuzz crate's
+    // single-process `tests/mutation.rs` rather than here, where it would
+    // race the other invalidation tests running in parallel threads.
 
     #[test]
     fn global_default_round_trips() {

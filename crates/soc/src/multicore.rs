@@ -183,6 +183,10 @@ pub struct DualHostSoc {
     /// Quantum-batch straight-line stretches when the transport is idle.
     /// Cycle-exact either way; pinned by `tests/decode_cache.rs`.
     fast_path: bool,
+    /// When enabled, every tagged log pushed into the shared queue is also
+    /// recorded here — purely observational, for differential stream
+    /// comparison.
+    log_tap: Option<Vec<TaggedLog>>,
 }
 
 impl DualHostSoc {
@@ -233,6 +237,7 @@ impl DualHostSoc {
             violations: Vec::new(),
             firmware_trap: None,
             fast_path: riscv_isa::predecode::fast_path_default(),
+            log_tap: None,
         }
     }
 
@@ -243,6 +248,28 @@ impl DualHostSoc {
         for core in &mut self.cores {
             core.set_predecode(on);
         }
+    }
+
+    /// Sets the predecode caches on the host cores *without* enabling the
+    /// quantum-batched scheduler — the middle rung of the differential
+    /// matrix.
+    pub fn set_predecode_only(&mut self, on: bool) {
+        self.fast_path = false;
+        for core in &mut self.cores {
+            core.set_predecode(on);
+        }
+    }
+
+    /// Starts capturing every tagged log pushed into the shared CFI queue.
+    /// Purely observational — no timing effect.
+    pub fn enable_log_tap(&mut self) {
+        self.log_tap = Some(Vec::new());
+    }
+
+    /// Detaches and returns the captured tagged-log stream, if a tap was
+    /// enabled.
+    pub fn take_log_tap(&mut self) -> Option<Vec<TaggedLog>> {
+        self.log_tap.take()
     }
 
     /// The live core that is furthest behind (ties go to the lower index) —
@@ -356,7 +383,11 @@ impl DualHostSoc {
                             self.cores[i].stall(self.bg_cycle - before);
                         }
                         if self.queue.len() < self.queue_depth {
-                            self.queue.push_back(TaggedLog { core: i as u8, log });
+                            let tagged = TaggedLog { core: i as u8, log };
+                            if let Some(tap) = self.log_tap.as_mut() {
+                                tap.push(tagged);
+                            }
+                            self.queue.push_back(tagged);
                         }
                     }
                 }

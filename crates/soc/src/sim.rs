@@ -166,6 +166,10 @@ pub struct SystemOnChip {
     /// `poll_loop` address of polling firmwares (glitch recovery point);
     /// zero for IRQ firmware.
     poll_pc: u64,
+    /// When enabled, every commit log pushed into the CFI queue is also
+    /// recorded here — purely observational (no timing effect), used by the
+    /// differential fuzzer to compare commit-log streams byte for byte.
+    log_tap: Option<Vec<titancfi::CommitLog>>,
 }
 
 /// Static counter name for one (phase, category) firmware cycle cell —
@@ -285,7 +289,29 @@ impl SystemOnChip {
             injector,
             rot_health: RotHealth::Healthy,
             poll_pc,
+            log_tap: None,
         }
+    }
+
+    /// Starts capturing every commit log pushed into the CFI queue. The tap
+    /// is a pure observer — it records at the existing push site and does
+    /// not change scheduling, batching legality, or any report field.
+    pub fn enable_log_tap(&mut self) {
+        self.log_tap = Some(Vec::new());
+    }
+
+    /// Detaches and returns the captured commit-log stream, if a tap was
+    /// enabled.
+    pub fn take_log_tap(&mut self) -> Option<Vec<titancfi::CommitLog>> {
+        self.log_tap.take()
+    }
+
+    /// Sets the predecoded-decode caches on both cores *without* touching
+    /// the quantum-batching scheduler (`config.fast_path`) — the middle rung
+    /// of the strict / predecode / fast-forward differential matrix.
+    pub fn set_predecode(&mut self, on: bool) {
+        self.core.set_predecode(on);
+        self.rot.core.set_predecode(on);
     }
 
     /// Attaches a full [`Recorder`] (metrics + timeline + firmware
@@ -534,6 +560,9 @@ impl SystemOnChip {
                         .filter
                         .scan_classified(&commit.retired, commit.cf_class)
                     {
+                        if let Some(tap) = self.log_tap.as_mut() {
+                            tap.push(log);
+                        }
                         // Dual-CF conflict: two CF logs in the same commit
                         // cycle cannot both be pushed (paper §IV-B2).
                         if self.last_cf_cycle == Some(commit.cycle) {

@@ -2,9 +2,11 @@
 //! corrupted in memory (the classic stack-smash primitive) must be caught
 //! by the RoT firmware, cycle-accurately, through the full pipeline.
 
+mod common;
+
+use common::{assemble, kernel_config};
 use cva6_model::Halt;
 use titancfi_soc::{SocConfig, SystemOnChip};
-use titancfi_workloads::kernels::KERNEL_MEM;
 
 /// A victim with a simulated buffer-overflow: `vulnerable` saves `ra` to
 /// the stack, a "memory-write primitive" overwrites the slot with a gadget
@@ -48,17 +50,12 @@ gadget:
     j    gadget
 ";
 
-fn assemble(src: &str) -> riscv_asm::Program {
-    riscv_asm::assemble(src, riscv_isa::Xlen::Rv64, 0x8000_0000).expect("assembles")
-}
-
 #[test]
 fn stack_smash_detected_by_rot() {
     let prog = assemble(VICTIM_SRC);
     let config = SocConfig {
-        mem_size: KERNEL_MEM,
         halt_on_violation: true,
-        ..SocConfig::default()
+        ..kernel_config()
     };
     let mut soc = SystemOnChip::new(&prog, config);
     let report = soc.run(1_000_000);
@@ -79,9 +76,8 @@ fn stack_smash_detected_by_rot() {
 fn benign_twin_passes() {
     let prog = assemble(BENIGN_SRC);
     let config = SocConfig {
-        mem_size: KERNEL_MEM,
         halt_on_violation: true,
-        ..SocConfig::default()
+        ..kernel_config()
     };
     let mut soc = SystemOnChip::new(&prog, config);
     let report = soc.run(1_000_000);
@@ -96,9 +92,8 @@ fn detection_works_in_every_firmware_variant() {
         let prog = assemble(VICTIM_SRC);
         let config = SocConfig {
             firmware: fw,
-            mem_size: KERNEL_MEM,
             halt_on_violation: true,
-            ..SocConfig::default()
+            ..kernel_config()
         };
         let mut soc = SystemOnChip::new(&prog, config);
         let report = soc.run(1_000_000);
@@ -112,9 +107,8 @@ fn detection_at_queue_depth_one_and_eight() {
         let prog = assemble(VICTIM_SRC);
         let config = SocConfig {
             queue_depth: depth,
-            mem_size: KERNEL_MEM,
             halt_on_violation: true,
-            ..SocConfig::default()
+            ..kernel_config()
         };
         let mut soc = SystemOnChip::new(&prog, config);
         let report = soc.run(1_000_000);

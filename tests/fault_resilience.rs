@@ -13,13 +13,15 @@
 //!      recovered, or escalated in the [`FaultReport`] ledger; none are
 //!      silently lost.
 
+mod common;
+
+use common::{kernel_config, kernel_program, report_fingerprint as fingerprint, run_kernel};
 use cva6_model::Halt;
 use titancfi::{FailPolicy, ResilienceConfig};
 use titancfi_faults::{FaultClass, FaultConfig};
-use titancfi_soc::{SocConfig, SocReport, SystemOnChip};
-use titancfi_workloads::kernels::{Kernel, KERNEL_MEM};
+use titancfi_soc::{SocConfig, SystemOnChip};
 
-const MAX_CYCLES: u64 = 200_000_000;
+const MAX_CYCLES: u64 = common::RUN_BUDGET;
 
 fn tight_resilience(policy: FailPolicy) -> ResilienceConfig {
     ResilienceConfig {
@@ -30,33 +32,9 @@ fn tight_resilience(policy: FailPolicy) -> ResilienceConfig {
     }
 }
 
-fn run_kernel(name: &str, config: SocConfig) -> SocReport {
-    let kernel = Kernel::by_name(name).expect(name);
-    let prog = kernel.program().expect("kernel assembles");
-    let mut soc = SystemOnChip::new(&prog, config);
-    soc.run(MAX_CYCLES)
-}
-
-/// The fields that must not move when the resilience machinery is armed but
-/// no fault fires.
-fn fingerprint(r: &SocReport) -> (Halt, u64, u64, usize, u64, u64, usize) {
-    (
-        r.halt,
-        r.cycles,
-        r.logs_checked,
-        r.queue_high_water,
-        r.stalls_queue_full,
-        r.stalls_dual_cf,
-        r.violations.len(),
-    )
-}
-
 #[test]
 fn fault_free_run_cycle_identical_with_resilience_armed() {
-    let base = SocConfig {
-        mem_size: KERNEL_MEM,
-        ..SocConfig::default()
-    };
+    let base = kernel_config();
     for name in ["fib", "dispatch"] {
         // The paper FSM verbatim: no watchdog at all.
         let plain = run_kernel(
@@ -108,10 +86,9 @@ fn hung_firmware_times_out_within_bound_fail_closed() {
     let report = run_kernel(
         "fib",
         SocConfig {
-            mem_size: KERNEL_MEM,
             resilience: tight_resilience(FailPolicy::FailClosed),
             faults: Some(FaultConfig::only(FaultClass::FirmwareHang, 1, 1)),
-            ..SocConfig::default()
+            ..kernel_config()
         },
     );
     assert_eq!(report.halt, Halt::Breakpoint, "run terminates, no hang");
@@ -139,17 +116,15 @@ fn watchdog_timeout_is_within_configured_bound() {
     // Pin the latency of the timeout outcome itself: with a 2k-cycle
     // watchdog and 3 attempts, the first forced violation must land within
     // a small multiple of the configured budget.
-    let kernel = Kernel::by_name("fib").expect("fib");
-    let prog = kernel.program().expect("assembles");
+    let prog = kernel_program("fib");
     let resilience = tight_resilience(FailPolicy::FailClosed);
     let mut soc = SystemOnChip::new(
         &prog,
         SocConfig {
-            mem_size: KERNEL_MEM,
             resilience,
             halt_on_violation: true,
             faults: Some(FaultConfig::only(FaultClass::FirmwareHang, 1, 7)),
-            ..SocConfig::default()
+            ..kernel_config()
         },
     );
     let report = soc.run(MAX_CYCLES);
@@ -173,10 +148,9 @@ fn firmware_trap_fails_closed_with_structured_halt() {
     let report = run_kernel(
         "fib",
         SocConfig {
-            mem_size: KERNEL_MEM,
             resilience: tight_resilience(FailPolicy::FailClosed),
             faults: Some(FaultConfig::only(FaultClass::FirmwareTrap, 1, 2)),
-            ..SocConfig::default()
+            ..kernel_config()
         },
     );
     let Halt::FirmwareTrap(trap) = report.halt else {
@@ -197,10 +171,9 @@ fn firmware_trap_fail_open_keeps_host_running() {
     let report = run_kernel(
         "fib",
         SocConfig {
-            mem_size: KERNEL_MEM,
             resilience: tight_resilience(FailPolicy::FailOpen),
             faults: Some(FaultConfig::only(FaultClass::FirmwareTrap, 1, 2)),
-            ..SocConfig::default()
+            ..kernel_config()
         },
     );
     assert_eq!(
@@ -239,10 +212,9 @@ fn every_fault_class_detected_or_recovered() {
             let report = run_kernel(
                 "fib",
                 SocConfig {
-                    mem_size: KERNEL_MEM,
                     resilience: tight_resilience(FailPolicy::FailClosed),
                     faults: Some(FaultConfig::only(class, one_in, seed)),
-                    ..SocConfig::default()
+                    ..kernel_config()
                 },
             );
             assert_ne!(
@@ -265,9 +237,92 @@ fn every_fault_class_detected_or_recovered() {
 }
 
 #[test]
+fn fail_open_drop_accounting_is_exact() {
+    // Satellite accounting law: under fail-open, "dropped" is not a vague
+    // health metric — it is exactly the number of logs whose delivery
+    // escalated, and the ledger's escalation count is exactly
+    // `max_attempts` pending faults per dropped log (every attempt of an
+    // escalated log burned one injected doorbell drop).
+    //
+    // Rate 1: every doorbell ring is eaten, so no log can ever be checked —
+    // every emitted log must escalate, none may be silently lost.
+    for seed in [3u64, 17] {
+        let resilience = tight_resilience(FailPolicy::FailOpen);
+        let report = run_kernel(
+            "fib",
+            SocConfig {
+                resilience,
+                faults: Some(FaultConfig::only(FaultClass::DoorbellDrop, 1, seed)),
+                ..kernel_config()
+            },
+        );
+        assert_eq!(
+            report.halt,
+            Halt::Breakpoint,
+            "seed {seed}: fail-open completes"
+        );
+        assert!(report.logs_dropped > 0, "seed {seed}: drops must occur");
+        assert_eq!(
+            report.logs_dropped, report.filter.emitted,
+            "seed {seed}: with every doorbell eaten, every emitted log escalates"
+        );
+        assert_eq!(
+            report.logs_checked, 0,
+            "seed {seed}: nothing can be checked"
+        );
+        assert_eq!(
+            report.forced_violations, 0,
+            "fail-open never forces violations"
+        );
+        assert!(report.violations.is_empty());
+        let ledger = report.faults.expect("ledger present");
+        let drops = ledger.class(FaultClass::DoorbellDrop);
+        assert_eq!(
+            drops.escalated,
+            report.logs_dropped * u64::from(resilience.max_attempts),
+            "seed {seed}: every dropped log must account exactly max_attempts faults"
+        );
+        assert!(ledger.all_resolved(), "seed {seed}: {ledger:?}");
+    }
+
+    // Rate 2: a mixed schedule — some logs recover on retry, some escalate.
+    // The partition must still be exact: checked + dropped covers every
+    // emitted log, and the escalation count still factors as
+    // `max_attempts` per dropped log (recovered drops are ledgered as
+    // recovered, not escalated).
+    let resilience = tight_resilience(FailPolicy::FailOpen);
+    let report = run_kernel(
+        "fib",
+        SocConfig {
+            resilience,
+            faults: Some(FaultConfig::only(FaultClass::DoorbellDrop, 2, 23)),
+            ..kernel_config()
+        },
+    );
+    assert_eq!(report.halt, Halt::Breakpoint);
+    assert_eq!(
+        report.logs_checked + report.logs_dropped,
+        report.filter.emitted,
+        "every emitted log is either checked or accounted as dropped"
+    );
+    let ledger = report.faults.expect("ledger present");
+    let drops = ledger.class(FaultClass::DoorbellDrop);
+    assert_eq!(
+        drops.escalated,
+        report.logs_dropped * u64::from(resilience.max_attempts),
+        "escalations factor exactly as max_attempts per dropped log"
+    );
+    assert_eq!(
+        drops.recovered,
+        drops.injected - drops.escalated,
+        "the remaining injected drops must all be ledgered as recovered"
+    );
+    assert!(ledger.all_resolved(), "{ledger:?}");
+}
+
+#[test]
 fn fault_runs_are_deterministic_per_seed() {
     let config = SocConfig {
-        mem_size: KERNEL_MEM,
         resilience: tight_resilience(FailPolicy::FailClosed),
         faults: Some(FaultConfig {
             axi_beat_error: 9,
@@ -277,7 +332,7 @@ fn fault_runs_are_deterministic_per_seed() {
             firmware_glitch: 11,
             ..FaultConfig::none(0xDECAF)
         }),
-        ..SocConfig::default()
+        ..kernel_config()
     };
     let a = run_kernel("fib", config);
     let b = run_kernel("fib", config);

@@ -5,41 +5,24 @@
 //! agree, no violations may fire, and the filter/queue/writer counters must
 //! be mutually consistent.
 
-use cva6_model::Halt;
+mod common;
+
+use common::{kernel_config, kernel_program, run_kernel_checked, RUN_BUDGET};
 use riscv_isa::Reg;
 use titancfi::firmware::FirmwareKind;
-use titancfi_soc::{run_baseline, SocConfig, SocReport, SystemOnChip};
-use titancfi_workloads::kernels::{all_kernels, Kernel, KERNEL_MEM};
-
-fn run_under_cfi(kernel: &Kernel, config: SocConfig) -> (SocReport, u64) {
-    let prog = kernel
-        .program()
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
-    let mut soc = SystemOnChip::new(&prog, config);
-    let report = soc.run(500_000_000);
-    assert_eq!(
-        report.halt,
-        Halt::Breakpoint,
-        "{} halts cleanly",
-        kernel.name
-    );
-    (report, soc.host_reg(Reg::A0))
-}
+use titancfi_soc::{run_baseline, SocConfig};
+use titancfi_workloads::kernels::KERNEL_MEM;
 
 #[test]
 fn kernels_run_correctly_under_full_cfi() {
     // A representative mix; the full sweep lives in the bench harness.
     for name in ["fib", "dhry-calls", "dispatch", "memcpy", "towers"] {
-        let kernel = all_kernels().find(|k| k.name == name).expect(name);
-        let config = SocConfig {
-            mem_size: KERNEL_MEM,
-            ..SocConfig::default()
-        };
-        let (report, a0) = run_under_cfi(kernel, config);
+        let config = kernel_config();
+        let (report, a0) = run_kernel_checked(name, config);
         // Functional result identical to the bare run.
-        let prog = kernel.program().expect("assembles");
+        let prog = kernel_program(name);
         let mut bare = cva6_model::Cva6Core::new(&prog, KERNEL_MEM, config.timing);
-        let _ = bare.run_silent(500_000_000);
+        let _ = bare.run_silent(RUN_BUDGET);
         assert_eq!(a0, bare.reg(Reg::A0), "{name}: CFI must not change results");
         // No false positives.
         assert!(
@@ -54,15 +37,11 @@ fn kernels_run_correctly_under_full_cfi() {
 
 #[test]
 fn cfi_slowdown_grows_with_cf_density() {
-    let config = SocConfig {
-        mem_size: KERNEL_MEM,
-        ..SocConfig::default()
-    };
+    let config = kernel_config();
     let slowdown = |name: &str| {
-        let kernel = all_kernels().find(|k| k.name == name).expect(name);
-        let prog = kernel.program().expect("assembles");
+        let prog = kernel_program(name);
         let (_, baseline) = run_baseline(&prog, &config);
-        let (report, _) = run_under_cfi(kernel, config);
+        let (report, _) = run_kernel_checked(name, config);
         report.slowdown_percent(baseline)
     };
     let dense = slowdown("dhry-calls");
@@ -76,17 +55,13 @@ fn cfi_slowdown_grows_with_cf_density() {
 
 #[test]
 fn deeper_queue_reduces_slowdown_on_call_dense_code() {
-    let kernel = all_kernels().find(|k| k.name == "fib").expect("fib");
-    let prog = kernel.program().expect("assembles");
     let mut cycles = Vec::new();
     for depth in [1usize, 8] {
         let config = SocConfig {
             queue_depth: depth,
-            mem_size: KERNEL_MEM,
-            ..SocConfig::default()
+            ..kernel_config()
         };
-        let mut soc = SystemOnChip::new(&prog, config);
-        let report = soc.run(500_000_000);
+        let (report, _) = run_kernel_checked("fib", config);
         cycles.push(report.cycles);
     }
     assert!(
@@ -99,19 +74,13 @@ fn deeper_queue_reduces_slowdown_on_call_dense_code() {
 
 #[test]
 fn firmware_variants_ordered_by_speed() {
-    let kernel = all_kernels()
-        .find(|k| k.name == "dhry-calls")
-        .expect("kernel");
-    let prog = kernel.program().expect("assembles");
     let mut totals = Vec::new();
     for fw in FirmwareKind::ALL {
         let config = SocConfig {
             firmware: fw,
-            mem_size: KERNEL_MEM,
-            ..SocConfig::default()
+            ..kernel_config()
         };
-        let mut soc = SystemOnChip::new(&prog, config);
-        let report = soc.run(500_000_000);
+        let (report, _) = run_kernel_checked("dhry-calls", config);
         assert!(report.violations.is_empty());
         totals.push((fw, report.cycles));
     }
@@ -125,14 +94,7 @@ fn firmware_variants_ordered_by_speed() {
 
 #[test]
 fn indirect_dispatch_checked_but_clean() {
-    let kernel = all_kernels()
-        .find(|k| k.name == "dispatch")
-        .expect("dispatch");
-    let config = SocConfig {
-        mem_size: KERNEL_MEM,
-        ..SocConfig::default()
-    };
-    let (report, _) = run_under_cfi(kernel, config);
+    let (report, _) = run_kernel_checked("dispatch", kernel_config());
     // 100 indirect jumps were streamed and checked.
     assert!(report.filter.indirect_jumps >= 100);
     assert!(report.violations.is_empty());
@@ -140,16 +102,12 @@ fn indirect_dispatch_checked_but_clean() {
 
 #[test]
 fn queue_high_water_bounded_by_depth() {
-    let kernel = all_kernels().find(|k| k.name == "fib").expect("fib");
-    let prog = kernel.program().expect("assembles");
     for depth in [1usize, 2, 4] {
         let config = SocConfig {
             queue_depth: depth,
-            mem_size: KERNEL_MEM,
-            ..SocConfig::default()
+            ..kernel_config()
         };
-        let mut soc = SystemOnChip::new(&prog, config);
-        let report = soc.run(500_000_000);
+        let (report, _) = run_kernel_checked("fib", config);
         assert!(
             report.queue_high_water <= depth,
             "occupancy {} exceeds depth {depth}",
@@ -160,12 +118,7 @@ fn queue_high_water_bounded_by_depth() {
 
 #[test]
 fn report_counters_consistent() {
-    let kernel = all_kernels().find(|k| k.name == "towers").expect("towers");
-    let config = SocConfig {
-        mem_size: KERNEL_MEM,
-        ..SocConfig::default()
-    };
-    let (report, _) = run_under_cfi(kernel, config);
+    let (report, _) = run_kernel_checked("towers", kernel_config());
     assert_eq!(
         report.filter.calls + report.filter.returns + report.filter.indirect_jumps,
         report.filter.emitted
@@ -181,12 +134,7 @@ fn dual_control_flow_commits_are_rare() {
     // Verify that across the call-densest kernels the dual-CF stall events
     // stay a small fraction of the checked instructions.
     for name in ["fib", "dhry-calls", "towers"] {
-        let kernel = all_kernels().find(|k| k.name == name).expect(name);
-        let config = SocConfig {
-            mem_size: KERNEL_MEM,
-            ..SocConfig::default()
-        };
-        let (report, _) = run_under_cfi(kernel, config);
+        let (report, _) = run_kernel_checked(name, kernel_config());
         let rate = report.stalls_dual_cf as f64 / report.filter.emitted.max(1) as f64;
         assert!(
             rate < 0.05,

@@ -7,20 +7,22 @@
 //! methodology itself: if the cheap model tracked the full system poorly,
 //! the tables built on it would be suspect.
 
+mod common;
+
+use common::kernel_program;
 use cva6_model::{Cva6Core, TimingConfig};
 use titancfi::firmware::FirmwareKind;
 use titancfi_bench::measured_latencies;
 use titancfi_soc::{run_baseline, SocConfig, SystemOnChip};
 use titancfi_trace::{simulate, Trace};
-use titancfi_workloads::kernels::{all_kernels, KERNEL_MEM};
+use titancfi_workloads::kernels::KERNEL_MEM;
 
-fn system_slowdown(kernel: &titancfi_workloads::Kernel, fw: FirmwareKind, depth: usize) -> f64 {
-    let prog = kernel.program().expect("assembles");
+fn system_slowdown(name: &str, fw: FirmwareKind, depth: usize) -> f64 {
+    let prog = kernel_program(name);
     let config = SocConfig {
         firmware: fw,
         queue_depth: depth,
-        mem_size: KERNEL_MEM,
-        ..SocConfig::default()
+        ..common::kernel_config()
     };
     let (_, baseline) = run_baseline(&prog, &config);
     let mut soc = SystemOnChip::new(&prog, config);
@@ -28,8 +30,8 @@ fn system_slowdown(kernel: &titancfi_workloads::Kernel, fw: FirmwareKind, depth:
     report.slowdown_percent(baseline)
 }
 
-fn model_slowdown(kernel: &titancfi_workloads::Kernel, latency: u64, depth: usize) -> f64 {
-    let prog = kernel.program().expect("assembles");
+fn model_slowdown(name: &str, latency: u64, depth: usize) -> f64 {
+    let prog = kernel_program(name);
     let mut core = Cva6Core::new(&prog, KERNEL_MEM, TimingConfig::default());
     let (commits, _) = core.run(2_000_000_000);
     let trace = Trace::from_commits(&commits, core.cycle());
@@ -42,13 +44,12 @@ fn trace_model_tracks_full_system() {
     // describe the same RoT.
     let [irq_lat, poll_lat, _] = measured_latencies();
     for name in ["fib", "dispatch", "statemate", "memcpy"] {
-        let kernel = all_kernels().find(|k| k.name == name).expect(name);
         for (fw, lat) in [
             (FirmwareKind::Irq, irq_lat),
             (FirmwareKind::Polling, poll_lat),
         ] {
-            let sys = system_slowdown(kernel, fw, 8);
-            let model = model_slowdown(kernel, lat, 8);
+            let sys = system_slowdown(name, fw, 8);
+            let model = model_slowdown(name, lat, 8);
             // Both near zero, or within 40 % of each other: the model lacks
             // AXI transfer overlap and poll-phase granularity, so exact
             // agreement is not expected — tracking is.
@@ -74,9 +75,8 @@ fn ranking_preserved_across_kernels() {
     let mut sys: Vec<f64> = Vec::new();
     let mut model: Vec<f64> = Vec::new();
     for name in names {
-        let kernel = all_kernels().find(|k| k.name == name).expect(name);
-        sys.push(system_slowdown(kernel, FirmwareKind::Polling, 8));
-        model.push(model_slowdown(kernel, poll_lat, 8));
+        sys.push(system_slowdown(name, FirmwareKind::Polling, 8));
+        model.push(model_slowdown(name, poll_lat, 8));
     }
     for i in 0..names.len() - 1 {
         assert!(

@@ -2,6 +2,9 @@
 //! exception to the host hart, whose trap handler can contain the damage —
 //! the recovery story the paper's FSM description implies (§IV-B3).
 
+mod common;
+
+use common::assemble;
 use cva6_model::Halt;
 use riscv_isa::Reg;
 use titancfi_soc::{SocConfig, SystemOnChip, CFI_VIOLATION_CAUSE};
@@ -38,8 +41,7 @@ cfi_trap:
 
 #[test]
 fn violation_delivers_exception_to_host() {
-    let prog = riscv_asm::assemble(VICTIM_WITH_HANDLER, riscv_isa::Xlen::Rv64, 0x8000_0000)
-        .expect("assembles");
+    let prog = assemble(VICTIM_WITH_HANDLER);
     let gadget = prog.symbol("gadget").expect("gadget");
     let config = SocConfig {
         trap_host_on_violation: true,
@@ -67,8 +69,7 @@ fn violation_delivers_exception_to_host() {
 fn without_trap_config_payload_keeps_running() {
     // Same victim, exception delivery off: the gadget spins until the
     // cycle budget — demonstrating why the exception line matters.
-    let prog = riscv_asm::assemble(VICTIM_WITH_HANDLER, riscv_isa::Xlen::Rv64, 0x8000_0000)
-        .expect("assembles");
+    let prog = assemble(VICTIM_WITH_HANDLER);
     let config = SocConfig {
         trap_host_on_violation: false,
         ..SocConfig::default()
@@ -97,7 +98,7 @@ fn clean_program_never_traps() {
         li   a0, 0xbad
         ebreak
     ";
-    let prog = riscv_asm::assemble(clean, riscv_isa::Xlen::Rv64, 0x8000_0000).expect("ok");
+    let prog = assemble(clean);
     let config = SocConfig {
         trap_host_on_violation: true,
         ..SocConfig::default()
