@@ -62,4 +62,16 @@ cargo run --release -p titancfi-bench --bin throughput -- \
     --smoke --out BENCH_throughput.json --baseline BENCH_throughput.json
 test -s BENCH_throughput.json || { echo "throughput smoke: report missing/empty"; exit 1; }
 
+echo "==> fleet smoke (sharded fleet, every frame integrity-verified at ingest)"
+# The fleet binary exits nonzero if any swept device count loses or
+# corrupts a single commit-log frame, sees a duplicate/gapped sequence
+# number, or leaves a device undrained/unreaped at shutdown. The smoke
+# sweep writes to a scratch dir so the committed full-sweep
+# BENCH_fleet.json stays the reference curve.
+fleet_dir=$(mktemp -d)
+cargo run --release -p titancfi-bench --bin fleet -- \
+    --smoke --out "$fleet_dir/BENCH_fleet.json"
+test -s "$fleet_dir/BENCH_fleet.json" || { echo "fleet smoke: report missing/empty"; exit 1; }
+rm -rf "$fleet_dir"
+
 echo "==> ci.sh: all green"

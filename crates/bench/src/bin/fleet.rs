@@ -1,0 +1,216 @@
+//! Fleet saturation benchmark: devices × commit-logs/sec.
+//!
+//! ```text
+//! cargo run --release -p titancfi-bench --bin fleet -- \
+//!     --smoke --out BENCH_fleet.json
+//! ```
+//!
+//! Sweeps the fleet service over increasing device counts (the full sweep
+//! tops out above 1000 simulated SoCs) and records, per count, the
+//! commit-log ingest rate the monitor sustained, with the wire protocol's
+//! loss accounting alongside. The integrity gate is absolute: a single
+//! lost, corrupt, duplicated or gapped frame — or a device left undrained
+//! at shutdown — fails the run with a nonzero exit, at every swept count.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use titancfi_fleet::{
+    call_dense_workload, run_fleet, FleetConfig, FleetReport, SocDevice, SocDeviceConfig,
+};
+use titancfi_harness::Json;
+
+const USAGE: &str = "\
+usage: fleet [options]
+
+      --smoke         small device counts (CI smoke run)
+      --out PATH      write the JSON report to PATH (default: BENCH_fleet.json)
+  -h, --help          this text
+";
+
+struct Options {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        smoke: false,
+        out: "BENCH_fleet.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => opts.out = args.next().ok_or("missing value for --out")?,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn shard_count() -> usize {
+    // One shard per core, minus one for the ingest loop, clamped to a
+    // useful range.
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+fn run_point(devices: u32, passes: u64, shards: usize) -> FleetReport {
+    let program = Arc::new(call_dense_workload(4));
+    let config = FleetConfig {
+        devices,
+        shards,
+        passes,
+        transport_capacity: 64,
+        ..FleetConfig::default()
+    };
+    run_fleet(&config, move |_, seq, tx| {
+        Box::new(SocDevice::new(
+            SocDeviceConfig::new(Arc::clone(&program)),
+            tx,
+            seq,
+        ))
+    })
+}
+
+/// Integrity failures in one report, rendered for the gate.
+fn integrity_failures(r: &FleetReport) -> Vec<String> {
+    let mut out = Vec::new();
+    if r.frames_lost > 0 {
+        out.push(format!("{} frames lost", r.frames_lost));
+    }
+    if r.frames_corrupt > 0 {
+        out.push(format!("{} frames corrupt", r.frames_corrupt));
+    }
+    if r.seq_duplicates > 0 {
+        out.push(format!("{} duplicate seqs", r.seq_duplicates));
+    }
+    if r.seq_gaps > 0 {
+        out.push(format!("{} seq gaps", r.seq_gaps));
+    }
+    if r.undrained_devices > 0 {
+        out.push(format!("{} undrained devices", r.undrained_devices));
+    }
+    if r.supervision.permanent_failures > 0 {
+        out.push(format!(
+            "{} unreaped (permanently failed) devices",
+            r.supervision.permanent_failures
+        ));
+    }
+    out
+}
+
+fn row_json(r: &FleetReport) -> Json {
+    Json::obj(vec![
+        ("devices", Json::Num(f64::from(r.devices))),
+        ("shards", Json::Num(r.shards as f64)),
+        ("frames_ok", Json::Num(r.frames_ok as f64)),
+        ("logs_per_sec", Json::Num(r.logs_per_second())),
+        ("wall_ms", Json::Num(r.wall_seconds * 1e3)),
+        ("sim_cycles", Json::Num(r.sim_cycles as f64)),
+        ("turns", Json::Num(r.turns as f64)),
+        (
+            "completed_runs",
+            Json::Num(r.supervision.completed_runs as f64),
+        ),
+        ("send_stalls", Json::Num(r.send_stalls as f64)),
+        ("steals", Json::Num(r.steals as f64)),
+        ("frames_lost", Json::Num(r.frames_lost as f64)),
+        ("frames_corrupt", Json::Num(r.frames_corrupt as f64)),
+        ("seq_duplicates", Json::Num(r.seq_duplicates as f64)),
+        ("seq_gaps", Json::Num(r.seq_gaps as f64)),
+        (
+            "undrained_devices",
+            Json::Num(f64::from(r.undrained_devices)),
+        ),
+        (
+            "per_backend",
+            Json::Arr(
+                r.per_backend
+                    .iter()
+                    .map(|(kind, s)| {
+                        Json::obj(vec![
+                            ("backend", Json::Str(kind.name().to_string())),
+                            ("sent", Json::Num(s.sent as f64)),
+                            ("received", Json::Num(s.received as f64)),
+                            ("corrupt", Json::Num(s.corrupt as f64)),
+                            ("would_block", Json::Num(s.would_block as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("fleet: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    // Passes shrink as device counts grow so every point does comparable
+    // total work and the sweep measures *scaling*, not just more work.
+    let sweep: Vec<(u32, u64)> = if opts.smoke {
+        vec![(8, 200), (32, 100)]
+    } else {
+        vec![(16, 800), (64, 400), (256, 150), (1024, 60)]
+    };
+    let shards = shard_count();
+    let mode = if opts.smoke { "smoke" } else { "full" };
+    println!("fleet saturation ({mode}, {shards} shards + 1 ingest)");
+
+    let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for &(devices, passes) in &sweep {
+        let report = run_point(devices, passes, shards);
+        println!(
+            "{:>5} devices  {:>9} logs  {:>12.0} logs/s  {:>9.0} ms  {:>6} runs  {:>7} stalls  {:>4} steals  {}",
+            report.devices,
+            report.frames_ok,
+            report.logs_per_second(),
+            report.wall_seconds * 1e3,
+            report.supervision.completed_runs,
+            report.send_stalls,
+            report.steals,
+            if integrity_failures(&report).is_empty() {
+                "ok"
+            } else {
+                "INTEGRITY FAIL"
+            },
+        );
+        for failure in integrity_failures(&report) {
+            failures.push(format!("{} devices: {failure}", report.devices));
+        }
+        rows.push(row_json(&report));
+    }
+
+    let json = Json::obj(vec![
+        ("schema", Json::Num(1.0)),
+        ("mode", Json::Str(mode.to_string())),
+        ("shards", Json::Num(shards as f64)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    if let Err(e) = std::fs::write(&opts.out, json.encode() + "\n") {
+        eprintln!("fleet: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", opts.out);
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("fleet: INTEGRITY {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("every swept count lossless (integrity word verified at ingest)");
+    ExitCode::SUCCESS
+}

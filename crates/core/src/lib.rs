@@ -44,6 +44,7 @@ pub mod filter;
 pub mod firmware;
 pub mod log_writer;
 pub mod queue;
+pub mod wire;
 
 pub use accounting::{Breakdown, Category, Cost, Phase};
 pub use commit_log::CommitLog;

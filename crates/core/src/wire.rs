@@ -1,0 +1,251 @@
+//! The commit-log wire format shared by every transport in the workspace.
+//!
+//! A commit log serialises to **28 bytes** (seven 32-bit words, paper
+//! §IV-B1); the resilience layer's mailbox protocol extends it with a
+//! fourth-word **integrity word** — sequence number in the high half, an
+//! XOR-fold checksum mixed with the sequence number in the low half
+//! ([`CfiMailbox::integrity_word`]) — giving a self-checking **32-byte
+//! frame**. This module is the single encoder/decoder for that frame: the
+//! Log Writer's mailbox path, the differential-fuzz oracle's byte-stream
+//! fingerprints, and the fleet transports all speak exactly this layout,
+//! so "byte-identical streams" means the same bytes everywhere.
+//!
+//! Decoding verifies the integrity word: any single-bit flip in the record
+//! or in the integrity word itself is rejected as [`FrameError::Corrupt`].
+//! Sequence continuity (duplicates from retries, gaps from losses) is a
+//! per-stream property, tracked by [`SeqTracker`] — the same
+//! accept-but-count semantics the mailbox hardware applies at ring time.
+
+use crate::commit_log::{CommitLog, WORDS};
+use opentitan_model::CfiMailbox;
+
+/// Serialised commit-log record size: seven little-endian 32-bit words.
+pub const RECORD_BYTES: usize = WORDS * 4;
+/// Framed size on every transport: the record plus the integrity word.
+pub const FRAME_BYTES: usize = RECORD_BYTES + 4;
+
+/// One framed commit log: the record plus the sequence number that seeds
+/// its integrity word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Per-stream sequence number (wraps at 16 bits, like the mailbox).
+    pub seq: u16,
+    /// The commit log carried by this frame.
+    pub log: CommitLog,
+}
+
+/// Why a received frame was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The integrity word does not match the record (in-flight corruption).
+    Corrupt,
+    /// The buffer is not exactly [`FRAME_BYTES`] long.
+    Length(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Corrupt => f.write_str("frame integrity word mismatch"),
+            FrameError::Length(n) => write!(f, "frame is {n} bytes, expected {FRAME_BYTES}"),
+        }
+    }
+}
+
+impl Frame {
+    /// The integrity word for this frame — exactly what the Log Writer
+    /// stores in spare mailbox word 7.
+    #[must_use]
+    pub fn integrity_word(&self) -> u32 {
+        CfiMailbox::integrity_word(self.seq, &self.log.to_words())
+    }
+
+    /// Serialises to the 32-byte wire layout: the seven record words then
+    /// the integrity word, all little-endian.
+    #[must_use]
+    pub fn encode(&self) -> [u8; FRAME_BYTES] {
+        let mut out = [0u8; FRAME_BYTES];
+        out[..RECORD_BYTES].copy_from_slice(&record_bytes(&self.log));
+        out[RECORD_BYTES..].copy_from_slice(&self.integrity_word().to_le_bytes());
+        out
+    }
+
+    /// Deserialises and verifies a frame. The sequence number is recovered
+    /// from the integrity word's high half and the checksum re-derived from
+    /// the record — so corruption anywhere in the 32 bytes is caught.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Length`] when `bytes` is not exactly [`FRAME_BYTES`];
+    /// [`FrameError::Corrupt`] when the integrity word does not match.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() != FRAME_BYTES {
+            return Err(FrameError::Length(bytes.len()));
+        }
+        let mut words = [0u32; WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4-byte chunk"));
+        }
+        let stored = u32::from_le_bytes(bytes[RECORD_BYTES..].try_into().expect("4-byte word"));
+        let seq = (stored >> 16) as u16;
+        let frame = Frame {
+            seq,
+            log: CommitLog::from_words(&words),
+        };
+        if frame.integrity_word() != stored {
+            return Err(FrameError::Corrupt);
+        }
+        Ok(frame)
+    }
+}
+
+/// The bare 28-byte record rendering (no integrity word) — the byte stream
+/// the differential oracle fingerprints.
+#[must_use]
+pub fn record_bytes(log: &CommitLog) -> [u8; RECORD_BYTES] {
+    let mut out = [0u8; RECORD_BYTES];
+    for (i, w) in log.to_words().iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Concatenated [`record_bytes`] of a whole stream, in order.
+#[must_use]
+pub fn stream_bytes(logs: &[CommitLog]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(logs.len() * RECORD_BYTES);
+    for log in logs {
+        out.extend_from_slice(&record_bytes(log));
+    }
+    out
+}
+
+/// Per-stream sequence-continuity tracker: duplicates (legitimate retries)
+/// and gaps (lost frames) are accepted but counted, mirroring the mailbox's
+/// ring-time accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqTracker {
+    last: Option<u16>,
+    /// Frames that re-presented the previous sequence number.
+    pub duplicates: u64,
+    /// Frames whose sequence number skipped ahead of `last + 1`.
+    pub gaps: u64,
+}
+
+impl SeqTracker {
+    /// A fresh tracker (any first sequence number is in order).
+    #[must_use]
+    pub fn new() -> SeqTracker {
+        SeqTracker::default()
+    }
+
+    /// Observes the next frame's sequence number; returns `true` when it is
+    /// in order (neither a duplicate nor a gap).
+    pub fn observe(&mut self, seq: u16) -> bool {
+        let in_order = match self.last {
+            Some(last) if last == seq => {
+                self.duplicates += 1;
+                false
+            }
+            Some(last) if last.wrapping_add(1) != seq => {
+                self.gaps += 1;
+                false
+            }
+            _ => true,
+        };
+        self.last = Some(seq);
+        in_order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u16) -> Frame {
+        Frame {
+            seq,
+            log: CommitLog {
+                pc: 0x8000_1234_5678_9abc,
+                insn: 0x0000_8067,
+                next: 0x8000_1234_5678_9ac0,
+                target: 0x8000_0000_dead_beee,
+            },
+        }
+    }
+
+    #[test]
+    fn frame_is_32_bytes_and_round_trips() {
+        for seq in [0u16, 1, 0x7fff, 0xffff] {
+            let f = sample(seq);
+            let bytes = f.encode();
+            assert_eq!(bytes.len(), FRAME_BYTES);
+            assert_eq!(Frame::decode(&bytes), Ok(f));
+        }
+    }
+
+    #[test]
+    fn record_prefix_matches_mailbox_word_layout() {
+        let f = sample(7);
+        let bytes = f.encode();
+        // The first 28 bytes are the seven mailbox words, little-endian.
+        for (i, w) in f.log.to_words().iter().enumerate() {
+            assert_eq!(&bytes[i * 4..i * 4 + 4], &w.to_le_bytes());
+        }
+        // The trailing word is exactly the mailbox integrity word.
+        assert_eq!(
+            u32::from_le_bytes(bytes[RECORD_BYTES..].try_into().unwrap()),
+            CfiMailbox::integrity_word(7, &f.log.to_words())
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let clean = sample(42).encode();
+        for byte in 0..FRAME_BYTES {
+            for bit in 0..8 {
+                let mut corrupt = clean;
+                corrupt[byte] ^= 1 << bit;
+                assert_eq!(
+                    Frame::decode(&corrupt),
+                    Err(FrameError::Corrupt),
+                    "flip at byte {byte} bit {bit} must be caught"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert_eq!(
+            Frame::decode(&[0u8; FRAME_BYTES - 1]),
+            Err(FrameError::Length(FRAME_BYTES - 1))
+        );
+    }
+
+    #[test]
+    fn stream_bytes_concatenates_records() {
+        let logs = [sample(0).log, sample(1).log];
+        let bytes = stream_bytes(&logs);
+        assert_eq!(bytes.len(), 2 * RECORD_BYTES);
+        assert_eq!(&bytes[..RECORD_BYTES], &record_bytes(&logs[0]));
+        assert_eq!(&bytes[RECORD_BYTES..], &record_bytes(&logs[1]));
+    }
+
+    #[test]
+    fn seq_tracker_counts_dups_and_gaps() {
+        let mut t = SeqTracker::new();
+        assert!(t.observe(5)); // any starting point is in order
+        assert!(t.observe(6));
+        assert!(!t.observe(6)); // retry
+        assert!(!t.observe(9)); // two frames lost
+        assert!(t.observe(10));
+        assert_eq!(t.duplicates, 1);
+        assert_eq!(t.gaps, 1);
+        // 16-bit wraparound is continuous.
+        let mut w = SeqTracker::new();
+        assert!(w.observe(0xffff));
+        assert!(w.observe(0x0000));
+        assert_eq!(w.gaps, 0);
+    }
+}

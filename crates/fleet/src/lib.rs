@@ -1,0 +1,43 @@
+//! `titancfi-fleet` — fleet-scale CFI monitoring.
+//!
+//! The paper puts one TitanCFI monitor next to one host core. This crate
+//! asks the deployment question: what does a *fleet* of monitored SoCs
+//! look like to the maintainer who has to watch them all? It runs N
+//! simulated devices (full [`titancfi_soc::SystemOnChip`] co-simulations,
+//! advanced in cheap resumable slices) as a sharded fleet and funnels
+//! every 28-byte commit-log record into one monitoring service:
+//!
+//! * [`transport`] — the wire layer: three interchangeable backends
+//!   (in-process ring, shared-memory-style ring, length-prefixed byte
+//!   stream) all framing records with the resilience layer's seq+checksum
+//!   integrity word, so corruption, duplication and loss are *detected at
+//!   ingest*, with explicit `WouldBlock` backpressure;
+//! * [`device`] — a [`device::SocDevice`] wraps a co-simulation as a
+//!   pollable device streaming its commit-log tap through a transport;
+//! * [`supervisor`] — fail-fast lifecycle: liveness deadlines, immediate
+//!   reap on hang or trap, bounded restart budgets, a permanent-failure
+//!   ledger;
+//! * [`service`] — the fleet itself: shard workers with work-stealing
+//!   ([`titancfi_harness::StealQueues`]), a verifying ingest loop,
+//!   aggregation into [`titancfi_obs::SimMetrics`], periodic JSONL
+//!   snapshots, and a drain-and-shutdown protocol whose invariant is
+//!   frames-in == frames-out.
+//!
+//! The `titancfi-bench` crate's `fleet` binary sweeps device counts over
+//! this service to produce the devices × commit-logs/sec saturation curve
+//! (`BENCH_fleet.json`).
+
+pub mod device;
+pub mod service;
+pub mod supervisor;
+pub mod transport;
+
+pub use device::{
+    call_dense_workload, Device, DeviceStatus, PollOutcome, SocDevice, SocDeviceConfig,
+};
+pub use service::{run_fleet, FleetConfig, FleetReport};
+pub use supervisor::{
+    DeviceFactory, EscalationReason, FailureRecord, SupervisionConfig, SupervisionStats,
+    Supervisor, Turn,
+};
+pub use transport::{Backend, Recv, SendError, Transport, TransportStats};

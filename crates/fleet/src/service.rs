@@ -1,0 +1,566 @@
+//! The fleet service: N supervised devices, sharded over a worker pool
+//! with work-stealing, one transport per device, one ingest loop verifying
+//! and aggregating every frame.
+//!
+//! Lifecycle of a run:
+//!
+//! 1. **Boot** — one transport per slot (backends assigned round-robin
+//!    unless pinned), the supervisor boots every slot through the device
+//!    factory, slot ids are dealt across the shard queues.
+//! 2. **Run** — each shard worker pops a slot, runs one supervision turn,
+//!    and re-enqueues it until the slot has consumed its pass budget or
+//!    parks. Idle workers steal from the most loaded shard.
+//! 3. **Ingest** — concurrently, the monitor loop sweeps every transport:
+//!    frames are integrity-verified at ingest ([`titancfi::wire::Frame`]),
+//!    per-slot sequence trackers count duplicates and gaps, counters roll
+//!    into the [`titancfi_obs::SimMetrics`] registry, and a JSONL snapshot
+//!    line is appended on a fixed sweep cadence.
+//! 4. **Drain** — after the workers join, the service stops scheduling new
+//!    sim work and alternates device flushes with ingest sweeps until every
+//!    buffered frame is out of every device *and* every transport is empty,
+//!    then verifies frames-in == frames-out.
+//!
+//! The [`FleetReport`] carries every counter the acceptance gate needs:
+//! zero `frames_lost`, zero `frames_corrupt` on a clean fleet.
+
+use crate::device::Device;
+use crate::supervisor::{
+    DeviceFactory, FailureRecord, SupervisionConfig, SupervisionStats, Supervisor, Turn,
+};
+use crate::transport::{Backend, Recv, Transport, TransportStats};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use titancfi::wire::SeqTracker;
+use titancfi_harness::{Json, StealQueues};
+use titancfi_obs::SimMetrics;
+
+/// Fleet-wide configuration.
+pub struct FleetConfig {
+    /// Number of device slots.
+    pub devices: u32,
+    /// Worker shards (threads) driving the devices.
+    pub shards: usize,
+    /// Supervision turns each slot is scheduled for. The run phase ends
+    /// when every slot has consumed its passes (or parked).
+    pub passes: u64,
+    /// Per-transport capacity in frames.
+    pub transport_capacity: usize,
+    /// Pin every slot to one backend, or `None` for round-robin across
+    /// [`Backend::ALL`].
+    pub backend: Option<Backend>,
+    /// Supervision policy.
+    pub supervision: SupervisionConfig,
+    /// Append JSONL telemetry snapshots here (one line per cadence tick).
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Ingest sweeps between snapshot lines.
+    pub snapshot_every_sweeps: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            devices: 8,
+            shards: 4,
+            passes: 64,
+            transport_capacity: 64,
+            backend: None,
+            supervision: SupervisionConfig::default(),
+            snapshot_path: None,
+            snapshot_every_sweeps: 64,
+        }
+    }
+}
+
+/// Everything a finished fleet run reports.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Device slots.
+    pub devices: u32,
+    /// Worker shards.
+    pub shards: usize,
+    /// Frames accepted by the transports (device side).
+    pub frames_sent: u64,
+    /// Frames verified and ingested (monitor side).
+    pub frames_ok: u64,
+    /// Frames rejected by the integrity word at ingest.
+    pub frames_corrupt: u64,
+    /// `frames_sent - frames_ok - frames_corrupt`: anything a transport
+    /// accepted but never delivered. Zero on a healthy fleet.
+    pub frames_lost: u64,
+    /// Duplicate sequence numbers observed at ingest.
+    pub seq_duplicates: u64,
+    /// Sequence gaps observed at ingest.
+    pub seq_gaps: u64,
+    /// Sends refused with `WouldBlock` (explicit backpressure stalls).
+    pub send_stalls: u64,
+    /// Work-stealing operations between shards.
+    pub steals: u64,
+    /// Supervision turns executed.
+    pub turns: u64,
+    /// Simulated cycles advanced across the whole fleet.
+    pub sim_cycles: u64,
+    /// Supervision counters (escalations, respawns, completions,
+    /// violations).
+    pub supervision: SupervisionStats,
+    /// Permanent-failure ledger.
+    pub ledger: Vec<FailureRecord>,
+    /// Devices whose buffers could not be fully drained at shutdown.
+    /// Nonzero means the shutdown protocol failed — an unreaped device.
+    pub undrained_devices: u32,
+    /// Wall-clock seconds for the run+drain phases.
+    pub wall_seconds: f64,
+    /// Per-backend transport counters, in [`Backend::ALL`] order
+    /// (absent backends have all-zero stats).
+    pub per_backend: Vec<(Backend, TransportStats)>,
+    /// The aggregated metrics registry (counters mirrored above plus
+    /// per-device owned counters).
+    pub metrics: SimMetrics,
+}
+
+impl FleetReport {
+    /// The acceptance predicate: every accepted frame delivered and
+    /// verified, nothing corrupt, nobody left undrained.
+    #[must_use]
+    pub fn is_lossless(&self) -> bool {
+        self.frames_lost == 0 && self.frames_corrupt == 0 && self.undrained_devices == 0
+    }
+
+    /// Commit logs ingested per wall-clock second.
+    #[must_use]
+    pub fn logs_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.frames_ok as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Ingest-side state: per-slot sequence trackers plus fleet totals.
+struct Ingest<'a> {
+    transports: &'a [Arc<dyn Transport>],
+    trackers: Vec<SeqTracker>,
+    frames_ok: u64,
+    frames_corrupt: u64,
+    per_slot_ok: Vec<u64>,
+}
+
+impl<'a> Ingest<'a> {
+    fn new(transports: &'a [Arc<dyn Transport>]) -> Ingest<'a> {
+        Ingest {
+            transports,
+            trackers: (0..transports.len()).map(|_| SeqTracker::new()).collect(),
+            frames_ok: 0,
+            frames_corrupt: 0,
+            per_slot_ok: vec![0; transports.len()],
+        }
+    }
+
+    /// One pass over every transport, draining each. Returns frames moved.
+    fn sweep(&mut self) -> u64 {
+        let mut moved = 0;
+        for (slot, tx) in self.transports.iter().enumerate() {
+            loop {
+                match tx.try_recv() {
+                    Recv::Frame(frame) => {
+                        self.trackers[slot].observe(frame.seq);
+                        self.frames_ok += 1;
+                        self.per_slot_ok[slot] += 1;
+                        moved += 1;
+                    }
+                    Recv::Corrupt => {
+                        self.frames_corrupt += 1;
+                        moved += 1;
+                    }
+                    Recv::Empty => break,
+                }
+            }
+        }
+        moved
+    }
+
+    fn seq_duplicates(&self) -> u64 {
+        self.trackers.iter().map(|t| t.duplicates).sum()
+    }
+
+    fn seq_gaps(&self) -> u64 {
+        self.trackers.iter().map(|t| t.gaps).sum()
+    }
+}
+
+/// A JSONL telemetry sink that appends one snapshot object per line.
+struct SnapshotSink {
+    file: Option<std::fs::File>,
+}
+
+impl SnapshotSink {
+    fn open(path: Option<&std::path::Path>) -> SnapshotSink {
+        SnapshotSink {
+            file: path.and_then(|p| {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)
+                    .ok()
+            }),
+        }
+    }
+
+    fn write(&mut self, line: &Json) {
+        if let Some(file) = self.file.as_mut() {
+            let _ = writeln!(file, "{}", line.encode());
+        }
+    }
+}
+
+/// Runs a fleet to completion: boot, run, ingest, drain, report.
+///
+/// The `factory` is called for every boot and respawn with
+/// `(slot, start_seq, transport)` and must return a device wired to that
+/// transport.
+#[allow(clippy::too_many_lines)]
+pub fn run_fleet<F>(config: &FleetConfig, factory: F) -> FleetReport
+where
+    F: Fn(u32, u16, Arc<dyn Transport>) -> Box<dyn Device> + Send + Sync + 'static,
+{
+    let started = std::time::Instant::now();
+    let devices = config.devices.max(1);
+    let shards = config.shards.max(1);
+
+    // One transport per slot, backends round-robin unless pinned.
+    let transports: Vec<Arc<dyn Transport>> = (0..devices)
+        .map(|slot| {
+            let kind = config
+                .backend
+                .unwrap_or(Backend::ALL[slot as usize % Backend::ALL.len()]);
+            Arc::from(kind.build(config.transport_capacity))
+        })
+        .collect();
+
+    let supervisor = {
+        let transports = transports.clone();
+        Supervisor::new(
+            devices,
+            config.supervision,
+            Box::new(move |slot, seq| factory(slot, seq, Arc::clone(&transports[slot as usize])))
+                as DeviceFactory,
+        )
+    };
+
+    let queues: StealQueues<u32> = StealQueues::new(shards);
+    for slot in 0..devices {
+        queues.push(slot as usize % shards, slot);
+    }
+
+    let turns_done: Vec<AtomicU64> = (0..devices).map(|_| AtomicU64::new(0)).collect();
+    let sim_cycles = AtomicU64::new(0);
+    let total_turns = AtomicU64::new(0);
+    // Workers hold `in_flight` while they own a popped slot; a worker may
+    // exit only when the queues are empty AND nothing is in flight — an
+    // in-flight slot may still be re-enqueued, so "empty" alone is not
+    // quiescence. `finished` counts exited workers so the ingest loop knows
+    // when no more frames can possibly be produced.
+    let in_flight = AtomicU64::new(0);
+    let finished = AtomicU64::new(0);
+    let mut ingest = Ingest::new(&transports);
+    let mut sink = SnapshotSink::open(config.snapshot_path.as_deref());
+    let mut sweeps: u64 = 0;
+
+    std::thread::scope(|scope| {
+        // Shard workers: run supervision turns until every slot's pass
+        // budget is spent.
+        for shard in 0..shards {
+            let queues = &queues;
+            let supervisor = &supervisor;
+            let turns_done = &turns_done;
+            let sim_cycles = &sim_cycles;
+            let total_turns = &total_turns;
+            let in_flight = &in_flight;
+            let finished = &finished;
+            scope.spawn(move || {
+                loop {
+                    in_flight.fetch_add(1, Ordering::AcqRel);
+                    let Some(slot) = queues.pop(shard) else {
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                        if in_flight.load(Ordering::Acquire) == 0 && queues.is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let turn = supervisor.turn(slot);
+                    total_turns.fetch_add(1, Ordering::Relaxed);
+                    // A pass is consumed only by *work* (cycles simulated,
+                    // frames moved, a respawn). A backpressured or idle
+                    // poll reschedules for free — burning the budget on
+                    // busy-waits would end the run phase before the ingest
+                    // loop ever had a chance to relieve the transports.
+                    let worked = match turn {
+                        Turn::Progress(out) | Turn::Recycled(out) => {
+                            sim_cycles.fetch_add(out.cycles, Ordering::Relaxed);
+                            Some(out.cycles > 0 || out.frames > 0)
+                        }
+                        Turn::Respawned(_) => Some(true),
+                        Turn::Parked(_) | Turn::Dead => None,
+                    };
+                    match worked {
+                        Some(true) => {
+                            let done =
+                                turns_done[slot as usize].fetch_add(1, Ordering::Relaxed) + 1;
+                            if done < config.passes {
+                                queues.push(shard, slot);
+                            }
+                        }
+                        Some(false) => {
+                            queues.push(shard, slot);
+                            std::thread::yield_now();
+                        }
+                        None => {}
+                    }
+                    // The re-enqueue (if any) happens before the in-flight
+                    // drop, so quiescence checks never miss a live slot.
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                }
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+
+        // Ingest loop on the scope's main thread: sweep until every worker
+        // has exited AND a final sweep moves nothing (no producer left, no
+        // frame in any transport).
+        loop {
+            let moved = ingest.sweep();
+            sweeps += 1;
+            if sweeps.is_multiple_of(config.snapshot_every_sweeps) {
+                sink.write(&snapshot_line(
+                    "fleet_snapshot",
+                    sweeps,
+                    &ingest,
+                    &supervisor.stats(),
+                ));
+            }
+            if finished.load(Ordering::Acquire) == shards as u64 && moved == 0 {
+                break;
+            }
+            if moved == 0 {
+                std::thread::yield_now();
+            }
+        }
+    });
+
+    // Drain phase: no more sim work; alternate flushes with sweeps until
+    // every device buffer and every transport is empty (or stops making
+    // progress, which the report then calls out as undrained).
+    let mut undrained_devices = 0u32;
+    loop {
+        let buffered: usize = (0..devices).map(|s| supervisor.flush(s)).sum();
+        let moved = ingest.sweep();
+        if buffered == 0 && moved == 0 {
+            break;
+        }
+        if moved == 0 && buffered > 0 {
+            // Flushes are blocked yet ingest moves nothing: wedged buffers.
+            undrained_devices = (0..devices).filter(|&s| supervisor.flush(s) > 0).count() as u32;
+            break;
+        }
+    }
+
+    let per_backend: Vec<(Backend, TransportStats)> = Backend::ALL
+        .iter()
+        .map(|&kind| {
+            let mut total = TransportStats::default();
+            for tx in transports.iter().filter(|t| t.backend() == kind) {
+                let s = tx.stats();
+                total.sent += s.sent;
+                total.received += s.received;
+                total.corrupt += s.corrupt;
+                total.would_block += s.would_block;
+            }
+            (kind, total)
+        })
+        .collect();
+
+    let frames_sent: u64 = per_backend.iter().map(|(_, s)| s.sent).sum();
+    let send_stalls: u64 = per_backend.iter().map(|(_, s)| s.would_block).sum();
+    let supervision = supervisor.stats();
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    // Fold everything into the metrics registry: fleet-wide static names
+    // plus one owned counter per device slot.
+    let mut metrics = SimMetrics::new();
+    metrics.add("fleet.frames.sent", frames_sent);
+    metrics.add("fleet.frames.ok", ingest.frames_ok);
+    metrics.add("fleet.frames.corrupt", ingest.frames_corrupt);
+    metrics.add("fleet.seq.duplicates", ingest.seq_duplicates());
+    metrics.add("fleet.seq.gaps", ingest.seq_gaps());
+    metrics.add("fleet.send.stalls", send_stalls);
+    metrics.add("fleet.steals", queues.steals());
+    metrics.add("fleet.turns", total_turns.load(Ordering::Relaxed));
+    metrics.add("fleet.sim.cycles", sim_cycles.load(Ordering::Relaxed));
+    metrics.add("fleet.runs.completed", supervision.completed_runs);
+    metrics.add("fleet.devices.escalated.hung", supervision.escalated_hung);
+    metrics.add(
+        "fleet.devices.escalated.trapped",
+        supervision.escalated_trapped,
+    );
+    metrics.add("fleet.devices.respawned", supervision.respawns);
+    metrics.add("fleet.devices.failed", supervision.permanent_failures);
+    metrics.add("fleet.violations", supervision.violations);
+    for (slot, &ok) in ingest.per_slot_ok.iter().enumerate() {
+        metrics.add_owned(format!("fleet.device.{slot}.frames"), ok);
+    }
+
+    let frames_lost = frames_sent.saturating_sub(ingest.frames_ok + ingest.frames_corrupt);
+    sink.write(&snapshot_line("fleet_final", sweeps, &ingest, &supervision));
+
+    FleetReport {
+        devices,
+        shards,
+        frames_sent,
+        frames_ok: ingest.frames_ok,
+        frames_corrupt: ingest.frames_corrupt,
+        frames_lost,
+        seq_duplicates: ingest.seq_duplicates(),
+        seq_gaps: ingest.seq_gaps(),
+        send_stalls,
+        steals: queues.steals(),
+        turns: total_turns.load(Ordering::Relaxed),
+        sim_cycles: sim_cycles.load(Ordering::Relaxed),
+        supervision,
+        ledger: supervisor.ledger(),
+        undrained_devices,
+        wall_seconds,
+        per_backend,
+        metrics,
+    }
+}
+
+fn snapshot_line(event: &str, sweeps: u64, ingest: &Ingest<'_>, sup: &SupervisionStats) -> Json {
+    Json::obj(vec![
+        ("event", Json::Str(event.to_string())),
+        ("sweeps", Json::Num(sweeps as f64)),
+        ("frames_ok", Json::Num(ingest.frames_ok as f64)),
+        ("frames_corrupt", Json::Num(ingest.frames_corrupt as f64)),
+        ("seq_duplicates", Json::Num(ingest.seq_duplicates() as f64)),
+        ("seq_gaps", Json::Num(ingest.seq_gaps() as f64)),
+        ("runs_completed", Json::Num(sup.completed_runs as f64)),
+        ("escalated_hung", Json::Num(sup.escalated_hung as f64)),
+        ("escalated_trapped", Json::Num(sup.escalated_trapped as f64)),
+        ("respawns", Json::Num(sup.respawns as f64)),
+        (
+            "permanent_failures",
+            Json::Num(sup.permanent_failures as f64),
+        ),
+        ("violations", Json::Num(sup.violations as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{call_dense_workload, SocDevice, SocDeviceConfig};
+
+    #[test]
+    fn small_soc_fleet_is_lossless_across_all_backends() {
+        let program = Arc::new(call_dense_workload(4));
+        let config = FleetConfig {
+            devices: 6, // two slots per backend
+            shards: 3,
+            passes: 2_000,
+            transport_capacity: 16,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config, move |_, seq, tx| {
+            Box::new(SocDevice::new(
+                SocDeviceConfig::new(Arc::clone(&program)),
+                tx,
+                seq,
+            ))
+        });
+        assert!(report.frames_ok > 0, "fleet must stream commit logs");
+        assert!(
+            report.is_lossless(),
+            "lost={} corrupt={} undrained={}",
+            report.frames_lost,
+            report.frames_corrupt,
+            report.undrained_devices
+        );
+        assert_eq!(report.seq_duplicates, 0);
+        assert_eq!(report.seq_gaps, 0);
+        assert!(report.supervision.completed_runs > 0, "runs recycle");
+        assert_eq!(report.supervision.permanent_failures, 0);
+        assert_eq!(
+            report.metrics.counter("fleet.frames.ok"),
+            report.frames_ok,
+            "registry mirrors the report"
+        );
+        // Every slot contributed and has an owned counter.
+        let per_device: u64 = report.metrics.owned_counters().map(|(_, v)| v).sum();
+        assert_eq!(per_device, report.frames_ok);
+    }
+
+    #[test]
+    fn drain_during_active_ingest_loses_zero_frames() {
+        // Tiny transports + large passes: the drain phase starts while
+        // device buffers and transports still hold frames in flight.
+        let program = Arc::new(call_dense_workload(16));
+        let config = FleetConfig {
+            devices: 4,
+            shards: 2,
+            passes: 40, // cut the run phase off mid-stream
+            transport_capacity: 4,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config, move |_, seq, tx| {
+            Box::new(SocDevice::new(
+                SocDeviceConfig::new(Arc::clone(&program)),
+                tx,
+                seq,
+            ))
+        });
+        assert!(report.frames_ok > 0);
+        assert_eq!(report.frames_lost, 0, "count in == count out across drain");
+        assert_eq!(report.frames_corrupt, 0);
+        assert_eq!(report.undrained_devices, 0);
+        assert!(report.send_stalls > 0, "capacity-4 rings must backpressure");
+    }
+
+    #[test]
+    fn snapshot_file_gets_jsonl_lines() {
+        let dir = std::env::temp_dir().join(format!("titancfi-fleet-snap-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("snapshots.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let program = Arc::new(call_dense_workload(2));
+        let config = FleetConfig {
+            devices: 2,
+            shards: 1,
+            passes: 400,
+            snapshot_path: Some(path.clone()),
+            snapshot_every_sweeps: 8,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config, move |_, seq, tx| {
+            Box::new(SocDevice::new(
+                SocDeviceConfig::new(Arc::clone(&program)),
+                tx,
+                seq,
+            ))
+        });
+        assert!(report.is_lossless());
+        let text = std::fs::read_to_string(&path).expect("snapshot file written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "at least the final snapshot line");
+        for line in &lines {
+            let parsed = Json::parse(line).expect("every line is valid JSON");
+            assert!(parsed.get("event").is_some());
+            assert!(parsed.get("frames_ok").is_some());
+        }
+        assert!(
+            text.contains("fleet_final"),
+            "final snapshot is always appended"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,629 @@
+//! Multi-backend commit-log transports.
+//!
+//! Every backend carries the same 32-byte wire frame ([`titancfi::wire`]):
+//! the 28-byte commit-log record plus the resilience layer's seq+checksum
+//! integrity word. The monitor side decodes and *verifies* each frame at
+//! ingest, so corruption anywhere between a device and the fleet service
+//! is detected and counted rather than silently aggregated — the same
+//! property the mailbox hardware enforces at doorbell-ring time, extended
+//! to the fleet's long-haul links.
+//!
+//! Three backends model the deployment spectrum:
+//!
+//! * [`InProcRing`] — a bounded in-process ring of frames, the cheapest
+//!   same-address-space channel (device thread → monitor thread);
+//! * [`ShmRing`] — a shared-memory-style ring: one flat byte region laid
+//!   out exactly as an mmap'd segment would be (head/tail cursors stored
+//!   little-endian *inside* the region, fixed 32-byte slots after them),
+//!   so producer and consumer communicate only through serialized bytes;
+//! * [`StreamSocket`] — a length-prefixed byte stream over a bounded
+//!   duplex pipe, chunked on the receive side to model TCP-style partial
+//!   delivery; frames are reassembled from arbitrary chunk boundaries.
+//!
+//! Backpressure is explicit everywhere: a full backend returns
+//! [`SendError::WouldBlock`] and counts the stall — no backend ever spins,
+//! drops, or silently grows.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use titancfi::wire::{Frame, FRAME_BYTES};
+
+/// The backend kinds, in round-robin assignment order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Bounded in-process ring buffer of frames.
+    InProcRing,
+    /// Shared-memory-style byte ring (cursors live inside the region).
+    ShmRing,
+    /// Length-prefixed byte stream with chunked delivery.
+    StreamSocket,
+}
+
+impl Backend {
+    /// Every backend, in assignment order.
+    pub const ALL: [Backend; 3] = [Backend::InProcRing, Backend::ShmRing, Backend::StreamSocket];
+
+    /// Stable kebab-case name (metric keys, reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::InProcRing => "inproc-ring",
+            Backend::ShmRing => "shm-ring",
+            Backend::StreamSocket => "stream-socket",
+        }
+    }
+
+    /// Builds a transport of this kind with room for `capacity` frames.
+    #[must_use]
+    pub fn build(self, capacity: usize) -> Box<dyn Transport> {
+        match self {
+            Backend::InProcRing => Box::new(InProcRing::new(capacity)),
+            Backend::ShmRing => Box::new(ShmRing::new(capacity)),
+            Backend::StreamSocket => Box::new(StreamSocket::new(capacity)),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a send did not happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The backend is full; retry after the monitor drains it. Counted in
+    /// [`TransportStats::would_block`].
+    WouldBlock,
+}
+
+/// One receive attempt's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recv {
+    /// Nothing available right now.
+    Empty,
+    /// A verified frame.
+    Frame(Frame),
+    /// A frame arrived but failed integrity verification; counted in
+    /// [`TransportStats::corrupt`].
+    Corrupt,
+}
+
+/// Counters every backend keeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames accepted by `send`.
+    pub sent: u64,
+    /// Frames handed out by `try_recv` (verified only).
+    pub received: u64,
+    /// Frames rejected at ingest by the integrity word.
+    pub corrupt: u64,
+    /// Sends refused with [`SendError::WouldBlock`].
+    pub would_block: u64,
+}
+
+/// A device→monitor commit-log channel. Implementations use interior
+/// mutability: the device side calls [`Transport::send`], the monitor side
+/// [`Transport::try_recv`], concurrently.
+pub trait Transport: Send + Sync {
+    /// Which backend this is.
+    fn backend(&self) -> Backend;
+    /// Enqueues one frame, or reports backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::WouldBlock`] when the backend is at capacity.
+    fn send(&self, frame: &Frame) -> Result<(), SendError>;
+    /// Dequeues and verifies one frame, if available.
+    fn try_recv(&self) -> Recv;
+    /// Counter snapshot.
+    fn stats(&self) -> TransportStats;
+}
+
+/// Shared counter plumbing for the three backends.
+#[derive(Debug, Default)]
+struct Counters {
+    sent: AtomicU64,
+    received: AtomicU64,
+    corrupt: AtomicU64,
+    would_block: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            received: self.received.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            would_block: self.would_block.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Classifies decoded bytes, bumping the matching counter.
+    fn classify(&self, bytes: &[u8]) -> Recv {
+        match Frame::decode(bytes) {
+            Ok(frame) => {
+                self.received.fetch_add(1, Ordering::Relaxed);
+                Recv::Frame(frame)
+            }
+            Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                Recv::Corrupt
+            }
+        }
+    }
+}
+
+// ---- backend 1: in-process ring ----
+
+/// Bounded in-process ring of encoded frames.
+#[derive(Debug)]
+pub struct InProcRing {
+    ring: Mutex<VecDeque<[u8; FRAME_BYTES]>>,
+    capacity: usize,
+    counters: Counters,
+}
+
+impl InProcRing {
+    /// A ring holding at most `capacity` frames (clamped to at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> InProcRing {
+        InProcRing {
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            counters: Counters::default(),
+        }
+    }
+}
+
+impl Transport for InProcRing {
+    fn backend(&self) -> Backend {
+        Backend::InProcRing
+    }
+
+    fn send(&self, frame: &Frame) -> Result<(), SendError> {
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if ring.len() >= self.capacity {
+            self.counters.would_block.fetch_add(1, Ordering::Relaxed);
+            return Err(SendError::WouldBlock);
+        }
+        ring.push_back(frame.encode());
+        self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn try_recv(&self) -> Recv {
+        let popped = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front();
+        match popped {
+            Some(bytes) => self.counters.classify(&bytes),
+            None => Recv::Empty,
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+}
+
+// ---- backend 2: shared-memory-style byte ring ----
+
+/// Byte offsets of the ring's header fields within the region — the layout
+/// a real mmap'd segment would carry.
+const SHM_HEAD: usize = 0; // next slot to read (monotonic u64, LE)
+const SHM_TAIL: usize = 8; // next slot to write (monotonic u64, LE)
+const SHM_SLOTS: usize = 16; // fixed 32-byte slots from here
+
+/// Shared-memory-style ring: producer and consumer touch nothing but one
+/// flat byte region, cursors included, exactly as two processes sharing an
+/// mmap would. The mutex stands in for the memory system's coherence; all
+/// *information* crosses as little-endian bytes.
+#[derive(Debug)]
+pub struct ShmRing {
+    region: Mutex<Vec<u8>>,
+    capacity: usize,
+    counters: Counters,
+}
+
+impl ShmRing {
+    /// A region with `capacity` frame slots (clamped to at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> ShmRing {
+        let capacity = capacity.max(1);
+        ShmRing {
+            region: Mutex::new(vec![0u8; SHM_SLOTS + capacity * FRAME_BYTES]),
+            capacity,
+            counters: Counters::default(),
+        }
+    }
+
+    fn cursor(region: &[u8], at: usize) -> u64 {
+        u64::from_le_bytes(region[at..at + 8].try_into().expect("8-byte cursor"))
+    }
+
+    fn set_cursor(region: &mut [u8], at: usize, value: u64) {
+        region[at..at + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    fn slot_range(&self, index: u64) -> std::ops::Range<usize> {
+        let slot = (index % self.capacity as u64) as usize;
+        let start = SHM_SLOTS + slot * FRAME_BYTES;
+        start..start + FRAME_BYTES
+    }
+
+    /// Test/fuzz hook: flips one bit inside the oldest queued frame,
+    /// modelling in-flight shared-memory corruption.
+    pub fn corrupt_oldest(&self, bit: u32) {
+        let mut region = self
+            .region
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let head = Self::cursor(&region, SHM_HEAD);
+        let tail = Self::cursor(&region, SHM_TAIL);
+        if head == tail {
+            return; // empty
+        }
+        let range = self.slot_range(head);
+        let byte = range.start + (bit as usize / 8) % FRAME_BYTES;
+        region[byte] ^= 1 << (bit % 8);
+    }
+}
+
+impl Transport for ShmRing {
+    fn backend(&self) -> Backend {
+        Backend::ShmRing
+    }
+
+    fn send(&self, frame: &Frame) -> Result<(), SendError> {
+        let mut region = self
+            .region
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let head = Self::cursor(&region, SHM_HEAD);
+        let tail = Self::cursor(&region, SHM_TAIL);
+        if tail - head >= self.capacity as u64 {
+            self.counters.would_block.fetch_add(1, Ordering::Relaxed);
+            return Err(SendError::WouldBlock);
+        }
+        let range = self.slot_range(tail);
+        region[range].copy_from_slice(&frame.encode());
+        Self::set_cursor(&mut region, SHM_TAIL, tail + 1);
+        self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn try_recv(&self) -> Recv {
+        let bytes = {
+            let mut region = self
+                .region
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let head = Self::cursor(&region, SHM_HEAD);
+            let tail = Self::cursor(&region, SHM_TAIL);
+            if head == tail {
+                return Recv::Empty;
+            }
+            let range = self.slot_range(head);
+            let mut bytes = [0u8; FRAME_BYTES];
+            bytes.copy_from_slice(&region[range]);
+            Self::set_cursor(&mut region, SHM_HEAD, head + 1);
+            bytes
+        };
+        self.counters.classify(&bytes)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+}
+
+// ---- backend 3: length-prefixed byte stream ----
+
+/// Length prefix size: a little-endian `u32` frame length.
+const LEN_PREFIX: usize = 4;
+
+#[derive(Debug)]
+struct StreamInner {
+    /// In-flight bytes, producer → consumer.
+    pipe: VecDeque<u8>,
+    /// Consumer-side reassembly buffer (bytes taken off the pipe but not
+    /// yet forming a whole frame).
+    reassembly: Vec<u8>,
+}
+
+/// Length-prefixed byte-stream backend over a bounded duplex pipe. The
+/// receive side pulls at most `chunk` bytes per call before re-parsing, so
+/// frames routinely straddle read boundaries — the codec reassembles them,
+/// as a real socket consumer must.
+#[derive(Debug)]
+pub struct StreamSocket {
+    inner: Mutex<StreamInner>,
+    /// Pipe capacity in bytes.
+    capacity_bytes: usize,
+    /// Max bytes moved pipe→reassembly per `try_recv`.
+    chunk: usize,
+    counters: Counters,
+}
+
+impl StreamSocket {
+    /// A stream able to buffer `capacity` frames' worth of bytes, with a
+    /// default receive chunk that forces partial-frame reassembly.
+    #[must_use]
+    pub fn new(capacity: usize) -> StreamSocket {
+        StreamSocket::with_chunk(capacity, FRAME_BYTES + LEN_PREFIX / 2)
+    }
+
+    /// Full control over the receive chunk size (bytes per `try_recv`).
+    #[must_use]
+    pub fn with_chunk(capacity: usize, chunk: usize) -> StreamSocket {
+        StreamSocket {
+            inner: Mutex::new(StreamInner {
+                pipe: VecDeque::new(),
+                reassembly: Vec::new(),
+            }),
+            capacity_bytes: capacity.max(1) * (FRAME_BYTES + LEN_PREFIX),
+            chunk: chunk.max(1),
+            counters: Counters::default(),
+        }
+    }
+}
+
+impl Transport for StreamSocket {
+    fn backend(&self) -> Backend {
+        Backend::StreamSocket
+    }
+
+    fn send(&self, frame: &Frame) -> Result<(), SendError> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if inner.pipe.len() + LEN_PREFIX + FRAME_BYTES > self.capacity_bytes {
+            self.counters.would_block.fetch_add(1, Ordering::Relaxed);
+            return Err(SendError::WouldBlock);
+        }
+        inner
+            .pipe
+            .extend((FRAME_BYTES as u32).to_le_bytes().iter().copied());
+        inner.pipe.extend(frame.encode().iter().copied());
+        self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn try_recv(&self) -> Recv {
+        let bytes = {
+            let mut inner = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Move up to one chunk off the pipe, then try to parse a frame
+            // from the reassembly buffer. Loop until a frame completes or
+            // the pipe runs dry, so a large chunk drains eagerly while a
+            // tiny chunk still makes progress one call at a time.
+            loop {
+                if inner.reassembly.len() >= LEN_PREFIX {
+                    let len = u32::from_le_bytes(
+                        inner.reassembly[..LEN_PREFIX].try_into().expect("prefix"),
+                    ) as usize;
+                    if inner.reassembly.len() >= LEN_PREFIX + len {
+                        let frame: Vec<u8> = inner
+                            .reassembly
+                            .drain(..LEN_PREFIX + len)
+                            .skip(LEN_PREFIX)
+                            .collect();
+                        break frame;
+                    }
+                }
+                if inner.pipe.is_empty() {
+                    return Recv::Empty;
+                }
+                let take = self.chunk.min(inner.pipe.len());
+                let moved: Vec<u8> = inner.pipe.drain(..take).collect();
+                inner.reassembly.extend_from_slice(&moved);
+            }
+        };
+        self.counters.classify(&bytes)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+}
+
+/// Routes a commit-log stream through a fresh transport of `kind` and
+/// returns the reassembled logs — the fuzz oracle's "fleet ingest" cell.
+/// The transport is sized *smaller* than the stream so the pump exercises
+/// real backpressure (send until `WouldBlock`, drain, repeat).
+///
+/// # Errors
+///
+/// Reports corrupt frames, out-of-order sequence numbers, or a stuck pump
+/// as a human-readable string.
+pub fn ingest_roundtrip(
+    kind: Backend,
+    logs: &[titancfi::CommitLog],
+) -> Result<Vec<titancfi::CommitLog>, String> {
+    let transport = kind.build(8);
+    let mut tracker = titancfi::wire::SeqTracker::new();
+    let mut out = Vec::with_capacity(logs.len());
+    let mut next = 0usize;
+    let mut seq: u16 = 0;
+    while out.len() < logs.len() {
+        let mut progressed = false;
+        while next < logs.len() {
+            seq = seq.wrapping_add(1);
+            let frame = Frame {
+                seq,
+                log: logs[next],
+            };
+            match transport.send(&frame) {
+                Ok(()) => {
+                    next += 1;
+                    progressed = true;
+                }
+                Err(SendError::WouldBlock) => {
+                    seq = seq.wrapping_sub(1);
+                    break;
+                }
+            }
+        }
+        loop {
+            match transport.try_recv() {
+                Recv::Frame(frame) => {
+                    if !tracker.observe(frame.seq) {
+                        return Err(format!(
+                            "{kind}: out-of-order frame (seq {}, dups {}, gaps {})",
+                            frame.seq, tracker.duplicates, tracker.gaps
+                        ));
+                    }
+                    out.push(frame.log);
+                    progressed = true;
+                }
+                Recv::Corrupt => return Err(format!("{kind}: corrupt frame at ingest")),
+                Recv::Empty => break,
+            }
+        }
+        if !progressed {
+            return Err(format!(
+                "{kind}: pump stuck at {}/{} logs",
+                out.len(),
+                logs.len()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titancfi::CommitLog;
+
+    fn log(i: u64) -> CommitLog {
+        CommitLog {
+            pc: 0x8000_0000 + i * 4,
+            insn: 0x0000_8067,
+            next: 0x8000_0004 + i * 4,
+            target: 0x9000_0000 + i * 8,
+        }
+    }
+
+    fn frame(i: u64) -> Frame {
+        Frame {
+            seq: (i as u16).wrapping_add(1),
+            log: log(i),
+        }
+    }
+
+    fn roundtrip(t: &dyn Transport) {
+        for i in 0..5 {
+            t.send(&frame(i)).expect("fits");
+        }
+        for i in 0..5 {
+            assert_eq!(t.try_recv(), Recv::Frame(frame(i)), "{} order", t.backend());
+        }
+        assert_eq!(t.try_recv(), Recv::Empty);
+        let s = t.stats();
+        assert_eq!((s.sent, s.received, s.corrupt), (5, 5, 0));
+    }
+
+    #[test]
+    fn all_backends_roundtrip_in_order() {
+        for kind in Backend::ALL {
+            roundtrip(kind.build(8).as_ref());
+        }
+    }
+
+    #[test]
+    fn inproc_ring_full_is_explicit_backpressure() {
+        let t = InProcRing::new(3);
+        for i in 0..3 {
+            t.send(&frame(i)).expect("fits");
+        }
+        assert_eq!(t.send(&frame(3)), Err(SendError::WouldBlock));
+        assert_eq!(t.send(&frame(3)), Err(SendError::WouldBlock));
+        assert_eq!(t.stats().would_block, 2, "stalls are counted");
+        // Draining one slot unblocks exactly one send.
+        assert!(matches!(t.try_recv(), Recv::Frame(_)));
+        t.send(&frame(3)).expect("slot freed");
+        assert_eq!(t.stats().sent, 4);
+    }
+
+    #[test]
+    fn shm_ring_full_is_explicit_backpressure() {
+        let t = ShmRing::new(2);
+        t.send(&frame(0)).expect("fits");
+        t.send(&frame(1)).expect("fits");
+        assert_eq!(t.send(&frame(2)), Err(SendError::WouldBlock));
+        assert_eq!(t.stats().would_block, 1);
+        assert!(matches!(t.try_recv(), Recv::Frame(_)));
+        t.send(&frame(2)).expect("slot freed");
+        // Wraparound keeps order.
+        assert_eq!(t.try_recv(), Recv::Frame(frame(1)));
+        assert_eq!(t.try_recv(), Recv::Frame(frame(2)));
+        assert_eq!(t.try_recv(), Recv::Empty);
+    }
+
+    #[test]
+    fn stream_socket_full_is_explicit_backpressure() {
+        let t = StreamSocket::new(2);
+        t.send(&frame(0)).expect("fits");
+        t.send(&frame(1)).expect("fits");
+        assert_eq!(t.send(&frame(2)), Err(SendError::WouldBlock));
+        assert_eq!(t.stats().would_block, 1);
+        assert!(matches!(t.try_recv(), Recv::Frame(_)));
+        t.send(&frame(2)).expect("bytes freed");
+    }
+
+    #[test]
+    fn stream_socket_reassembles_across_tiny_chunks() {
+        // 5-byte chunks: every frame straddles several reads.
+        let t = StreamSocket::with_chunk(16, 5);
+        for i in 0..4 {
+            t.send(&frame(i)).expect("fits");
+        }
+        let mut got = Vec::new();
+        loop {
+            match t.try_recv() {
+                Recv::Frame(f) => got.push(f),
+                Recv::Empty => break,
+                Recv::Corrupt => panic!("clean stream"),
+            }
+        }
+        assert_eq!(got, (0..4).map(frame).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shm_corruption_is_detected_at_ingest() {
+        let t = ShmRing::new(4);
+        t.send(&frame(0)).expect("fits");
+        t.send(&frame(1)).expect("fits");
+        t.corrupt_oldest(13);
+        assert_eq!(t.try_recv(), Recv::Corrupt, "flip caught by integrity word");
+        assert_eq!(t.try_recv(), Recv::Frame(frame(1)), "later frames intact");
+        assert_eq!(t.stats().corrupt, 1);
+        assert_eq!(t.stats().received, 1);
+    }
+
+    #[test]
+    fn ingest_roundtrip_reassembles_every_backend_byte_identically() {
+        let logs: Vec<CommitLog> = (0..100).map(log).collect();
+        for kind in Backend::ALL {
+            let got = ingest_roundtrip(kind, &logs).expect("clean roundtrip");
+            assert_eq!(got, logs, "{kind}");
+            assert_eq!(
+                titancfi::wire::stream_bytes(&got),
+                titancfi::wire::stream_bytes(&logs),
+                "{kind} byte-identical"
+            );
+        }
+    }
+}

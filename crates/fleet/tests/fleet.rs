@@ -1,0 +1,109 @@
+//! End-to-end fleet tests: real `SystemOnChip` devices, real fault
+//! injection, the full boot → run → ingest → drain lifecycle.
+
+use std::sync::Arc;
+use titancfi_faults::{FaultClass, FaultConfig};
+use titancfi_fleet::{
+    call_dense_workload, run_fleet, Backend, FleetConfig, SocDevice, SocDeviceConfig,
+    SupervisionConfig,
+};
+
+#[test]
+fn trapping_devices_are_escalated_parked_and_ledgered_without_fleet_loss() {
+    let program = Arc::new(call_dense_workload(4));
+    // Slot 0 traps its RoT firmware on (nearly) every CFI check; the
+    // other slots are clean. The supervisor must burn slot 0's restart
+    // budget, park it with a ledger entry, and leave the rest streaming.
+    const TRAPPED_SLOT: u32 = 0;
+    const BUDGET: u32 = 2;
+    let config = FleetConfig {
+        devices: 4,
+        shards: 2,
+        passes: 600,
+        transport_capacity: 32,
+        supervision: SupervisionConfig {
+            liveness_polls: 200,
+            restart_budget: BUDGET,
+        },
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&config, move |slot, seq, tx| {
+        let mut dev_config = SocDeviceConfig::new(Arc::clone(&program));
+        if slot == TRAPPED_SLOT {
+            dev_config.faults = Some(FaultConfig::only(
+                FaultClass::FirmwareTrap,
+                1,
+                0x5EED_0000 + u64::from(slot),
+            ));
+        }
+        Box::new(SocDevice::new(dev_config, tx, seq))
+    });
+
+    // The sick slot: initial boot + BUDGET respawns all trap, then park.
+    assert_eq!(report.supervision.escalated_trapped, u64::from(BUDGET) + 1);
+    assert_eq!(report.supervision.respawns, u64::from(BUDGET));
+    assert_eq!(report.supervision.permanent_failures, 1);
+    assert_eq!(report.ledger.len(), 1);
+    assert_eq!(report.ledger[0].slot, TRAPPED_SLOT);
+    assert_eq!(report.ledger[0].restarts_used, BUDGET);
+    assert!(
+        report.ledger[0].reason.contains("trap"),
+        "ledger records why: {}",
+        report.ledger[0].reason
+    );
+
+    // The healthy slots: plenty of clean completed runs and a lossless
+    // stream end to end.
+    assert!(
+        report.supervision.completed_runs > 0,
+        "healthy slots recycle"
+    );
+    assert!(report.frames_ok > 0);
+    assert!(
+        report.is_lossless(),
+        "lost={} corrupt={} undrained={}",
+        report.frames_lost,
+        report.frames_corrupt,
+        report.undrained_devices
+    );
+    assert_eq!(report.seq_duplicates, 0);
+    assert_eq!(report.seq_gaps, 0, "seq continuity survives reaping");
+}
+
+#[test]
+fn single_backend_fleets_are_lossless_on_every_backend() {
+    for kind in Backend::ALL {
+        let program = Arc::new(call_dense_workload(3));
+        let config = FleetConfig {
+            devices: 3,
+            shards: 2,
+            passes: 300,
+            transport_capacity: 8,
+            backend: Some(kind),
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config, move |_, seq, tx| {
+            Box::new(SocDevice::new(
+                SocDeviceConfig::new(Arc::clone(&program)),
+                tx,
+                seq,
+            ))
+        });
+        assert!(report.frames_ok > 0, "{kind}: streams");
+        assert!(
+            report.is_lossless(),
+            "{kind}: lost={} corrupt={} undrained={}",
+            report.frames_lost,
+            report.frames_corrupt,
+            report.undrained_devices
+        );
+        // Every frame went through this backend and no other.
+        for (backend, stats) in &report.per_backend {
+            if *backend == kind {
+                assert_eq!(stats.sent, report.frames_sent, "{kind}");
+            } else {
+                assert_eq!(stats.sent, 0, "{kind}: {backend} must be unused");
+            }
+        }
+    }
+}

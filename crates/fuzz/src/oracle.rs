@@ -92,16 +92,11 @@ pub struct CaseOutcome {
 
 impl CaseOutcome {
     /// The 28-byte-per-log wire rendering of the commit stream — the
-    /// "byte-identical streams" the oracle compares.
+    /// "byte-identical streams" the oracle compares, in the shared
+    /// [`titancfi::wire`] layout every transport speaks.
     #[must_use]
     pub fn stream_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.stream.len() * 28);
-        for log in &self.stream {
-            for w in log.to_words() {
-                out.extend_from_slice(&w.to_le_bytes());
-            }
-        }
-        out
+        titancfi::wire::stream_bytes(&self.stream)
     }
 
     /// Timing-independent fingerprint: agrees across firmware variants.
@@ -361,6 +356,24 @@ pub fn check_source(
             reference.portable_fingerprint(),
             irq_ref.portable_fingerprint()
         )));
+    }
+
+    // Fleet-ingest cell: the reference commit stream routed through every
+    // fleet transport backend (with real backpressure — the pump's ring is
+    // smaller than the stream) must reassemble byte-identically to the
+    // direct log tap. This pins the wire layer the fleet service ships
+    // against the same oracle that pins the simulator.
+    for backend in titancfi_fleet::Backend::ALL {
+        let reassembled = titancfi_fleet::transport::ingest_roundtrip(backend, &reference.stream)
+            .map_err(|e| diverge(format!("fleet ingest [{backend}]: {e}")))?;
+        if titancfi::wire::stream_bytes(&reassembled) != reference.stream_bytes() {
+            return Err(diverge(format!(
+                "fleet ingest [{backend}]: reassembled stream ({} logs) is not byte-identical \
+                 to the direct tap ({} logs)",
+                reassembled.len(),
+                reference.stream.len()
+            )));
+        }
     }
 
     if matrix.multicore {

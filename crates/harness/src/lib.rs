@@ -17,6 +17,8 @@
 //! * [`json`] — the hand-rolled JSON both of the above serialize with;
 //! * [`prng`] — SplitMix64 / xoshiro256**, the workspace's deterministic
 //!   randomness source (replaces the `rand` crate);
+//! * [`steal`] — per-worker sharded queues with batch work-stealing, the
+//!   scheduler substrate for long-lived re-enqueued work (fleet devices);
 //! * [`timing`] — a minimal micro-benchmark runner (replaces criterion).
 //!
 //! The crate deliberately has **zero dependencies** — it sits at the very
@@ -28,6 +30,7 @@ pub mod job;
 pub mod json;
 pub mod pool;
 pub mod prng;
+pub mod steal;
 pub mod telemetry;
 pub mod timing;
 
@@ -36,4 +39,5 @@ pub use job::{fnv1a_64, Job, JobDescriptor, JobOutput};
 pub use json::Json;
 pub use pool::{run_campaign, CampaignConfig, CampaignOutcome};
 pub use prng::{SplitMix64, Xoshiro256};
+pub use steal::StealQueues;
 pub use telemetry::{CampaignReport, JobRecord, JobStatus, Telemetry, TelemetrySink};

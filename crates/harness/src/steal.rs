@@ -1,0 +1,206 @@
+//! A sharded work-stealing scheduler.
+//!
+//! The campaign [`pool`](crate::pool) runs *finite* jobs off one shared
+//! FIFO; a fleet of long-lived devices needs the complementary shape —
+//! items that re-enter the queue after every turn, spread over per-worker
+//! shards so the common case is an uncontended local pop, with idle
+//! workers *stealing* from the most loaded shard so one hot shard (a few
+//! expensive devices hashed together) cannot idle the rest of the pool.
+//!
+//! The structure is deliberately simple: one `Mutex<VecDeque>` per shard.
+//! Local pops take the front of their own shard; steals take a batch of
+//! *half* the victim's items from the back, amortising the cross-shard
+//! lock traffic the way classic Chase–Lev deques do. Every successful
+//! steal is counted, so a fleet report can show how much rebalancing the
+//! schedule needed.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-worker sharded queues with batch stealing.
+#[derive(Debug)]
+pub struct StealQueues<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicU64,
+    stolen_items: AtomicU64,
+}
+
+impl<T> StealQueues<T> {
+    /// Creates `shards` empty shards (clamped to at least one).
+    #[must_use]
+    pub fn new(shards: usize) -> StealQueues<T> {
+        StealQueues {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            steals: AtomicU64::new(0),
+            stolen_items: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn lock(&self, shard: usize) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.shards[shard % self.shards.len()]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues an item at the back of `shard`.
+    pub fn push(&self, shard: usize, item: T) {
+        self.lock(shard).push_back(item);
+    }
+
+    /// Pops from the front of the worker's own shard; when it is empty,
+    /// steals half the items (at least one) from the back of the currently
+    /// richest other shard and returns the first of them. Returns `None`
+    /// only when every shard is empty at the moment of inspection.
+    pub fn pop(&self, shard: usize) -> Option<T> {
+        if let Some(item) = self.lock(shard).pop_front() {
+            return Some(item);
+        }
+        self.steal_into(shard)
+    }
+
+    /// The steal path: picks the richest victim, moves half its queue into
+    /// the thief's shard and returns the first stolen item.
+    fn steal_into(&self, thief: usize) -> Option<T> {
+        let n = self.shards.len();
+        let victim = (0..n)
+            .filter(|&v| v != thief % n)
+            .max_by_key(|&v| self.lock(v).len())?;
+        let mut batch = {
+            let mut q = self.lock(victim);
+            let len = q.len();
+            let take = len.div_ceil(2);
+            if take == 0 {
+                return None;
+            }
+            q.split_off(len - take)
+        };
+        let first = batch.pop_front();
+        if first.is_some() {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.stolen_items
+                .fetch_add(1 + batch.len() as u64, Ordering::Relaxed);
+        }
+        if !batch.is_empty() {
+            self.lock(thief).append(&mut batch);
+        }
+        first
+    }
+
+    /// Total items across all shards (racy under concurrent use; exact when
+    /// quiescent).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|s| self.lock(s).len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Successful steal operations so far.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Items moved across shards by steals so far.
+    #[must_use]
+    pub fn stolen_items(&self) -> u64 {
+        self.stolen_items.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn local_pops_preserve_fifo_order() {
+        let q = StealQueues::new(2);
+        for i in 0..8 {
+            q.push(0, i);
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop(0)).collect();
+        assert_eq!(drained, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_worker_steals_half_from_richest() {
+        let q = StealQueues::new(3);
+        for i in 0..10 {
+            q.push(0, i);
+        }
+        q.push(1, 100);
+        // Shard 2 is empty: its pop must steal from shard 0 (richest).
+        let got = q.pop(2).expect("steals an item");
+        assert!((0..10).contains(&got));
+        assert_eq!(q.steals(), 1);
+        assert_eq!(q.stolen_items(), 5, "half of ten");
+        // The batch (minus the returned head) landed in the thief's shard.
+        let thief_len = {
+            let mut n = 0;
+            while q.pop(2).is_some() && q.steals() == 1 {
+                n += 1;
+            }
+            n
+        };
+        assert!(
+            thief_len >= 4,
+            "remaining stolen batch stays local: {thief_len}"
+        );
+    }
+
+    #[test]
+    fn every_item_drained_exactly_once_under_contention() {
+        const ITEMS: usize = 4000;
+        const WORKERS: usize = 4;
+        let q = StealQueues::new(WORKERS);
+        // Load everything onto one shard to force heavy stealing.
+        for i in 0..ITEMS {
+            q.push(0, i);
+        }
+        let seen: Vec<AtomicUsize> = (0..ITEMS).map(|_| AtomicUsize::new(0)).collect();
+        let barrier = std::sync::Barrier::new(WORKERS);
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let q = &q;
+                let seen = &seen;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    while let Some(i) = q.pop(w) {
+                        seen[i].fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(q.is_empty());
+        // Exactly-once is the invariant; whether steals happened is a
+        // scheduling accident (a fast worker can drain everything), so the
+        // steal path itself is pinned by the deterministic test above.
+        let counts: BTreeSet<usize> = seen.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+        assert_eq!(counts, BTreeSet::from([1]), "each item exactly once");
+    }
+
+    #[test]
+    fn pop_on_fully_empty_queues_is_none() {
+        let q: StealQueues<u8> = StealQueues::new(4);
+        for w in 0..4 {
+            assert_eq!(q.pop(w), None);
+        }
+        assert_eq!(q.steals(), 0);
+    }
+}

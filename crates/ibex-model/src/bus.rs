@@ -54,7 +54,11 @@ impl RegionLatency {
 ///
 /// Offsets are relative to the device's base address. Devices are registered
 /// on the bus with a region kind and latency like RAM regions.
-pub trait Device {
+///
+/// `Send` is part of the contract so a whole simulated SoC can move between
+/// threads — fleet shards hand devices to whichever worker steals them. The
+/// existing implementations all qualify (plain state or `Arc<Mutex<_>>`).
+pub trait Device: Send {
     /// Reads `width` bytes at `offset`.
     fn read(&mut self, offset: u64, width: MemWidth) -> u64;
 

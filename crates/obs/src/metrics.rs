@@ -155,6 +155,9 @@ impl Histogram {
 pub struct SimMetrics {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    /// Dynamically-named counters (`fleet.device.17.frames` and friends).
+    /// Kept separate so the hot static-name path stays allocation-free.
+    owned: BTreeMap<String, u64>,
 }
 
 impl SimMetrics {
@@ -169,10 +172,25 @@ impl SimMetrics {
         *self.counters.entry(name).or_insert(0) += delta;
     }
 
-    /// Reads a counter (0 when never touched).
+    /// Reads a counter (0 when never touched). Looks at the static-name
+    /// registry first, then at the owned-name one, so readers need not know
+    /// how a counter was recorded.
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters
+            .get(name)
+            .or_else(|| self.owned.get(name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Adds `delta` to a dynamically-named counter — the per-device
+    /// namespaces (`fleet.device.<id>.<metric>`) a fleet aggregates, where
+    /// names cannot be `&'static str`. Owned and static counters share one
+    /// JSON/render namespace; a clash merges into the static entry on
+    /// output.
+    pub fn add_owned(&mut self, name: impl Into<String>, delta: u64) {
+        *self.owned.entry(name.into()).or_insert(0) += delta;
     }
 
     /// Records into a histogram, creating it with [`Histogram::cycles`]
@@ -202,9 +220,28 @@ impl SimMetrics {
         self.histograms.get(name)
     }
 
-    /// All counters, name-ordered.
+    /// All statically-named counters, name-ordered.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All dynamically-named counters, name-ordered.
+    pub fn owned_counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.owned.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Static and owned counters folded into one name-ordered map (clashes
+    /// summed) — the view every serialized output uses.
+    fn merged_counters(&self) -> BTreeMap<String, u64> {
+        let mut all: BTreeMap<String, u64> = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect();
+        for (k, &v) in &self.owned {
+            *all.entry(k.clone()).or_insert(0) += v;
+        }
+        all
     }
 
     /// The registry as one JSON object (`{"counters": {...},
@@ -216,9 +253,9 @@ impl SimMetrics {
             (
                 "counters",
                 Json::Obj(
-                    self.counters
-                        .iter()
-                        .map(|(&k, &v)| (k.to_string(), Json::Num(v as f64)))
+                    self.merged_counters()
+                        .into_iter()
+                        .map(|(k, v)| (k, Json::Num(v as f64)))
                         .collect(),
                 ),
             ),
@@ -238,9 +275,9 @@ impl SimMetrics {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        if !self.counters.is_empty() {
+        if !self.counters.is_empty() || !self.owned.is_empty() {
             let _ = writeln!(out, "counters:");
-            for (name, value) in &self.counters {
+            for (name, value) in self.merged_counters() {
                 let _ = writeln!(out, "  {name:<40} {value:>12}");
             }
         }
@@ -326,6 +363,30 @@ mod tests {
                 .and_then(Json::as_num),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn owned_counters_share_the_namespace() {
+        let mut m = SimMetrics::new();
+        m.add("fleet.frames", 5);
+        m.add_owned(format!("fleet.device.{}.frames", 17), 3);
+        m.add_owned("fleet.frames".to_string(), 2); // clash merges on output
+        assert_eq!(m.counter("fleet.device.17.frames"), 3);
+        assert_eq!(m.owned_counters().count(), 2);
+        let json = m.to_json();
+        let counters = json.get("counters").expect("counters object");
+        assert_eq!(
+            counters
+                .get("fleet.device.17.frames")
+                .and_then(Json::as_num),
+            Some(3.0)
+        );
+        assert_eq!(
+            counters.get("fleet.frames").and_then(Json::as_num),
+            Some(7.0),
+            "static + owned clash sums on output"
+        );
+        assert!(m.render().contains("fleet.device.17.frames"));
     }
 
     #[test]

@@ -306,6 +306,31 @@ impl SystemOnChip {
         self.log_tap.take()
     }
 
+    /// Drains the logs captured since the last drain, leaving the tap
+    /// enabled — the incremental form [`SystemOnChip::run_slice`] callers
+    /// (fleet devices) use between slices. Returns an empty vector when no
+    /// tap is enabled.
+    pub fn drain_log_tap(&mut self) -> Vec<titancfi::CommitLog> {
+        self.log_tap
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Violations flagged so far — readable mid-run between
+    /// [`SystemOnChip::run_slice`] calls, before a report exists.
+    #[must_use]
+    pub fn violation_count(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// Current host cycle — readable mid-run between
+    /// [`SystemOnChip::run_slice`] calls, before a report exists.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.core.cycle()
+    }
+
     /// Sets the predecoded-decode caches on both cores *without* touching
     /// the quantum-batching scheduler (`config.fast_path`) — the middle rung
     /// of the strict / predecode / fast-forward differential matrix.
@@ -484,13 +509,26 @@ impl SystemOnChip {
     /// the CFI pipeline.
     #[must_use]
     pub fn run(&mut self, max_cycles: u64) -> SocReport {
+        let halt = self.run_slice(max_cycles).unwrap_or(Halt::Budget);
+        self.finish(halt)
+    }
+
+    /// Advances the co-simulation until the host core reaches `until_cycle`
+    /// (absolute) or halts for a real reason. Returns `None` at the cycle
+    /// limit with all state intact — calling again with a later limit
+    /// resumes exactly where this slice paused, which is how a fleet device
+    /// runs thousands of cheap, pausable SoC snapshots on one scheduler.
+    /// In-flight transport work is *not* drained between slices; call
+    /// [`SystemOnChip::finish`] once a `Some` halt (or the final slice)
+    /// arrives.
+    pub fn run_slice(&mut self, until_cycle: u64) -> Option<Halt> {
         // Quantum batching is legal only when nothing can observe the
         // skipped per-commit boundaries: no probe recording per-cycle
         // samples, no fault schedule waiting on transport events.
         let fast = self.config.fast_path && self.recorder.is_none() && self.injector.is_none();
         let halt = loop {
-            if self.core.cycle() >= max_cycles {
-                break Halt::Budget;
+            if self.core.cycle() >= until_cycle {
+                return None;
             }
             if let Some(t) = self.firmware_trap() {
                 if self.config.resilience.policy == FailPolicy::FailClosed {
@@ -524,7 +562,7 @@ impl SystemOnChip {
                         loop {
                             if commit.cf_class.is_cfi_relevant()
                                 || self.core.bus_mut().take_io_access()
-                                || self.core.cycle() >= max_cycles
+                                || self.core.cycle() >= until_cycle
                             {
                                 break;
                             }
@@ -627,7 +665,14 @@ impl SystemOnChip {
                 Err(halt) => break halt,
             }
         };
+        Some(halt)
+    }
 
+    /// Drains in-flight transport work and assembles the final report for a
+    /// run that stopped with `halt` — the second half of [`SystemOnChip::run`],
+    /// exposed so sliced runs ([`SystemOnChip::run_slice`]) can settle the
+    /// transport exactly once at teardown.
+    pub fn finish(&mut self, halt: Halt) -> SocReport {
         // Drain in-flight checks so counters are final. With a trapped RoT
         // under fail-closed there is nothing left to drain (the writer can
         // only watchdog against a dead checker); fail-open drains normally,
