@@ -62,6 +62,18 @@ cargo run --release -p titancfi-bench --bin throughput -- \
     --smoke --out BENCH_throughput.json --baseline BENCH_throughput.json
 test -s BENCH_throughput.json || { echo "throughput smoke: report missing/empty"; exit 1; }
 
+echo "==> latency smoke (span conservation + detection on every corruption class)"
+# The latency binary exits nonzero if any run breaks the span conservation
+# law, if the serialized spans differ across stepping modes, or if any
+# corruption class yields zero detections. The smoke sweep writes to a
+# scratch dir so the committed full-sweep BENCH_latency.json stays the
+# reference report.
+latency_dir=$(mktemp -d)
+cargo run --release -p titancfi-bench --bin latency -- \
+    --smoke --out "$latency_dir/BENCH_latency.json"
+test -s "$latency_dir/BENCH_latency.json" || { echo "latency smoke: report missing/empty"; exit 1; }
+rm -rf "$latency_dir"
+
 echo "==> fleet smoke (sharded fleet, every frame integrity-verified at ingest)"
 # The fleet binary exits nonzero if any swept device count loses or
 # corrupts a single commit-log frame, sees a duplicate/gapped sequence

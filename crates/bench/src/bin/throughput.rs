@@ -264,6 +264,7 @@ fn report_json(mode: &str, rows: &[Row]) -> Json {
                                 Json::Num(r.instret as f64 / (r.wall_ms_fast / 1e3).max(1e-9)),
                             ),
                             ("speedup", Json::Num(r.speedup)),
+                            ("regressed", Json::Bool(r.speedup < 1.0)),
                             ("fingerprint_match", Json::Bool(r.fingerprint_match)),
                         ])
                     })
@@ -339,6 +340,17 @@ fn main() -> ExitCode {
             run_native_suite(fast, budget)
         }),
     ];
+
+    // A sub-1.0 speedup means the fast path *slowed that scenario down*.
+    // It is not a failure (tiny kernels can lose more to cache setup than
+    // batching saves), but it must never pass silently: the row carries an
+    // explicit `regressed` flag and the run prints a warning.
+    for row in rows.iter().filter(|r| r.speedup < 1.0) {
+        println!(
+            "throughput: WARNING `{}` fast path is a net slowdown ({:.2}x < 1.00x)",
+            row.scenario, row.speedup
+        );
+    }
 
     let json = report_json(mode, &rows);
     if let Err(e) = std::fs::write(&opts.out, json.encode() + "\n") {

@@ -268,6 +268,7 @@ impl LogWriter {
                     self.attempt = 0;
                     self.beat_replays = 0;
                     self.schedule_beat(0, now, probe);
+                    probe.log_dequeued(now);
                     probe.span_begin(Track::LogWriter, "drain-log", now);
                 }
                 None
@@ -331,6 +332,7 @@ impl LogWriter {
                 }
                 if mailbox.host_completion_probed(now, probe) {
                     self.ring_accepted = false;
+                    probe.log_completion(now);
                     probe.histogram_record(
                         "mailbox.doorbell_to_completion",
                         now - self.doorbell_rung_at,
@@ -379,6 +381,7 @@ impl LogWriter {
                 self.logs_written += 1;
                 self.attempt = 0;
                 self.state = WriterState::Idle;
+                probe.log_verdict(now, verdict != 0);
                 probe.counter_add("writer.logs_checked", 1);
                 probe.span_end(Track::LogWriter, now);
                 if let Some(inj) = &self.injector {
@@ -448,6 +451,7 @@ impl LogWriter {
         if mailbox.host_ring_doorbell_verified_probed(self.seq, now, probe) {
             self.ring_accepted = true;
             self.doorbell_rung_at = now;
+            probe.log_doorbell(now);
             self.state = WriterState::WaitCompletion { since: now };
             None
         } else {
@@ -514,12 +518,14 @@ impl LogWriter {
             FailPolicy::FailClosed => {
                 self.forced_violations += 1;
                 self.violations += 1;
+                probe.log_abandoned(now, true);
                 probe.counter_add("writer.forced_violations", 1);
                 probe.instant(Track::LogWriter, "escalate-fail-closed", now);
                 Some(Violation { log, cycle: now })
             }
             FailPolicy::FailOpen => {
                 self.dropped_logs += 1;
+                probe.log_abandoned(now, false);
                 probe.counter_add("writer.dropped_logs", 1);
                 probe.instant(Track::LogWriter, "escalate-fail-open", now);
                 None

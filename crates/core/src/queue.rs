@@ -82,6 +82,9 @@ impl CfiQueue {
     /// track and sampling the resulting occupancy.
     pub fn push_probed(&mut self, log: CommitLog, cycle: u64, probe: &mut dyn Probe) -> bool {
         let pushed = self.push(log);
+        if pushed {
+            probe.log_accepted(cycle);
+        }
         if probe.enabled() {
             if pushed {
                 probe.counter_add("queue.pushes", 1);

@@ -248,4 +248,27 @@ mod tests {
         assert!(w.observe(0x0000));
         assert_eq!(w.gaps, 0);
     }
+
+    #[test]
+    fn seq_tracker_wraparound_is_not_a_gap_and_dups_still_count() {
+        let mut t = SeqTracker::new();
+        assert!(t.observe(0xfffe));
+        assert!(t.observe(0xffff));
+        assert!(t.observe(0x0000), "65535 -> 0 is continuous, not a gap");
+        assert_eq!(t.gaps, 0);
+        assert_eq!(t.duplicates, 0);
+        // A retry of the post-wrap frame is still a duplicate.
+        assert!(!t.observe(0x0000));
+        assert_eq!(t.duplicates, 1);
+        assert_eq!(t.gaps, 0);
+        // And the stream resumes in order after the retry.
+        assert!(t.observe(0x0001));
+        assert_eq!(t.duplicates, 1);
+        assert_eq!(t.gaps, 0);
+        // Wrapping straight from 0xffff to 1 *does* skip a frame.
+        let mut skip = SeqTracker::new();
+        assert!(skip.observe(0xffff));
+        assert!(!skip.observe(0x0001), "0xffff -> 1 lost the wrap frame");
+        assert_eq!(skip.gaps, 1);
+    }
 }

@@ -71,6 +71,12 @@ pub trait Device: Send {
     fn last_seq(&self) -> u16;
     /// Total frames this device has pushed into its transport.
     fn frames_sent(&self) -> u64;
+    /// The device's end-to-end per-log latency histogram, when it collects
+    /// one (opt-in; the default device collects nothing and returns
+    /// `None`, keeping the hot path free of instrumentation).
+    fn latency_e2e(&self) -> Option<titancfi_obs::Histogram> {
+        None
+    }
 }
 
 /// Configuration for [`SocDevice`].
@@ -87,6 +93,12 @@ pub struct SocDeviceConfig {
     pub mem_size: usize,
     /// Optional fault schedule for the device's CFI transport.
     pub faults: Option<FaultConfig>,
+    /// Log Writer watchdog/retry/escalation policy (`None` = SoC default).
+    pub resilience: Option<titancfi::ResilienceConfig>,
+    /// Collect per-log latency spans ([`SystemOnChip::attach_latency`]) so
+    /// the fleet health monitor can aggregate end-to-end percentiles.
+    /// Costs strict stepping; off by default.
+    pub latency: bool,
 }
 
 impl SocDeviceConfig {
@@ -99,6 +111,8 @@ impl SocDeviceConfig {
             program,
             mem_size: 1 << 16,
             faults: None,
+            resilience: None,
+            latency: false,
         }
     }
 }
@@ -130,13 +144,19 @@ impl SocDevice {
     /// sequence tracker sees one continuous stream per slot.
     #[must_use]
     pub fn new(config: SocDeviceConfig, tx: Arc<dyn Transport>, start_seq: u16) -> SocDevice {
-        let soc_config = SocConfig {
+        let mut soc_config = SocConfig {
             mem_size: config.mem_size,
             faults: config.faults,
             ..SocConfig::default()
         };
+        if let Some(resilience) = config.resilience {
+            soc_config.resilience = resilience;
+        }
         let mut soc = SystemOnChip::new(&config.program, soc_config);
         soc.enable_log_tap();
+        if config.latency {
+            soc.attach_latency();
+        }
         let cursor = config.slice_cycles;
         SocDevice {
             soc,
@@ -261,6 +281,10 @@ impl Device for SocDevice {
 
     fn frames_sent(&self) -> u64 {
         self.frames_sent
+    }
+
+    fn latency_e2e(&self) -> Option<titancfi_obs::Histogram> {
+        self.soc.latency_spans().map(|s| s.end_to_end.clone())
     }
 }
 

@@ -1,0 +1,971 @@
+//! The fleet health pipeline: sliding-window per-device aggregation, a
+//! 0–100 health score per slot, a severity-debounced alert engine, and
+//! Prometheus-text / JSON exposition of the whole picture.
+//!
+//! Everything here is driven by *cumulative counters* sampled at the
+//! ingest loop's snapshot cadence (one sample = one evaluation). The
+//! monitor differences consecutive samples itself, keeps the last
+//! [`HealthConfig::window`] deltas per device, and evaluates the alert
+//! conditions over those window sums. Alert conditions are pure functions
+//! of counter values — violations, sequence gaps, supervisor escalations,
+//! parked slots, a merged latency percentile — never of wall-clock time or
+//! sweep counts, so a clean fleet raises exactly zero alerts no matter how
+//! the ingest loop's timing interleaves with the shard workers.
+//!
+//! Debounce semantics: a condition must hold for
+//! [`HealthConfig::debounce`] *consecutive* evaluations before its alert
+//! fires; a sustained condition re-fires at most once per
+//! [`HealthConfig::cooldown`] evaluations. One flapping sample never pages
+//! anyone, and a wedged device does not page every sweep.
+
+use std::collections::VecDeque;
+use titancfi_harness::Json;
+use titancfi_obs::Histogram;
+
+/// Alert-engine and scoring thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Evaluations kept in each device's sliding window.
+    pub window: usize,
+    /// Violations within the window that constitute a burst.
+    pub violation_burst: u64,
+    /// Sequence gaps within the window that constitute a storm.
+    pub gap_storm: u64,
+    /// End-to-end latency p99 SLO in simulated cycles; `0` disables the
+    /// SLO alert (the default — latency collection is opt-in per device).
+    pub latency_slo_p99: u64,
+    /// Consecutive breaching evaluations before an alert fires.
+    pub debounce: u32,
+    /// Evaluations before the same `(device, kind)` alert may re-fire.
+    pub cooldown: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            window: 8,
+            violation_burst: 3,
+            gap_storm: 8,
+            latency_slo_p99: 0,
+            debounce: 2,
+            cooldown: 16,
+        }
+    }
+}
+
+/// What went wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertKind {
+    /// Violations in one device's window reached the burst threshold.
+    ViolationBurst,
+    /// Sequence gaps in one device's window reached the storm threshold.
+    SeqGapStorm,
+    /// The supervisor escalated the device for missing its liveness
+    /// deadline within the window.
+    StalledDevice,
+    /// The fleet-wide end-to-end latency p99 exceeded the SLO.
+    LatencySloBreach,
+    /// The slot burned its whole restart budget and is parked for good.
+    RestartBudgetExhausted,
+}
+
+impl AlertKind {
+    /// Stable label value (Prometheus / JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::ViolationBurst => "violation_burst",
+            AlertKind::SeqGapStorm => "seq_gap_storm",
+            AlertKind::StalledDevice => "stalled_device",
+            AlertKind::LatencySloBreach => "latency_slo_breach",
+            AlertKind::RestartBudgetExhausted => "restart_budget_exhausted",
+        }
+    }
+}
+
+impl std::fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How loud the alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Threshold crossed.
+    Warning,
+    /// Threshold crossed by 2x, or an unrecoverable condition.
+    Critical,
+}
+
+impl Severity {
+    /// Stable label value (Prometheus / JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One raised alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// What condition fired.
+    pub kind: AlertKind,
+    /// How loud.
+    pub severity: Severity,
+    /// The offending device slot, or `None` for fleet-wide conditions.
+    pub device: Option<u32>,
+    /// Evaluation index (1-based) at which the alert fired.
+    pub eval: u64,
+    /// The observed value that breached.
+    pub value: u64,
+    /// The configured threshold it breached.
+    pub threshold: u64,
+}
+
+impl Alert {
+    /// The alert as a JSON object (for report/exposition embedding).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str(self.kind.label().to_string())),
+            ("severity", Json::Str(self.severity.label().to_string())),
+            (
+                "device",
+                match self.device {
+                    Some(d) => Json::Num(f64::from(d)),
+                    None => Json::Null,
+                },
+            ),
+            ("eval", Json::Num(self.eval as f64)),
+            ("value", Json::Num(self.value as f64)),
+            ("threshold", Json::Num(self.threshold as f64)),
+        ])
+    }
+}
+
+/// Cumulative per-device counters sampled at each evaluation. The monitor
+/// does its own differencing; callers just snapshot current totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceCounters {
+    /// Frames verified and ingested from this slot.
+    pub frames_ok: u64,
+    /// Violations the slot's devices have reported across all polls.
+    pub violations: u64,
+    /// Sequence gaps observed on this slot's stream.
+    pub seq_gaps: u64,
+    /// Duplicate sequence numbers observed on this slot's stream.
+    pub seq_duplicates: u64,
+    /// Liveness-deadline escalations of this slot.
+    pub escalated_hung: u64,
+    /// Trap escalations of this slot.
+    pub escalated_trapped: u64,
+    /// Failure respawns consumed by this slot so far.
+    pub restarts_used: u32,
+    /// Whether the slot is permanently parked.
+    pub parked: bool,
+}
+
+/// One evaluation's delta for a device (derived, windowed).
+#[derive(Debug, Clone, Copy, Default)]
+struct Delta {
+    violations: u64,
+    seq_gaps: u64,
+    escalated_hung: u64,
+}
+
+/// Per-(device, kind) debounce state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Debounce {
+    /// Consecutive evaluations the condition has held.
+    streak: u32,
+    /// Evaluation index of the last fire, if any.
+    last_fired: Option<u64>,
+}
+
+impl Debounce {
+    /// Advances the state for one evaluation; returns `true` when the
+    /// alert should fire now.
+    fn advance(&mut self, breaching: bool, eval: u64, debounce: u32, cooldown: u64) -> bool {
+        if !breaching {
+            self.streak = 0;
+            return false;
+        }
+        self.streak = self.streak.saturating_add(1);
+        let armed = self.streak >= debounce.max(1);
+        let cooled = self
+            .last_fired
+            .is_none_or(|last| eval.saturating_sub(last) >= cooldown.max(1));
+        if armed && cooled {
+            self.last_fired = Some(eval);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+const DEVICE_KINDS: usize = 4; // burst, storm, stalled, budget
+
+fn device_kind_index(kind: AlertKind) -> usize {
+    match kind {
+        AlertKind::ViolationBurst => 0,
+        AlertKind::SeqGapStorm => 1,
+        AlertKind::StalledDevice => 2,
+        AlertKind::RestartBudgetExhausted => 3,
+        AlertKind::LatencySloBreach => unreachable!("latency SLO is fleet-wide"),
+    }
+}
+
+/// The fleet health monitor: windows, scores, and the alert engine.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    /// Evaluations performed (1-based after the first `evaluate`).
+    evals: u64,
+    /// Previous cumulative sample per slot.
+    prev: Vec<DeviceCounters>,
+    /// Latest cumulative sample per slot.
+    latest: Vec<DeviceCounters>,
+    /// Sliding delta window per slot.
+    windows: Vec<VecDeque<Delta>>,
+    /// Debounce state per slot per device-scoped alert kind.
+    debounce: Vec<[Debounce; DEVICE_KINDS]>,
+    /// Debounce state for the fleet-wide latency SLO.
+    latency_debounce: Debounce,
+    /// Latest merged end-to-end latency p99, when latency is collected.
+    latency_p99: Option<u64>,
+    /// Latest health score per slot (0–100).
+    scores: Vec<u8>,
+    /// Every alert raised so far, in fire order.
+    alerts: Vec<Alert>,
+}
+
+impl HealthMonitor {
+    /// A monitor over `devices` slots.
+    #[must_use]
+    pub fn new(devices: usize, config: HealthConfig) -> HealthMonitor {
+        HealthMonitor {
+            config,
+            evals: 0,
+            prev: vec![DeviceCounters::default(); devices],
+            latest: vec![DeviceCounters::default(); devices],
+            windows: (0..devices).map(|_| VecDeque::new()).collect(),
+            debounce: vec![[Debounce::default(); DEVICE_KINDS]; devices],
+            latency_debounce: Debounce::default(),
+            latency_p99: None,
+            scores: vec![100; devices],
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Evaluations performed so far.
+    #[must_use]
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Latest per-slot health scores (0–100; 100 until first evaluation).
+    #[must_use]
+    pub fn scores(&self) -> &[u8] {
+        &self.scores
+    }
+
+    /// Every alert raised so far.
+    #[must_use]
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Latest merged end-to-end latency p99 observed, if any.
+    #[must_use]
+    pub fn latency_p99(&self) -> Option<u64> {
+        self.latency_p99
+    }
+
+    /// Runs one evaluation over fresh cumulative `counters` (one entry per
+    /// slot, same order every call) plus the current merged end-to-end
+    /// latency p99 (when devices collect latency). Returns the alerts that
+    /// fired *this* evaluation; all alerts also accumulate in
+    /// [`HealthMonitor::alerts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters.len()` differs from the monitor's slot count.
+    pub fn evaluate(
+        &mut self,
+        counters: &[DeviceCounters],
+        latency_p99: Option<u64>,
+    ) -> Vec<Alert> {
+        assert_eq!(
+            counters.len(),
+            self.prev.len(),
+            "evaluate wants one counter sample per slot"
+        );
+        self.evals += 1;
+        let eval = self.evals;
+        self.latency_p99 = latency_p99;
+        let mut fired = Vec::new();
+
+        for (slot, now) in counters.iter().enumerate() {
+            let prev = self.prev[slot];
+            let delta = Delta {
+                violations: now.violations.saturating_sub(prev.violations),
+                seq_gaps: now.seq_gaps.saturating_sub(prev.seq_gaps),
+                escalated_hung: now.escalated_hung.saturating_sub(prev.escalated_hung),
+            };
+            self.prev[slot] = *now;
+            self.latest[slot] = *now;
+            let window = &mut self.windows[slot];
+            window.push_back(delta);
+            while window.len() > self.config.window.max(1) {
+                window.pop_front();
+            }
+            let violations_w: u64 = window.iter().map(|d| d.violations).sum();
+            let gaps_w: u64 = window.iter().map(|d| d.seq_gaps).sum();
+            let hung_w: u64 = window.iter().map(|d| d.escalated_hung).sum();
+
+            self.scores[slot] = score(now, violations_w, gaps_w, hung_w);
+
+            let conditions = [
+                (
+                    AlertKind::ViolationBurst,
+                    violations_w >= self.config.violation_burst,
+                    violations_w,
+                    self.config.violation_burst,
+                ),
+                (
+                    AlertKind::SeqGapStorm,
+                    gaps_w >= self.config.gap_storm,
+                    gaps_w,
+                    self.config.gap_storm,
+                ),
+                (AlertKind::StalledDevice, hung_w >= 1, hung_w, 1),
+                (
+                    AlertKind::RestartBudgetExhausted,
+                    now.parked,
+                    u64::from(now.restarts_used),
+                    u64::from(now.restarts_used),
+                ),
+            ];
+            for (kind, breaching, value, threshold) in conditions {
+                let state = &mut self.debounce[slot][device_kind_index(kind)];
+                if state.advance(breaching, eval, self.config.debounce, self.config.cooldown) {
+                    let severity = if kind == AlertKind::RestartBudgetExhausted
+                        || (threshold > 0 && value >= threshold.saturating_mul(2))
+                    {
+                        Severity::Critical
+                    } else {
+                        Severity::Warning
+                    };
+                    fired.push(Alert {
+                        kind,
+                        severity,
+                        device: Some(slot as u32),
+                        eval,
+                        value,
+                        threshold,
+                    });
+                }
+            }
+        }
+
+        // Fleet-wide latency SLO.
+        let slo = self.config.latency_slo_p99;
+        let p99 = latency_p99.unwrap_or(0);
+        let breaching = slo > 0 && p99 > slo;
+        if self.latency_debounce.advance(
+            breaching,
+            eval,
+            self.config.debounce,
+            self.config.cooldown,
+        ) {
+            fired.push(Alert {
+                kind: AlertKind::LatencySloBreach,
+                severity: if p99 >= slo.saturating_mul(2) {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                },
+                device: None,
+                eval,
+                value: p99,
+                threshold: slo,
+            });
+        }
+
+        self.alerts.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// Counts of raised alerts grouped by `(kind, severity)`, in a stable
+    /// order (kinds in declaration order, warnings before criticals).
+    #[must_use]
+    pub fn alert_counts(&self) -> Vec<(AlertKind, Severity, u64)> {
+        const KINDS: [AlertKind; 5] = [
+            AlertKind::ViolationBurst,
+            AlertKind::SeqGapStorm,
+            AlertKind::StalledDevice,
+            AlertKind::LatencySloBreach,
+            AlertKind::RestartBudgetExhausted,
+        ];
+        let mut out = Vec::new();
+        for kind in KINDS {
+            for severity in [Severity::Warning, Severity::Critical] {
+                let n = self
+                    .alerts
+                    .iter()
+                    .filter(|a| a.kind == kind && a.severity == severity)
+                    .count() as u64;
+                if n > 0 {
+                    out.push((kind, severity, n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the health snapshot in the Prometheus text exposition
+    /// format: fleet counters, per-device gauges, alert totals, and the
+    /// merged end-to-end latency histogram when one is collected.
+    #[must_use]
+    pub fn prometheus(
+        &self,
+        fleet_counters: &[(&str, u64)],
+        latency: Option<&Histogram>,
+    ) -> String {
+        let mut out = String::new();
+        for (name, value) in fleet_counters {
+            let metric = sanitize_metric_name(&format!("titancfi_{name}"));
+            push_family(&mut out, &metric, "counter", "fleet-wide counter");
+            out.push_str(&format!("{metric} {value}\n"));
+        }
+
+        push_family(
+            &mut out,
+            "titancfi_device_health_score",
+            "gauge",
+            "per-device health score (0-100)",
+        );
+        for (slot, score) in self.scores.iter().enumerate() {
+            out.push_str(&format!(
+                "titancfi_device_health_score{{device=\"{slot}\"}} {score}\n"
+            ));
+        }
+        push_family(
+            &mut out,
+            "titancfi_device_frames_ok",
+            "counter",
+            "verified frames ingested per device",
+        );
+        for (slot, c) in self.latest.iter().enumerate() {
+            out.push_str(&format!(
+                "titancfi_device_frames_ok{{device=\"{slot}\"}} {}\n",
+                c.frames_ok
+            ));
+        }
+        push_family(
+            &mut out,
+            "titancfi_device_violations",
+            "counter",
+            "CFI violations reported per device",
+        );
+        for (slot, c) in self.latest.iter().enumerate() {
+            out.push_str(&format!(
+                "titancfi_device_violations{{device=\"{slot}\"}} {}\n",
+                c.violations
+            ));
+        }
+        push_family(
+            &mut out,
+            "titancfi_device_parked",
+            "gauge",
+            "1 when the slot exhausted its restart budget",
+        );
+        for (slot, c) in self.latest.iter().enumerate() {
+            out.push_str(&format!(
+                "titancfi_device_parked{{device=\"{slot}\"}} {}\n",
+                u64::from(c.parked)
+            ));
+        }
+
+        push_family(
+            &mut out,
+            "titancfi_alerts_total",
+            "counter",
+            "alerts raised by kind and severity",
+        );
+        for (kind, severity, n) in self.alert_counts() {
+            out.push_str(&format!(
+                "titancfi_alerts_total{{kind=\"{kind}\",severity=\"{severity}\"}} {n}\n"
+            ));
+        }
+
+        if let Some(hist) = latency {
+            push_family(
+                &mut out,
+                "titancfi_latency_e2e_cycles",
+                "histogram",
+                "end-to-end commit-log latency in simulated cycles",
+            );
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.buckets() {
+                cumulative += count;
+                let le = if bound == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    bound.to_string()
+                };
+                out.push_str(&format!(
+                    "titancfi_latency_e2e_cycles_bucket{{le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!("titancfi_latency_e2e_cycles_sum {}\n", hist.sum));
+            out.push_str(&format!(
+                "titancfi_latency_e2e_cycles_count {}\n",
+                hist.count
+            ));
+        }
+        out
+    }
+
+    /// The health snapshot as JSON: evaluation count, scores, alerts, and
+    /// the latency p99 if collected.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("evals", Json::Num(self.evals as f64)),
+            (
+                "scores",
+                Json::Arr(
+                    self.scores
+                        .iter()
+                        .map(|&s| Json::Num(f64::from(s)))
+                        .collect(),
+                ),
+            ),
+            (
+                "alerts",
+                Json::Arr(self.alerts.iter().map(Alert::to_json).collect()),
+            ),
+            (
+                "latency_p99",
+                match self.latency_p99 {
+                    Some(v) => Json::Num(v as f64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// The per-device health score: start at 100, subtract bounded penalties
+/// for windowed violations, gaps, and hangs plus cumulative restarts; a
+/// parked slot scores 0 outright.
+fn score(now: &DeviceCounters, violations_w: u64, gaps_w: u64, hung_w: u64) -> u8 {
+    if now.parked {
+        return 0;
+    }
+    let mut penalty = (10 * violations_w).min(40);
+    penalty += (2 * gaps_w).min(20);
+    penalty += (15 * hung_w).min(30);
+    penalty += (5 * u64::from(now.restarts_used)).min(15);
+    (100u64.saturating_sub(penalty)) as u8
+}
+
+fn push_family(out: &mut String, metric: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {metric} {help}\n"));
+    out.push_str(&format!("# TYPE {metric} {kind}\n"));
+}
+
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// A strict-enough validator for the Prometheus text exposition format:
+/// every line must be a `# HELP`/`# TYPE` comment or a `name{labels} value`
+/// sample with a legal metric name and a parseable value; every sample's
+/// family must have a prior `# TYPE`; histogram `le` buckets must be
+/// cumulative and end at `+Inf` with `_count` equal to the `+Inf` bucket.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line or histogram family.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut typed: Vec<(String, String)> = Vec::new(); // (family, type)
+                                                       // (family, last cumulative bucket value, saw +Inf, last le)
+    let mut hist_state: Vec<(String, u64, bool, f64)> = Vec::new();
+    let mut counts: Vec<(String, u64)> = Vec::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !is_metric_name(name) {
+                        return Err(format!("line {lineno}: bad HELP metric name {name:?}"));
+                    }
+                }
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or("");
+                    if !is_metric_name(name) {
+                        return Err(format!("line {lineno}: bad TYPE metric name {name:?}"));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {lineno}: unknown TYPE {kind:?}"));
+                    }
+                    typed.push((name.to_string(), kind.to_string()));
+                }
+                _ => {
+                    return Err(format!(
+                        "line {lineno}: unknown comment keyword {keyword:?}"
+                    ))
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {lineno}: comments must start with '# '"));
+        }
+
+        // A sample: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample has no value"))?;
+        if value != "+Inf" && value != "-Inf" && value != "NaN" && value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: unparseable value {value:?}"));
+        }
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated label set"))?;
+                (n, Some(labels))
+            }
+            None => (name_labels, None),
+        };
+        if !is_metric_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        let mut le: Option<f64> = None;
+        if let Some(labels) = labels {
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (key, val) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {lineno}: label {pair:?} has no '='"))?;
+                if !is_metric_name(key) {
+                    return Err(format!("line {lineno}: bad label name {key:?}"));
+                }
+                let val = val
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: label value {val:?} not quoted"))?;
+                if key == "le" {
+                    le = Some(if val == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        val.parse::<f64>()
+                            .map_err(|_| format!("line {lineno}: bad le value {val:?}"))?
+                    });
+                }
+            }
+        }
+
+        // Family = name minus histogram suffixes.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                line.starts_with(name)
+                    .then(|| name.strip_suffix(suffix))
+                    .flatten()
+            })
+            .filter(|f| typed.iter().any(|(n, k)| n == *f && k == "histogram"))
+            .unwrap_or(name);
+        if !typed.iter().any(|(n, _)| n == family) {
+            return Err(format!("line {lineno}: sample {name:?} has no # TYPE"));
+        }
+
+        // Histogram bookkeeping.
+        if let Some(family) = name.strip_suffix("_bucket") {
+            if typed.iter().any(|(n, k)| n == family && k == "histogram") {
+                let le = le.ok_or_else(|| format!("line {lineno}: histogram bucket without le"))?;
+                let cum = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {lineno}: bucket value {value:?}"))?
+                    as u64;
+                match hist_state.iter_mut().find(|(f, ..)| f == family) {
+                    Some((_, last_cum, saw_inf, last_le)) => {
+                        if cum < *last_cum {
+                            return Err(format!(
+                                "line {lineno}: histogram {family:?} buckets not cumulative"
+                            ));
+                        }
+                        if le <= *last_le {
+                            return Err(format!(
+                                "line {lineno}: histogram {family:?} le not increasing"
+                            ));
+                        }
+                        *last_cum = cum;
+                        *last_le = le;
+                        *saw_inf |= le.is_infinite();
+                    }
+                    None => hist_state.push((family.to_string(), cum, le.is_infinite(), le)),
+                }
+            }
+        }
+        if let Some(family) = name.strip_suffix("_count") {
+            if typed.iter().any(|(n, k)| n == family && k == "histogram") {
+                let count = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {lineno}: count value {value:?}"))?
+                    as u64;
+                counts.push((family.to_string(), count));
+            }
+        }
+    }
+
+    for (family, cum, saw_inf, _) in &hist_state {
+        if !saw_inf {
+            return Err(format!("histogram {family:?} is missing its +Inf bucket"));
+        }
+        if let Some((_, count)) = counts.iter().find(|(f, _)| f == family) {
+            if count != cum {
+                return Err(format!(
+                    "histogram {family:?}: _count {count} != +Inf bucket {cum}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> HealthConfig {
+        HealthConfig {
+            window: 4,
+            violation_burst: 3,
+            gap_storm: 4,
+            latency_slo_p99: 0,
+            debounce: 2,
+            cooldown: 8,
+        }
+    }
+
+    fn clean(frames: u64) -> DeviceCounters {
+        DeviceCounters {
+            frames_ok: frames,
+            ..DeviceCounters::default()
+        }
+    }
+
+    #[test]
+    fn clean_counters_raise_no_alerts_and_score_100() {
+        let mut mon = HealthMonitor::new(2, quick_config());
+        for eval in 1..=20u64 {
+            let fired = mon.evaluate(&[clean(eval * 10), clean(eval * 7)], None);
+            assert!(fired.is_empty(), "eval {eval}: {fired:?}");
+        }
+        assert_eq!(mon.alerts().len(), 0);
+        assert_eq!(mon.scores(), &[100, 100]);
+    }
+
+    #[test]
+    fn violation_burst_fires_after_debounce_with_severity() {
+        let mut mon = HealthMonitor::new(1, quick_config());
+        // Eval 1: 6 violations land (>= 2x threshold 3). Debounce = 2, so
+        // nothing fires yet.
+        let mut c = clean(10);
+        c.violations = 6;
+        assert!(mon.evaluate(&[c], None).is_empty(), "debounce holds fire");
+        // Eval 2: still breaching (windowed) — fires Critical.
+        c.violations += 6;
+        let fired = mon.evaluate(&[c], None);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, AlertKind::ViolationBurst);
+        assert_eq!(fired[0].severity, Severity::Critical);
+        assert_eq!(fired[0].device, Some(0));
+        assert_eq!(fired[0].value, 12);
+        // A sustained violation stream stays silent until the cooldown
+        // elapses: fired at eval 2, cooldown 8 => evals 3..=9 quiet, 10
+        // refires.
+        for _ in 0..7 {
+            c.violations += 6;
+            assert!(mon.evaluate(&[c], None).is_empty());
+        }
+        c.violations += 6;
+        let refire = mon.evaluate(&[c], None);
+        assert_eq!(refire.len(), 1, "cooldown elapsed: refire");
+        assert!(mon.scores()[0] < 100, "burst dents the health score");
+    }
+
+    #[test]
+    fn condition_clearing_resets_the_debounce_streak() {
+        let mut mon = HealthMonitor::new(1, quick_config());
+        let mut sick = clean(5);
+        sick.violations = 4;
+        assert!(mon.evaluate(&[sick], None).is_empty());
+        // Window is 4: after 4 clean evals the burst ages out entirely.
+        for _ in 0..4 {
+            mon.evaluate(&[sick], None); // cumulative unchanged => delta 0
+        }
+        // Now the window holds zero violations; streak must be reset.
+        let fired = mon.evaluate(&[sick], None);
+        assert!(fired.len() <= 1, "at most the original debounced fire");
+        assert_eq!(mon.scores()[0], 100, "clean window restores the score");
+    }
+
+    #[test]
+    fn parked_slot_is_critical_and_scores_zero() {
+        let config = HealthConfig {
+            debounce: 1,
+            ..quick_config()
+        };
+        let mut mon = HealthMonitor::new(2, config);
+        let mut parked = clean(3);
+        parked.parked = true;
+        parked.restarts_used = 3;
+        let fired = mon.evaluate(&[parked, clean(9)], None);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, AlertKind::RestartBudgetExhausted);
+        assert_eq!(fired[0].severity, Severity::Critical);
+        assert_eq!(mon.scores()[0], 0);
+        assert_eq!(mon.scores()[1], 100);
+    }
+
+    #[test]
+    fn stalled_device_fires_on_hung_escalations() {
+        let config = HealthConfig {
+            debounce: 1,
+            ..quick_config()
+        };
+        let mut mon = HealthMonitor::new(1, config);
+        let mut c = clean(4);
+        c.escalated_hung = 1;
+        let fired = mon.evaluate(&[c], None);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, AlertKind::StalledDevice);
+    }
+
+    #[test]
+    fn latency_slo_breach_is_fleet_wide() {
+        let config = HealthConfig {
+            latency_slo_p99: 1_000,
+            debounce: 1,
+            ..quick_config()
+        };
+        let mut mon = HealthMonitor::new(3, config);
+        let devices = [clean(1), clean(2), clean(3)];
+        assert!(mon.evaluate(&devices, Some(900)).is_empty(), "under SLO");
+        let fired = mon.evaluate(&devices, Some(2_500));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, AlertKind::LatencySloBreach);
+        assert_eq!(fired[0].severity, Severity::Critical, ">= 2x SLO");
+        assert_eq!(fired[0].device, None);
+    }
+
+    #[test]
+    fn prometheus_output_validates_and_carries_the_histogram() {
+        let mut mon = HealthMonitor::new(2, quick_config());
+        let mut sick = clean(10);
+        sick.violations = 7;
+        mon.evaluate(&[sick, clean(20)], Some(50));
+        mon.evaluate(&[sick, clean(25)], Some(50));
+        let mut hist = Histogram::cycles();
+        for v in [3, 17, 90, 1_000] {
+            hist.record(v);
+        }
+        let text = mon.prometheus(
+            &[("fleet.frames.ok", 35), ("fleet.violations", 7)],
+            Some(&hist),
+        );
+        validate_prometheus(&text).expect("exposition must be valid Prometheus text");
+        assert!(text.contains("titancfi_fleet_frames_ok 35"));
+        assert!(text.contains("titancfi_device_health_score{device=\"0\"}"));
+        assert!(text.contains("titancfi_alerts_total{kind=\"violation_burst\""));
+        assert!(text.contains("titancfi_latency_e2e_cycles_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("titancfi_latency_e2e_cycles_count 4"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        assert!(validate_prometheus("9metric 1\n").is_err(), "bad name");
+        assert!(
+            validate_prometheus("# TYPE m counter\nm notanumber\n").is_err(),
+            "bad value"
+        );
+        assert!(
+            validate_prometheus("orphan_sample 3\n").is_err(),
+            "sample without TYPE"
+        );
+        assert!(
+            validate_prometheus(
+                "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n"
+            )
+            .is_err(),
+            "non-cumulative buckets"
+        );
+        assert!(
+            validate_prometheus("# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\n").is_err(),
+            "missing +Inf"
+        );
+    }
+
+    #[test]
+    fn json_snapshot_round_trips() {
+        let mut mon = HealthMonitor::new(1, quick_config());
+        let mut c = clean(1);
+        c.violations = 9;
+        mon.evaluate(&[c], None);
+        mon.evaluate(&[c], None);
+        let json = mon.to_json();
+        let parsed = Json::parse(&json.encode()).expect("snapshot encodes to valid JSON");
+        assert_eq!(parsed.get("evals").and_then(Json::as_num), Some(2.0));
+        let alerts = match parsed.get("alerts") {
+            Some(Json::Arr(items)) => items.clone(),
+            other => panic!("alerts must be an array, got {other:?}"),
+        };
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(
+            alerts[0].get("kind").and_then(Json::as_str),
+            Some("violation_burst")
+        );
+    }
+}

@@ -17,6 +17,11 @@
 //! * [`supervisor`] — fail-fast lifecycle: liveness deadlines, immediate
 //!   reap on hang or trap, bounded restart budgets, a permanent-failure
 //!   ledger;
+//! * [`health`] — the fleet health pipeline: sliding-window per-device
+//!   aggregation, 0–100 health scores, a severity-debounced alert engine
+//!   (violation bursts, seq-gap storms, stalled devices, latency-SLO
+//!   breaches, exhausted restart budgets), and Prometheus-text / JSON
+//!   exposition snapshots;
 //! * [`service`] — the fleet itself: shard workers with work-stealing
 //!   ([`titancfi_harness::StealQueues`]), a verifying ingest loop,
 //!   aggregation into [`titancfi_obs::SimMetrics`], periodic JSONL
@@ -28,6 +33,7 @@
 //! (`BENCH_fleet.json`).
 
 pub mod device;
+pub mod health;
 pub mod service;
 pub mod supervisor;
 pub mod transport;
@@ -35,9 +41,12 @@ pub mod transport;
 pub use device::{
     call_dense_workload, Device, DeviceStatus, PollOutcome, SocDevice, SocDeviceConfig,
 };
+pub use health::{
+    validate_prometheus, Alert, AlertKind, DeviceCounters, HealthConfig, HealthMonitor, Severity,
+};
 pub use service::{run_fleet, FleetConfig, FleetReport};
 pub use supervisor::{
-    DeviceFactory, EscalationReason, FailureRecord, SupervisionConfig, SupervisionStats,
-    Supervisor, Turn,
+    DeviceFactory, EscalationReason, FailureRecord, SlotHealth, SupervisionConfig,
+    SupervisionStats, Supervisor, Turn,
 };
 pub use transport::{Backend, Recv, SendError, Transport, TransportStats};

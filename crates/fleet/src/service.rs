@@ -24,6 +24,7 @@
 //! zero `frames_lost`, zero `frames_corrupt` on a clean fleet.
 
 use crate::device::Device;
+use crate::health::{Alert, DeviceCounters, HealthConfig, HealthMonitor};
 use crate::supervisor::{
     DeviceFactory, FailureRecord, SupervisionConfig, SupervisionStats, Supervisor, Turn,
 };
@@ -33,7 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use titancfi::wire::SeqTracker;
 use titancfi_harness::{Json, StealQueues};
-use titancfi_obs::SimMetrics;
+use titancfi_obs::{Histogram, SimMetrics};
 
 /// Fleet-wide configuration.
 pub struct FleetConfig {
@@ -55,6 +56,12 @@ pub struct FleetConfig {
     pub snapshot_path: Option<std::path::PathBuf>,
     /// Ingest sweeps between snapshot lines.
     pub snapshot_every_sweeps: u64,
+    /// Health-monitor thresholds; the monitor evaluates once per snapshot
+    /// cadence tick plus once after the drain phase.
+    pub health: HealthConfig,
+    /// Overwrite a Prometheus-text exposition snapshot here at each
+    /// evaluation (the scrape-endpoint analog for a file-based fleet).
+    pub exposition_path: Option<std::path::PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -68,6 +75,8 @@ impl Default for FleetConfig {
             supervision: SupervisionConfig::default(),
             snapshot_path: None,
             snapshot_every_sweeps: 64,
+            health: HealthConfig::default(),
+            exposition_path: None,
         }
     }
 }
@@ -116,6 +125,15 @@ pub struct FleetReport {
     /// The aggregated metrics registry (counters mirrored above plus
     /// per-device owned counters).
     pub metrics: SimMetrics,
+    /// Final per-device health scores (0–100).
+    pub health_scores: Vec<u8>,
+    /// Every alert the health monitor raised, in fire order.
+    pub alerts: Vec<Alert>,
+    /// Merged end-to-end latency histogram across devices that collected
+    /// one ([`crate::device::SocDeviceConfig::latency`]).
+    pub latency_e2e: Option<Histogram>,
+    /// The final Prometheus-text exposition snapshot.
+    pub exposition: String,
 }
 
 impl FleetReport {
@@ -266,6 +284,7 @@ where
     let mut ingest = Ingest::new(&transports);
     let mut sink = SnapshotSink::open(config.snapshot_path.as_deref());
     let mut sweeps: u64 = 0;
+    let mut monitor = HealthMonitor::new(devices as usize, config.health);
 
     std::thread::scope(|scope| {
         // Shard workers: run supervision turns until every slot's pass
@@ -333,12 +352,19 @@ where
             let moved = ingest.sweep();
             sweeps += 1;
             if sweeps.is_multiple_of(config.snapshot_every_sweeps) {
-                sink.write(&snapshot_line(
-                    "fleet_snapshot",
-                    sweeps,
-                    &ingest,
-                    &supervisor.stats(),
-                ));
+                let stats = supervisor.stats();
+                sink.write(&snapshot_line("fleet_snapshot", sweeps, &ingest, &stats));
+                let latency = merged_latency(&supervisor, devices);
+                monitor.evaluate(
+                    &device_counters(&ingest, &supervisor, devices),
+                    latency.as_ref().map(|h| h.percentile(0.99)),
+                );
+                sink.write(&health_line(sweeps, &monitor));
+                if let Some(path) = config.exposition_path.as_deref() {
+                    let text =
+                        monitor.prometheus(&fleet_counter_pairs(&ingest, &stats), latency.as_ref());
+                    let _ = std::fs::write(path, text);
+                }
             }
             if finished.load(Ordering::Acquire) == shards as u64 && moved == 0 {
                 break;
@@ -365,6 +391,15 @@ where
             break;
         }
     }
+
+    // Final health evaluation: even a run shorter than one snapshot
+    // cadence gets its counters through the alert engine, and the drain
+    // phase's last gaps/violations are visible to it.
+    let latency_e2e = merged_latency(&supervisor, devices);
+    monitor.evaluate(
+        &device_counters(&ingest, &supervisor, devices),
+        latency_e2e.as_ref().map(|h| h.percentile(0.99)),
+    );
 
     let per_backend: Vec<(Backend, TransportStats)> = Backend::ALL
         .iter()
@@ -407,12 +442,24 @@ where
     metrics.add("fleet.devices.respawned", supervision.respawns);
     metrics.add("fleet.devices.failed", supervision.permanent_failures);
     metrics.add("fleet.violations", supervision.violations);
+    metrics.add("fleet.alerts", monitor.alerts().len() as u64);
     for (slot, &ok) in ingest.per_slot_ok.iter().enumerate() {
         metrics.add_owned(format!("fleet.device.{slot}.frames"), ok);
+    }
+    for (slot, &score) in monitor.scores().iter().enumerate() {
+        metrics.add_owned(format!("fleet.device.{slot}.health"), u64::from(score));
     }
 
     let frames_lost = frames_sent.saturating_sub(ingest.frames_ok + ingest.frames_corrupt);
     sink.write(&snapshot_line("fleet_final", sweeps, &ingest, &supervision));
+    sink.write(&health_line(sweeps, &monitor));
+    let exposition = monitor.prometheus(
+        &fleet_counter_pairs(&ingest, &supervision),
+        latency_e2e.as_ref(),
+    );
+    if let Some(path) = config.exposition_path.as_deref() {
+        let _ = std::fs::write(path, &exposition);
+    }
 
     FleetReport {
         devices,
@@ -433,7 +480,74 @@ where
         wall_seconds,
         per_backend,
         metrics,
+        health_scores: monitor.scores().to_vec(),
+        alerts: monitor.alerts().to_vec(),
+        latency_e2e,
+        exposition,
     }
+}
+
+/// Snapshots every slot's cumulative counters for the health monitor.
+fn device_counters(
+    ingest: &Ingest<'_>,
+    supervisor: &Supervisor,
+    devices: u32,
+) -> Vec<DeviceCounters> {
+    (0..devices)
+        .map(|slot| {
+            let health = supervisor.slot_health(slot);
+            let tracker = &ingest.trackers[slot as usize];
+            DeviceCounters {
+                frames_ok: ingest.per_slot_ok[slot as usize],
+                violations: health.violations,
+                seq_gaps: tracker.gaps,
+                seq_duplicates: tracker.duplicates,
+                escalated_hung: health.escalated_hung,
+                escalated_trapped: health.escalated_trapped,
+                restarts_used: health.restarts_used,
+                parked: health.parked,
+            }
+        })
+        .collect()
+}
+
+/// Merges the end-to-end latency histograms of every device that collects
+/// one; `None` when latency collection is off fleet-wide.
+fn merged_latency(supervisor: &Supervisor, devices: u32) -> Option<Histogram> {
+    let mut merged: Option<Histogram> = None;
+    for slot in 0..devices {
+        if let Some(hist) = supervisor.slot_latency_e2e(slot) {
+            match merged.as_mut() {
+                Some(m) => m.merge(&hist),
+                None => merged = Some(hist),
+            }
+        }
+    }
+    merged
+}
+
+/// The fleet-level counters every exposition snapshot carries.
+fn fleet_counter_pairs(ingest: &Ingest<'_>, sup: &SupervisionStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("fleet.frames.ok", ingest.frames_ok),
+        ("fleet.frames.corrupt", ingest.frames_corrupt),
+        ("fleet.seq.duplicates", ingest.seq_duplicates()),
+        ("fleet.seq.gaps", ingest.seq_gaps()),
+        ("fleet.violations", sup.violations),
+        ("fleet.devices.escalated.hung", sup.escalated_hung),
+        ("fleet.devices.escalated.trapped", sup.escalated_trapped),
+        ("fleet.devices.respawned", sup.respawns),
+        ("fleet.devices.failed", sup.permanent_failures),
+        ("fleet.runs.completed", sup.completed_runs),
+    ]
+}
+
+fn health_line(sweeps: u64, monitor: &HealthMonitor) -> Json {
+    Json::obj(vec![
+        ("event", Json::Str("fleet_health".to_string())),
+        ("sweeps", Json::Num(sweeps as f64)),
+        ("health", monitor.to_json()),
+    ])
 }
 
 fn snapshot_line(event: &str, sweeps: u64, ingest: &Ingest<'_>, sup: &SupervisionStats) -> Json {
@@ -496,8 +610,18 @@ mod tests {
             "registry mirrors the report"
         );
         // Every slot contributed and has an owned counter.
-        let per_device: u64 = report.metrics.owned_counters().map(|(_, v)| v).sum();
+        let per_device: u64 = report
+            .metrics
+            .owned_counters()
+            .filter(|(name, _)| name.ends_with(".frames"))
+            .map(|(_, v)| v)
+            .sum();
         assert_eq!(per_device, report.frames_ok);
+        // A clean fleet: perfect health, zero alerts.
+        assert!(report.health_scores.iter().all(|&s| s == 100));
+        assert!(report.alerts.is_empty(), "clean fleet must not page");
+        crate::health::validate_prometheus(&report.exposition)
+            .expect("exposition must be valid Prometheus text");
     }
 
     #[test]
@@ -554,12 +678,20 @@ mod tests {
         assert!(!lines.is_empty(), "at least the final snapshot line");
         for line in &lines {
             let parsed = Json::parse(line).expect("every line is valid JSON");
-            assert!(parsed.get("event").is_some());
-            assert!(parsed.get("frames_ok").is_some());
+            let event = parsed.get("event").and_then(Json::as_str).expect("event");
+            if event == "fleet_health" {
+                assert!(parsed.get("health").is_some());
+            } else {
+                assert!(parsed.get("frames_ok").is_some());
+            }
         }
         assert!(
             text.contains("fleet_final"),
             "final snapshot is always appended"
+        );
+        assert!(
+            text.contains("fleet_health"),
+            "health lines ride the same cadence"
         );
         let _ = std::fs::remove_file(&path);
     }

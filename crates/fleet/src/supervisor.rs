@@ -93,6 +93,26 @@ struct Slot {
     idle_polls: u32,
     restarts_used: u32,
     completed_runs: u64,
+    violations: u64,
+    escalated_hung: u64,
+    escalated_trapped: u64,
+}
+
+/// Per-slot health counters, snapshotted for the fleet health monitor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotHealth {
+    /// Violations this slot's devices reported across all polls.
+    pub violations: u64,
+    /// Liveness-deadline escalations of this slot.
+    pub escalated_hung: u64,
+    /// Trap escalations of this slot.
+    pub escalated_trapped: u64,
+    /// Failure respawns consumed so far.
+    pub restarts_used: u32,
+    /// Clean run completions on this slot.
+    pub completed_runs: u64,
+    /// Whether the slot is permanently parked.
+    pub parked: bool,
 }
 
 /// The per-slot supervision state machine over a fixed set of slots.
@@ -136,6 +156,9 @@ impl Supervisor {
                     idle_polls: 0,
                     restarts_used: 0,
                     completed_runs: 0,
+                    violations: 0,
+                    escalated_hung: 0,
+                    escalated_trapped: 0,
                 })
             })
             .collect();
@@ -174,6 +197,7 @@ impl Supervisor {
         };
         self.violations
             .fetch_add(outcome.violations, Ordering::Relaxed);
+        state.violations += outcome.violations;
         match &outcome.status {
             DeviceStatus::Running => {
                 if outcome.is_idle() {
@@ -209,8 +233,14 @@ impl Supervisor {
     /// stays continuous.
     fn escalate(&self, slot: u32, state: &mut Slot, reason: EscalationReason) -> Turn {
         match reason {
-            EscalationReason::Hung => self.escalated_hung.fetch_add(1, Ordering::Relaxed),
-            EscalationReason::Trapped(_) => self.escalated_trapped.fetch_add(1, Ordering::Relaxed),
+            EscalationReason::Hung => {
+                self.escalated_hung.fetch_add(1, Ordering::Relaxed);
+                state.escalated_hung += 1;
+            }
+            EscalationReason::Trapped(_) => {
+                self.escalated_trapped.fetch_add(1, Ordering::Relaxed);
+                state.escalated_trapped += 1;
+            }
         };
         let next_seq = state.device.as_ref().map_or(0, |d| d.last_seq());
         state.device = None; // reaped
@@ -256,6 +286,30 @@ impl Supervisor {
     #[must_use]
     pub fn is_parked(&self, slot: u32) -> bool {
         self.lock(slot).device.is_none()
+    }
+
+    /// Snapshot of `slot`'s health counters for the fleet health monitor.
+    #[must_use]
+    pub fn slot_health(&self, slot: u32) -> SlotHealth {
+        let state = self.lock(slot);
+        SlotHealth {
+            violations: state.violations,
+            escalated_hung: state.escalated_hung,
+            escalated_trapped: state.escalated_trapped,
+            restarts_used: state.restarts_used,
+            completed_runs: state.completed_runs,
+            parked: state.device.is_none(),
+        }
+    }
+
+    /// The end-to-end latency histogram of `slot`'s live device, when the
+    /// device collects one ([`Device::latency_e2e`]).
+    #[must_use]
+    pub fn slot_latency_e2e(&self, slot: u32) -> Option<titancfi_obs::Histogram> {
+        self.lock(slot)
+            .device
+            .as_ref()
+            .and_then(|d| d.latency_e2e())
     }
 
     /// Snapshot of the permanent-failure ledger.

@@ -23,17 +23,24 @@
 //! * [`recorder`] — [`Recorder`]: the everything-on [`Probe`]
 //!   implementation bundling all three, which `titancfi-soc` attaches to
 //!   a [`SystemOnChip`](../titancfi_soc) run.
+//! * [`latency`] — [`LatencySpans`]: per-log lifecycle boundary stamps
+//!   (accept → dequeue → doorbell → completion → verdict) attributed to
+//!   pipeline stages under an exact conservation law, plus the
+//!   detection-latency window for corruption runs, and
+//!   [`LatencyCollector`], the minimal latency-only [`Probe`].
 //!
 //! The crate depends only on `titancfi-harness` (for its JSON writer), so
 //! every simulation layer — `ibex-model`, `titancfi` (core), `soc` — can
 //! use it without dependency cycles.
 
+pub mod latency;
 pub mod metrics;
 pub mod probe;
 pub mod profiler;
 pub mod recorder;
 pub mod timeline;
 
+pub use latency::{LatencyCollector, LatencySpans};
 pub use metrics::{Histogram, SimMetrics};
 pub use probe::{NoProbe, Probe, RetireSample, Track};
 pub use profiler::FirmwareProfiler;

@@ -101,6 +101,59 @@ impl Histogram {
         }
     }
 
+    /// Estimated p-th percentile (`p` in `0.0..=1.0`) as the upper bound of
+    /// the bucket holding the p-th observation — a conservative (never
+    /// under-reported) estimate, exact whenever every observation in that
+    /// bucket equals its bound. The overflow bucket reports the exact
+    /// tracked `max` rather than a fictitious bound. Empty histograms
+    /// report 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile wants p in 0.0..=1.0");
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based; p = 0.0 means the first.
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (slot, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match self.bounds.get(slot) {
+                    Some(&bound) => bound.min(self.max),
+                    None => self.max, // overflow bucket: exact tracked max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one: per-bucket counts and the
+    /// exact totals (count, sum, min, max) all accumulate. This is how a
+    /// fleet aggregates per-device latency distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket bounds — merging
+    /// across bucketings would silently misattribute observations.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.bounds == other.bounds,
+            "cannot merge histograms with mismatched bucket bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The bucket contents as `(upper_bound, count)` pairs; the overflow
     /// bucket reports `u64::MAX` as its bound.
     #[must_use]
@@ -344,6 +397,106 @@ mod tests {
     #[should_panic(expected = "increasing")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::new(&[10, 5]);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        let h = Histogram::cycles();
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn percentile_single_bucket_is_exact_for_uniform_values() {
+        let mut h = Histogram::new(&[10]);
+        for _ in 0..100 {
+            h.record(3);
+        }
+        // Every observation sits in the first bucket; the bound (10) is
+        // clamped to the exact max (3), so the estimate is exact.
+        assert_eq!(h.percentile(0.5), 3);
+        assert_eq!(h.percentile(0.99), 3);
+        assert_eq!(h.percentile(1.0), 3);
+    }
+
+    #[test]
+    fn percentile_reports_bucket_upper_bounds() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for _ in 0..90 {
+            h.record(5); // bucket <=10
+        }
+        for _ in 0..10 {
+            h.record(500); // bucket <=1000
+        }
+        assert_eq!(h.percentile(0.5), 10, "p50 lands in the <=10 bucket");
+        assert_eq!(
+            h.percentile(0.95),
+            500,
+            "p95 lands in the <=1000 bucket, clamped to the exact max"
+        );
+        assert_eq!(h.max, 500);
+    }
+
+    #[test]
+    fn percentile_overflow_bucket_reports_exact_max() {
+        let mut h = Histogram::new(&[10]);
+        h.record(1);
+        h.record(70_000); // overflow
+        h.record(90_000); // overflow
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(
+            h.percentile(1.0),
+            90_000,
+            "overflow percentile is the tracked max, not a fake bound"
+        );
+        assert_eq!(h.percentile(0.6), 90_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "0.0..=1.0")]
+    fn percentile_rejects_out_of_range_p() {
+        let _ = Histogram::cycles().percentile(1.5);
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_totals() {
+        let mut a = Histogram::cycles();
+        let mut b = Histogram::cycles();
+        a.record(4);
+        a.record(100_000); // overflow
+        b.record(7);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 4 + 100_000 + 7 + 7);
+        assert_eq!(a.min, 4);
+        assert_eq!(a.max, 100_000);
+        // Equivalent to recording everything into one histogram.
+        let mut all = Histogram::cycles();
+        for v in [4, 100_000, 7, 7] {
+            all.record(v);
+        }
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::occupancy();
+        a.record(3);
+        let before = a.clone();
+        a.merge(&Histogram::occupancy());
+        assert_eq!(a, before);
+        let mut empty = Histogram::occupancy();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::cycles();
+        a.merge(&Histogram::occupancy());
     }
 
     #[test]

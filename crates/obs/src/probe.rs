@@ -110,6 +110,30 @@ pub trait Probe {
 
     /// One retired firmware instruction (feeds the exact profiler).
     fn retire(&mut self, _sample: RetireSample) {}
+
+    // Per-log lifecycle boundaries (feed `crate::latency::LatencySpans`).
+    // The CFI queue is FIFO and the LogWriter owns one log at a time, so
+    // these unkeyed events pair up exactly; all cycles are sim cycles.
+
+    /// A commit log entered the CFI queue.
+    fn log_accepted(&mut self, _cycle: u64) {}
+
+    /// The LogWriter popped the head log.
+    fn log_dequeued(&mut self, _cycle: u64) {}
+
+    /// A doorbell ring was accepted by the mailbox (fires again on
+    /// watchdog-retry re-rings; collectors keep the first).
+    fn log_doorbell(&mut self, _cycle: u64) {}
+
+    /// The firmware completion for the in-flight log was observed.
+    fn log_completion(&mut self, _cycle: u64) {}
+
+    /// The verdict was read back; `violation` is the flag.
+    fn log_verdict(&mut self, _cycle: u64, _violation: bool) {}
+
+    /// The writer gave up without a verdict: fail-closed (`forced`) or
+    /// fail-open drop.
+    fn log_abandoned(&mut self, _cycle: u64, _forced: bool) {}
 }
 
 /// The disabled probe: every hook is the empty default.

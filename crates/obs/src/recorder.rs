@@ -1,20 +1,24 @@
 //! The everything-on [`Probe`] implementation.
 
+use crate::latency::LatencySpans;
 use crate::metrics::SimMetrics;
 use crate::probe::{Probe, RetireSample, Track};
 use crate::profiler::FirmwareProfiler;
 use crate::timeline::{Timeline, TimelineConfig};
 use std::collections::BTreeMap;
 
-/// A [`Probe`] that records into all three backends: the metric registry,
-/// the event timeline, and (when firmware symbols are supplied) the exact
-/// profiler. This is what `SystemOnChip::attach_recorder` installs.
+/// A [`Probe`] that records into all backends: the metric registry, the
+/// event timeline, the per-log latency spans, and (when firmware symbols
+/// are supplied) the exact profiler. This is what
+/// `SystemOnChip::attach_recorder` installs.
 #[derive(Debug, Default)]
 pub struct Recorder {
     /// Counter / histogram registry.
     pub metrics: SimMetrics,
     /// Span / instant / counter-sample record for Perfetto export.
     pub timeline: Timeline,
+    /// Per-log lifecycle latency attribution.
+    pub latency: LatencySpans,
     /// Per-PC firmware cycle attribution, when enabled.
     pub profiler: Option<FirmwareProfiler>,
 }
@@ -81,6 +85,30 @@ impl Probe for Recorder {
         if let Some(profiler) = &mut self.profiler {
             profiler.record(sample);
         }
+    }
+
+    fn log_accepted(&mut self, cycle: u64) {
+        self.latency.accepted(cycle);
+    }
+
+    fn log_dequeued(&mut self, cycle: u64) {
+        self.latency.dequeued(cycle);
+    }
+
+    fn log_doorbell(&mut self, cycle: u64) {
+        self.latency.doorbell(cycle);
+    }
+
+    fn log_completion(&mut self, cycle: u64) {
+        self.latency.completion(cycle);
+    }
+
+    fn log_verdict(&mut self, cycle: u64, violation: bool) {
+        self.latency.verdict(cycle, violation);
+    }
+
+    fn log_abandoned(&mut self, cycle: u64, forced: bool) {
+        self.latency.abandoned(cycle, forced);
     }
 }
 

@@ -20,7 +20,7 @@ use titancfi::{
     ResilienceConfig, Violation, WriterState,
 };
 use titancfi_faults::{CheckFault, FaultClass, FaultConfig, FaultInjector, FaultReport};
-use titancfi_obs::{Histogram, NoProbe, Probe, Recorder, Track};
+use titancfi_obs::{Histogram, LatencyCollector, LatencySpans, NoProbe, Probe, Recorder, Track};
 
 /// SoC configuration.
 #[derive(Debug, Clone, Copy)]
@@ -155,6 +155,9 @@ pub struct SystemOnChip {
     trapped_violations: usize,
     scmi_service: ScmiWireService,
     recorder: Option<Recorder>,
+    /// Latency-only probe ([`SystemOnChip::attach_latency`]); ignored while
+    /// a full recorder is attached (the recorder collects its own spans).
+    latency: Option<LatencyCollector>,
     /// `[cfi_begin, cfi_end)` of the booted firmware, for phase attribution.
     cfi_range: (u64, u64),
     /// Whether a firmware `cfi-check` span is currently open.
@@ -284,6 +287,7 @@ impl SystemOnChip {
             trapped_violations: 0,
             scmi_service,
             recorder: None,
+            latency: None,
             cfi_range,
             fw_checking: false,
             injector,
@@ -362,6 +366,32 @@ impl SystemOnChip {
         self.recorder.as_ref()
     }
 
+    /// Attaches the lightweight per-log latency collector — lifecycle
+    /// boundary stamps only, no timeline or metric registry. Like a full
+    /// recorder it forces strict (per-cycle) scheduling, which is
+    /// observationally identical to the batched fast path (pinned by
+    /// `tests/decode_cache.rs`), so every report field and all latency
+    /// stamps are byte-identical across stepping modes.
+    pub fn attach_latency(&mut self) {
+        self.latency = Some(LatencyCollector::new());
+    }
+
+    /// Detaches and returns the latency collector.
+    pub fn take_latency(&mut self) -> Option<LatencyCollector> {
+        self.latency.take()
+    }
+
+    /// The collected per-log latency spans, from whichever probe is
+    /// attached: the standalone collector or a full recorder.
+    #[must_use]
+    pub fn latency_spans(&self) -> Option<&LatencySpans> {
+        match (&self.recorder, &self.latency) {
+            (Some(rec), _) => Some(&rec.latency),
+            (None, Some(lat)) => Some(&lat.spans),
+            (None, None) => None,
+        }
+    }
+
     /// The SHA-256 measurement of the booted CFI firmware — what a remote
     /// verifier expects attestation reports to carry.
     #[must_use]
@@ -393,9 +423,10 @@ impl SystemOnChip {
 
     fn tick_once(&mut self) {
         let mut noprobe = NoProbe;
-        let probe: &mut dyn Probe = match self.recorder.as_mut() {
-            Some(rec) => rec,
-            None => &mut noprobe,
+        let probe: &mut dyn Probe = match (self.recorder.as_mut(), self.latency.as_mut()) {
+            (Some(rec), _) => rec,
+            (None, Some(lat)) => lat,
+            (None, None) => &mut noprobe,
         };
         // Firmware check span: opens when the doorbell is rung, closes
         // when the firmware's completion write auto-clears it.
@@ -525,7 +556,10 @@ impl SystemOnChip {
         // Quantum batching is legal only when nothing can observe the
         // skipped per-commit boundaries: no probe recording per-cycle
         // samples, no fault schedule waiting on transport events.
-        let fast = self.config.fast_path && self.recorder.is_none() && self.injector.is_none();
+        let fast = self.config.fast_path
+            && self.recorder.is_none()
+            && self.latency.is_none()
+            && self.injector.is_none();
         let halt = loop {
             if self.core.cycle() >= until_cycle {
                 return None;
@@ -654,10 +688,12 @@ impl SystemOnChip {
                             }
                         }
                         let mut noprobe = NoProbe;
-                        let probe: &mut dyn Probe = match self.recorder.as_mut() {
-                            Some(rec) => rec,
-                            None => &mut noprobe,
-                        };
+                        let probe: &mut dyn Probe =
+                            match (self.recorder.as_mut(), self.latency.as_mut()) {
+                                (Some(rec), _) => rec,
+                                (None, Some(lat)) => lat,
+                                (None, None) => &mut noprobe,
+                            };
                         let pushed = self.queue.push_probed(log, self.bg_cycle, probe);
                         debug_assert!(pushed, "push after full-wait must succeed");
                     }
