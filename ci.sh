@@ -39,8 +39,12 @@ rm -rf "$fault_dir"
 
 echo "==> fuzz smoke (differential oracle over a seed slice + planted-bug self-test)"
 # The fuzz binary exits nonzero if any seed's program behaves differently
-# across the execution-mode/firmware/resilience/multicore matrix. The second
-# invocation arms a deliberately planted decode-cache bug and exits nonzero
+# across the execution-mode/firmware/resilience/multicore matrix. The
+# stepping-mode axis has four cells — strict, predecode, fast-forward, and
+# block-compiled (superblock dispatch) — and the dual-core axis runs
+# strict/fast/block, so every seed exercises the translation cache. The
+# second invocation arms a deliberately planted decode-cache bug (which
+# freezes the block cache's invalidation generation too) and exits nonzero
 # unless the oracle catches it, shrinks it, and writes a reproducer — a
 # mutation test of the fuzzer itself.
 fuzz_dir=$(mktemp -d)

@@ -235,6 +235,38 @@ impl LogWriter {
         self.state != WriterState::Idle
     }
 
+    /// The next cycle at which [`LogWriter::tick`] can do something on its
+    /// own, given whether the queue currently holds a log — or `None` when
+    /// the FSM is quiescent until an *external* event (an empty-queue idle
+    /// wait, or a completion wait with the watchdog disabled). Completion
+    /// arrival is external (the RoT writes it); event-driven schedulers must
+    /// re-tick the writer on the cycle after any RoT mailbox access in
+    /// addition to the cycle returned here. Ticks strictly before the
+    /// returned cycle are guaranteed no-ops, which is what makes skipping
+    /// them sound.
+    #[must_use]
+    pub fn next_event(&self, now: u64, queue_nonempty: bool) -> Option<u64> {
+        match self.state {
+            WriterState::Idle => queue_nonempty.then_some(now),
+            WriterState::Writing { done_at, .. } | WriterState::ReadResult { done_at } => {
+                Some(done_at)
+            }
+            WriterState::Backoff { resume_at } => Some(resume_at),
+            WriterState::WaitCompletion { since } => {
+                let watchdog = if self.resilience.watchdog_timeout == u64::MAX {
+                    None
+                } else {
+                    Some(since.saturating_add(self.resilience.watchdog_timeout))
+                };
+                match (self.pending_ring_at, watchdog) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (Some(a), None) => Some(a),
+                    (None, b) => b,
+                }
+            }
+        }
+    }
+
     /// Advances the FSM to cycle `now`.
     ///
     /// Pops from `queue` when idle, drives the host side of `mailbox`, and

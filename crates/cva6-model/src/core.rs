@@ -12,8 +12,8 @@
 use crate::timing::{TimingConfig, TimingModel};
 use riscv_asm::Program;
 use riscv_isa::{
-    classify, predecode, Bus, CfClass, DecodeCache, DecodeCacheStats, FlatMemory, Hart, Retired,
-    Trap, Xlen,
+    classify, decode, predecode, BlockCache, BlockCacheStats, Bus, CfClass, DecodeCache,
+    DecodeCacheStats, FlatMemory, Hart, Retired, Trap, Xlen,
 };
 
 /// One instruction leaving the commit stage.
@@ -83,6 +83,23 @@ pub struct Cva6Core<B: Bus = FlatMemory> {
     /// Predecoded instruction cache (fast path; architecturally invisible).
     decode_cache: DecodeCache,
     predecode: bool,
+    /// Superblock translation cache (block dispatch; architecturally
+    /// invisible, keyed on the decode cache's invalidation generation).
+    block_cache: BlockCache,
+}
+
+/// Result of dispatching one translated superblock via
+/// [`Cva6Core::step_block`]. All but the final instruction are plain
+/// straight-line commits (non-CFI-relevant, no I/O touch, below the cycle
+/// bound) — exactly the commits strict stepping would have fed to
+/// `CfiFilter::note_straightline`. The final commit (or halt) is returned
+/// for the embedder to apply its usual per-commit logic to.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockStep {
+    /// Instructions retired before the final one.
+    pub straightline: u64,
+    /// The final retired commit, or the halt that ended execution.
+    pub result: Result<Commit, Halt>,
 }
 
 impl Cva6Core<FlatMemory> {
@@ -117,6 +134,7 @@ impl Cva6Core<FlatMemory> {
             last_commit_cycle: 0,
             decode_cache: DecodeCache::default(),
             predecode: predecode::fast_path_default(),
+            block_cache: BlockCache::default(),
         }
     }
 }
@@ -137,6 +155,7 @@ impl<B: Bus> Cva6Core<B> {
             last_commit_cycle: 0,
             decode_cache: DecodeCache::default(),
             predecode: predecode::fast_path_default(),
+            block_cache: BlockCache::default(),
         }
     }
 
@@ -266,6 +285,13 @@ impl<B: Bus> Cva6Core<B> {
                 Err(t) => return Err(halt_of(t)),
             }
         };
+        Ok(self.commit_one(retired, cf_class))
+    }
+
+    /// Applies the timing model and commit-port logic to one retired
+    /// instruction — the commit half of [`Cva6Core::step`], shared with
+    /// block dispatch so both paths produce bit-identical commit streams.
+    fn commit_one(&mut self, retired: Retired, cf_class: CfClass) -> Commit {
         let cost = self.timing.cost(
             &retired.decoded.inst,
             cf_class,
@@ -300,12 +326,113 @@ impl<B: Bus> Cva6Core<B> {
         }
         // Keep the cycle CSR live so programs can read `cycle`/`mcycle`.
         self.hart.csrs.mcycle = self.cycle;
-        Ok(Commit {
+        Commit {
             cycle: commit_cycle,
             port,
             retired,
             cf_class,
-        })
+        }
+    }
+
+    /// Translates the superblock starting at the current pc: a straight-line
+    /// run of predecoded ops ending at (and including) the first
+    /// control-flow instruction, capped at [`BlockCache::MAX_BLOCK_OPS`].
+    /// Translation reads instruction bytes through the bus's side-effect-free
+    /// fetch path and populates the decode cache along the way. Returns the
+    /// arena span; zero-length when the entry word does not decode (the
+    /// caller falls back to [`Cva6Core::step`], which raises the trap).
+    fn translate_block(&mut self, entry: u64, generation: u64) -> (u32, u32) {
+        let start = self.block_cache.begin();
+        let mut pc = entry;
+        for _ in 0..BlockCache::MAX_BLOCK_OPS {
+            let op = match self.decode_cache.lookup(pc) {
+                Some(op) => op,
+                None => {
+                    let Ok(word) = self.mem.fetch(pc) else { break };
+                    let Ok(decoded) = decode(word, self.hart.xlen) else {
+                        break;
+                    };
+                    self.decode_cache.insert(pc, decoded)
+                }
+            };
+            self.block_cache.push(op);
+            if op.cf_class != CfClass::None {
+                break;
+            }
+            pc = pc.wrapping_add(u64::from(op.decoded.len));
+        }
+        self.block_cache.finish(entry, generation, start)
+    }
+
+    /// Dispatches one translated superblock: retires instructions from the
+    /// block arena until something observable happens — a CFI-relevant
+    /// commit, a bus I/O touch, the `until` cycle bound, a trap — or the
+    /// block ends for an internal reason (redirecting op, self-modifying
+    /// store, block cap). Every instruction before the final one is a plain
+    /// straight-line commit; the embedder applies its usual per-commit logic
+    /// to the final one only.
+    ///
+    /// Requires the predecode fast path; behaviourally identical to calling
+    /// [`Cva6Core::step`] `straightline + 1` times.
+    pub fn step_block(&mut self, until: u64) -> BlockStep {
+        let generation = self.decode_cache.generation();
+        let entry = self.hart.pc;
+        let (start, len) = match self.block_cache.lookup(entry, generation) {
+            Some(span) => span,
+            None => self.translate_block(entry, generation),
+        };
+        if len == 0 {
+            // Undecodable entry word: let the plain path raise the trap.
+            return BlockStep {
+                straightline: 0,
+                result: self.step(),
+            };
+        }
+        for i in start..start + len {
+            // Ops before `i` all retired without stopping the block.
+            let straightline = u64::from(i - start);
+            let op = self.block_cache.op(i);
+            let retired = match self.hart.execute(&mut self.mem, op.decoded) {
+                Ok(r) => r,
+                Err(t) => {
+                    return BlockStep {
+                        straightline,
+                        result: Err(halt_of(t)),
+                    }
+                }
+            };
+            if op.store_bytes != 0 {
+                if let Some(addr) = retired.mem_addr {
+                    self.decode_cache
+                        .invalidate_store(addr, u64::from(op.store_bytes));
+                }
+            }
+            let commit = self.commit_one(retired, op.cf_class);
+            let last_in_block = i + 1 == start + len;
+            // Observable block ends (mirror the strict batching loop) plus
+            // internal ones: a redirecting op breaks the arena's pc chain,
+            // and a self-modifying store (generation bump) makes the
+            // remaining ops suspect.
+            if last_in_block
+                || commit.cf_class.is_cfi_relevant()
+                || self.mem.io_peek()
+                || commit.cycle >= until
+                || commit.retired.redirected()
+                || self.decode_cache.generation() != generation
+            {
+                return BlockStep {
+                    straightline,
+                    result: Ok(commit),
+                };
+            }
+        }
+        unreachable!("block dispatch always returns at the final op");
+    }
+
+    /// Hit/miss/install counters of the superblock cache.
+    #[must_use]
+    pub fn block_cache_stats(&self) -> BlockCacheStats {
+        self.block_cache.stats()
     }
 
     /// Runs until halt or `max_cycles`, collecting the full commit trace.
@@ -326,8 +453,20 @@ impl<B: Bus> Cva6Core<B> {
     }
 
     /// Runs to completion without recording the trace (counters only).
+    /// Under the predecode fast path this dispatches whole superblocks;
+    /// the counters are identical either way.
     #[must_use]
     pub fn run_silent(&mut self, max_cycles: u64) -> Halt {
+        if self.predecode {
+            loop {
+                if self.cycle >= max_cycles {
+                    return Halt::Budget;
+                }
+                if let Err(halt) = self.step_block(max_cycles).result {
+                    return halt;
+                }
+            }
+        }
         loop {
             if self.cycle >= max_cycles {
                 return Halt::Budget;
@@ -481,6 +620,94 @@ mod tests {
             "loop body must be served from the cache"
         );
         assert_eq!(slow.decode_cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn block_dispatch_matches_strict_stepping() {
+        let src = r"
+            _start:
+                li a0, 10
+                li a1, 0
+            loop:
+                add a1, a1, a0
+                addi a0, a0, -1
+                bnez a0, loop
+                call f
+                div a2, a1, a0
+                ebreak
+            f:  ret
+            ";
+        let mut strict = core_for(src);
+        strict.set_predecode(true);
+        let mut block = core_for(src);
+        block.set_predecode(true);
+
+        let mut strict_trace = Vec::new();
+        let strict_halt = loop {
+            match strict.step() {
+                Ok(c) => strict_trace.push(c),
+                Err(h) => break h,
+            }
+        };
+        let mut block_trace = Vec::new();
+        let block_halt = loop {
+            let bs = block.step_block(u64::MAX);
+            // Straight-line ops are invisible to the embedder; only replay
+            // counts must line up, which CoreStats equality checks below.
+            match bs.result {
+                Ok(c) => {
+                    for _ in 0..bs.straightline {
+                        block_trace.push(None);
+                    }
+                    block_trace.push(Some(c));
+                }
+                Err(h) => {
+                    for _ in 0..bs.straightline {
+                        block_trace.push(None);
+                    }
+                    break h;
+                }
+            }
+        };
+        assert_eq!(strict_halt, block_halt);
+        assert_eq!(strict_trace.len(), block_trace.len());
+        for (s, b) in strict_trace.iter().zip(&block_trace) {
+            if let Some(b) = b {
+                assert_eq!(s, b, "block-terminal commits must match strict");
+            }
+        }
+        assert_eq!(strict.stats(), block.stats());
+        assert_eq!(strict.reg(Reg::A1), block.reg(Reg::A1));
+        assert!(block.block_cache_stats().hits > 0, "loop re-enters blocks");
+    }
+
+    #[test]
+    fn block_dispatch_respects_until_bound() {
+        let mut core = core_for("_start: j _start\n");
+        core.set_predecode(true);
+        let halt = core.run_silent(50);
+        assert_eq!(halt, Halt::Budget);
+        assert!(core.cycle() >= 50 && core.cycle() < 70, "{}", core.cycle());
+    }
+
+    #[test]
+    fn self_modifying_store_retranslates_block() {
+        // Overwrite the instruction *after* the store with an ebreak; the
+        // store's generation bump must end the block and force
+        // retranslation, so the new bytes execute.
+        let mut core = core_for(
+            r"
+            _start:
+                la t0, patch
+                li t1, 0x00100073   # ebreak encoding
+                sw t1, 0(t0)
+            patch:
+                j _start
+            ",
+        );
+        core.set_predecode(true);
+        let halt = core.run_silent(10_000);
+        assert_eq!(halt, Halt::Breakpoint, "patched ebreak must execute");
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! One generated program is run under the full configuration matrix:
 //!
 //! * **Execution strategy** — strict per-cycle stepping, predecoded
-//!   instruction caches without batching, and the full fast-forward path
-//!   (predecode + quantum batching). All three must agree on *everything*,
-//!   including cycle counts.
+//!   instruction caches without batching, the fast-forward path
+//!   (predecode with quantum batching), and block-compiled dispatch
+//!   (superblock translation cache + event-driven background scheduling).
+//!   All four must agree on *everything*, including cycle counts.
 //! * **Firmware** — IRQ vs polling RoT firmware. Check latencies differ,
 //!   so only the timing-independent ("portable") fingerprint must agree:
 //!   halt reason, retired instruction count, filter counters, the full
@@ -37,11 +38,19 @@ pub enum ExecMode {
     Predecode,
     /// Predecode + quantum-batched stepping (`SocConfig::fast_path`).
     FastForward,
+    /// Fast forward plus the superblock translation cache and event-driven
+    /// background scheduling (`SocConfig::block_compile`).
+    BlockCompiled,
 }
 
 impl ExecMode {
-    /// All three rungs, reference first.
-    pub const ALL: [ExecMode; 3] = [ExecMode::Strict, ExecMode::Predecode, ExecMode::FastForward];
+    /// All four rungs, reference first.
+    pub const ALL: [ExecMode; 4] = [
+        ExecMode::Strict,
+        ExecMode::Predecode,
+        ExecMode::FastForward,
+        ExecMode::BlockCompiled,
+    ];
 }
 
 /// The oracle's run matrix parameters.
@@ -172,7 +181,8 @@ fn soc_config(fw: FirmwareKind, resilience: ResilienceConfig, mode: ExecMode) ->
         firmware: fw,
         mem_size: FUZZ_MEM,
         resilience,
-        fast_path: matches!(mode, ExecMode::FastForward),
+        fast_path: matches!(mode, ExecMode::FastForward | ExecMode::BlockCompiled),
+        block_compile: matches!(mode, ExecMode::BlockCompiled),
         ..SocConfig::default()
     }
 }
@@ -223,12 +233,26 @@ struct DualOutcome {
     per_core_violations: [Vec<CommitLog>; CORES],
 }
 
-fn run_dual(prog: &Program, fast: bool, budget: u64) -> DualOutcome {
+/// Dual-core stepping rung: strict, quantum-batched, or block-compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DualMode {
+    Strict,
+    Fast,
+    Block,
+}
+
+fn run_dual(prog: &Program, mode: DualMode, budget: u64) -> DualOutcome {
     let mut soc = DualHostSoc::new([prog, prog], FUZZ_MEM, 8);
-    if fast {
-        soc.set_fast_path(true);
-    } else {
-        soc.set_predecode_only(false);
+    match mode {
+        DualMode::Strict => soc.set_predecode_only(false),
+        DualMode::Fast => {
+            soc.set_fast_path(true);
+            soc.set_block_compile(false);
+        }
+        DualMode::Block => {
+            soc.set_fast_path(true);
+            soc.set_block_compile(true);
+        }
     }
     soc.enable_log_tap();
     let report = soc.run(budget);
@@ -242,7 +266,14 @@ fn run_dual(prog: &Program, fast: bool, budget: u64) -> DualOutcome {
         violations[v.core as usize].push(v.log);
     }
     DualOutcome {
-        label: format!("dual/{}", if fast { "fast" } else { "strict" }),
+        label: format!(
+            "dual/{}",
+            match mode {
+                DualMode::Strict => "strict",
+                DualMode::Fast => "fast",
+                DualMode::Block => "block",
+            }
+        ),
         halts: [0, 1].map(|i| format!("{:?}", report.cores[i].halt)),
         cycles: [0, 1].map(|i| report.cores[i].cycles),
         cf_streamed: [0, 1].map(|i| report.cores[i].cf_streamed),
@@ -377,14 +408,17 @@ pub fn check_source(
     }
 
     if matrix.multicore {
-        let strict = run_dual(&prog, false, matrix.budget);
-        let fast = run_dual(&prog, true, matrix.budget);
-        let mut fast_relabel = fast.clone();
-        fast_relabel.label = strict.label.clone();
-        if strict != fast_relabel {
-            return Err(diverge(format!(
-                "dual-core strict vs fast diverge:\n  {strict:?}\n  {fast:?}"
-            )));
+        let strict = run_dual(&prog, DualMode::Strict, matrix.budget);
+        for mode in [DualMode::Fast, DualMode::Block] {
+            let other = run_dual(&prog, mode, matrix.budget);
+            let mut relabel = other.clone();
+            relabel.label = strict.label.clone();
+            if strict != relabel {
+                return Err(diverge(format!(
+                    "dual-core strict vs {} diverge:\n  {strict:?}\n  {other:?}",
+                    other.label
+                )));
+            }
         }
         for core in 0..CORES {
             if strict.per_core_streams[core] != reference.stream {

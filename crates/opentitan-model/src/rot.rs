@@ -146,7 +146,15 @@ impl OpenTitan {
     /// Propagates the mailbox doorbell through the PLIC to the Ibex
     /// external-interrupt line. Call once per co-simulation step.
     pub fn sync_irq(&mut self) {
-        if self.mailbox.doorbell_pending() {
+        let doorbell = self.mailbox.doorbell_pending();
+        self.sync_irq_level(doorbell);
+    }
+
+    /// [`OpenTitan::sync_irq`] with the doorbell level supplied by the
+    /// caller — event-driven schedulers cache the level to avoid re-locking
+    /// the mailbox on every processed tick. Idempotent for a given level.
+    pub fn sync_irq_level(&mut self, doorbell: bool) {
+        if doorbell {
             self.plic.raise(SRC_CFI_MAILBOX);
         } else {
             self.plic.lower(SRC_CFI_MAILBOX);

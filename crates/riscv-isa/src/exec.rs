@@ -72,6 +72,15 @@ pub trait Bus {
                 store: false,
             })
     }
+
+    /// Whether the bus has a pending I/O-touch flag the embedder observes
+    /// (see `HostBus::take_io_access` in the `soc` crate). Block dispatch
+    /// polls this after every op so a block ends at the first device-window
+    /// access, exactly where per-instruction stepping would have stopped.
+    /// Plain memories never flag I/O.
+    fn io_peek(&self) -> bool {
+        false
+    }
 }
 
 /// Why a step did not retire normally.

@@ -29,6 +29,7 @@
 //! # }
 //! ```
 
+pub mod block;
 pub mod cfi;
 pub mod csr;
 pub mod decode;
@@ -39,6 +40,7 @@ pub mod pmp;
 pub mod predecode;
 pub mod reg;
 
+pub use block::{BlockCache, BlockCacheStats};
 pub use cfi::{classify, classify_raw, CfClass};
 pub use decode::{decode, DecodeError, Decoded, Xlen};
 pub use encode::encode;

@@ -131,6 +131,15 @@ pub struct DecodeCache {
     /// (`lo > hi` means the cache has never held an entry).
     lo: u64,
     hi: u64,
+    /// Invalidation generation: bumped whenever cached decode results may
+    /// have become stale (a store overlapping the code watermark, or a
+    /// wholesale [`DecodeCache::invalidate_all`]). The superblock layer
+    /// ([`crate::block::BlockCache`]) keys translated blocks on this value,
+    /// so the existing store-span invalidation contract carries over to
+    /// whole-block dispatch unchanged. Deliberately *not* bumped while the
+    /// planted [`mutate_skip_store_invalidation`] bug is armed — the
+    /// mutation must flow through the block layer too.
+    generation: u64,
     stats: DecodeCacheStats,
 }
 
@@ -154,8 +163,18 @@ impl DecodeCache {
             mask: n as u64 - 1,
             lo: 1,
             hi: 0,
+            generation: 0,
             stats: DecodeCacheStats::default(),
         }
+    }
+
+    /// The current invalidation generation (see the field doc). Monotonic;
+    /// a consumer holding decoded state derived from this cache must treat
+    /// that state as stale whenever the generation moves.
+    #[inline]
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     #[inline]
@@ -210,6 +229,11 @@ impl DecodeCache {
         if end <= self.lo || addr > self.hi.saturating_add(3) {
             return;
         }
+        // The store may alias cached code: any translated block derived from
+        // this cache is now suspect, whether or not a probe below evicts an
+        // entry (the block arena can hold ops the direct-mapped table has
+        // since lost to conflicts).
+        self.generation += 1;
         for pc in addr.saturating_sub(3)..end {
             let idx = self.index(pc);
             let slot_pc = self.tags[idx];
@@ -228,6 +252,7 @@ impl DecodeCache {
         self.tags.iter_mut().for_each(|t| *t = EMPTY);
         self.lo = 1;
         self.hi = 0;
+        self.generation += 1;
     }
 
     /// Hit/miss/eviction counters.

@@ -117,6 +117,10 @@ impl HostBus {
 }
 
 impl Bus for HostBus {
+    fn io_peek(&self) -> bool {
+        self.io_access
+    }
+
     fn read(&mut self, addr: u64, width: MemWidth) -> Result<u64, MemFault> {
         if !self.pmp.check(addr, AccessKind::Read) {
             self.pmp_denials += 1;

@@ -71,6 +71,21 @@ impl TaggedWriter {
         self.state != WriterState::Idle
     }
 
+    /// Next cycle at which [`TaggedWriter::tick`] can change state, given
+    /// whether the shared queue holds work; `None` while waiting on the
+    /// RoT's completion write (externally driven — the event scheduler
+    /// re-ticks after any RoT SoC-fabric access instead). Ticks strictly
+    /// before the returned cycle are guaranteed no-ops.
+    fn next_event(&self, now: u64, queue_nonempty: bool) -> Option<u64> {
+        match self.state {
+            WriterState::Idle => queue_nonempty.then_some(now),
+            WriterState::Writing { done_at, .. } | WriterState::ReadResult { done_at } => {
+                Some(done_at)
+            }
+            WriterState::WaitCompletion => None,
+        }
+    }
+
     fn tick(
         &mut self,
         now: u64,
@@ -148,6 +163,8 @@ pub struct CoreReport {
     pub halt: Halt,
     /// Cycles (including CFI stalls).
     pub cycles: u64,
+    /// Instructions retired.
+    pub instret: u64,
     /// CFI-relevant instructions streamed.
     pub cf_streamed: u64,
 }
@@ -178,11 +195,29 @@ pub struct DualHostSoc {
     writer: TaggedWriter,
     rot: OpenTitan,
     bg_cycle: u64,
+    /// Block-mode carry-over: the RoT made an SoC access on the last tick
+    /// the event-driven advance processed, and the writer has not yet run
+    /// to observe a possible completion write. Forces one writer tick at
+    /// the head of the next [`DualHostSoc::advance_background_fast`].
+    bg_poke: bool,
+    /// Cached mailbox doorbell level as of the last event-driven advance.
+    /// Sound because the mailbox is PMP-protected (no host core can ring
+    /// it), so the level only moves inside the advance loop itself — or in
+    /// [`DualHostSoc::tick_once`], which marks the cache stale instead.
+    bg_doorbell: bool,
+    /// Forces a mailbox re-read at the next advance entry (set by the
+    /// per-cycle tick path, whose writer/RoT activity bypasses the cache).
+    bg_doorbell_stale: bool,
     violations: Vec<TaggedViolation>,
     firmware_trap: Option<riscv_isa::Trap>,
     /// Quantum-batch straight-line stretches when the transport is idle.
     /// Cycle-exact either way; pinned by `tests/decode_cache.rs`.
     fast_path: bool,
+    /// Superblock dispatch per host core plus event-driven background
+    /// scheduling; only consulted when `fast_path` is on. Cycle-exact like
+    /// the fast path — pinned by `tests/decode_cache.rs` and the fuzz
+    /// oracle's block-compiled stepping mode.
+    block_compile: bool,
     /// When enabled, every tagged log pushed into the shared queue is also
     /// recorded here — purely observational, for differential stream
     /// comparison.
@@ -234,9 +269,13 @@ impl DualHostSoc {
             writer: TaggedWriter::new(AxiTiming::default()),
             rot,
             bg_cycle: 0,
+            bg_poke: false,
+            bg_doorbell: false,
+            bg_doorbell_stale: true,
             violations: Vec::new(),
             firmware_trap: None,
             fast_path: riscv_isa::predecode::fast_path_default(),
+            block_compile: riscv_isa::predecode::fast_path_default(),
             log_tap: None,
         }
     }
@@ -248,6 +287,14 @@ impl DualHostSoc {
         for core in &mut self.cores {
             core.set_predecode(on);
         }
+    }
+
+    /// Enables or disables superblock dispatch and event-driven background
+    /// scheduling on top of the fast path (ignored while the fast path is
+    /// off). Identical reports either way — this is the third rung of the
+    /// differential matrix.
+    pub fn set_block_compile(&mut self, on: bool) {
+        self.block_compile = on;
     }
 
     /// Sets the predecode caches on the host cores *without* enabling the
@@ -281,6 +328,9 @@ impl DualHostSoc {
     }
 
     fn tick_once(&mut self) {
+        // This path moves writer/mailbox state without the event-driven
+        // advance's bookkeeping: its cached doorbell must be re-read.
+        self.bg_doorbell_stale = true;
         if let Some(v) = self
             .writer
             .tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox)
@@ -315,9 +365,193 @@ impl DualHostSoc {
         }
     }
 
+    /// Event-driven form of [`DualHostSoc::advance_background`], used in
+    /// block mode: per-tick semantics identical to
+    /// [`DualHostSoc::tick_once`] (writer, then the IRQ fabric, then at
+    /// most one RoT instruction), with provably inert ticks jumped over.
+    /// With `until_queue_space` the advance instead runs until the shared
+    /// queue has a free slot or the checker dies (the queue-full commit
+    /// stall), and `until` is ignored.
+    fn advance_background_fast(&mut self, until: u64, until_queue_space: bool) {
+        if until_queue_space {
+            if self.queue.len() < self.queue_depth || self.firmware_trap.is_some() {
+                return;
+            }
+        } else if self.bg_cycle >= until {
+            return;
+        }
+        // The doorbell level is cached across skipped ticks *and* across
+        // advance calls — one mailbox lock per transition instead of per
+        // tick. It only moves when the writer rings it, the RoT completes
+        // a check, or a trap tears the exchange down (all three sites
+        // refresh it below), or in the per-cycle tick path, which marks
+        // the cache stale.
+        let mut doorbell = if self.bg_doorbell_stale {
+            self.bg_doorbell_stale = false;
+            let db = self.rot.mailbox.doorbell_pending();
+            self.rot.sync_irq_level(db);
+            db
+        } else {
+            self.bg_doorbell
+        };
+        // A completion the RoT wrote at the tail of the previous advance
+        // may not have been observed yet: force one writer tick before
+        // trusting the event schedule. Carried across calls so the common
+        // caught-up advance pays no forced tick.
+        let mut poke = std::mem::take(&mut self.bg_poke);
+        loop {
+            let done = if until_queue_space {
+                self.queue.len() < self.queue_depth || self.firmware_trap.is_some()
+            } else {
+                self.bg_cycle >= until
+            };
+            if done {
+                self.bg_poke = poke;
+                self.bg_doorbell = doorbell;
+                return;
+            }
+            // True idleness: nothing moves until a host acts again. A
+            // pending poke tick would be a no-op here (idle writer, empty
+            // queue), so it is dropped rather than carried.
+            if self.queue.is_empty() && !self.writer.busy() && !doorbell {
+                self.bg_doorbell = doorbell;
+                self.bg_cycle = self.bg_cycle.max(until);
+                self.rot.core.advance_to(self.bg_cycle);
+                return;
+            }
+            let writer_next = self
+                .writer
+                .next_event(self.bg_cycle, !self.queue.is_empty())
+                .map(|e| e.max(self.bg_cycle));
+            let rot_runnable = self.firmware_trap.is_none()
+                && (self.rot.core.state() == ibex_model::IbexState::Running || doorbell);
+            let rot_next = if rot_runnable {
+                Some(self.rot.core.cycle().max(self.bg_cycle))
+            } else {
+                None
+            };
+            let mut next = if until_queue_space {
+                // Jump to the earliest due event; creep one tick when
+                // nothing is scheduled, matching the per-cycle loop's
+                // (non-)progress on a wedged transport.
+                match (writer_next, rot_next) {
+                    (Some(w), Some(r)) => w.min(r),
+                    (Some(e), None) | (None, Some(e)) => e,
+                    (None, None) => self.bg_cycle + 1,
+                }
+            } else {
+                until
+            };
+            if poke {
+                next = self.bg_cycle;
+            }
+            if let Some(w) = writer_next {
+                next = next.min(w);
+            }
+            if let Some(r) = rot_next {
+                next = next.min(r);
+            }
+            if next > self.bg_cycle {
+                // Jumped-over ticks are no-ops by construction: the writer
+                // has no event due and the RoT has no instruction retiring.
+                self.bg_cycle = next;
+                continue;
+            }
+            // ---- simulate the tick at `self.bg_cycle` ----
+            let writer_due = poke || writer_next == Some(self.bg_cycle);
+            poke = false;
+            if writer_due {
+                if let Some(v) = self
+                    .writer
+                    .tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox)
+                {
+                    self.violations.push(v);
+                }
+                let db = self.rot.mailbox.doorbell_pending();
+                if db != doorbell {
+                    doorbell = db;
+                    self.rot.sync_irq_level(doorbell);
+                }
+            }
+            let rot_steps = self.firmware_trap.is_none()
+                && (self.rot.core.state() == ibex_model::IbexState::Running || doorbell)
+                && self.rot.core.cycle() <= self.bg_cycle;
+            if rot_steps {
+                match self.rot.core.step() {
+                    Ok(commit) => {
+                        if commit.mem_kind == Some(ibex_model::RegionKind::Soc) {
+                            // The RoT may have written its completion word
+                            // (auto-clearing the doorbell); the writer must
+                            // observe it on the next tick, as it would when
+                            // ticked every cycle.
+                            poke = true;
+                            let db = self.rot.mailbox.doorbell_pending();
+                            if db != doorbell {
+                                doorbell = db;
+                                self.rot.sync_irq_level(doorbell);
+                            }
+                        }
+                    }
+                    Err(ibex_model::IbexEvent::Trapped(t)) => {
+                        self.firmware_trap = Some(t);
+                        self.rot.mailbox.host_abort();
+                        doorbell = self.rot.mailbox.doorbell_pending();
+                        self.rot.sync_irq_level(doorbell);
+                    }
+                    Err(_) => {}
+                }
+            }
+            self.bg_cycle += 1;
+        }
+    }
+
+    /// One step of core `i` in the configured dispatch mode: plain
+    /// stepping, or whole superblocks with the skipped straight-line
+    /// retirements accounted to the core's filter.
+    fn host_step(
+        &mut self,
+        i: usize,
+        block: bool,
+        max_cycles: u64,
+    ) -> Result<cva6_model::Commit, Halt> {
+        if !block {
+            return self.cores[i].step();
+        }
+        // Superblocks end where the interleaving scheduler would switch
+        // cores: core 0 once it passes core 1 (ties keep core 0), core 1
+        // once it catches core 0 — the same boundary the per-op batch's
+        // `next_core` check enforces.
+        let sibling = 1 - i;
+        let until = if self.halted[sibling].is_none() {
+            let s = self.cores[sibling].cycle();
+            max_cycles.min(if i == 0 { s + 1 } else { s })
+        } else {
+            max_cycles
+        };
+        // In near-lockstep the bound admits a single commit (every op costs
+        // at least one cycle): identical to a plain step, minus the block
+        // lookup.
+        if until <= self.cores[i].cycle() + 1 {
+            return self.cores[i].step();
+        }
+        let bs = self.cores[i].step_block(until);
+        if bs.straightline > 0 {
+            self.filters[i].note_straightline(bs.straightline);
+            if bs.result.is_err() {
+                // The failing op retired nothing, but the straight-line ops
+                // before it did: bring the background up to the last
+                // retirement, exactly where per-op stepping would have left
+                // it at the halt.
+                self.advance_background_fast(self.cores[i].cycle(), false);
+            }
+        }
+        bs.result
+    }
+
     /// Runs both programs to completion (or `max_cycles` each).
     #[must_use]
     pub fn run(&mut self, max_cycles: u64) -> DualReport {
+        let block = self.fast_path && self.block_compile;
         loop {
             // A dead shared checker fails both live cores closed: nothing
             // can check their control flow any more.
@@ -335,7 +569,7 @@ impl DualHostSoc {
                 self.halted[i] = Some(Halt::Budget);
                 continue;
             }
-            match self.cores[i].step() {
+            match self.host_step(i, block, max_cycles) {
                 Ok(commit) => {
                     let mut commit = commit;
                     let mut batch_halt = None;
@@ -344,10 +578,17 @@ impl DualHostSoc {
                     // `i` while the scheduler would pick it anyway and its
                     // commits stay straight-line. Pushes happen only on CF
                     // commits, so the idle check at entry holds throughout.
-                    if self.fast_path
-                        && self.queue.is_empty()
-                        && !self.writer.busy()
-                        && !self.rot.mailbox.doorbell_pending()
+                    // Block mode batches through *busy* transport phases
+                    // too: superblocks end at every shared-state
+                    // interaction (CF commits, device-window accesses, the
+                    // sibling's scheduling boundary), so deferring the
+                    // background catch-up to the batch boundary composes to
+                    // the same state.
+                    if block
+                        || (self.fast_path
+                            && self.queue.is_empty()
+                            && !self.writer.busy()
+                            && !self.rot.mailbox.doorbell_pending())
                     {
                         loop {
                             if commit.cf_class.is_cfi_relevant()
@@ -358,7 +599,7 @@ impl DualHostSoc {
                                 break;
                             }
                             self.filters[i].note_straightline(1);
-                            match self.cores[i].step() {
+                            match self.host_step(i, block, max_cycles) {
                                 Ok(c) => commit = c,
                                 Err(h) => {
                                     batch_halt = Some(h);
@@ -367,7 +608,11 @@ impl DualHostSoc {
                             }
                         }
                     }
-                    self.advance_background(commit.cycle);
+                    if block {
+                        self.advance_background_fast(commit.cycle, false);
+                    } else {
+                        self.advance_background(commit.cycle);
+                    }
                     if let Some(h) = batch_halt {
                         // The halting instruction retired nothing; the last
                         // commit was straight-line and already accounted.
@@ -377,10 +622,18 @@ impl DualHostSoc {
                     if let Some(log) =
                         self.filters[i].scan_classified(&commit.retired, commit.cf_class)
                     {
-                        while self.queue.len() >= self.queue_depth && self.firmware_trap.is_none() {
+                        if block {
                             let before = self.bg_cycle;
-                            self.tick_once();
+                            self.advance_background_fast(0, true);
                             self.cores[i].stall(self.bg_cycle - before);
+                        } else {
+                            while self.queue.len() >= self.queue_depth
+                                && self.firmware_trap.is_none()
+                            {
+                                let before = self.bg_cycle;
+                                self.tick_once();
+                                self.cores[i].stall(self.bg_cycle - before);
+                            }
                         }
                         if self.queue.len() < self.queue_depth {
                             let tagged = TaggedLog { core: i as u8, log };
@@ -407,6 +660,7 @@ impl DualHostSoc {
             cores: [0, 1].map(|i| CoreReport {
                 halt: self.halted[i].expect("loop exits only when halted"),
                 cycles: self.cores[i].cycle(),
+                instret: self.cores[i].stats().instret,
                 cf_streamed: self.filters[i].stats().emitted,
             }),
             violations: self.violations.clone(),

@@ -57,6 +57,15 @@ pub struct SocConfig {
     /// reference semantics. Defaults to the process-wide
     /// [`riscv_isa::predecode::fast_path_default`].
     pub fast_path: bool,
+    /// Superblock dispatch on the host core plus event-driven background
+    /// scheduling. Only consulted when the fast path is active (same
+    /// preconditions), and additionally disabled under
+    /// `halt_on_violation` / `trap_host_on_violation`, which the reference
+    /// semantics check at every commit. Cycle-exact like `fast_path` —
+    /// pinned by `tests/decode_cache.rs` and the fuzz oracle's
+    /// block-compiled stepping mode. Defaults to the process-wide
+    /// [`riscv_isa::predecode::fast_path_default`].
+    pub block_compile: bool,
 }
 
 /// The `mcause` value delivered for a CFI violation (a custom exception
@@ -76,6 +85,7 @@ impl Default for SocConfig {
             resilience: ResilienceConfig::default(),
             faults: None,
             fast_path: riscv_isa::predecode::fast_path_default(),
+            block_compile: riscv_isa::predecode::fast_path_default(),
         }
     }
 }
@@ -150,6 +160,19 @@ pub struct SystemOnChip {
     rot: OpenTitan,
     config: SocConfig,
     bg_cycle: u64,
+    /// Block-mode carry-over: the RoT made an SoC access on the last tick
+    /// the event-driven advance processed, and the writer has not yet run
+    /// to observe a possible completion write. Forces one writer tick at
+    /// the head of the next [`SystemOnChip::advance_background_fast`].
+    bg_poke: bool,
+    /// Cached mailbox doorbell level as of the last event-driven advance.
+    /// Sound because the mailbox is PMP-protected (the host cannot ring
+    /// it), so the level only moves inside the advance loop itself — or in
+    /// [`SystemOnChip::tick_once`], which marks the cache stale instead.
+    bg_doorbell: bool,
+    /// Forces a mailbox re-read at the next advance entry (set by the
+    /// per-cycle tick path, whose writer/RoT activity bypasses the cache).
+    bg_doorbell_stale: bool,
     last_cf_cycle: Option<u64>,
     violations: Vec<Violation>,
     trapped_violations: usize,
@@ -282,6 +305,9 @@ impl SystemOnChip {
             rot,
             config,
             bg_cycle: 0,
+            bg_poke: false,
+            bg_doorbell: false,
+            bg_doorbell_stale: true,
             last_cf_cycle: None,
             violations: Vec::new(),
             trapped_violations: 0,
@@ -422,6 +448,9 @@ impl SystemOnChip {
     }
 
     fn tick_once(&mut self) {
+        // This path moves writer/mailbox state without the event-driven
+        // advance's bookkeeping: its cached doorbell must be re-read.
+        self.bg_doorbell_stale = true;
         let mut noprobe = NoProbe;
         let probe: &mut dyn Probe = match (self.recorder.as_mut(), self.latency.as_mut()) {
             (Some(rec), _) => rec,
@@ -505,6 +534,183 @@ impl SystemOnChip {
         self.bg_cycle += 1;
     }
 
+    /// Event-driven form of [`SystemOnChip::advance_background`], used by
+    /// the block-compiled fast path. Per-tick semantics are identical to
+    /// [`SystemOnChip::tick_once`] — writer first, then the IRQ fabric,
+    /// then at most one RoT instruction — but provably inert ticks (no
+    /// writer event due per [`LogWriter::next_event`], no RoT instruction
+    /// retiring) are jumped over instead of simulated. With
+    /// `until_queue_space` the advance instead runs until the CFI queue has
+    /// a free slot (the queue-full commit stall) and `until` is ignored.
+    ///
+    /// Only legal when no probe, injector, or per-commit violation policy
+    /// is attached — the same preconditions as superblock dispatch.
+    fn advance_background_fast(&mut self, until: u64, until_queue_space: bool) {
+        if until_queue_space {
+            if !self.queue.is_full() {
+                return;
+            }
+        } else if self.bg_cycle >= until {
+            return;
+        }
+        // The host core is frozen for the whole advance, so a pending SCMI
+        // request is served once up front — when the first per-tick poll
+        // would have run it. (SCMI and the CFI transport never interact.)
+        self.scmi_service.poll();
+        // The doorbell level is cached across skipped ticks *and* across
+        // advance calls (one mailbox lock per transition instead of per
+        // tick); it only moves when the writer rings it, the RoT completes
+        // a check, or a trap tears the exchange down — all refreshed below
+        // — or in the per-cycle tick path, which marks the cache stale.
+        let mut doorbell = if self.bg_doorbell_stale {
+            self.bg_doorbell_stale = false;
+            let db = self.rot.mailbox.doorbell_pending();
+            self.rot.sync_irq_level(db);
+            self.fw_checking = db;
+            db
+        } else {
+            self.bg_doorbell
+        };
+        // A completion the RoT wrote at the tail of the previous advance
+        // may not have been observed yet: force one writer tick before
+        // trusting the event schedule. Carried across calls so the common
+        // caught-up advance pays no forced tick.
+        let mut poke = std::mem::take(&mut self.bg_poke);
+        loop {
+            let done = if until_queue_space {
+                !self.queue.is_full()
+            } else {
+                self.bg_cycle >= until
+            };
+            if done {
+                self.bg_poke = poke;
+                self.bg_doorbell = doorbell;
+                return;
+            }
+            // True idleness: nothing moves until the host acts again. A
+            // pending poke tick would be a no-op here (idle writer, empty
+            // queue), so it is dropped rather than carried.
+            if self.queue.is_empty() && !self.writer.busy() && !doorbell {
+                self.bg_doorbell = doorbell;
+                self.bg_cycle = self.bg_cycle.max(until);
+                self.rot.core.advance_to(self.bg_cycle);
+                return;
+            }
+            let writer_next = self
+                .writer
+                .next_event(self.bg_cycle, !self.queue.is_empty())
+                .map(|e| e.max(self.bg_cycle));
+            let rot_runnable = self.rot_health == RotHealth::Healthy
+                && (self.rot.core.state() == ibex_model::IbexState::Running || doorbell);
+            let rot_next = if rot_runnable {
+                Some(self.rot.core.cycle().max(self.bg_cycle))
+            } else {
+                None
+            };
+            let mut next = if until_queue_space {
+                // Jump to the earliest due event — the writer always
+                // schedules progress while the queue is backed up (at worst
+                // the completion watchdog). Creeping one tick when neither
+                // machine has anything due matches the per-cycle loop's
+                // (non-)progress on a wedged transport.
+                match (writer_next, rot_next) {
+                    (Some(w), Some(r)) => w.min(r),
+                    (Some(e), None) | (None, Some(e)) => e,
+                    (None, None) => self.bg_cycle + 1,
+                }
+            } else {
+                until
+            };
+            if poke {
+                next = self.bg_cycle;
+            }
+            if let Some(w) = writer_next {
+                next = next.min(w);
+            }
+            if let Some(r) = rot_next {
+                next = next.min(r);
+            }
+            if next > self.bg_cycle {
+                // Jumped-over ticks are no-ops by construction: the writer
+                // has no event due and the RoT has no instruction retiring.
+                self.bg_cycle = next;
+                continue;
+            }
+            // ---- simulate the tick at `self.bg_cycle` ----
+            let writer_due = poke || writer_next == Some(self.bg_cycle);
+            poke = false;
+            if writer_due {
+                if let Some(v) = self
+                    .writer
+                    .tick(self.bg_cycle, &mut self.queue, &self.rot.mailbox)
+                {
+                    self.violations.push(v);
+                }
+                // The writer may have rung the doorbell on its final beat;
+                // refresh the cached level before deciding the RoT step,
+                // exactly as the per-tick path syncs the IRQ fabric between
+                // the writer and the core.
+                let db = self.rot.mailbox.doorbell_pending();
+                if db != doorbell {
+                    doorbell = db;
+                    self.rot.sync_irq_level(doorbell);
+                    self.fw_checking = doorbell;
+                }
+            }
+            let rot_steps = self.rot_health == RotHealth::Healthy
+                && (self.rot.core.state() == ibex_model::IbexState::Running || doorbell)
+                && self.rot.core.cycle() <= self.bg_cycle;
+            if rot_steps {
+                match self.rot.core.step() {
+                    Ok(commit) => {
+                        if commit.mem_kind == Some(ibex_model::RegionKind::Soc) {
+                            // The RoT may have written its completion word
+                            // (auto-clearing the doorbell); the writer must
+                            // observe it on the next tick, as it would when
+                            // ticked every cycle.
+                            poke = true;
+                            let db = self.rot.mailbox.doorbell_pending();
+                            if db != doorbell {
+                                doorbell = db;
+                                self.rot.sync_irq_level(doorbell);
+                                self.fw_checking = doorbell;
+                            }
+                        }
+                    }
+                    Err(ibex_model::IbexEvent::Trapped(t)) => {
+                        self.record_firmware_trap(t);
+                        doorbell = self.rot.mailbox.doorbell_pending();
+                        self.rot.sync_irq_level(doorbell);
+                        self.fw_checking = doorbell;
+                    }
+                    Err(_) => {}
+                }
+            }
+            self.bg_cycle += 1;
+        }
+    }
+
+    /// One host-core step in the configured dispatch mode: plain stepping,
+    /// or whole superblocks with the skipped straight-line retirements
+    /// accounted to the filter (the hardware scans every retirement).
+    fn host_step(&mut self, block: bool, until: u64) -> Result<cva6_model::Commit, Halt> {
+        if !block {
+            return self.core.step();
+        }
+        let bs = self.core.step_block(until);
+        if bs.straightline > 0 {
+            self.filter.note_straightline(bs.straightline);
+            if bs.result.is_err() {
+                // The failing op retired nothing, but the straight-line ops
+                // before it did: bring the background up to the last
+                // retirement, exactly where per-op stepping would have left
+                // it at the halt.
+                self.advance_background_fast(self.core.cycle(), false);
+            }
+        }
+        bs.result
+    }
+
     /// Records a RoT firmware trap (injected or genuine) as a structured
     /// outcome: the core stops stepping, the mailbox transaction is torn
     /// down so the host side cannot wedge, and the run loop surfaces
@@ -526,6 +732,7 @@ impl SystemOnChip {
         }
         // Clear the interface so neither side spins on a dead exchange.
         self.rot.mailbox.host_abort();
+        self.bg_doorbell_stale = true;
     }
 
     /// The recorded firmware trap, if any.
@@ -560,6 +767,15 @@ impl SystemOnChip {
             && self.recorder.is_none()
             && self.latency.is_none()
             && self.injector.is_none();
+        // Superblock dispatch additionally requires that no per-commit
+        // policy can fire between straight-line retirements: halt- and
+        // trap-on-violation are checked at every commit boundary in the
+        // reference semantics, so block mode leaves them to the per-op
+        // scheduler.
+        let block = fast
+            && self.config.block_compile
+            && !self.config.halt_on_violation
+            && !self.config.trap_host_on_violation;
         let halt = loop {
             if self.core.cycle() >= until_cycle {
                 return None;
@@ -574,7 +790,7 @@ impl SystemOnChip {
             if self.config.halt_on_violation && !self.violations.is_empty() {
                 break Halt::Breakpoint;
             }
-            match self.core.step() {
+            match self.host_step(block, until_cycle) {
                 Ok(commit) => {
                     let mut commit = commit;
                     let mut batch_halt = None;
@@ -585,13 +801,19 @@ impl SystemOnChip {
                     // to the next CFI-relevant commit, host device access,
                     // budget boundary, or halt. `advance_background` then
                     // jumps once — its idle fast-forward makes chunked and
-                    // per-commit advancement equivalent.
+                    // per-commit advancement equivalent. Block mode batches
+                    // through *busy* transport phases too: the host and the
+                    // background only interact at queue pushes (CFI-relevant
+                    // commits) and device-window accesses, and superblocks
+                    // end at both, so deferring the catch-up to the batch
+                    // boundary composes to the same state.
                     if fast
-                        && self.queue.is_empty()
-                        && !self.writer.busy()
-                        && !self.rot.mailbox.doorbell_pending()
-                        && (!self.config.trap_host_on_violation
-                            || self.violations.len() == self.trapped_violations)
+                        && (block
+                            || (self.queue.is_empty()
+                                && !self.writer.busy()
+                                && !self.rot.mailbox.doorbell_pending()
+                                && (!self.config.trap_host_on_violation
+                                    || self.violations.len() == self.trapped_violations)))
                     {
                         loop {
                             if commit.cf_class.is_cfi_relevant()
@@ -603,7 +825,7 @@ impl SystemOnChip {
                             // The filter hardware scans every retirement;
                             // account the skipped straight-line ones.
                             self.filter.note_straightline(1);
-                            match self.core.step() {
+                            match self.host_step(block, until_cycle) {
                                 Ok(c) => commit = c,
                                 Err(h) => {
                                     batch_halt = Some(h);
@@ -612,7 +834,11 @@ impl SystemOnChip {
                             }
                         }
                     }
-                    self.advance_background(commit.cycle);
+                    if block {
+                        self.advance_background_fast(commit.cycle, false);
+                    } else {
+                        self.advance_background(commit.cycle);
+                    }
                     if let Some(h) = batch_halt {
                         // The halting instruction retired nothing; the last
                         // commit was straight-line and already accounted.
@@ -652,7 +878,17 @@ impl SystemOnChip {
                         self.last_cf_cycle = Some(commit.cycle);
                         // Queue full: stall the commit stage until the Log
                         // Writer frees a slot.
-                        if self.queue.is_full() {
+                        if block && self.queue.is_full() {
+                            // Event-driven form of the wait below (no probe
+                            // attached in block mode); the stall total is
+                            // the same ticks the per-cycle loop would have
+                            // burned, skipped ones included.
+                            let before = self.bg_cycle;
+                            self.advance_background_fast(0, true);
+                            let waited = self.bg_cycle - before;
+                            self.controller.stalls_queue_full += waited;
+                            self.core.stall(waited);
+                        } else if self.queue.is_full() {
                             if let Some(rec) = self.recorder.as_mut() {
                                 rec.timeline.span_begin(
                                     Track::HostCommit,

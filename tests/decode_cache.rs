@@ -103,6 +103,207 @@ fn ibex_store_to_cached_instruction_invalidates() {
     assert_eq!(runs[0], runs[1], "fast path must be cycle-invisible");
 }
 
+/// A patch whose span crosses a superblock boundary: `p1` is the tail of
+/// the block entered at `p1` *and* `p2` heads its own block (it is a jump
+/// target of the second call). One 8-byte store rewrites both at once, so
+/// both blocks must retranslate. Correct runs end with a0 == 27; a stale
+/// `p2` block yields 24, a stale `p1` block 25.
+const STRADDLE_RV64: &str = r"
+_start:
+    la   t0, p1
+    li   t1, 0x00700513      # encoding of `li a0, 7`
+    li   t2, 0x00900593      # encoding of `li a1, 9`
+    slli t2, t2, 32
+    or   t1, t1, t2          # one doubleword carrying both replacements
+    jal  ra, p1              # a0 = 5, a1 = 6; caches the block spanning p1..ret
+    jal  ra, p2              # a1 = 6; caches the block headed at the boundary
+    add  s0, a0, a1          # 11
+    sd   t1, 0(t0)           # one store straddling the p1|p2 block boundary
+    jal  ra, p1              # must refetch: a0 = 7, a1 = 9
+    add  s0, s0, a0          # 18
+    jal  ra, p2              # must refetch: a1 = 9
+    add  a0, s0, a1          # 27
+    ebreak
+p1:
+    li   a0, 5
+p2:
+    li   a1, 6
+    ret
+";
+
+/// RV32 variant of [`STRADDLE_RV64`]: no `sd`, so two word stores whose
+/// combined span crosses the same superblock boundary.
+const STRADDLE_RV32: &str = r"
+_start:
+    la   t0, p1
+    li   t1, 0x00700513      # encoding of `li a0, 7`
+    li   t2, 0x00900593      # encoding of `li a1, 9`
+    jal  ra, p1              # a0 = 5, a1 = 6; caches the block spanning p1..ret
+    jal  ra, p2              # a1 = 6; caches the block headed at the boundary
+    add  s0, a0, a1          # 11
+    sw   t1, 0(t0)           # the pair of stores straddles the p1|p2 boundary
+    sw   t2, 4(t0)
+    jal  ra, p1              # must refetch: a0 = 7, a1 = 9
+    add  s0, s0, a0          # 18
+    jal  ra, p2              # must refetch: a1 = 9
+    add  a0, s0, a1          # 27
+    ebreak
+p1:
+    li   a0, 5
+p2:
+    li   a1, 6
+    ret
+";
+
+#[test]
+fn cva6_store_straddling_block_boundary_invalidates() {
+    let prog = assemble(STRADDLE_RV64, Xlen::Rv64, 0x8000_0000).expect("assembles");
+    let mut runs = Vec::new();
+    for predecode in [false, true] {
+        let mut core = Cva6Core::new(&prog, 0x1_0000, TimingConfig::default());
+        core.set_predecode(predecode);
+        let halt = core.run_silent(100_000);
+        assert_eq!(halt, Halt::Breakpoint, "predecode={predecode}");
+        assert_eq!(
+            core.reg(Reg::A0),
+            27,
+            "predecode={predecode}: a block on one side of the patched \
+             boundary replayed stale code"
+        );
+        if predecode {
+            assert!(core.decode_cache_stats().invalidated > 0);
+            // Every block here runs at most once per generation, so the
+            // lookups after the store must miss (stale) and retranslate.
+            assert!(
+                core.block_cache_stats().installs > 2,
+                "both straddled blocks must retranslate after the store"
+            );
+        }
+        runs.push((core.cycle(), core.stats()));
+    }
+    assert_eq!(runs[0], runs[1], "fast path must be cycle-invisible");
+}
+
+/// Drives an Ibex core through superblock dispatch until it traps
+/// (`run_until_idle` steps per-op and never enters the block layer),
+/// returning the retired-instruction count for cross-mode comparison.
+fn ibex_run_blocks(core: &mut ibex_model::IbexCore, max_cycles: u64) -> u64 {
+    let mut retired = 0;
+    while core.cycle() < max_cycles {
+        let bs = core.step_block(max_cycles);
+        retired += bs.straightline;
+        match bs.result {
+            Ok(_) => retired += 1,
+            Err(ibex_model::IbexEvent::Trapped(_)) => return retired,
+            Err(e) => panic!("unexpected stop {e:?}"),
+        }
+    }
+    panic!("cycle budget exhausted before the ebreak trap")
+}
+
+#[test]
+fn ibex_store_straddling_block_boundary_invalidates() {
+    let mut runs = Vec::new();
+    for predecode in [false, true] {
+        let mut core = ibex_system(STRADDLE_RV32);
+        core.set_predecode(predecode);
+        let retired = if predecode {
+            ibex_run_blocks(&mut core, 100_000)
+        } else {
+            let (burst, event) = core.run_until_idle(100_000);
+            assert!(
+                matches!(event, Some(ibex_model::IbexEvent::Trapped(_))),
+                "expected the ebreak trap, got {event:?}"
+            );
+            burst.len() as u64
+        };
+        assert_eq!(
+            core.hart.reg(Reg::A0),
+            27,
+            "predecode={predecode}: a block on one side of the patched \
+             boundary replayed stale code"
+        );
+        if predecode {
+            assert!(core.decode_cache_stats().invalidated > 0);
+            assert!(
+                core.block_cache_stats().installs > 2,
+                "both straddled blocks must retranslate after the stores"
+            );
+        }
+        runs.push((core.cycle(), retired));
+    }
+    assert_eq!(runs[0], runs[1], "block dispatch must be cycle-invisible");
+}
+
+/// A store that patches an instruction *later in the very block being
+/// executed*: by the time the store retires, `site` has already been
+/// translated into the live superblock, so dispatch must notice the
+/// generation bump mid-block and refetch before `site` retires. A block
+/// layer that only checked staleness at block entry would execute the
+/// stale `li a0, 1` and end with a0 == 1.
+const PATCH_CURRENT_BLOCK: &str = r"
+_start:
+    la   t0, site
+    li   t1, 0x00900513      # encoding of `li a0, 9`
+    sw   t1, 0(t0)           # rewrites an op already in this very block
+site:
+    li   a0, 1
+    ebreak
+";
+
+#[test]
+fn cva6_store_into_currently_executing_block_refetches() {
+    let prog = assemble(PATCH_CURRENT_BLOCK, Xlen::Rv64, 0x8000_0000).expect("assembles");
+    let mut runs = Vec::new();
+    for predecode in [false, true] {
+        let mut core = Cva6Core::new(&prog, 0x1_0000, TimingConfig::default());
+        core.set_predecode(predecode);
+        let halt = core.run_silent(100_000);
+        assert_eq!(halt, Halt::Breakpoint, "predecode={predecode}");
+        assert_eq!(
+            core.reg(Reg::A0),
+            9,
+            "predecode={predecode}: the live block kept executing its \
+             stale translation past the store"
+        );
+        if predecode {
+            assert!(core.decode_cache_stats().invalidated > 0);
+        }
+        runs.push((core.cycle(), core.stats()));
+    }
+    assert_eq!(runs[0], runs[1], "fast path must be cycle-invisible");
+}
+
+#[test]
+fn ibex_store_into_currently_executing_block_refetches() {
+    let mut runs = Vec::new();
+    for predecode in [false, true] {
+        let mut core = ibex_system(PATCH_CURRENT_BLOCK);
+        core.set_predecode(predecode);
+        let retired = if predecode {
+            ibex_run_blocks(&mut core, 100_000)
+        } else {
+            let (burst, event) = core.run_until_idle(100_000);
+            assert!(
+                matches!(event, Some(ibex_model::IbexEvent::Trapped(_))),
+                "expected the ebreak trap, got {event:?}"
+            );
+            burst.len() as u64
+        };
+        assert_eq!(
+            core.hart.reg(Reg::A0),
+            9,
+            "predecode={predecode}: the live block kept executing its \
+             stale translation past the store"
+        );
+        if predecode {
+            assert!(core.decode_cache_stats().invalidated > 0);
+        }
+        runs.push((core.cycle(), retired));
+    }
+    assert_eq!(runs[0], runs[1], "block dispatch must be cycle-invisible");
+}
+
 /// An image delivered through the scrambled + SECDED + HMAC boot path must
 /// run identically with the fast path on and off — the descrambled bytes
 /// are loaded at a different base than they were assembled for nothing:
