@@ -81,13 +81,29 @@ rm -rf "$latency_dir"
 echo "==> fleet smoke (sharded fleet, every frame integrity-verified at ingest)"
 # The fleet binary exits nonzero if any swept device count loses or
 # corrupts a single commit-log frame, sees a duplicate/gapped sequence
-# number, or leaves a device undrained/unreaped at shutdown. The smoke
-# sweep writes to a scratch dir so the committed full-sweep
-# BENCH_fleet.json stays the reference curve.
+# number, or leaves a device undrained/unreaped at shutdown. --shards 3
+# forces the multi-worker sharded-ingest drain path even on small CI
+# runners (an odd count so partitions are uneven). The smoke sweep
+# writes to a scratch dir so the committed full-sweep BENCH_fleet.json
+# stays the reference curve.
 fleet_dir=$(mktemp -d)
 cargo run --release -p titancfi-bench --bin fleet -- \
-    --smoke --out "$fleet_dir/BENCH_fleet.json"
+    --smoke --shards 3 --out "$fleet_dir/BENCH_fleet.json"
 test -s "$fleet_dir/BENCH_fleet.json" || { echo "fleet smoke: report missing/empty"; exit 1; }
+# Belt-and-braces losslessness assertion on the report itself: every
+# integrity column must be zero and frames-in must equal frames-out on
+# every backend of every row.
+python3 - "$fleet_dir/BENCH_fleet.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for row in report["rows"]:
+    assert row["shards"] > 1, f"smoke must exercise sharded ingest: {row}"
+    for col in ("frames_lost", "frames_corrupt", "seq_duplicates", "seq_gaps", "undrained_devices"):
+        assert row[col] == 0, f"{row['devices']} devices: {col}={row[col]}"
+    for b in row["per_backend"]:
+        assert b["sent"] == b["received"] and b["corrupt"] == 0, f"{row['devices']} devices: {b}"
+print("fleet smoke: lossless across", len(report["rows"]), "rows")
+PY
 rm -rf "$fleet_dir"
 
 echo "==> ci.sh: all green"

@@ -20,7 +20,7 @@ pub const BEATS: usize = 4;
 pub const BITS: u32 = 224;
 
 /// One control-flow event captured at the commit stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct CommitLog {
     /// Program counter of the retired control-flow instruction.
     pub pc: u64,

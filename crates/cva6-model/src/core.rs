@@ -176,6 +176,18 @@ impl<B: Bus> Cva6Core<B> {
         self.decode_cache.invalidate_all();
     }
 
+    /// Replaces the decode and block caches with freshly-sized ones
+    /// (rounded up to powers of two, min 16 each). The defaults cover
+    /// kernel-sized images; a fleet of thousands of small-guest cores
+    /// right-sizes down so per-core footprint — and the host cache
+    /// pressure of simulating many cores on one machine — shrinks by an
+    /// order of magnitude. Architecturally invisible, like the caches
+    /// themselves: any entries are simply re-predecoded on demand.
+    pub fn resize_caches(&mut self, decode_slots: usize, block_slots: usize) {
+        self.decode_cache = DecodeCache::new(decode_slots);
+        self.block_cache = BlockCache::new(block_slots);
+    }
+
     /// Whether the predecode fast path is active.
     #[must_use]
     pub fn predecode_enabled(&self) -> bool {

@@ -8,7 +8,7 @@
 //! but the supervisor tests also plug in scripted doubles (hanging,
 //! trapping, flaky) through the same trait.
 
-use crate::transport::{SendError, Transport};
+use crate::transport::Transport;
 use cva6_model::Halt;
 use riscv_asm::Program;
 use std::collections::VecDeque;
@@ -117,6 +117,11 @@ impl SocDeviceConfig {
     }
 }
 
+/// Frames encoded per [`Transport::send_many`] call from the pending
+/// buffer — big enough to cover a whole poll slice's typical output, small
+/// enough to live comfortably on the reused batch buffer.
+const PUMP_BATCH: usize = 64;
+
 /// A simulated SoC as a fleet device.
 ///
 /// Each poll advances the co-simulation by one slice, drains the commit-log
@@ -131,6 +136,8 @@ pub struct SocDevice {
     cursor: u64,
     /// Logs drained from the tap but not yet accepted by the transport.
     pending: VecDeque<CommitLog>,
+    /// Reused frame batch for [`Transport::send_many`] bursts.
+    batch: Vec<Frame>,
     /// Last assigned wire seq (continues across respawns via `start_seq`).
     seq: u16,
     frames_sent: u64,
@@ -147,6 +154,23 @@ impl SocDevice {
         let mut soc_config = SocConfig {
             mem_size: config.mem_size,
             faults: config.faults,
+            // Fleet devices always ride the PR 8 fast path: predecoded
+            // instruction caches plus block-compiled stepping, pinned on
+            // explicitly rather than inherited from the process-wide
+            // default (a test flipping the global toggle must not quietly
+            // put a whole fleet back on strict stepping). When a latency
+            // collector or fault injector is attached, `run_slice` itself
+            // forces strict scheduling — the flags are preconditions, not
+            // overrides, so observed devices stay cycle-exact per-commit.
+            fast_path: true,
+            block_compile: true,
+            // Fleet workloads are a few hundred instructions, not kernels;
+            // the default caches (8192 decode + 4096 block slots, per core)
+            // would dominate per-device memory at 1024-device scale and
+            // turn the sweep into a page-fault benchmark. Right-size them —
+            // architecturally invisible, entries re-predecode on demand.
+            decode_cache_slots: 1024,
+            block_cache_slots: 256,
             ..SocConfig::default()
         };
         if let Some(resilience) = config.resilience {
@@ -164,6 +188,7 @@ impl SocDevice {
             config,
             cursor,
             pending: VecDeque::new(),
+            batch: Vec::with_capacity(PUMP_BATCH),
             seq: start_seq,
             frames_sent: 0,
             violations_seen: 0,
@@ -171,25 +196,30 @@ impl SocDevice {
         }
     }
 
-    /// Sends buffered logs until the transport pushes back. Returns
+    /// Sends buffered logs until the transport pushes back, in batches of
+    /// [`PUMP_BATCH`] so one transport synchronization episode covers a
+    /// whole burst. Sequence numbers are still assigned *at accept time*:
+    /// the batch is built with tentative consecutive seqs and only the
+    /// accepted prefix advances `self.seq`, so a partial batch never burns
+    /// a number and the monitor-side stream stays gap-free. Returns
     /// (frames sent, stalled?).
     fn pump(&mut self) -> (u64, bool) {
-        let mut sent = 0;
-        while let Some(log) = self.pending.front().copied() {
-            let frame = Frame {
-                seq: self.seq.wrapping_add(1),
-                log,
-            };
-            match self.tx.send(&frame) {
-                Ok(()) => {
-                    self.seq = self.seq.wrapping_add(1);
-                    self.pending.pop_front();
-                    sent += 1;
-                }
-                Err(SendError::WouldBlock) => {
-                    self.frames_sent += sent;
-                    return (sent, true);
-                }
+        let mut sent = 0u64;
+        while !self.pending.is_empty() {
+            self.batch.clear();
+            for (i, log) in self.pending.iter().take(PUMP_BATCH).enumerate() {
+                self.batch.push(Frame {
+                    seq: self.seq.wrapping_add(i as u16 + 1),
+                    log: *log,
+                });
+            }
+            let accepted = self.tx.send_many(&self.batch);
+            self.seq = self.seq.wrapping_add(accepted as u16);
+            self.pending.drain(..accepted);
+            sent += accepted as u64;
+            if accepted < self.batch.len() {
+                self.frames_sent += sent;
+                return (sent, true);
             }
         }
         self.frames_sent += sent;
@@ -399,6 +429,55 @@ mod tests {
             assert!(s.would_block > 0);
             s.would_block
         });
+    }
+
+    #[test]
+    fn batched_recv_preserves_order_and_seq_continuity_across_respawns() {
+        // Three back-to-back runs in the same slot, drained exclusively
+        // through `try_recv_many`: the batched path must see one gap-free,
+        // duplicate-free, in-order stream across every respawn boundary,
+        // on every backend.
+        for kind in Backend::ALL {
+            let tx: Arc<dyn Transport> = Arc::from(kind.build(512));
+            let mut tracker = SeqTracker::new();
+            let mut last_seq = 0u16;
+            let mut expected_next = 1u16;
+            let mut total = 0u64;
+            for run in 0..3 {
+                let program = Arc::new(call_dense_workload(2));
+                let mut dev =
+                    SocDevice::new(SocDeviceConfig::new(program), Arc::clone(&tx), last_seq);
+                for _ in 0..10_000 {
+                    if dev.poll().status == DeviceStatus::Completed {
+                        break;
+                    }
+                }
+                last_seq = dev.last_seq();
+                let mut buf = [Frame {
+                    seq: 0,
+                    log: CommitLog::default(),
+                }; 32];
+                loop {
+                    let batch = tx.try_recv_many(&mut buf);
+                    assert_eq!(batch.corrupt, 0, "{kind} run {run}");
+                    for f in &buf[..batch.received] {
+                        assert_eq!(f.seq, expected_next, "{kind} run {run}: wire order");
+                        expected_next = expected_next.wrapping_add(1);
+                        assert!(tracker.observe(f.seq), "{kind} run {run}");
+                        total += 1;
+                    }
+                    if batch.received < buf.len() {
+                        break;
+                    }
+                }
+                assert_eq!(
+                    (tracker.duplicates, tracker.gaps),
+                    (0, 0),
+                    "{kind} run {run}"
+                );
+            }
+            assert!(total > 0, "{kind}: runs must stream frames");
+        }
     }
 
     #[test]

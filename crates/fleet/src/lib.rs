@@ -8,10 +8,12 @@
 //! every 28-byte commit-log record into one monitoring service:
 //!
 //! * [`transport`] — the wire layer: three interchangeable backends
-//!   (in-process ring, shared-memory-style ring, length-prefixed byte
-//!   stream) all framing records with the resilience layer's seq+checksum
-//!   integrity word, so corruption, duplication and loss are *detected at
-//!   ingest*, with explicit `WouldBlock` backpressure;
+//!   (lock-free in-process SPSC ring, shared-memory-style ring,
+//!   length-prefixed byte stream) all framing records with the resilience
+//!   layer's seq+checksum integrity word, so corruption, duplication and
+//!   loss are *detected at ingest*, with explicit `WouldBlock`
+//!   backpressure and batched send/receive amortizing one synchronization
+//!   episode over a whole burst;
 //! * [`device`] — a [`device::SocDevice`] wraps a co-simulation as a
 //!   pollable device streaming its commit-log tap through a transport;
 //! * [`supervisor`] — fail-fast lifecycle: liveness deadlines, immediate
@@ -23,7 +25,9 @@
 //!   breaches, exhausted restart budgets), and Prometheus-text / JSON
 //!   exposition snapshots;
 //! * [`service`] — the fleet itself: shard workers with work-stealing
-//!   ([`titancfi_harness::StealQueues`]), a verifying ingest loop,
+//!   ([`titancfi_harness::StealQueues`]) running devices in cache-friendly
+//!   turn bursts, *sharded* poll-coupled ingest (each worker verifies the
+//!   frames of the slots it just ran plus a fixed partition it owns),
 //!   aggregation into [`titancfi_obs::SimMetrics`], periodic JSONL
 //!   snapshots, and a drain-and-shutdown protocol whose invariant is
 //!   frames-in == frames-out.
@@ -49,4 +53,4 @@ pub use supervisor::{
     DeviceFactory, EscalationReason, FailureRecord, SlotHealth, SupervisionConfig,
     SupervisionStats, Supervisor, Turn,
 };
-pub use transport::{Backend, Recv, SendError, Transport, TransportStats};
+pub use transport::{Backend, Recv, RecvBatch, SendError, Transport, TransportStats};

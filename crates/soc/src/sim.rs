@@ -66,6 +66,15 @@ pub struct SocConfig {
     /// block-compiled stepping mode. Defaults to the process-wide
     /// [`riscv_isa::predecode::fast_path_default`].
     pub block_compile: bool,
+    /// Decode-cache capacity (slots, rounded up to a power of two) applied
+    /// to both cores. The default covers kernel-sized firmware; fleet
+    /// embedders simulating hundreds of SoCs right-size this down to the
+    /// program actually run — the caches dominate per-instance memory and
+    /// are architecturally invisible.
+    pub decode_cache_slots: usize,
+    /// Block-cache capacity (slots) applied to both cores; see
+    /// [`SocConfig::decode_cache_slots`].
+    pub block_cache_slots: usize,
 }
 
 /// The `mcause` value delivered for a CFI violation (a custom exception
@@ -86,6 +95,8 @@ impl Default for SocConfig {
             faults: None,
             fast_path: riscv_isa::predecode::fast_path_default(),
             block_compile: riscv_isa::predecode::fast_path_default(),
+            decode_cache_slots: riscv_isa::DecodeCache::DEFAULT_SLOTS,
+            block_cache_slots: riscv_isa::BlockCache::DEFAULT_SLOTS,
         }
     }
 }
@@ -251,6 +262,11 @@ impl SystemOnChip {
             riscv_isa::Reg::SP,
             (program.base + config.mem_size as u64 - 16) & !0xf,
         );
+        // Size the simulator caches before any instruction executes so the
+        // boot itself predecodes into the final-capacity tables.
+        core.resize_caches(config.decode_cache_slots, config.block_cache_slots);
+        rot.core
+            .resize_caches(config.decode_cache_slots, config.block_cache_slots);
         // Boot firmware to idle.
         match config.firmware {
             FirmwareKind::Irq => {
