@@ -42,7 +42,10 @@ echo "==> fuzz smoke (differential oracle over a seed slice + planted-bug self-t
 # across the execution-mode/firmware/resilience/multicore matrix. The
 # stepping-mode axis has four cells — strict, predecode, fast-forward, and
 # block-compiled (superblock dispatch) — and the dual-core axis runs
-# strict/fast/block, so every seed exercises the translation cache. The
+# strict/fast/block, so every seed exercises the translation cache. Every
+# seed also sweeps the policy axis: benign plus all three corruption
+# variants (return hijack / jump-table smash / fn-ptr type confusion),
+# each of which must be flagged by exactly the predicted policy. The
 # second invocation arms a deliberately planted decode-cache bug (which
 # freezes the block cache's invalidation generation too) and exits nonzero
 # unless the oracle catches it, shrinks it, and writes a reproducer — a
@@ -65,6 +68,18 @@ echo "==> throughput smoke (fast-path fingerprints + speedup regression gate)"
 cargo run --release -p titancfi-bench --bin throughput -- \
     --smoke --out BENCH_throughput.json --baseline BENCH_throughput.json
 test -s BENCH_throughput.json || { echo "throughput smoke: report missing/empty"; exit 1; }
+
+echo "==> policy-cost smoke (per-policy firmware cycle costs + regression gate)"
+# Regenerates BENCH_policy.json in place. The binary exits nonzero if the
+# benign sequence is flagged under any policy configuration, if the
+# detection self-test misses a smashed jump / type-confused call /
+# hijacked return under the combined policy, or if any {policy, firmware}
+# row's mean check cost grew more than 10% over the committed baseline.
+# Costs are simulated RoT cycles, so the gate is deterministic and
+# machine-portable (gate skipped when no baseline exists yet).
+cargo run --release -p titancfi-bench --bin policy_cost -- \
+    --smoke --out BENCH_policy.json --baseline BENCH_policy.json
+test -s BENCH_policy.json || { echo "policy-cost smoke: report missing/empty"; exit 1; }
 
 echo "==> latency smoke (span conservation + detection on every corruption class)"
 # The latency binary exits nonzero if any run breaks the span conservation

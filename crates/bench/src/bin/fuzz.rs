@@ -17,8 +17,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use titancfi_fuzz::{
-    check, shrink, write_repro, FuzzProgram, GenOptions, MatrixConfig, ReproContext,
-    GENERATOR_VERSION,
+    check, shrink, write_repro, CorruptionVariant, FuzzProgram, GenOptions, MatrixConfig,
+    ReproContext, GENERATOR_VERSION,
 };
 use titancfi_harness::{
     run_campaign, CampaignConfig, Job, JobDescriptor, JobOutput, ResultCache, Telemetry,
@@ -125,7 +125,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// One seed through the oracle: benign program (must agree everywhere,
-/// zero violations) plus the corruption variant (must fire everywhere).
+/// zero violations) plus every corruption variant of the policy axis
+/// (each must be flagged by exactly the predicted policies everywhere).
 /// On divergence the job shrinks the program, writes a reproducer, and
 /// fails with the divergence detail — failed jobs are never cached, so
 /// divergent seeds always re-run.
@@ -193,8 +194,10 @@ impl Job for FuzzSeedJob {
             FuzzProgram::generate(self.seed)
         };
         let logs = self.check_variant(&benign, "benign")?;
-        let corrupted = benign.with_corruption();
-        let _ = self.check_variant(&corrupted, "corrupted")?;
+        for variant in CorruptionVariant::ALL {
+            let corrupted = benign.with_corruption_variant(variant);
+            let _ = self.check_variant(&corrupted, &format!("{variant:?}"))?;
+        }
         Ok(JobOutput {
             artifact: format!("seed {}: ok ({logs} logs)\n", self.seed),
             metrics: vec![("stream_logs".to_string(), logs as f64)],

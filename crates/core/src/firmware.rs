@@ -170,6 +170,183 @@ ss_limit:
 fe_table:       .zero 4096       # 1024 direct-mapped valid jump targets
 ";
 
+/// The policy-suite CFI routine: every policy of the forward-edge suite —
+/// shadow stack (backward edge), Zicfilp-style landing pads, and KCFI type
+/// hashes — behind independent enable flags, so the `policy_cost` bench can
+/// measure each policy's firmware cycle cost in isolation and combined.
+/// This is a *separate* routine from [`CFI_CHECK_ASM`]: the Table I
+/// firmware stays byte-identical, pinning its published cycle counts.
+///
+/// Policy state lives in the RoT scratchpad:
+///
+/// * `lp_table` — 1024 direct-mapped landing-pad addresses,
+///   slot = `(target >> 2) & 1023`; indirect calls and indirect jumps must
+///   hit their slot exactly;
+/// * `kcfi_sites` — 512 direct-mapped `{site_pc, expected_hash}` pairs;
+///   a site miss means the call is uninstrumented and skips the check;
+/// * `kcfi_fns` — 512 direct-mapped `{fn_addr, type_hash}` pairs standing
+///   in for the `[fn-4]` hash words of host memory (the RoT keeps a
+///   provisioned mirror rather than issuing a host-memory read per check).
+const CFI_CHECK_POLICY_ASM: &str = r"
+# ---------------- CFI policy suite: SS + lpad + KCFI ----------------
+cfi_begin:
+cfi_check:
+    li   a0, 0xc0000000      # CFI mailbox base
+    lw   t0, 0(a0)           # commit log: uncompressed insn     [SoC]
+    andi t1, t0, 0x7f
+    addi t2, t1, -0x6f       # JAL opcode?
+    beqz t2, p_jal
+    addi t2, t1, -0x67       # JALR opcode?
+    beqz t2, p_jalr
+    j    p_ok                # filter never sends anything else
+
+p_jal:
+    srli t1, t0, 7
+    andi t1, t1, 31          # rd
+    addi t2, t1, -1
+    beqz t2, p_push          # direct call: backward edge only
+    addi t2, t1, -5
+    beqz t2, p_push
+    j    p_ok                # direct jump: immutable target
+
+p_jalr:
+    srli t1, t0, 7
+    andi t1, t1, 31          # rd
+    addi t2, t1, -1
+    beqz t2, p_icall
+    addi t2, t1, -5
+    beqz t2, p_icall
+    srli t1, t0, 15
+    andi t1, t1, 31          # rs1
+    addi t2, t1, -1
+    beqz t2, p_ret
+    addi t2, t1, -5
+    beqz t2, p_ret
+    j    p_lp_jump           # plain indirect jump: forward edge only
+
+# --- indirect call: landing pad, then KCFI, then shadow-stack push ---
+p_icall:
+    la   a1, pol_lp_enabled
+    lw   t1, 0(a1)           #                                   [RoT]
+    beqz t1, p_icall_kcfi
+    lw   t1, 20(a0)          # actual call target                [SoC]
+    srli t2, t1, 2           # slot = (target >> 2) & 1023
+    li   t0, 1023
+    and  t2, t2, t0
+    slli t2, t2, 2
+    la   t0, lp_table
+    add  t2, t2, t0
+    lw   t2, 0(t2)           # registered pad in the slot        [RoT]
+    bne  t2, t1, p_violation
+p_icall_kcfi:
+    la   a1, pol_kcfi_enabled
+    lw   t1, 0(a1)           #                                   [RoT]
+    beqz t1, p_push
+    lw   t1, 4(a0)           # call-site pc (low word)           [SoC]
+    srli t2, t1, 2           # slot = (pc >> 2) & 511, 8B entries
+    li   t0, 511
+    and  t2, t2, t0
+    slli t2, t2, 3
+    la   t0, kcfi_sites
+    add  t0, t0, t2
+    lw   t2, 0(t0)           # stored site pc                    [RoT]
+    bne  t2, t1, p_push      # site not instrumented: skip
+    lw   t0, 4(t0)           # expected type hash                [RoT]
+    lw   t1, 20(a0)          # actual call target                [SoC]
+    srli t2, t1, 2           # slot = (target >> 2) & 511
+    li   a1, 511
+    and  t2, t2, a1
+    slli t2, t2, 3
+    la   a1, kcfi_fns
+    add  a1, a1, t2
+    lw   t2, 0(a1)           # stored fn address                 [RoT]
+    bne  t2, t1, p_violation # target carries no type hash
+    lw   t2, 4(a1)           # fn type hash                      [RoT]
+    bne  t2, t0, p_violation # wrong type
+    j    p_push
+
+# --- plain indirect jump: landing pad only ---
+p_lp_jump:
+    la   a1, pol_lp_enabled
+    lw   t1, 0(a1)           #                                   [RoT]
+    beqz t1, p_ok
+    lw   t1, 20(a0)          # actual jump target                [SoC]
+    srli t2, t1, 2
+    li   t0, 1023
+    and  t2, t2, t0
+    slli t2, t2, 2
+    la   t0, lp_table
+    add  t2, t2, t0
+    lw   t2, 0(t2)           #                                   [RoT]
+    bne  t2, t1, p_violation
+    j    p_ok
+
+# --- shadow-stack push (calls) ---
+p_push:
+    la   a1, pol_ss_enabled
+    lw   t1, 0(a1)           #                                   [RoT]
+    beqz t1, p_ok
+    lw   t1, 12(a0)          # next address = return address     [SoC]
+    la   a1, p_ssp
+    lw   t2, 0(a1)           # shadow stack pointer              [RoT]
+    sw   t1, 0(t2)           # push                              [RoT]
+    addi t2, t2, 4
+    sw   t2, 0(a1)           # update pointer                    [RoT]
+    lw   t1, 4(a1)           # stack limit                       [RoT]
+    bltu t2, t1, p_ok
+    lw   t1, 12(a1)          # overflow counter                  [RoT]
+    addi t1, t1, 1
+    sw   t1, 12(a1)          #                                   [RoT]
+    j    p_ok
+
+# --- shadow-stack pop + compare (returns) ---
+p_ret:
+    la   a1, pol_ss_enabled
+    lw   t1, 0(a1)           #                                   [RoT]
+    beqz t1, p_ok
+    lw   t1, 20(a0)          # actual return target              [SoC]
+    la   a1, p_ssp
+    lw   t2, 0(a1)           # shadow stack pointer              [RoT]
+    lw   t0, 8(a1)           # stack base                        [RoT]
+    bleu t2, t0, p_violation # pop from empty stack
+    addi t2, t2, -4
+    sw   t2, 0(a1)           # update pointer                    [RoT]
+    lw   t0, 0(t2)           # expected return address           [RoT]
+    bne  t0, t1, p_violation
+    j    p_ok
+
+p_ok:
+    li   t0, 0
+    j    p_respond
+p_violation:
+    li   t0, 1
+p_respond:
+    sw   t0, 0(a0)           # verdict in data word 0            [SoC]
+    li   t0, 1
+    sw   t0, 0x24(a0)        # completion (hw clears doorbell)   [SoC]
+    ret
+cfi_end:
+
+# ---------------- policy-suite state (RoT scratchpad) ----------------
+.align 4
+pol_ss_enabled:   .word 0
+pol_lp_enabled:   .word 0
+pol_kcfi_enabled: .word 0
+p_ssp:            .word p_ss_base
+p_ss_limit_var:   .word p_ss_limit
+p_ss_base_var:    .word p_ss_base
+p_ss_overflows:   .word 0
+.align 4
+p_ss_base:        .zero 4096     # 1024 return-address slots
+p_ss_limit:
+.align 4
+lp_table:         .zero 4096     # 1024 direct-mapped pad addresses
+.align 4
+kcfi_sites:       .zero 4096     # 512 {site_pc, expected_hash} pairs
+.align 4
+kcfi_fns:         .zero 4096     # 512 {fn_addr, type_hash} pairs
+";
+
 /// The interrupt-driven firmware top (paper §IV-C structure).
 const IRQ_TOP_ASM: &str = r"
 _start:
@@ -359,6 +536,23 @@ pub fn build_firmware(kind: FirmwareKind) -> Program {
         .expect("embedded firmware must assemble")
 }
 
+/// Assembles the policy-suite firmware (shadow stack + landing pads + KCFI
+/// behind enable flags) for `kind`.
+///
+/// # Panics
+///
+/// Panics if the embedded sources fail to assemble (a build-time bug).
+#[must_use]
+pub fn build_policy_firmware(kind: FirmwareKind) -> Program {
+    let top = match kind {
+        FirmwareKind::Irq => IRQ_TOP_ASM,
+        FirmwareKind::Polling | FirmwareKind::Optimized => POLLING_TOP_ASM,
+    };
+    let source = format!("{top}\n{CFI_CHECK_POLICY_ASM}");
+    assemble(&source, riscv_isa::Xlen::Rv32, map::SRAM_BASE)
+        .expect("embedded policy firmware must assemble")
+}
+
 /// Result of checking one commit log in the RoT.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckMeasurement {
@@ -397,7 +591,23 @@ impl FirmwareRunner {
     /// Panics if the firmware fails to reach its idle point (a bug).
     #[must_use]
     pub fn new(kind: FirmwareKind) -> FirmwareRunner {
-        let program = build_firmware(kind);
+        FirmwareRunner::from_program(build_firmware(kind), kind)
+    }
+
+    /// Like [`FirmwareRunner::new`], but running the policy-suite firmware
+    /// ([`build_policy_firmware`]): shadow stack, landing pads, and KCFI
+    /// all present and individually enabled via the `policy_enable_*`
+    /// methods (all off after boot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the firmware fails to reach its idle point (a bug).
+    #[must_use]
+    pub fn new_policy(kind: FirmwareKind) -> FirmwareRunner {
+        FirmwareRunner::from_program(build_policy_firmware(kind), kind)
+    }
+
+    fn from_program(program: Program, kind: FirmwareKind) -> FirmwareRunner {
         let profile = match kind {
             FirmwareKind::Irq | FirmwareKind::Polling => LatencyProfile::baseline(),
             FirmwareKind::Optimized => LatencyProfile::optimized(),
@@ -572,6 +782,82 @@ impl FirmwareRunner {
                 target & 0xffff_ffff,
             )
             .expect("fe_table is in the scratchpad");
+    }
+
+    fn scratchpad_write(&mut self, addr: u64, value: u64) {
+        self.rot
+            .core
+            .bus
+            .write(addr, riscv_isa::MemWidth::W, value & 0xffff_ffff)
+            .expect("policy state is in the scratchpad");
+    }
+
+    /// Enables the policy firmware's shadow stack (backward edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this runner was built with [`FirmwareRunner::new_policy`].
+    pub fn policy_enable_shadow_stack(&mut self) {
+        let addr = self.symbol("pol_ss_enabled");
+        self.scratchpad_write(addr, 1);
+    }
+
+    /// Enables the policy firmware's landing-pad check (indirect calls and
+    /// jumps must land on a registered pad).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this runner was built with [`FirmwareRunner::new_policy`].
+    pub fn policy_enable_landing_pads(&mut self) {
+        let addr = self.symbol("pol_lp_enabled");
+        self.scratchpad_write(addr, 1);
+    }
+
+    /// Enables the policy firmware's KCFI type-hash check.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this runner was built with [`FirmwareRunner::new_policy`].
+    pub fn policy_enable_kcfi(&mut self) {
+        let addr = self.symbol("pol_kcfi_enabled");
+        self.scratchpad_write(addr, 1);
+    }
+
+    /// Registers an `lpad` marker address in the policy firmware's
+    /// direct-mapped landing-pad table.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this runner was built with [`FirmwareRunner::new_policy`].
+    pub fn policy_register_landing_pad(&mut self, addr: u64) {
+        let table = self.symbol("lp_table");
+        let slot = (addr >> 2) & 1023;
+        self.scratchpad_write(table + slot * 4, addr);
+    }
+
+    /// Instruments call site `pc` with an expected KCFI type hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this runner was built with [`FirmwareRunner::new_policy`].
+    pub fn policy_register_kcfi_site(&mut self, pc: u64, hash: u32) {
+        let table = self.symbol("kcfi_sites");
+        let slot = (pc >> 2) & 511;
+        self.scratchpad_write(table + slot * 8, pc);
+        self.scratchpad_write(table + slot * 8 + 4, u64::from(hash));
+    }
+
+    /// Registers a function entry's KCFI type hash (the RoT-side mirror of
+    /// the `[fn-4]` hash word).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this runner was built with [`FirmwareRunner::new_policy`].
+    pub fn policy_register_kcfi_fn(&mut self, entry: u64, hash: u32) {
+        let table = self.symbol("kcfi_fns");
+        let slot = (entry >> 2) & 511;
+        self.scratchpad_write(table + slot * 8, entry);
+        self.scratchpad_write(table + slot * 8 + 4, u64::from(hash));
     }
 
     fn symbol(&self, name: &str) -> u64 {

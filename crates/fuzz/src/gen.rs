@@ -33,7 +33,16 @@ use titancfi_harness::Xoshiro256;
 
 /// Bump when generated programs change for a given seed — part of every
 /// fuzz job's cache descriptor, so stale cached verdicts are invalidated.
-pub const GENERATOR_VERSION: u32 = 1;
+pub const GENERATOR_VERSION: u32 = 2;
+
+/// Landing-pad label on every generated function entry.
+pub const FN_LABEL: u32 = 1;
+/// Landing-pad label on every jump-table arm.
+pub const ARM_LABEL: u32 = 2;
+/// Landing-pad label on the never-executed decoy pad after `finish` — a
+/// correctly-formed but *mislabeled* pad present in every program, so a
+/// smashed edge that happens to land there still trips label matching.
+pub const DECOY_LABEL: u32 = 3;
 
 /// Host RAM base for generated programs (same as the workload kernels).
 pub const FUZZ_BASE: u64 = 0x8000_0000;
@@ -132,6 +141,88 @@ pub enum Corruption {
         /// Hijacked function index (0 is always reachable from `_start`).
         func: usize,
     },
+    /// Every `.dword` entry of the first jump table in function `func` is
+    /// redirected to a mid-function gadget carrying no `lpad` marker — the
+    /// classic JOP pivot only the landing-pad policy can flag (the gadget
+    /// rejoins the dispatch exit, so the program still terminates, and no
+    /// call/return edge is disturbed).
+    JumpTableSmash {
+        /// Function whose first top-level jump table is smashed.
+        func: usize,
+    },
+    /// The first `IndirectCall` to `from` inside function `func` loads the
+    /// address of `to` instead — a function of a *different type class*
+    /// whose entry carries a perfectly valid landing pad. Landing pads
+    /// miss it; only the KCFI type-hash comparison catches it.
+    FnPtrTypeConfusion {
+        /// Function whose call site is confused.
+        func: usize,
+        /// Original callee index (the site's `.kcfi_expect` still names
+        /// this function's type).
+        from: usize,
+        /// Swapped-in callee index (wrong type, valid pad).
+        to: usize,
+    },
+}
+
+impl Corruption {
+    /// The anchor function indices the shrinker must never delete: the
+    /// corrupted function itself plus, for pointer confusion, both callees.
+    #[must_use]
+    pub fn anchors(&self) -> Vec<usize> {
+        match *self {
+            Corruption::ReturnHijack { func } | Corruption::JumpTableSmash { func } => vec![func],
+            Corruption::FnPtrTypeConfusion { func, from, to } => vec![func, from, to],
+        }
+    }
+}
+
+/// Which corruption to plant — the anchor indices and any structural
+/// prerequisites are filled in by [`FuzzProgram::with_corruption_variant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionVariant {
+    /// Backward-edge return-address overwrite (shadow stack catches).
+    ReturnHijack,
+    /// Jump-table entry redirected to a non-`lpad` gadget (landing pads
+    /// catch).
+    JumpTableSmash,
+    /// Function pointer swapped to a wrong-type, validly-padded function
+    /// (only KCFI catches).
+    FnPtrTypeConfusion,
+}
+
+impl CorruptionVariant {
+    /// All variants, in detection-map order.
+    pub const ALL: [CorruptionVariant; 3] = [
+        CorruptionVariant::ReturnHijack,
+        CorruptionVariant::JumpTableSmash,
+        CorruptionVariant::FnPtrTypeConfusion,
+    ];
+}
+
+/// The type class of function `i` in `funcs` (see
+/// [`FuzzProgram::type_class`]).
+#[must_use]
+pub fn func_type_class(funcs: &[Func], i: usize) -> u32 {
+    if funcs[i].recursive {
+        0
+    } else if funcs[i].patchable {
+        1
+    } else {
+        2 + (i as u32 % 2)
+    }
+}
+
+/// FNV-1a hash of a type class — the 32-bit KCFI signature stored at
+/// `[fn-4]` and expected by every instrumented call site.
+#[must_use]
+pub fn type_hash(class: u32) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in class.to_le_bytes() {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
 }
 
 /// Generation knobs beyond the seed.
@@ -316,12 +407,63 @@ impl FuzzProgram {
         }
     }
 
+    /// The type class of function `i`: recursive functions, patchable
+    /// functions, and plain functions (two flavours by parity) get distinct
+    /// classes, so swapping a pointer between classes changes the KCFI hash.
+    #[must_use]
+    pub fn type_class(&self, i: usize) -> u32 {
+        func_type_class(&self.funcs, i)
+    }
+
     /// The same program with a return-address hijack planted in `f0` (the
     /// function `_start` always calls, so the corruption always triggers).
     #[must_use]
     pub fn with_corruption(&self) -> FuzzProgram {
+        self.with_corruption_variant(CorruptionVariant::ReturnHijack)
+    }
+
+    /// The same program with the given corruption variant planted in `f0`
+    /// (always reachable from `_start`, so the corruption always triggers).
+    /// Structural prerequisites — a jump table for [`Corruption::JumpTableSmash`],
+    /// a pair of distinct-type callees for [`Corruption::FnPtrTypeConfusion`] —
+    /// are appended if the generated program lacks them.
+    #[must_use]
+    pub fn with_corruption_variant(&self, variant: CorruptionVariant) -> FuzzProgram {
         let mut p = self.clone();
-        p.corruption = Some(Corruption::ReturnHijack { func: 0 });
+        match variant {
+            CorruptionVariant::ReturnHijack => {
+                p.corruption = Some(Corruption::ReturnHijack { func: 0 });
+            }
+            CorruptionVariant::JumpTableSmash => {
+                let has_table = p.funcs[0]
+                    .body
+                    .iter()
+                    .any(|op| matches!(op, Op::TableSwitch { .. }));
+                if !has_table {
+                    p.funcs[0].body.push(Op::TableSwitch { arms: 2 });
+                }
+                p.corruption = Some(Corruption::JumpTableSmash { func: 0 });
+            }
+            CorruptionVariant::FnPtrTypeConfusion => {
+                // Append two fresh plain leaf callees at consecutive indices:
+                // their parity-based type classes always differ, their valid
+                // `lpad` entries satisfy the landing-pad policy, and neither
+                // touches `a0`/`ra`, so any `f0` (even recursive) may call
+                // them mid-body.
+                let from = p.funcs.len();
+                let to = from + 1;
+                for filler in [11, 13] {
+                    p.funcs.push(Func {
+                        recursive: false,
+                        patchable: false,
+                        patch_consts: None,
+                        body: vec![Op::Mix(MixKind::Add(filler))],
+                    });
+                }
+                p.funcs[0].body.push(Op::IndirectCall { callee: from });
+                p.corruption = Some(Corruption::FnPtrTypeConfusion { func: 0, from, to });
+            }
+        }
         p
     }
 
@@ -342,8 +484,8 @@ impl FuzzProgram {
         if !self.funcs.is_empty() {
             e.line("    call f0");
         }
-        if self.corruption.is_some() {
-            // The hijack landing pad exists only on corrupted variants —
+        if matches!(self.corruption, Some(Corruption::ReturnHijack { .. })) {
+            // The hijack landing pad exists only on hijacked variants —
             // shrunk benign reproducers stay minimal.
             e.line("    j    finish");
             e.line("hijack_land:");
@@ -352,6 +494,11 @@ impl FuzzProgram {
         e.line("finish:");
         e.line("    mv   a0, s1");
         e.line("    ebreak");
+        // A correctly-formed but never-executed decoy pad with a label no
+        // site expects: a smashed edge landing here still mismatches.
+        e.line("decoy_pad:");
+        e.line(&format!("    lpad {DECOY_LABEL}"));
+        e.line("    j    finish");
         for (i, f) in self.funcs.iter().enumerate() {
             self.emit_func(&mut e, i, f);
         }
@@ -369,7 +516,18 @@ impl FuzzProgram {
         // Leaf functions (no calls anywhere in the body, no recursion)
         // never clobber `ra` and skip the frame entirely.
         let needs_frame = f.recursive || has_call_ops(&f.body);
+        match self.corruption {
+            Some(Corruption::JumpTableSmash { func }) if func == i => e.smash_armed = true,
+            Some(Corruption::FnPtrTypeConfusion { func, from, to }) if func == i => {
+                e.confuse = Some((from, to));
+            }
+            _ => {}
+        }
+        // KCFI type hash in the word before the entry; lpad right at it.
+        e.line(".align 2");
+        e.line(&format!(".kcfi {}", type_hash(self.type_class(i))));
         e.line(&format!("f{i}:"));
+        e.line(&format!("    lpad {FN_LABEL}"));
         if needs_frame {
             e.line("    addi sp, sp, -16");
             e.line("    sd   ra, 8(sp)");
@@ -424,7 +582,21 @@ impl FuzzProgram {
             }
             Op::Call { callee } => e.line(&format!("    call f{callee}")),
             Op::IndirectCall { callee } => {
-                e.line(&format!("    la   t1, f{callee}"));
+                // Under pointer confusion the first matching site loads the
+                // wrong-type callee while keeping the original expectation.
+                let loaded = match e.confuse {
+                    Some((from, to)) if from == *callee => {
+                        e.confuse = None;
+                        to
+                    }
+                    _ => *callee,
+                };
+                e.line(&format!("    la   t1, f{loaded}"));
+                e.line(&format!(
+                    "    .kcfi_expect {}",
+                    type_hash(self.type_class(*callee))
+                ));
+                e.line(&format!("    .lpad_expect {FN_LABEL}"));
                 e.line("    jalr t1");
             }
             Op::RecursiveCall { callee, depth } => {
@@ -433,8 +605,9 @@ impl FuzzProgram {
             }
             Op::TableSwitch { arms } => {
                 let id = e.fresh();
+                let smash = std::mem::take(&mut e.smash_armed);
                 e.line("    mv   t2, s1");
-                emit_dispatch(e, *arms, id);
+                emit_dispatch(e, *arms, id, smash);
             }
             Op::PatchedCall { callee } => {
                 let (_, k1) = self.funcs[*callee]
@@ -468,6 +641,10 @@ struct Emitter {
     out: String,
     data: Vec<String>,
     next_id: u32,
+    /// The next top-level `TableSwitch` emits a smashed jump table.
+    smash_armed: bool,
+    /// The next `IndirectCall` to `.0` loads `.1` instead.
+    confuse: Option<(usize, usize)>,
 }
 
 impl Emitter {
@@ -483,22 +660,36 @@ impl Emitter {
 }
 
 /// Emits a jump-table dispatch on `t2` (must already hold the arm index in
-/// its low bits, wider bits ignored via `andi`).
-fn emit_dispatch(e: &mut Emitter, arms: u8, id: u32) {
+/// its low bits, wider bits ignored via `andi`). With `smash`, every table
+/// entry is redirected to a gadget carrying no `lpad` — the arm bodies stay
+/// in place (and keep their pads), but control never reaches them.
+fn emit_dispatch(e: &mut Emitter, arms: u8, id: u32, smash: bool) {
     e.line(&format!("    andi t2, t2, {}", arms - 1));
     e.line("    slli t2, t2, 3");
     e.line(&format!("    la   t1, jt_{id}"));
     e.line("    add  t1, t1, t2");
     e.line("    ld   t1, 0(t1)");
+    e.line(&format!("    .lpad_expect {ARM_LABEL}"));
     e.line("    jr   t1");
     let mut table = format!("jt_{id}:");
     for a in 0..arms {
-        table.push_str(&format!("\n    .dword jt_{id}_a{a}"));
+        if smash {
+            table.push_str(&format!("\n    .dword smash_{id}"));
+        } else {
+            table.push_str(&format!("\n    .dword jt_{id}_a{a}"));
+        }
     }
     e.data.push(table);
     for a in 0..arms {
         e.line(&format!("jt_{id}_a{a}:"));
+        e.line(&format!("    lpad {ARM_LABEL}"));
         e.line(&format!("    addi s1, s1, {}", i32::from(a) * 7 + 3));
+        e.line(&format!("    j    jt_{id}_end"));
+    }
+    if smash {
+        // Mid-function gadget: no pad, rejoins the exit, still terminates.
+        e.line(&format!("smash_{id}:"));
+        e.line("    xori s1, s1, 677");
         e.line(&format!("    j    jt_{id}_end"));
     }
     e.line(&format!("jt_{id}_end:"));
@@ -511,5 +702,5 @@ fn emit_patch_slot(e: &mut Emitter, i: usize, f: &Func) {
     e.line(&format!("    xori t2, zero, {k0}"));
     // Two arms selected by bit 0 — `gen_patch_consts` guarantees the
     // patched immediate flips it, so a stale decode takes the other arm.
-    emit_dispatch(e, 2, id);
+    emit_dispatch(e, 2, id, false);
 }

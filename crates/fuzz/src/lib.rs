@@ -17,8 +17,10 @@
 //!   resilience armed vs [`titancfi::ResilienceConfig::off`], plus the
 //!   dual-core SoC) and demands byte-identical commit-log streams,
 //!   shadow-stack verdicts, and report fingerprints. Corruption variants
-//!   (a seeded return-address hijack) must make the policy fire in *every*
-//!   configuration.
+//!   (return-address hijack, jump-table smash, function-pointer type
+//!   confusion) must be flagged by exactly the policies the per-variant
+//!   expected-detection map predicts — the shadow stack, Zicfilp landing
+//!   pads, and KCFI type hashes respectively — in *every* configuration.
 //! * [`shrink`] — on divergence, delta-debugs the program (function-level
 //!   removal, then instruction-level chunk removal) down to a minimal
 //!   reproducer, re-running the oracle at every step.
@@ -34,7 +36,10 @@ pub mod oracle;
 pub mod repro;
 pub mod shrink;
 
-pub use gen::{Corruption, FuzzProgram, GenOptions, GENERATOR_VERSION};
-pub use oracle::{check, check_source, CaseOutcome, Divergence, ExecMode, MatrixConfig, OracleOk};
+pub use gen::{Corruption, CorruptionVariant, FuzzProgram, GenOptions, GENERATOR_VERSION};
+pub use oracle::{
+    check, check_source, expected_detection, replay_policies, CaseOutcome, Divergence, ExecMode,
+    ExpectedDetection, MatrixConfig, OracleOk, PolicyMatrix,
+};
 pub use repro::{write_repro, ReproContext};
 pub use shrink::{instruction_count, shrink};

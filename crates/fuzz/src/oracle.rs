@@ -18,15 +18,22 @@
 //!   cores, strict vs fast path. Both cores' tagged streams must equal the
 //!   single-core strict stream log for log.
 //!
-//! Corruption variants invert the final check: the shadow stack must flag
-//! at least one violation in *every* configuration.
+//! Corruption variants invert the final check along the **policy
+//! dimension**: the reference stream is replayed through the golden-model
+//! shadow-stack, landing-pad, and KCFI policies, and each variant must be
+//! flagged by exactly the policies the expected-detection map predicts
+//! (`ReturnHijack` → shadow stack, `JumpTableSmash` → landing pads,
+//! `FnPtrTypeConfusion` → KCFI), in every configuration.
 
-use crate::gen::{FuzzProgram, FUZZ_BASE, FUZZ_MEM};
+use crate::gen::{Corruption, FuzzProgram, FUZZ_BASE, FUZZ_MEM};
 use cva6_model::Halt;
 use riscv_asm::{AsmError, Assembler, Program};
 use riscv_isa::{Reg, Xlen};
 use titancfi::firmware::FirmwareKind;
 use titancfi::{CommitLog, FilterStats, ResilienceConfig};
+use titancfi_policies::{
+    CfiPolicy, CombinedPolicy, KcfiPolicy, LandingPadPolicy, ShadowStackPolicy,
+};
 use titancfi_soc::{DualHostSoc, SocConfig, SystemOnChip, CORES};
 
 /// Single-core execution strategy under test.
@@ -155,6 +162,88 @@ impl std::fmt::Display for Divergence {
     }
 }
 
+/// Violation counts from replaying the reference commit stream through each
+/// golden-model policy — the oracle's policy dimension. The streams were
+/// already proven byte-identical across every configuration, so one replay
+/// speaks for all of them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyMatrix {
+    /// Shadow-stack (backward-edge) violations.
+    pub shadow_stack: u64,
+    /// Landing-pad (Zicfilp forward-edge) violations.
+    pub landing_pad: u64,
+    /// KCFI (type-hash forward-edge) violations.
+    pub kcfi: u64,
+    /// Violations under the three policies combined (first-wins).
+    pub combined: u64,
+}
+
+/// Which policies the detection map predicts fire for a corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpectedDetection {
+    /// The shadow stack must flag it.
+    pub shadow_stack: bool,
+    /// The landing-pad policy must flag it.
+    pub landing_pad: bool,
+    /// The KCFI policy must flag it.
+    pub kcfi: bool,
+}
+
+/// The per-policy expected-detection map: exactly one golden policy catches
+/// each corruption variant, and the others must stay silent — the
+/// catch/miss matrix the forward-edge suite is built around.
+#[must_use]
+pub fn expected_detection(corruption: &Corruption) -> ExpectedDetection {
+    match corruption {
+        Corruption::ReturnHijack { .. } => ExpectedDetection {
+            shadow_stack: true,
+            landing_pad: false,
+            kcfi: false,
+        },
+        Corruption::JumpTableSmash { .. } => ExpectedDetection {
+            shadow_stack: false,
+            landing_pad: true,
+            kcfi: false,
+        },
+        Corruption::FnPtrTypeConfusion { .. } => ExpectedDetection {
+            shadow_stack: false,
+            landing_pad: false,
+            kcfi: true,
+        },
+    }
+}
+
+/// Replays a commit stream through the three golden-model policies (and
+/// their combination), counting violations per policy.
+#[must_use]
+pub fn replay_policies(prog: &Program, stream: &[CommitLog]) -> PolicyMatrix {
+    let mut ss = ShadowStackPolicy::new(1024);
+    let mut lp = LandingPadPolicy::from_program(prog);
+    let mut kcfi = KcfiPolicy::from_program(prog);
+    let mut matrix = PolicyMatrix::default();
+    for log in stream {
+        if !ss.check(log).is_allowed() {
+            matrix.shadow_stack += 1;
+        }
+        if !lp.check(log).is_allowed() {
+            matrix.landing_pad += 1;
+        }
+        if !kcfi.check(log).is_allowed() {
+            matrix.kcfi += 1;
+        }
+    }
+    let mut combined = CombinedPolicy::new()
+        .with(ShadowStackPolicy::new(1024))
+        .with(LandingPadPolicy::from_program(prog))
+        .with(KcfiPolicy::from_program(prog));
+    for log in stream {
+        if !combined.check(log).is_allowed() {
+            matrix.combined += 1;
+        }
+    }
+    matrix
+}
+
 /// Successful oracle verdict plus observations the caller may assert on.
 #[derive(Debug, Clone)]
 pub struct OracleOk {
@@ -162,6 +251,9 @@ pub struct OracleOk {
     pub reference: CaseOutcome,
     /// Total violations observed in the reference case.
     pub violations: usize,
+    /// Per-policy violation counts from the golden-model replay of the
+    /// reference stream.
+    pub policy: PolicyMatrix,
 }
 
 /// Assembles a generated program's source.
@@ -466,29 +558,85 @@ pub fn check_source(
             )));
         }
     }
+    let policy = replay_policies(&prog, &reference.stream);
     Ok(OracleOk {
         reference,
         violations,
+        policy,
     })
 }
 
+fn expect_count(
+    corruption: &Corruption,
+    policy: &str,
+    count: u64,
+    expected: bool,
+) -> Result<(), Divergence> {
+    if expected && count == 0 {
+        return Err(diverge(format!(
+            "corruption {corruption:?}: the {policy} policy was predicted to fire but saw 0 violations"
+        )));
+    }
+    if !expected && count != 0 {
+        return Err(diverge(format!(
+            "corruption {corruption:?}: the {policy} policy was predicted silent but flagged {count} violations"
+        )));
+    }
+    Ok(())
+}
+
 /// Runs the full differential matrix over a generated program, including
-/// the policy expectation: benign programs must produce zero violations,
-/// corrupted ones at least one in every configuration.
+/// the policy dimension: benign programs must produce zero violations under
+/// *every* policy; corrupted ones must be flagged by exactly the policies
+/// the [`expected_detection`] map predicts (and by the combined policy),
+/// in every configuration.
 ///
 /// # Errors
 ///
 /// Returns the first [`Divergence`] found.
 pub fn check(prog: &FuzzProgram, matrix: &MatrixConfig) -> Result<OracleOk, Divergence> {
     let ok = check_source(&prog.emit(), prog.compressed, matrix)?;
-    match (&prog.corruption, ok.violations) {
-        (None, 0) => Ok(ok),
-        (None, n) => Err(diverge(format!(
-            "benign program flagged {n} violations (false positive)"
-        ))),
-        (Some(c), 0) => Err(diverge(format!(
-            "corruption {c:?} raised no violation — the policy failed to fire"
-        ))),
-        (Some(_), _) => Ok(ok),
+    let p = ok.policy;
+    match &prog.corruption {
+        None => {
+            if ok.violations != 0 {
+                return Err(diverge(format!(
+                    "benign program flagged {} violations (false positive)",
+                    ok.violations
+                )));
+            }
+            if p != PolicyMatrix::default() {
+                return Err(diverge(format!(
+                    "benign program flagged golden-policy violations (false positive): {p:?}"
+                )));
+            }
+        }
+        Some(c) => {
+            let want = expected_detection(c);
+            // The RoT firmware implements the shadow stack, so its verdicts
+            // must track the backward-edge prediction exactly; the golden
+            // forward-edge policies carry the rest of the map.
+            if want.shadow_stack && ok.violations == 0 {
+                return Err(diverge(format!(
+                    "corruption {c:?} raised no firmware violation — the policy failed to fire"
+                )));
+            }
+            if !want.shadow_stack && ok.violations != 0 {
+                return Err(diverge(format!(
+                    "corruption {c:?}: forward-edge-only corruption flagged {} firmware \
+                     (shadow-stack) violations",
+                    ok.violations
+                )));
+            }
+            expect_count(c, "shadow-stack", p.shadow_stack, want.shadow_stack)?;
+            expect_count(c, "landing-pad", p.landing_pad, want.landing_pad)?;
+            expect_count(c, "kcfi", p.kcfi, want.kcfi)?;
+            if p.combined == 0 {
+                return Err(diverge(format!(
+                    "corruption {c:?}: the combined policy saw 0 violations"
+                )));
+            }
+        }
     }
+    Ok(ok)
 }

@@ -14,6 +14,14 @@
 //!
 //! The oracle is the expensive part (a full matrix per candidate), so the
 //! passes are greedy: any successful reduction restarts its pass.
+//!
+//! **Corruption anchors are preserved.** A corrupted program's oracle check
+//! fails *by design* (the expected-detection assertions), so a candidate
+//! that merely deleted the planted corruption would still "diverge" and be
+//! kept — leaving a reproducer that exercises a different policy than the
+//! original. Every pass therefore rejects candidates whose corruption
+//! anchors (the hijacked function, the smashed jump table, the confused
+//! call site and both its callees) no longer exist.
 
 use crate::gen::{Corruption, FuzzProgram, Op};
 use crate::oracle::{check, MatrixConfig};
@@ -21,6 +29,34 @@ use crate::oracle::{check, MatrixConfig};
 /// Whether `prog` still diverges (the shrinking predicate).
 fn diverges(prog: &FuzzProgram, matrix: &MatrixConfig) -> bool {
     check(prog, matrix).is_err()
+}
+
+/// Whether the planted corruption's structural anchors survive: the
+/// corruption still renders into the same attack, so a divergence on this
+/// candidate reproduces the *same* policy's detection as the original.
+fn anchors_intact(prog: &FuzzProgram) -> bool {
+    match prog.corruption {
+        None => true,
+        Some(Corruption::ReturnHijack { func }) => func < prog.funcs.len(),
+        Some(Corruption::JumpTableSmash { func }) => prog
+            .funcs
+            .get(func)
+            .is_some_and(|f| f.body.iter().any(|op| matches!(op, Op::TableSwitch { .. }))),
+        Some(Corruption::FnPtrTypeConfusion { func, from, to }) => {
+            from < prog.funcs.len()
+                && to < prog.funcs.len()
+                && prog.funcs.get(func).is_some_and(|f| {
+                    f.body
+                        .iter()
+                        .any(|op| matches!(op, Op::IndirectCall { callee } if *callee == from))
+                })
+        }
+    }
+}
+
+/// The full keep predicate: anchors intact *and* still diverging.
+fn keepable(prog: &FuzzProgram, matrix: &MatrixConfig) -> bool {
+    anchors_intact(prog) && diverges(prog, matrix)
 }
 
 /// Rewrites a body after function `k` was removed: ops calling `k` are
@@ -60,8 +96,8 @@ fn remove_func(prog: &FuzzProgram, k: usize) -> Option<FuzzProgram> {
     if prog.funcs.len() <= 1 {
         return None;
     }
-    if let Some(Corruption::ReturnHijack { func }) = prog.corruption {
-        if func == k {
+    if let Some(c) = prog.corruption {
+        if c.anchors().contains(&k) {
             return None;
         }
     }
@@ -70,10 +106,20 @@ fn remove_func(prog: &FuzzProgram, k: usize) -> Option<FuzzProgram> {
     for f in &mut p.funcs {
         f.body = remap_body(&f.body, k);
     }
-    if let Some(Corruption::ReturnHijack { func }) = &mut p.corruption {
-        if *func > k {
+    match &mut p.corruption {
+        Some(Corruption::ReturnHijack { func } | Corruption::JumpTableSmash { func })
+            if *func > k =>
+        {
             *func -= 1;
         }
+        Some(Corruption::FnPtrTypeConfusion { func, from, to }) => {
+            for idx in [func, from, to] {
+                if *idx > k {
+                    *idx -= 1;
+                }
+            }
+        }
+        _ => {}
     }
     Some(p)
 }
@@ -83,7 +129,7 @@ fn shrink_functions(cur: &mut FuzzProgram, matrix: &MatrixConfig) -> bool {
     'restart: loop {
         for k in (0..cur.funcs.len()).rev() {
             if let Some(cand) = remove_func(cur, k) {
-                if diverges(&cand, matrix) {
+                if keepable(&cand, matrix) {
                     *cur = cand;
                     progressed = true;
                     continue 'restart;
@@ -104,7 +150,7 @@ fn shrink_ops(cur: &mut FuzzProgram, matrix: &MatrixConfig) -> bool {
                 let end = (start + chunk).min(cur.funcs[i].body.len());
                 let mut cand = cur.clone();
                 cand.funcs[i].body.drain(start..end);
-                if diverges(&cand, matrix) {
+                if keepable(&cand, matrix) {
                     *cur = cand;
                     progressed = true;
                     // Re-test from the same start — the body shifted left.
@@ -154,7 +200,7 @@ fn shrink_simplify(cur: &mut FuzzProgram, matrix: &MatrixConfig) -> bool {
             for replacement in simplify(&cur.funcs[i].body[j]) {
                 let mut cand = cur.clone();
                 cand.funcs[i].body.splice(j..=j, replacement);
-                if diverges(&cand, matrix) {
+                if keepable(&cand, matrix) {
                     *cur = cand;
                     progressed = true;
                     replaced = true;

@@ -53,9 +53,11 @@ fn planted_decode_cache_bug_is_caught_and_shrunk() {
 
     riscv_isa::predecode::set_mutate_skip_store_invalidation(false);
 
+    // The bound allows for the CFI instrumentation the generator now plants
+    // everywhere: one `lpad` per function entry and per jump-table arm.
     assert!(
-        count <= 32,
-        "shrunk reproducer has {count} instruction statements (> 32):\n{}",
+        count <= 40,
+        "shrunk reproducer has {count} instruction statements (> 40):\n{}",
         shrunk.emit()
     );
     let written = std::fs::read_to_string(&path).expect("repro file readable");

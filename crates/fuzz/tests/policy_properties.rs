@@ -1,0 +1,167 @@
+//! Property tests for the policy suite over generated commit streams.
+//!
+//! The streams are derived cheaply: the generated program runs on a bare
+//! RV64 hart and the CFI filter selects the relevant retirements — the
+//! exact stream the SoC produces (the differential oracle proves that
+//! byte-identity elsewhere), without booting 200 full co-simulations.
+
+use riscv_isa::Trap;
+use titancfi::{CfiFilter, CommitLog};
+use titancfi_fuzz::gen::{FUZZ_BASE, FUZZ_MEM};
+use titancfi_fuzz::oracle::assemble_fuzz;
+use titancfi_fuzz::{CorruptionVariant, FuzzProgram};
+use titancfi_policies::{
+    CfiPolicy, CombinedPolicy, KcfiPolicy, LandingPadPolicy, ShadowStackPolicy,
+};
+
+/// Seeds the properties sweep. Each seed contributes one program: benign,
+/// or carrying the corruption variant the seed's residue selects.
+const SEEDS: std::ops::Range<u64> = 0..200;
+
+/// Renders the program for `seed`: every fourth is benign, the rest cycle
+/// through the corruption variants so violating streams are well covered.
+fn program_for(seed: u64) -> FuzzProgram {
+    let benign = FuzzProgram::generate(seed);
+    match seed % 4 {
+        0 => benign,
+        r => benign.with_corruption_variant(CorruptionVariant::ALL[(r - 1) as usize]),
+    }
+}
+
+/// The commit-log stream of a program on a bare hart, via the CFI filter.
+fn derive_stream(prog: &FuzzProgram) -> (riscv_asm::Program, Vec<CommitLog>) {
+    let image = assemble_fuzz(&prog.emit(), prog.compressed)
+        .unwrap_or_else(|e| panic!("seed {}: does not assemble: {e}", prog.seed));
+    let mut mem = riscv_isa::FlatMemory::new(FUZZ_BASE, FUZZ_MEM);
+    mem.load(image.base, &image.bytes);
+    let mut hart = riscv_isa::Hart::new(riscv_isa::Xlen::Rv64, image.entry);
+    // Stack at the top of RAM, ABI-aligned — the same reset state the
+    // CVA6 core model establishes.
+    hart.set_reg(
+        riscv_isa::Reg::SP,
+        (FUZZ_BASE + FUZZ_MEM as u64 - 16) & !0xf,
+    );
+    let mut filter = CfiFilter::new();
+    let mut stream = Vec::new();
+    let mut steps = 0u64;
+    loop {
+        match hart.step(&mut mem) {
+            Ok(r) => {
+                if let Some(log) = filter.scan(&r) {
+                    stream.push(log);
+                }
+            }
+            Err(Trap::Breakpoint) => break,
+            Err(t) => panic!("seed {}: unexpected trap {t:?}", prog.seed),
+        }
+        steps += 1;
+        assert!(steps < 2_000_000, "seed {}: did not terminate", prog.seed);
+    }
+    (image, stream)
+}
+
+/// **Property:** per log, the combined policy's verdict is the OR of its
+/// members' verdicts — composing policies never invents or swallows a
+/// violation. Holds across 200 seeds spanning benign programs and all
+/// three corruption variants.
+#[test]
+fn combined_verdict_is_the_or_of_member_verdicts() {
+    let mut streams = 0usize;
+    let mut flagged_logs = 0usize;
+    for seed in SEEDS {
+        let prog = program_for(seed);
+        let (image, stream) = derive_stream(&prog);
+
+        let mut ss = ShadowStackPolicy::new(1024);
+        let mut lp = LandingPadPolicy::from_program(&image);
+        let mut kcfi = KcfiPolicy::from_program(&image);
+        let mut combined = CombinedPolicy::new()
+            .with(ShadowStackPolicy::new(1024))
+            .with(LandingPadPolicy::from_program(&image))
+            .with(KcfiPolicy::from_program(&image));
+
+        for (i, log) in stream.iter().enumerate() {
+            let members_flag = !ss.check(log).is_allowed()
+                | !lp.check(log).is_allowed()
+                | !kcfi.check(log).is_allowed();
+            let combined_flags = !combined.check(log).is_allowed();
+            assert_eq!(
+                combined_flags, members_flag,
+                "seed {seed} log {i} ({log:?}): combined verdict is not the member OR"
+            );
+            flagged_logs += usize::from(combined_flags);
+        }
+        streams += 1;
+    }
+    assert_eq!(streams, SEEDS.end as usize);
+    assert!(
+        flagged_logs > 0,
+        "no corrupted seed produced a violating log — the property was vacuous"
+    );
+}
+
+/// **Property:** the member policies' statistics sum exactly over a
+/// stream: every forward edge is either checked by the landing-pad policy
+/// or invisible to it, instrumented-site counts match the program's CFI
+/// metadata, and violation counters equal the per-log verdict counts.
+#[test]
+fn policy_stats_sum_exactly_over_the_stream() {
+    for seed in (0..64u64).map(|s| s * 3) {
+        let prog = program_for(seed);
+        let (image, stream) = derive_stream(&prog);
+
+        let mut ss = ShadowStackPolicy::new(1024);
+        let mut lp = LandingPadPolicy::from_program(&image);
+        let mut kcfi = KcfiPolicy::from_program(&image);
+        let (mut v_ss, mut v_lp, mut v_kcfi) = (0u64, 0u64, 0u64);
+        for log in &stream {
+            v_ss += u64::from(!ss.check(log).is_allowed());
+            v_lp += u64::from(!lp.check(log).is_allowed());
+            v_kcfi += u64::from(!kcfi.check(log).is_allowed());
+        }
+
+        // Recount the stream's edge classes independently of the policies.
+        let jalr_edges = stream
+            .iter()
+            .filter(|l| {
+                l.insn & 0x7f == 0x67
+                    && matches!(
+                        l.cf_class(),
+                        riscv_isa::CfClass::Call | riscv_isa::CfClass::IndirectJump
+                    )
+            })
+            .count() as u64;
+        let instrumented = stream
+            .iter()
+            .filter(|l| image.cfi.site_hashes.contains_key(&l.pc))
+            .count() as u64;
+        let backward = stream
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l.cf_class(),
+                    riscv_isa::CfClass::Call | riscv_isa::CfClass::Return
+                )
+            })
+            .count() as u64;
+
+        assert_eq!(
+            lp.stats().checked,
+            jalr_edges,
+            "seed {seed}: landing-pad checked-count drifted from the stream's jalr edges"
+        );
+        assert_eq!(kcfi.stats().checked, instrumented, "seed {seed}");
+        assert_eq!(lp.stats().violations, v_lp, "seed {seed}");
+        assert_eq!(kcfi.stats().violations, v_kcfi, "seed {seed}");
+        let s = ss.stats();
+        assert_eq!(
+            s.pushes + s.pops,
+            backward,
+            "seed {seed}: shadow-stack pushes+pops must equal the stream's calls+returns"
+        );
+        assert!(
+            v_ss <= s.pops,
+            "seed {seed}: more return violations than pops"
+        );
+    }
+}

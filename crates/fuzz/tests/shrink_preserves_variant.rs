@@ -1,0 +1,104 @@
+//! The shrinker must not shrink away the planted corruption.
+//!
+//! A corrupted program fails the oracle *by design* (the expected-detection
+//! assertions), so a shrink candidate that deleted the corruption — or the
+//! structure it needs (the smashed jump table, the confused call site and
+//! its two callees) — would still "diverge" and be kept, leaving a
+//! reproducer that exercises a different policy than the original. These
+//! tests pin the anchor-preservation fix: after maximal shrinking, the
+//! corruption variant and its structural anchors survive, and the shrunk
+//! program still trips exactly the predicted policy.
+
+use titancfi_fuzz::gen::Op;
+use titancfi_fuzz::{
+    check, expected_detection, shrink, Corruption, CorruptionVariant, FuzzProgram, MatrixConfig,
+};
+
+/// Dual-core replay adds nothing to the policy dimension; skipping it
+/// keeps each shrink candidate's oracle run cheap enough for tier-1.
+fn matrix() -> MatrixConfig {
+    MatrixConfig {
+        multicore: false,
+        ..MatrixConfig::default()
+    }
+}
+
+/// The structural anchors a shrunk corrupted program must still carry.
+fn assert_anchors(prog: &FuzzProgram, original: CorruptionVariant) {
+    match prog.corruption.expect("corruption survives shrinking") {
+        Corruption::ReturnHijack { func } => {
+            assert_eq!(original, CorruptionVariant::ReturnHijack);
+            assert!(func < prog.funcs.len(), "hijacked function was removed");
+        }
+        Corruption::JumpTableSmash { func } => {
+            assert_eq!(original, CorruptionVariant::JumpTableSmash);
+            let f = prog.funcs.get(func).expect("smashed function exists");
+            assert!(
+                f.body.iter().any(|op| matches!(op, Op::TableSwitch { .. })),
+                "the smashed jump table was removed"
+            );
+        }
+        Corruption::FnPtrTypeConfusion { func, from, to } => {
+            assert_eq!(original, CorruptionVariant::FnPtrTypeConfusion);
+            assert!(from < prog.funcs.len() && to < prog.funcs.len());
+            assert_ne!(
+                prog.type_class(from),
+                prog.type_class(to),
+                "the swapped callees no longer have distinct type classes"
+            );
+            let f = prog.funcs.get(func).expect("confused function exists");
+            assert!(
+                f.body
+                    .iter()
+                    .any(|op| matches!(op, Op::IndirectCall { callee } if *callee == from)),
+                "the confused indirect call was removed or simplified away"
+            );
+        }
+    }
+}
+
+#[test]
+fn shrinking_preserves_the_corruption_variant() {
+    let matrix = matrix();
+    for variant in CorruptionVariant::ALL {
+        let prog = FuzzProgram::generate(3).with_corruption_variant(variant);
+        let divergence = check(&prog, &matrix);
+        assert!(
+            divergence.is_ok(),
+            "{variant:?}: the corrupted program must pass its own expected-detection check"
+        );
+
+        // Arm an artificial divergence driver: a budget so small every run
+        // "diverges", giving the shrinker maximal freedom to delete — the
+        // regime where an unprotected anchor would be shredded first.
+        let tiny = MatrixConfig {
+            budget: 1,
+            ..matrix
+        };
+        let shrunk = shrink(&prog, &tiny);
+        assert_anchors(&shrunk, variant);
+
+        // Under the real matrix the shrunk program must still be the same
+        // attack: caught by exactly the predicted policy.
+        let ok = check(&shrunk, &matrix)
+            .unwrap_or_else(|d| panic!("{variant:?}: shrunk program broke the oracle: {d}"));
+        let want = expected_detection(&shrunk.corruption.expect("still corrupted"));
+        assert_eq!(ok.policy.shadow_stack > 0, want.shadow_stack, "{variant:?}");
+        assert_eq!(ok.policy.landing_pad > 0, want.landing_pad, "{variant:?}");
+        assert_eq!(ok.policy.kcfi > 0, want.kcfi, "{variant:?}");
+    }
+}
+
+#[test]
+fn function_removal_never_drops_an_anchor() {
+    // White-box check of the removal pass's index remapping: deleting a
+    // non-anchor function shifts the corruption indices down together, so
+    // the confused callees stay consecutive (distinct type parity).
+    let prog =
+        FuzzProgram::generate(5).with_corruption_variant(CorruptionVariant::FnPtrTypeConfusion);
+    let Some(Corruption::FnPtrTypeConfusion { from, to, .. }) = prog.corruption else {
+        panic!("expected a type confusion");
+    };
+    assert_eq!(to, from + 1, "the generator appends consecutive callees");
+    assert_ne!(prog.type_class(from), prog.type_class(to));
+}

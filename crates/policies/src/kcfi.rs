@@ -1,0 +1,224 @@
+//! KCFI-style type-hash checking for indirect calls.
+//!
+//! The Linux KCFI scheme (clang `-fsanitize=kcfi`) stores a 32-bit hash of
+//! the function's type signature in the word *before* the function entry
+//! (`[fn-4]`), and every instrumented indirect call site compares the hash
+//! at its target against the hash its function-pointer type predicts before
+//! jumping. A pointer swapped to a function of the *wrong type* — even one
+//! with a perfectly valid landing pad — fails the comparison.
+//!
+//! This policy is the golden model of that check over the commit-log
+//! stream. Only *instrumented* sites (those with a registered expected
+//! hash, from `.kcfi_expect`) are checked: KCFI is opt-in per call site,
+//! and uninstrumented code must keep working.
+
+use crate::policy::{CfiPolicy, Verdict, ViolationKind};
+use std::collections::BTreeMap;
+use titancfi::CommitLog;
+
+/// KCFI policy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KcfiStats {
+    /// Instrumented indirect calls checked.
+    pub checked: u64,
+    /// Violations flagged.
+    pub violations: u64,
+}
+
+/// The KCFI type-hash policy.
+///
+/// # Examples
+///
+/// ```
+/// use titancfi::CommitLog;
+/// use titancfi_policies::{CfiPolicy, KcfiPolicy, Verdict};
+///
+/// let mut kcfi = KcfiPolicy::new();
+/// kcfi.register_fn(0x2000, 0xdead_beef);
+/// kcfi.register_site(0x100, 0xdead_beef);
+/// // jalr ra, 0(t1) from the instrumented site to the right type: allowed
+/// let ok = CommitLog { pc: 0x100, insn: 0x0003_00e7, next: 0x104, target: 0x2000 };
+/// assert_eq!(kcfi.check(&ok), Verdict::Allowed);
+/// // ...to a function with no (or the wrong) hash: flagged
+/// let bad = CommitLog { pc: 0x100, insn: 0x0003_00e7, next: 0x104, target: 0x3000 };
+/// assert!(!kcfi.check(&bad).is_allowed());
+/// ```
+#[derive(Debug, Default)]
+pub struct KcfiPolicy {
+    /// Function entry address → the `[fn-4]` type hash.
+    fn_hashes: BTreeMap<u64, u32>,
+    /// Instrumented call-site pc → the hash the site expects.
+    site_hashes: BTreeMap<u64, u32>,
+    stats: KcfiStats,
+}
+
+impl KcfiPolicy {
+    /// An empty policy (no instrumented sites, so nothing is checked).
+    #[must_use]
+    pub fn new() -> KcfiPolicy {
+        KcfiPolicy::default()
+    }
+
+    /// Registers the type hash stored at `[entry-4]`.
+    pub fn register_fn(&mut self, entry: u64, hash: u32) {
+        self.fn_hashes.insert(entry, hash);
+    }
+
+    /// Instruments call site `pc` to expect `hash` at its target.
+    pub fn register_site(&mut self, pc: u64, hash: u32) {
+        self.site_hashes.insert(pc, hash);
+    }
+
+    /// Builds the policy straight from an assembled program's CFI metadata
+    /// (`.kcfi` hash words and `.kcfi_expect` site annotations).
+    #[must_use]
+    pub fn from_program(program: &riscv_asm::Program) -> KcfiPolicy {
+        KcfiPolicy {
+            fn_hashes: program.cfi.fn_hashes.clone(),
+            site_hashes: program.cfi.site_hashes.clone(),
+            stats: KcfiStats::default(),
+        }
+    }
+
+    /// Instrumented call sites (pc → expected hash).
+    #[must_use]
+    pub fn sites(&self) -> &BTreeMap<u64, u32> {
+        &self.site_hashes
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> KcfiStats {
+        self.stats
+    }
+}
+
+impl CfiPolicy for KcfiPolicy {
+    fn name(&self) -> &str {
+        "kcfi"
+    }
+
+    fn check(&mut self, log: &CommitLog) -> Verdict {
+        // Only instrumented sites are checked — the site set is keyed by
+        // pc, so the class test is implicit (only indirect-call pcs are
+        // ever registered).
+        let Some(&expected) = self.site_hashes.get(&log.pc) else {
+            return Verdict::Allowed;
+        };
+        self.stats.checked += 1;
+        let actual = self.fn_hashes.get(&log.target).copied();
+        if actual == Some(expected) {
+            Verdict::Allowed
+        } else {
+            self.stats.violations += 1;
+            Verdict::Violation(ViolationKind::KcfiMismatch {
+                site: log.pc,
+                expected,
+                actual,
+            })
+        }
+    }
+
+    fn reset(&mut self) {
+        // Hash tables are static program metadata; only counters reset.
+        self.stats = KcfiStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn icall(pc: u64, target: u64) -> CommitLog {
+        // jalr ra, 0(t1)
+        CommitLog {
+            pc,
+            insn: 0x0003_00e7,
+            next: pc + 4,
+            target,
+        }
+    }
+
+    #[test]
+    fn wrong_type_flagged() {
+        let mut kcfi = KcfiPolicy::new();
+        kcfi.register_fn(0x2000, 0xaaaa);
+        kcfi.register_fn(0x3000, 0xbbbb);
+        kcfi.register_site(0x100, 0xaaaa);
+        assert!(kcfi.check(&icall(0x100, 0x2000)).is_allowed());
+        assert_eq!(
+            kcfi.check(&icall(0x100, 0x3000)),
+            Verdict::Violation(ViolationKind::KcfiMismatch {
+                site: 0x100,
+                expected: 0xaaaa,
+                actual: Some(0xbbbb),
+            })
+        );
+        assert_eq!(kcfi.stats().checked, 2);
+        assert_eq!(kcfi.stats().violations, 1);
+    }
+
+    #[test]
+    fn missing_hash_flagged() {
+        let mut kcfi = KcfiPolicy::new();
+        kcfi.register_site(0x100, 0xaaaa);
+        assert_eq!(
+            kcfi.check(&icall(0x100, 0x4000)),
+            Verdict::Violation(ViolationKind::KcfiMismatch {
+                site: 0x100,
+                expected: 0xaaaa,
+                actual: None,
+            })
+        );
+    }
+
+    #[test]
+    fn uninstrumented_sites_unchecked() {
+        let mut kcfi = KcfiPolicy::new();
+        kcfi.register_fn(0x2000, 0xaaaa);
+        // No site registered at 0x100: anything goes.
+        assert!(kcfi.check(&icall(0x100, 0x9999)).is_allowed());
+        assert_eq!(kcfi.stats().checked, 0);
+    }
+
+    #[test]
+    fn from_program_reads_cfi_meta() {
+        let prog = riscv_asm::assemble(
+            r"
+            _start:
+                la t1, f
+                .kcfi_expect 0x1234
+                jalr t1
+                ebreak
+            .kcfi 0x1234
+            f:
+                ret
+            .kcfi 0x5678
+            g:
+                ret
+            ",
+            riscv_isa::Xlen::Rv64,
+            0x8000_0000,
+        )
+        .expect("assembles");
+        let mut kcfi = KcfiPolicy::from_program(&prog);
+        let f = prog.symbol("f").expect("f");
+        let g = prog.symbol("g").expect("g");
+        let site = 0x8000_0008;
+        assert!(kcfi.check(&icall(site, f)).is_allowed());
+        assert!(!kcfi.check(&icall(site, g)).is_allowed(), "wrong type");
+        assert_eq!(kcfi.sites().len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_counters_not_tables() {
+        let mut kcfi = KcfiPolicy::new();
+        kcfi.register_fn(0x2000, 0xaaaa);
+        kcfi.register_site(0x100, 0xbbbb);
+        assert!(!kcfi.check(&icall(0x100, 0x2000)).is_allowed());
+        kcfi.reset();
+        assert_eq!(kcfi.stats(), KcfiStats::default());
+        assert!(!kcfi.check(&icall(0x100, 0x2000)).is_allowed());
+        assert_eq!(kcfi.stats().checked, 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Zicfilp-style landing-pad enforcement for forward edges.
+//!
+//! The ratified RISC-V Zicfilp extension requires every *indirect* jump or
+//! call to land on an `lpad` instruction (encoded as `auipc x0, label` — an
+//! executable no-op on cores without the extension). The pad's 20-bit
+//! immediate is a label; in labelled mode the call site declares which label
+//! it expects and a mismatching pad is as bad as no pad at all.
+//!
+//! This policy is the golden model of that check over the commit-log
+//! stream: it fires only on `jalr`-reached edges (indirect calls and
+//! indirect jumps); returns and direct `jal` edges are exempt, exactly as
+//! in Zicfilp (returns are the shadow stack's problem).
+
+use crate::policy::{CfiPolicy, Verdict, ViolationKind};
+use riscv_isa::CfClass;
+use std::collections::BTreeMap;
+use titancfi::CommitLog;
+
+/// Landing-pad policy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LandingPadStats {
+    /// Indirect edges checked.
+    pub checked: u64,
+    /// Violations flagged.
+    pub violations: u64,
+}
+
+/// Opcode of `jalr` — the only instruction that produces checkable
+/// (register-indirect) forward edges.
+const JALR_OPCODE: u32 = 0b110_0111;
+
+/// The Zicfilp landing-pad policy.
+///
+/// # Examples
+///
+/// ```
+/// use titancfi::CommitLog;
+/// use titancfi_policies::{CfiPolicy, LandingPadPolicy, Verdict};
+///
+/// let mut lp = LandingPadPolicy::new();
+/// lp.register_pad(0x2000, 1);
+/// // jalr zero, 0(a5) landing on the pad: allowed
+/// let ok = CommitLog { pc: 0x100, insn: 0x0007_8067, next: 0x104, target: 0x2000 };
+/// assert_eq!(lp.check(&ok), Verdict::Allowed);
+/// // ...and four bytes past it (mid-function gadget): flagged
+/// let bad = CommitLog { pc: 0x100, insn: 0x0007_8067, next: 0x104, target: 0x2004 };
+/// assert!(!lp.check(&bad).is_allowed());
+/// ```
+#[derive(Debug, Default)]
+pub struct LandingPadPolicy {
+    /// `lpad` marker address → label.
+    pads: BTreeMap<u64, u32>,
+    /// Call-site pc → expected label (labelled mode). Sites absent here
+    /// accept any pad ("unlabelled" mode, label checking off).
+    site_labels: BTreeMap<u64, u32>,
+    stats: LandingPadStats,
+}
+
+impl LandingPadPolicy {
+    /// An empty policy (every indirect edge violates until pads are
+    /// registered).
+    #[must_use]
+    pub fn new() -> LandingPadPolicy {
+        LandingPadPolicy::default()
+    }
+
+    /// Registers an `lpad` marker at `addr` carrying `label`.
+    pub fn register_pad(&mut self, addr: u64, label: u32) {
+        self.pads.insert(addr, label);
+    }
+
+    /// Requires indirect edges from site `pc` to land on a pad labelled
+    /// exactly `label`.
+    pub fn expect_label(&mut self, pc: u64, label: u32) {
+        self.site_labels.insert(pc, label);
+    }
+
+    /// Builds the policy straight from an assembled program's CFI metadata
+    /// (`lpad` markers and `.lpad_expect` annotations).
+    #[must_use]
+    pub fn from_program(program: &riscv_asm::Program) -> LandingPadPolicy {
+        LandingPadPolicy {
+            pads: program.cfi.lpads.clone(),
+            site_labels: program.cfi.site_labels.clone(),
+            stats: LandingPadStats::default(),
+        }
+    }
+
+    /// Registered pads (address → label).
+    #[must_use]
+    pub fn pads(&self) -> &BTreeMap<u64, u32> {
+        &self.pads
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> LandingPadStats {
+        self.stats
+    }
+}
+
+impl CfiPolicy for LandingPadPolicy {
+    fn name(&self) -> &str {
+        "landing-pad"
+    }
+
+    fn check(&mut self, log: &CommitLog) -> Verdict {
+        // Zicfilp tracks *register-indirect* edges: jalr-encoded calls and
+        // jumps. Direct jal calls have link-time-immutable targets and
+        // returns are backward edges — both exempt.
+        let class = log.cf_class();
+        let indirect = log.insn & 0x7f == JALR_OPCODE
+            && matches!(class, CfClass::Call | CfClass::IndirectJump);
+        if !indirect {
+            return Verdict::Allowed;
+        }
+        self.stats.checked += 1;
+        let Some(&label) = self.pads.get(&log.target) else {
+            self.stats.violations += 1;
+            return Verdict::Violation(ViolationKind::LandingPadMissing { target: log.target });
+        };
+        if let Some(&expected) = self.site_labels.get(&log.pc) {
+            if expected != label {
+                self.stats.violations += 1;
+                return Verdict::Violation(ViolationKind::LandingPadLabelMismatch {
+                    target: log.target,
+                    expected,
+                    actual: label,
+                });
+            }
+        }
+        Verdict::Allowed
+    }
+
+    fn reset(&mut self) {
+        // Pad and site sets are static program metadata; only counters reset.
+        self.stats = LandingPadStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ijump(pc: u64, target: u64) -> CommitLog {
+        // jalr zero, 0(a5)
+        CommitLog {
+            pc,
+            insn: 0x0007_8067,
+            next: pc + 4,
+            target,
+        }
+    }
+
+    fn icall(pc: u64, target: u64) -> CommitLog {
+        // jalr ra, 0(t1)
+        CommitLog {
+            pc,
+            insn: 0x0003_00e7,
+            next: pc + 4,
+            target,
+        }
+    }
+
+    #[test]
+    fn non_pad_target_flagged_for_calls_and_jumps() {
+        let mut lp = LandingPadPolicy::new();
+        lp.register_pad(0x2000, 1);
+        assert!(lp.check(&ijump(0x10, 0x2000)).is_allowed());
+        assert!(lp.check(&icall(0x10, 0x2000)).is_allowed());
+        assert_eq!(
+            lp.check(&icall(0x10, 0x2004)),
+            Verdict::Violation(ViolationKind::LandingPadMissing { target: 0x2004 })
+        );
+        assert_eq!(lp.stats().checked, 3);
+        assert_eq!(lp.stats().violations, 1);
+    }
+
+    #[test]
+    fn label_mismatch_flagged_only_for_labelled_sites() {
+        let mut lp = LandingPadPolicy::new();
+        lp.register_pad(0x2000, 1);
+        lp.register_pad(0x3000, 2);
+        lp.expect_label(0x50, 1);
+        assert!(lp.check(&icall(0x50, 0x2000)).is_allowed());
+        assert_eq!(
+            lp.check(&icall(0x50, 0x3000)),
+            Verdict::Violation(ViolationKind::LandingPadLabelMismatch {
+                target: 0x3000,
+                expected: 1,
+                actual: 2,
+            })
+        );
+        // An unlabelled site takes any pad.
+        assert!(lp.check(&icall(0x60, 0x3000)).is_allowed());
+    }
+
+    #[test]
+    fn returns_and_direct_calls_exempt() {
+        let mut lp = LandingPadPolicy::new();
+        // ret to an arbitrary address: not a forward edge.
+        let ret = CommitLog {
+            pc: 0x104,
+            insn: 0x0000_8067,
+            next: 0x108,
+            target: 4,
+        };
+        // jal ra, +8: direct call, immutable target.
+        let jal = CommitLog {
+            pc: 0,
+            insn: 0x0080_00ef,
+            next: 4,
+            target: 8,
+        };
+        assert!(lp.check(&ret).is_allowed());
+        assert!(lp.check(&jal).is_allowed());
+        assert_eq!(lp.stats().checked, 0);
+    }
+
+    #[test]
+    fn from_program_reads_cfi_meta() {
+        let prog = riscv_asm::assemble(
+            r"
+            _start:
+                la t1, f
+                .lpad_expect 3
+                jalr t1
+                ebreak
+            f:
+                lpad 3
+                ret
+            ",
+            riscv_isa::Xlen::Rv64,
+            0x8000_0000,
+        )
+        .expect("assembles");
+        let mut lp = LandingPadPolicy::from_program(&prog);
+        let f = prog.symbol("f").expect("f");
+        let site = 0x8000_0008; // after the 2-inst `la`
+        assert!(lp.check(&icall(site, f)).is_allowed());
+        assert!(!lp.check(&icall(site, f + 4)).is_allowed());
+        assert_eq!(lp.pads().len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_counters_not_pads() {
+        let mut lp = LandingPadPolicy::new();
+        lp.register_pad(0x2000, 1);
+        assert!(!lp.check(&ijump(0x10, 0x2004)).is_allowed());
+        lp.reset();
+        assert_eq!(lp.stats(), LandingPadStats::default());
+        assert!(lp.check(&ijump(0x10, 0x2000)).is_allowed());
+    }
+}

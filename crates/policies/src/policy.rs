@@ -30,6 +30,32 @@ pub enum ViolationKind {
     },
     /// Authentication of spilled CFI metadata failed (tampering).
     SpillAuthFailure,
+    /// An indirect jump/call landed on an instruction that is not an
+    /// `lpad` marker (Zicfilp).
+    LandingPadMissing {
+        /// The non-landing-pad target.
+        target: u64,
+    },
+    /// An indirect jump/call landed on a landing pad whose label does not
+    /// match the label the site expects (Zicfilp labelled mode).
+    LandingPadLabelMismatch {
+        /// The landing-pad address reached.
+        target: u64,
+        /// The label the call site expects.
+        expected: u32,
+        /// The label carried by the pad actually reached.
+        actual: u32,
+    },
+    /// An instrumented indirect call reached a function whose `[fn-4]`
+    /// type hash does not match the hash the call site expects (KCFI).
+    KcfiMismatch {
+        /// The call-site pc.
+        site: u64,
+        /// The type hash the site expects.
+        expected: u32,
+        /// The hash found at the target (`None`: no hash word at all).
+        actual: Option<u32>,
+    },
 }
 
 impl fmt::Display for ViolationKind {
@@ -48,6 +74,33 @@ impl fmt::Display for ViolationKind {
             ViolationKind::SpillAuthFailure => {
                 f.write_str("spilled metadata failed authentication")
             }
+            ViolationKind::LandingPadMissing { target } => {
+                write!(f, "indirect branch to non-landing-pad {target:#x}")
+            }
+            ViolationKind::LandingPadLabelMismatch {
+                target,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "landing pad {target:#x} label mismatch: expected {expected}, got {actual}"
+                )
+            }
+            ViolationKind::KcfiMismatch {
+                site,
+                expected,
+                actual,
+            } => match actual {
+                Some(actual) => write!(
+                    f,
+                    "kcfi mismatch at site {site:#x}: expected {expected:#010x}, got {actual:#010x}"
+                ),
+                None => write!(
+                    f,
+                    "kcfi mismatch at site {site:#x}: expected {expected:#010x}, target has no type hash"
+                ),
+            },
         }
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::compress::try_compress;
 use crate::parse::{parse, Operand, ParseError, Stmt};
-use crate::program::Program;
+use crate::program::{CfiMeta, Program};
 use riscv_isa::{
     encode, AluImmOp, AluOp, AmoOp, BranchCond, CsrOp, Inst, MemWidth, MulOp, Reg, Xlen,
 };
@@ -49,6 +49,22 @@ fn sem(line: usize, message: impl Into<String>) -> AsmError {
     AsmError::Semantic {
         line,
         message: message.into(),
+    }
+}
+
+/// Scalar value of a directive argument: integer literal or defined symbol.
+fn directive_value(
+    line: usize,
+    op: &Operand,
+    symbols: &BTreeMap<String, u64>,
+) -> Result<u64, AsmError> {
+    match op {
+        Operand::Imm(v) => Ok(*v as u64),
+        Operand::Sym(s) => symbols
+            .get(s)
+            .copied()
+            .ok_or_else(|| sem(line, format!("unknown symbol `{s}`"))),
+        _ => Err(sem(line, "expected integer or symbol")),
     }
 }
 
@@ -147,10 +163,29 @@ impl Assembler {
             }
             image[off..off + bytes.len()].copy_from_slice(bytes);
         };
+        let mut cfi = CfiMeta::default();
+        // `.kcfi_expect` / `.lpad_expect` attach to the *next* emitted
+        // instruction — the pending values survive interleaved labels and
+        // other directives until an instruction consumes them.
+        let mut pending_hash: Option<u32> = None;
+        let mut pending_label: Option<u32> = None;
         for (line, stmt) in &stmts {
             match stmt {
                 Stmt::Label(_) => {}
                 Stmt::Directive { name, args } => {
+                    match (name.as_str(), args.as_slice()) {
+                        ("kcfi", [arg]) => {
+                            let hash = directive_value(*line, arg, &symbols)? as u32;
+                            cfi.fn_hashes.insert(pc + 4, hash);
+                        }
+                        ("kcfi_expect", [arg]) => {
+                            pending_hash = Some(directive_value(*line, arg, &symbols)? as u32);
+                        }
+                        ("lpad_expect", [arg]) => {
+                            pending_label = Some(directive_value(*line, arg, &symbols)? as u32);
+                        }
+                        _ => {}
+                    }
                     let mut bytes = Vec::new();
                     pc = self.emit_directive(*line, name, args, pc, &symbols, &mut bytes)?;
                     if !bytes.is_empty() {
@@ -158,6 +193,19 @@ impl Assembler {
                     }
                 }
                 Stmt::Inst { mnemonic, operands } => {
+                    if mnemonic == "lpad" {
+                        let label = match operands.as_slice() {
+                            [Operand::Imm(v)] => *v as u32,
+                            _ => return Err(sem(*line, "lpad needs one integer label")),
+                        };
+                        cfi.lpads.insert(pc, label);
+                    }
+                    if let Some(hash) = pending_hash.take() {
+                        cfi.site_hashes.insert(pc, hash);
+                    }
+                    if let Some(label) = pending_label.take() {
+                        cfi.site_labels.insert(pc, label);
+                    }
                     let insts = self.encode_inst(*line, mnemonic, operands, pc, &symbols)?;
                     let compressible =
                         self.compress && mnemonic != "la" && !Self::has_symbolic_operand(operands);
@@ -182,6 +230,7 @@ impl Assembler {
             bytes: image,
             symbols,
             entry,
+            cfi,
         })
     }
 
@@ -222,6 +271,20 @@ impl Assembler {
             "half" => Ok(pc + 2 * args.len() as u64),
             "word" => Ok(pc + 4 * args.len() as u64),
             "dword" | "quad" => Ok(pc + 8 * args.len() as u64),
+            // `.kcfi hash`: one 32-bit type-hash word placed directly
+            // before the following function label (so the hash lives at
+            // `[fn - 4]`, the KCFI convention).
+            "kcfi" => match args {
+                [_] => Ok(pc + 4),
+                _ => Err(sem(line, ".kcfi needs one 32-bit hash argument")),
+            },
+            // Zero-size annotations for the next instruction (the call or
+            // indirect-jump site): the expected KCFI type hash / landing-pad
+            // label. Collected into [`CfiMeta`] during pass 2.
+            "kcfi_expect" | "lpad_expect" => match args {
+                [_] => Ok(pc),
+                _ => Err(sem(line, format!(".{name} needs one integer argument"))),
+            },
             "zero" | "space" => match args {
                 [Operand::Imm(v)] if *v >= 0 => Ok(pc + *v as u64),
                 _ => Err(sem(line, ".zero needs a non-negative size")),
@@ -291,6 +354,11 @@ impl Assembler {
                 }
                 Ok(pc + 8 * args.len() as u64)
             }
+            "kcfi" => {
+                out.extend((value_of(&args[0])? as u32).to_le_bytes());
+                Ok(pc + 4)
+            }
+            "kcfi_expect" | "lpad_expect" => Ok(pc),
             "zero" | "space" => match args {
                 [Operand::Imm(v)] => {
                     out.extend(std::iter::repeat_n(0u8, *v as usize));
@@ -490,6 +558,20 @@ impl Assembler {
         match mnemonic {
             // ---- pseudo ----
             "nop" => one(Inst::NOP),
+            // Zicfilp-style landing-pad marker: `lpad label` encodes as
+            // `auipc x0, label` — architecturally a no-op, so it executes
+            // unchanged on cores without landing-pad hardware while the
+            // policy layer checks indirect transfers land on one.
+            "lpad" => {
+                let label = imm(0)?;
+                if !(0..(1 << 20)).contains(&label) {
+                    return Err(sem(line, format!("lpad label {label} out of 20-bit range")));
+                }
+                one(Inst::Auipc {
+                    rd: Reg::ZERO,
+                    imm: ((label << 12) << 32) >> 32,
+                })
+            }
             "li" => {
                 let value = Self::li_value(line, ops, symbols)?;
                 match ops.first() {

@@ -40,4 +40,4 @@ pub use asm::{assemble, li_sequence, AsmError, Assembler};
 pub use compress::try_compress;
 pub use disasm::{disassemble, to_listing, DisasmLine};
 pub use parse::{Operand, ParseError, Stmt};
-pub use program::Program;
+pub use program::{CfiMeta, Program};

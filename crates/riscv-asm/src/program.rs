@@ -2,6 +2,36 @@
 
 use std::collections::BTreeMap;
 
+/// Control-flow-integrity metadata collected while assembling: landing-pad
+/// markers (Zicfilp-style `lpad`), KCFI type-hash words, and the per-site
+/// expectations the policies enforce. Everything is keyed by absolute
+/// address, so policies can be built straight from an assembled image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CfiMeta {
+    /// `lpad` marker address → the label carried in its 20-bit immediate.
+    pub lpads: BTreeMap<u64, u32>,
+    /// Function entry address → the 32-bit type hash stored at `[entry-4]`
+    /// by a `.kcfi` directive.
+    pub fn_hashes: BTreeMap<u64, u32>,
+    /// Call-site pc → the type hash the site expects (`.kcfi_expect`,
+    /// attached to the next emitted instruction).
+    pub site_hashes: BTreeMap<u64, u32>,
+    /// Indirect-branch site pc → the landing-pad label the site expects
+    /// (`.lpad_expect`, attached to the next emitted instruction).
+    pub site_labels: BTreeMap<u64, u32>,
+}
+
+impl CfiMeta {
+    /// Whether no CFI metadata was collected at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lpads.is_empty()
+            && self.fn_hashes.is_empty()
+            && self.site_hashes.is_empty()
+            && self.site_labels.is_empty()
+    }
+}
+
 /// An assembled program: a byte image to be loaded at [`Program::base`],
 /// plus the resolved symbol table.
 ///
@@ -29,6 +59,8 @@ pub struct Program {
     pub symbols: BTreeMap<String, u64>,
     /// Entry point: the `_start` symbol if defined, else `base`.
     pub entry: u64,
+    /// CFI metadata (landing pads, type hashes, site expectations).
+    pub cfi: CfiMeta,
 }
 
 impl Program {
@@ -64,6 +96,7 @@ mod tests {
             bytes: vec![0x13, 0x00, 0x00, 0x00, 0xff],
             symbols: BTreeMap::new(),
             entry: 0x100,
+            cfi: CfiMeta::default(),
         };
         assert_eq!(p.word_at(0x100), Some(0x13));
         assert_eq!(p.word_at(0x102), None); // truncated

@@ -1,0 +1,145 @@
+//! CFI metadata emission: `lpad` markers, `.kcfi` type-hash words, and the
+//! per-site `.kcfi_expect` / `.lpad_expect` annotations.
+
+use riscv_asm::{assemble, AsmError, Assembler};
+use riscv_isa::{decode, Inst, Reg, Xlen};
+
+const BASE: u64 = 0x8000_0000;
+
+fn asm(src: &str) -> riscv_asm::Program {
+    assemble(src, Xlen::Rv64, BASE).expect("assembles")
+}
+
+#[test]
+fn lpad_roundtrips_as_auipc_x0() {
+    // `lpad N` must encode as `auipc x0, N` — an executable no-op whose
+    // 20-bit immediate round-trips through decode.
+    for label in [0u32, 1, 2, 0x7ff, 0xf_ffff] {
+        let p = asm(&format!("_start: lpad {label}\n ebreak\n"));
+        let word = p.word_at(BASE).expect("in image");
+        let d = decode(word, Xlen::Rv64).expect("decodes");
+        match d.inst {
+            Inst::Auipc { rd, imm } => {
+                assert_eq!(rd, Reg::ZERO, "lpad must write x0");
+                assert_eq!(
+                    ((imm as u64 >> 12) & 0xf_ffff) as u32,
+                    label,
+                    "label {label} must round-trip through the auipc immediate"
+                );
+            }
+            other => panic!("lpad {label} decoded as {other:?}, expected auipc"),
+        }
+        assert_eq!(p.cfi.lpads.get(&BASE), Some(&label));
+    }
+}
+
+#[test]
+fn lpad_is_never_compressed() {
+    // Landing pads must stay 4-byte so the policy can match the marker pc
+    // exactly; auipc has no RVC form, and compression must not disturb it.
+    let src = "_start:\n lpad 1\n addi a0, a0, 1\n lpad 2\n ebreak\n";
+    let full = Assembler::new(Xlen::Rv64, BASE).assemble(src).unwrap();
+    let compressed = Assembler::new(Xlen::Rv64, BASE)
+        .compressed()
+        .assemble(src)
+        .unwrap();
+    assert_eq!(full.cfi.lpads.get(&BASE), Some(&1));
+    // Under compression the addi shrinks, so the second pad moves — but both
+    // pads must still be recorded at 4-byte-aligned pcs that decode to auipc.
+    for p in [&full, &compressed] {
+        for &addr in p.cfi.lpads.keys() {
+            assert_eq!(addr % 2, 0);
+            let d = decode(p.word_at(addr).unwrap(), Xlen::Rv64).unwrap();
+            assert!(matches!(d.inst, Inst::Auipc { rd: Reg::ZERO, .. }));
+        }
+    }
+    assert_eq!(full.cfi.lpads.len(), 2);
+    assert_eq!(compressed.cfi.lpads.len(), 2);
+}
+
+#[test]
+fn lpad_label_out_of_range_rejected() {
+    let err = assemble("_start: lpad 1048576\n", Xlen::Rv64, BASE).unwrap_err();
+    assert!(matches!(err, AsmError::Semantic { .. }), "{err:?}");
+}
+
+#[test]
+fn kcfi_hash_lands_at_fn_minus_4() {
+    let p = asm(r"
+        _start:
+            ebreak
+        .align 2
+        .kcfi 0xdeadbeef
+        f:
+            lpad 1
+            ret
+        ");
+    let f = p.symbol("f").expect("f defined");
+    // The hash word sits at [f-4] in the image and is recorded under the
+    // function entry address.
+    assert_eq!(p.word_at(f - 4), Some(0xdead_beef));
+    assert_eq!(p.cfi.fn_hashes.get(&f), Some(&0xdead_beef));
+    assert_eq!(
+        f % 4,
+        0,
+        "entry after .align 2 + .kcfi stays 4-byte aligned"
+    );
+}
+
+#[test]
+fn site_expectations_attach_to_next_instruction() {
+    let p = asm(r"
+        _start:
+            la t1, f
+            .kcfi_expect 0x1234
+            .lpad_expect 7
+            jalr t1
+            ebreak
+        .kcfi 0x1234
+        f:
+            lpad 7
+            ret
+        ");
+    // `la` expands to two instructions; the jalr is the third word.
+    let site = BASE + 8;
+    let d = decode(p.word_at(site).unwrap(), Xlen::Rv64).unwrap();
+    assert!(matches!(d.inst, Inst::Jalr { .. }), "site must be the jalr");
+    assert_eq!(p.cfi.site_hashes.get(&site), Some(&0x1234));
+    assert_eq!(p.cfi.site_labels.get(&site), Some(&7));
+    // Expectations are one-shot: nothing attached to the ebreak after.
+    assert_eq!(p.cfi.site_hashes.len(), 1);
+    assert_eq!(p.cfi.site_labels.len(), 1);
+}
+
+#[test]
+fn expectations_survive_interleaved_labels_and_directives() {
+    let p = asm(r"
+        _start:
+            .kcfi_expect 0xabcd
+        site:
+            jalr t1
+            ebreak
+        ");
+    let site = p.symbol("site").unwrap();
+    assert_eq!(p.cfi.site_hashes.get(&site), Some(&0xabcd));
+}
+
+#[test]
+fn kcfi_accepts_symbolic_hash() {
+    let p = asm(r"
+        .equ TY_LEAF, 0x5a5a
+        _start:
+            ebreak
+        .kcfi TY_LEAF
+        f:
+            ret
+        ");
+    let f = p.symbol("f").unwrap();
+    assert_eq!(p.cfi.fn_hashes.get(&f), Some(&0x5a5a));
+}
+
+#[test]
+fn benign_program_without_cfi_has_empty_meta() {
+    let p = asm("_start: li a0, 7\n ebreak\n");
+    assert!(p.cfi.is_empty());
+}

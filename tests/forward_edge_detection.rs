@@ -1,0 +1,161 @@
+//! Per-policy detection matrix for the forward-edge CFI suite.
+//!
+//! Each corruption variant is run through the full differential oracle and
+//! the golden-model policy replay, and every cell of the catch/miss matrix
+//! is asserted explicitly:
+//!
+//! | variant              | shadow stack | landing pads | KCFI  |
+//! |----------------------|--------------|--------------|-------|
+//! | `ReturnHijack`       | catch        | miss         | miss  |
+//! | `JumpTableSmash`     | miss         | catch        | miss  |
+//! | `FnPtrTypeConfusion` | miss         | miss         | catch |
+//!
+//! Benign programs must be clean under all of them, the combined policy
+//! must flag every corrupted run, and the KCFI `[fn-4]` hash words planted
+//! by the generator must never be executed.
+
+use riscv_isa::Trap;
+use titancfi_fuzz::{
+    check, expected_detection, CorruptionVariant, FuzzProgram, MatrixConfig, PolicyMatrix,
+};
+
+/// Detection is a policy-replay property, independent of the dual-core
+/// topology — stepping-mode and firmware agreement is still asserted by
+/// the oracle on every `check`. Skipping the dual-core rung keeps the
+/// matrix sweep inside a tier-1 time budget.
+fn matrix() -> MatrixConfig {
+    MatrixConfig {
+        multicore: false,
+        ..MatrixConfig::default()
+    }
+}
+
+#[test]
+fn benign_programs_are_clean_under_every_policy() {
+    for seed in 0..4u64 {
+        let prog = FuzzProgram::generate(seed);
+        let ok = check(&prog, &matrix()).unwrap_or_else(|d| panic!("seed {seed} diverged: {d}"));
+        assert_eq!(ok.violations, 0, "seed {seed}: firmware flagged benign");
+        assert_eq!(
+            ok.policy,
+            PolicyMatrix::default(),
+            "seed {seed}: a golden policy flagged a benign program"
+        );
+    }
+}
+
+#[test]
+fn detection_matrix_has_exactly_the_predicted_cells() {
+    for seed in 0..3u64 {
+        let benign = FuzzProgram::generate(seed);
+        for variant in CorruptionVariant::ALL {
+            let prog = benign.with_corruption_variant(variant);
+            let corruption = prog.corruption.expect("corruption was planted");
+            let want = expected_detection(&corruption);
+            // `check` also proves stream byte-identity across stepping
+            // modes and firmwares for the corrupted program — detection is
+            // configuration-independent by construction.
+            let ok = check(&prog, &matrix())
+                .unwrap_or_else(|d| panic!("seed {seed} {variant:?} diverged: {d}"));
+            let p = ok.policy;
+            for (policy, fired, predicted) in [
+                ("shadow-stack", p.shadow_stack > 0, want.shadow_stack),
+                ("landing-pad", p.landing_pad > 0, want.landing_pad),
+                ("kcfi", p.kcfi > 0, want.kcfi),
+            ] {
+                assert_eq!(
+                    fired, predicted,
+                    "seed {seed} {variant:?}: {policy} cell is wrong (matrix {p:?})"
+                );
+            }
+            assert!(
+                p.combined > 0,
+                "seed {seed} {variant:?}: combined policy missed it"
+            );
+            // The firmware implements the shadow stack, so its verdicts
+            // must track that column of the matrix.
+            assert_eq!(
+                ok.violations > 0,
+                want.shadow_stack,
+                "seed {seed} {variant:?}: firmware verdicts disagree with the shadow-stack cell"
+            );
+        }
+    }
+}
+
+#[test]
+fn exactly_one_policy_catches_each_variant() {
+    // The map itself must stay a permutation matrix: one policy per
+    // variant, every policy used once.
+    let mut caught = [0usize; 3];
+    for variant in CorruptionVariant::ALL {
+        let prog = FuzzProgram::generate(0).with_corruption_variant(variant);
+        let want = expected_detection(&prog.corruption.expect("planted"));
+        let row = [want.shadow_stack, want.landing_pad, want.kcfi];
+        assert_eq!(
+            row.iter().filter(|&&b| b).count(),
+            1,
+            "{variant:?}: expected exactly one catching policy"
+        );
+        for (i, fired) in row.iter().enumerate() {
+            caught[i] += usize::from(*fired);
+        }
+    }
+    assert_eq!(
+        caught,
+        [1, 1, 1],
+        "every policy catches exactly one variant"
+    );
+}
+
+/// The `[fn-4]` KCFI hash words are data, not code: executing one would
+/// mean the generator laid a function entry over its own signature. Every
+/// retired pc across benign and corrupted runs must stay clear of the
+/// 4-byte hash windows.
+#[test]
+fn kcfi_hash_words_are_never_executed() {
+    for seed in 0..4u64 {
+        let benign = FuzzProgram::generate(seed);
+        for prog in [
+            benign.clone(),
+            benign.with_corruption_variant(CorruptionVariant::FnPtrTypeConfusion),
+            benign.with_corruption_variant(CorruptionVariant::JumpTableSmash),
+        ] {
+            let image = titancfi_fuzz::oracle::assemble_fuzz(&prog.emit(), prog.compressed)
+                .unwrap_or_else(|e| panic!("seed {seed}: does not assemble: {e}"));
+            assert!(
+                !image.cfi.fn_hashes.is_empty(),
+                "seed {seed}: generator planted no KCFI hashes"
+            );
+            let mut mem = riscv_isa::FlatMemory::new(
+                titancfi_fuzz::gen::FUZZ_BASE,
+                titancfi_fuzz::gen::FUZZ_MEM,
+            );
+            mem.load(image.base, &image.bytes);
+            let mut hart = riscv_isa::Hart::new(riscv_isa::Xlen::Rv64, image.entry);
+            // Same reset state as the CVA6 core model: stack at top of RAM.
+            hart.set_reg(
+                riscv_isa::Reg::SP,
+                (titancfi_fuzz::gen::FUZZ_BASE + titancfi_fuzz::gen::FUZZ_MEM as u64 - 16) & !0xf,
+            );
+            let mut steps = 0u64;
+            loop {
+                match hart.step(&mut mem) {
+                    Ok(r) => {
+                        for &entry in image.cfi.fn_hashes.keys() {
+                            assert!(
+                                !(entry - 4..entry).contains(&r.pc),
+                                "seed {seed}: pc {:#x} executed inside the hash word of fn {entry:#x}",
+                                r.pc
+                            );
+                        }
+                    }
+                    Err(Trap::Breakpoint) => break,
+                    Err(t) => panic!("seed {seed}: unexpected trap {t:?}"),
+                }
+                steps += 1;
+                assert!(steps < 2_000_000, "seed {seed}: program did not terminate");
+            }
+        }
+    }
+}
